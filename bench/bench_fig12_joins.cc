@@ -1,0 +1,98 @@
+// Reproduces paper Figure 12: join-query bounds — Corr-PC (via the
+// fractional-edge-cover formulation) vs elastic sensitivity — on the
+// triangle-counting query (TOP) and a 5-relation acyclic chain join
+// (BOTTOM), over growing table sizes. Expected shape: edge-cover bounds
+// grow as N^{3/2} (triangle) and N^3 (chain); elastic sensitivity
+// degenerates to the Cartesian product (N^3 / N^5) — several orders of
+// magnitude looser, with the gap widening in N.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "join/elastic_sensitivity.h"
+#include "join/join_bound.h"
+#include "relation/join.h"
+#include "workload/datasets.h"
+
+namespace pcx {
+namespace {
+
+PredicateConstraintSet WholeTablePcs(const Table& t) {
+  Predicate everything(2);
+  Box values(2);
+  PredicateConstraintSet set;
+  set.Add(PredicateConstraint(everything, values,
+                              {0.0, static_cast<double>(t.num_rows())}));
+  return set;
+}
+
+void RunTriangles(size_t max_size) {
+  std::printf("--- Figure 12 (TOP): triangle counting ---\n");
+  std::printf("%-12s %-16s %-16s %-16s\n", "table-size", "true-count",
+              "Corr-PC bound", "ElasticSens");
+  for (size_t n : {10, 100, 1000, 10000}) {
+    if (n > max_size) break;
+    const size_t vertices = std::max<size_t>(4, n / 4);
+    Table r = workload::MakeRandomEdges(n, vertices, 1);
+    Table s = workload::MakeRandomEdges(n, vertices, 2);
+    Table t = workload::MakeRandomEdges(n, vertices, 3);
+    const double truth = TriangleCount(r, s, t).value_or(-1.0);
+    const auto pr = WholeTablePcs(r), ps = WholeTablePcs(s),
+               pt = WholeTablePcs(t);
+    const double pc_bound =
+        BoundNaturalJoin(JoinHypergraph::Triangle(), {&pr, &ps, &pt})
+            .value_or(-1.0);
+    const double es =
+        ElasticSensitivityCountBound(
+            JoinHypergraph::Triangle(),
+            {{double(n)}, {double(n)}, {double(n)}})
+            .value_or(-1.0);
+    std::printf("%-12zu %-16.0f %-16.3g %-16.3g\n", n, truth, pc_bound, es);
+  }
+}
+
+void RunChain(size_t max_size) {
+  std::printf("\n--- Figure 12 (BOTTOM): acyclic 5-chain join ---\n");
+  std::printf("%-12s %-16s %-16s %-16s\n", "table-size", "true-count",
+              "Corr-PC bound", "ElasticSens");
+  for (size_t k : {10, 100, 1000, 10000}) {
+    if (k > max_size) break;
+    const size_t domain = std::max<size_t>(2, k / 3);
+    std::vector<Table> tables;
+    for (int i = 0; i < 5; ++i) {
+      tables.push_back(workload::MakeChainRelation(k, domain, 10 + i));
+    }
+    std::vector<const Table*> ptrs;
+    for (const auto& t : tables) ptrs.push_back(&t);
+    const double truth = ChainJoinCount(ptrs).value_or(-1.0);
+
+    std::vector<PredicateConstraintSet> pcs;
+    for (const auto& t : tables) pcs.push_back(WholeTablePcs(t));
+    std::vector<const PredicateConstraintSet*> pcs_ptrs;
+    for (const auto& p : pcs) pcs_ptrs.push_back(&p);
+    const double pc_bound =
+        BoundNaturalJoin(JoinHypergraph::Chain(5), pcs_ptrs).value_or(-1.0);
+    const double es =
+        ElasticSensitivityCountBound(
+            JoinHypergraph::Chain(5),
+            std::vector<EsRelation>(5, EsRelation{double(k)}))
+            .value_or(-1.0);
+    std::printf("%-12zu %-16.3g %-16.3g %-16.3g\n", k, truth, pc_bound, es);
+  }
+}
+
+}  // namespace
+}  // namespace pcx
+
+int main(int argc, char** argv) {
+  const size_t max_size =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
+  std::printf("=== Figure 12: join bounds vs elastic sensitivity ===\n");
+  pcx::RunTriangles(max_size);
+  pcx::RunChain(max_size);
+  std::printf("\nShape check (paper Fig. 12): Corr-PC tracks N^1.5 / N^3 "
+              "while elastic sensitivity tracks N^3 / N^5 — a gap of "
+              "several orders of magnitude that widens with N.\n");
+  return 0;
+}

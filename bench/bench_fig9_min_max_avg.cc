@@ -1,0 +1,82 @@
+// Reproduces paper Figure 9: median over-estimation of the PC framework
+// on MIN, MAX and AVG queries (Intel Wireless, partitioned on device_id
+// and time). Expected shape: MIN/MAX bounds are optimal (ratio 1.0)
+// because the partition records exact extremes; AVG is competitive.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/pc_estimator.h"
+#include "common/stats.h"
+#include "eval/harness.h"
+#include "relation/aggregate.h"
+#include "workload/datasets.h"
+#include "workload/missing.h"
+#include "workload/pc_gen.h"
+#include "workload/query_gen.h"
+
+namespace pcx {
+namespace {
+
+void Run(size_t num_queries) {
+  workload::IntelWirelessOptions opts;
+  opts.num_devices = 20;
+  opts.num_epochs = 150;
+  const Table full = workload::MakeIntelWireless(opts);
+  const size_t device = 0, time = 1, light = 2;
+  auto split = workload::SplitTopValueCorrelated(full, light, 0.3);
+  const Table& missing = split.missing;
+
+  PcEstimator pc(workload::MakeCorrPCs(missing, {device, time}, light, 64),
+                 DomainsFromSchema(full.schema()), "Corr-PC");
+
+  std::printf("=== Figure 9: PC over-estimation on MIN / MAX / AVG "
+              "(Intel) ===\n");
+  std::printf("%-8s %-14s %-12s %-10s\n", "agg", "med-over-est",
+              "failures", "queries");
+  for (AggFunc agg : {AggFunc::kMin, AggFunc::kMax, AggFunc::kAvg}) {
+    workload::QueryGenOptions qopts;
+    qopts.count = num_queries;
+    qopts.seed = 60 + static_cast<uint64_t>(agg);
+    const auto queries = workload::MakeRandomRangeQueries(
+        full, {device, time}, agg, light, qopts);
+    // The conservative end of the range is the reported bound: the
+    // upper end for MAX/AVG, the lower end for MIN (ratio inverted so
+    // 1.0 = optimal for all three).
+    std::vector<double> ratios;
+    size_t failures = 0, evaluated = 0;
+    for (const auto& q : queries) {
+      const Predicate& where = *q.where;
+      const AggregateResult truth =
+          Aggregate(missing, q.agg, q.attr, [&](size_t r) {
+            return where.MatchesRow(missing, r);
+          });
+      if (truth.empty_input) continue;
+      const auto range = pc.Estimate(q);
+      if (!range.ok() || !range->defined) continue;
+      ++evaluated;
+      if (truth.value < range->lo - 1e-6 || truth.value > range->hi + 1e-6) {
+        ++failures;
+      }
+      if (agg == AggFunc::kMin) {
+        if (range->lo != 0.0) ratios.push_back(truth.value / range->lo);
+      } else if (truth.value > 0.0) {
+        ratios.push_back(range->hi / truth.value);
+      }
+    }
+    std::printf("%-8s %-14.3f %-12zu %-10zu\n", AggFuncToString(agg),
+                Median(ratios), failures, evaluated);
+  }
+  std::printf("\nShape check (paper Fig. 9): MIN/MAX ratios sit at ~1.0 "
+              "(optimal); AVG stays competitive; failures are 0.\n");
+}
+
+}  // namespace
+}  // namespace pcx
+
+int main(int argc, char** argv) {
+  const size_t queries = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 100;
+  pcx::Run(queries);
+  return 0;
+}

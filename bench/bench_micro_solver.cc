@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark) of the pcx substrates: interval
+// SAT checking, cell decomposition, the simplex LP solver, the MILP
+// branch-and-bound, and end-to-end single-query bounding. Not a paper
+// figure; used to track solver regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "pc/bound_solver.h"
+#include "pc/cell_decomposition.h"
+#include "predicate/sat.h"
+#include "solver/milp.h"
+#include "solver/simplex.h"
+#include "workload/datasets.h"
+#include "workload/missing.h"
+#include "workload/pc_gen.h"
+
+namespace pcx {
+namespace {
+
+void BM_IntervalSat(benchmark::State& state) {
+  const size_t negations = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  CellExpr cell;
+  cell.positive = Box(3);
+  for (size_t d = 0; d < 3; ++d) {
+    cell.positive.Constrain(d, Interval::Closed(0.0, 100.0));
+  }
+  for (size_t i = 0; i < negations; ++i) {
+    Box n(3);
+    for (size_t d = 0; d < 3; ++d) {
+      const double lo = rng.Uniform(0.0, 80.0);
+      n.Constrain(d, Interval::Closed(lo, lo + 30.0));
+    }
+    cell.negated.push_back(n);
+  }
+  IntervalSatChecker checker;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.IsSatisfiable(cell));
+  }
+}
+BENCHMARK(BM_IntervalSat)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_CellDecomposition(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  PredicateConstraintSet pcs;
+  for (size_t i = 0; i < n; ++i) {
+    Predicate pred(2);
+    const double x = rng.Uniform(0.0, 8.0);
+    pred.AddRange(0, x, x + 4.0);
+    const double y = rng.Uniform(0.0, 8.0);
+    pred.AddRange(1, y, y + 4.0);
+    Box values(2);
+    pcs.Add(PredicateConstraint(pred, values, {0.0, 5.0}));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecomposeCells(pcs));
+  }
+}
+BENCHMARK(BM_CellDecomposition)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_SimplexSolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  LpModel model;
+  for (size_t i = 0; i < n; ++i) {
+    model.AddVariable(rng.Uniform(0.5, 2.0), 0.0, 50.0);
+  }
+  for (size_t r = 0; r < n / 2; ++r) {
+    LinearConstraint c;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.4)) c.terms.push_back({i, 1.0});
+    }
+    if (c.terms.empty()) c.terms.push_back({0, 1.0});
+    c.lo = 0.0;
+    c.hi = rng.Uniform(20.0, 60.0);
+    model.AddConstraint(std::move(c));
+  }
+  SimplexSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(model));
+  }
+}
+BENCHMARK(BM_SimplexSolve)->Arg(10)->Arg(50)->Arg(150);
+
+void BM_MilpSolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(9);
+  LpModel model;
+  for (size_t i = 0; i < n; ++i) {
+    model.AddVariable(rng.Uniform(0.5, 2.0), 0.0, 9.0, /*integer=*/true);
+  }
+  for (size_t r = 0; r < n; ++r) {
+    LinearConstraint c;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.5)) c.terms.push_back({i, 1.0});
+    }
+    if (c.terms.empty()) c.terms.push_back({0, 1.0});
+    c.lo = 0.0;
+    c.hi = rng.Uniform(5.0, 15.0) + 0.5;  // fractional caps force branching
+    model.AddConstraint(std::move(c));
+  }
+  BranchAndBoundSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(model));
+  }
+}
+BENCHMARK(BM_MilpSolve)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_EndToEndQuery(benchmark::State& state) {
+  const size_t pc_count = static_cast<size_t>(state.range(0));
+  workload::IntelWirelessOptions opts;
+  opts.num_devices = 20;
+  opts.num_epochs = 100;
+  static const Table* full =
+      new Table(workload::MakeIntelWireless(opts));
+  auto split = workload::SplitTopValueCorrelated(*full, 2, 0.3);
+  const auto pcs = workload::MakeCorrPCs(split.missing, {0, 1}, 2, pc_count);
+  PcBoundSolver solver(pcs, DomainsFromSchema(full->schema()));
+  Predicate where(full->schema().num_columns());
+  where.AddRange(0, 2.0, 11.0).AddRange(1, 5.0, 30.0);
+  const AggQuery query = AggQuery::Sum(2, where);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Bound(query));
+  }
+}
+BENCHMARK(BM_EndToEndQuery)->Arg(25)->Arg(100)->Arg(400);
+
+}  // namespace
+}  // namespace pcx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Reproduces paper Table 1: the failure-rate / tightness trade-off of a
+// uniform-sampling baseline as its confidence level rises from 80% to
+// 99.99%, against Corr-PC which has zero failures at a fixed width.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/pc_estimator.h"
+#include "baselines/sampling.h"
+#include "eval/harness.h"
+#include "workload/datasets.h"
+#include "workload/missing.h"
+#include "workload/pc_gen.h"
+#include "workload/query_gen.h"
+
+namespace pcx {
+namespace {
+
+void Run(size_t num_queries) {
+  workload::IntelWirelessOptions opts;
+  opts.num_devices = 54;
+  opts.num_epochs = 300;
+  const Table full = workload::MakeIntelWireless(opts);
+  const size_t device = 0, time = 1, light = 2;
+  auto split = workload::SplitTopValueCorrelated(full, light, 0.3);
+  const Table& missing = split.missing;
+
+  workload::QueryGenOptions qopts;
+  qopts.count = num_queries;
+  qopts.seed = 77;
+  const auto queries = workload::MakeRandomRangeQueries(
+      full, {device, time}, AggFunc::kSum, light, qopts);
+
+  std::printf("=== Table 1: uniform-sampling failure/over-estimation vs "
+              "confidence level (SUM of light, Intel) ===\n");
+  std::printf("%-12s %-10s %-12s %-16s\n", "conf (%)", "interval",
+              "fail-rate%", "med-over-est");
+  const size_t n_pcs = 196;
+  for (double conf : {0.80, 0.85, 0.90, 0.95, 0.99, 0.999, 0.9999}) {
+    for (IntervalMethod method :
+         {IntervalMethod::kParametric, IntervalMethod::kNonParametric}) {
+      const bool parametric = method == IntervalMethod::kParametric;
+      Rng rng(13);
+      auto est = UniformSamplingEstimator::FromMissing(
+          missing, n_pcs, method, conf, parametric ? "US-1p" : "US-1n",
+          &rng);
+      const auto report = eval::EvaluateEstimator(est, queries, missing);
+      std::printf("%-12.2f %-10s %-12.2f %-16.3f\n", conf * 100.0,
+                  parametric ? "CLT" : "nonparam",
+                  report.failure_rate_percent(),
+                  report.median_over_rate());
+    }
+  }
+  PcEstimator corr(
+      workload::MakeCorrPCs(missing, {device, time}, light, n_pcs),
+      DomainsFromSchema(full.schema()), "Corr-PC");
+  const auto pc_report = eval::EvaluateEstimator(corr, queries, missing);
+  std::printf("%-12s %-12.2f %-16.3f\n", "Corr-PC",
+              pc_report.failure_rate_percent(),
+              pc_report.median_over_rate());
+  std::printf("\nShape check (paper Table 1): raising the confidence "
+              "trades failures for looseness; Corr-PC sits at 0 failures "
+              "with competitive tightness.\n");
+}
+
+}  // namespace
+}  // namespace pcx
+
+int main(int argc, char** argv) {
+  const size_t queries = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 300;
+  pcx::Run(queries);
+  return 0;
+}

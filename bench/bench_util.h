@@ -1,0 +1,48 @@
+#ifndef PCX_BENCH_BENCH_UTIL_H_
+#define PCX_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/estimator.h"
+#include "eval/harness.h"
+#include "relation/table.h"
+
+namespace pcx {
+namespace bench {
+
+/// Wall-clock helper for the timing figures.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints one row of a failure-rate / over-estimation sweep, the format
+/// shared by the Fig. 3/4/10/11 reproductions.
+inline void PrintSweepHeader(const char* sweep_name) {
+  std::printf("%-10s %-16s %12s %16s %10s\n", sweep_name, "technique",
+              "fail-rate%", "med-over-est", "skipped");
+}
+
+inline void PrintSweepRow(double sweep_value,
+                          const eval::EstimatorReport& report) {
+  std::printf("%-10.2f %-16s %12.2f %16.3f %10zu\n", sweep_value,
+              report.name.c_str(), report.failure_rate_percent(),
+              report.median_over_rate(), report.skipped);
+}
+
+}  // namespace bench
+}  // namespace pcx
+
+#endif  // PCX_BENCH_BENCH_UTIL_H_

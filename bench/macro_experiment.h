@@ -1,0 +1,95 @@
+#ifndef PCX_BENCH_MACRO_EXPERIMENT_H_
+#define PCX_BENCH_MACRO_EXPERIMENT_H_
+
+// Shared setup for the paper's "macro" accuracy experiments (Figs.
+// 3/4/10/11, Tables 1/2): builds the estimator panel — Corr-PC,
+// Rand-PC, uniform/stratified sampling, histogram — over one
+// missing-data split.
+
+#include <memory>
+#include <vector>
+
+#include "baselines/gmm.h"
+#include "baselines/histogram.h"
+#include "baselines/pc_estimator.h"
+#include "baselines/sampling.h"
+#include "common/random.h"
+#include "workload/pc_gen.h"
+
+namespace pcx {
+namespace bench {
+
+struct PanelOptions {
+  size_t corr_pc_count = 200;   ///< Corr-PC partition size
+  size_t rand_pc_count = 40;    ///< Rand-PC constraint count
+  size_t sample_factor = 1;     ///< "US-k" draws k * corr_pc_count rows
+  double confidence = 0.9999;   ///< CI level for the sampling baselines
+  bool include_generative = false;
+  uint64_t seed = 1;
+};
+
+/// Owns the estimators of one comparison panel.
+struct EstimatorPanel {
+  std::vector<std::unique_ptr<MissingDataEstimator>> owned;
+  std::vector<const MissingDataEstimator*> pointers() const {
+    std::vector<const MissingDataEstimator*> out;
+    for (const auto& e : owned) out.push_back(e.get());
+    return out;
+  }
+};
+
+inline EstimatorPanel BuildPanel(const Table& missing,
+                                 const std::vector<size_t>& pred_attrs,
+                                 size_t agg_attr,
+                                 const std::vector<AttrDomain>& domains,
+                                 const PanelOptions& opts) {
+  EstimatorPanel panel;
+  Rng rng(opts.seed);
+
+  panel.owned.push_back(std::make_unique<PcEstimator>(
+      workload::MakeCorrPCs(missing, pred_attrs, agg_attr,
+                            opts.corr_pc_count),
+      domains, "Corr-PC"));
+  panel.owned.push_back(std::make_unique<PcEstimator>(
+      workload::MakeRandPCs(missing, pred_attrs, agg_attr,
+                            opts.rand_pc_count, &rng),
+      domains, "Rand-PC"));
+
+  const size_t n_samples = opts.sample_factor * opts.corr_pc_count;
+  panel.owned.push_back(std::make_unique<UniformSamplingEstimator>(
+      UniformSamplingEstimator::FromMissing(
+          missing, n_samples, IntervalMethod::kNonParametric,
+          opts.confidence,
+          "US-" + std::to_string(opts.sample_factor) + "n", &rng)));
+
+  // Stratified sampling over the Corr-PC partition regions.
+  const auto strata_pcs =
+      workload::MakeCorrPCs(missing, pred_attrs, agg_attr, 25);
+  std::vector<Predicate> regions;
+  for (const auto& pc : strata_pcs.constraints()) {
+    regions.push_back(pc.predicate());
+  }
+  panel.owned.push_back(std::make_unique<StratifiedSamplingEstimator>(
+      StratifiedSamplingEstimator::FromMissing(
+          missing, regions, n_samples, IntervalMethod::kNonParametric,
+          opts.confidence,
+          "ST-" + std::to_string(opts.sample_factor) + "n", &rng)));
+
+  panel.owned.push_back(std::make_unique<HistogramEstimator>(
+      missing, pred_attrs, agg_attr, opts.corr_pc_count / 2));
+
+  if (opts.include_generative) {
+    std::vector<size_t> model_attrs = pred_attrs;
+    model_attrs.push_back(agg_attr);
+    GaussianMixtureModel::FitOptions fit;
+    fit.num_components = 6;
+    panel.owned.push_back(std::make_unique<GenerativeEstimator>(
+        missing, model_attrs, fit, 20, opts.seed + 5));
+  }
+  return panel;
+}
+
+}  // namespace bench
+}  // namespace pcx
+
+#endif  // PCX_BENCH_MACRO_EXPERIMENT_H_

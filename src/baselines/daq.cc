@@ -1,0 +1,46 @@
+#include "baselines/daq.h"
+
+#include <algorithm>
+
+namespace pcx {
+
+DaqStyleEstimator::DaqStyleEstimator(const Table& missing, size_t agg_attr,
+                                     std::string name)
+    : agg_attr_(agg_attr), name_(std::move(name)) {
+  count_ = static_cast<double>(missing.num_rows());
+  if (missing.num_rows() > 0) {
+    auto range = missing.ColumnRange(agg_attr_);
+    if (range.ok()) {
+      val_min_ = range->first;
+      val_max_ = range->second;
+    }
+  }
+}
+
+StatusOr<ResultRange> DaqStyleEstimator::Estimate(
+    const AggQuery& query) const {
+  // Relation-level model: any subset of the `count_` rows could match
+  // the query predicate, each valued anywhere in [val_min_, val_max_].
+  ResultRange out;
+  switch (query.agg) {
+    case AggFunc::kCount:
+      out.lo = 0.0;
+      out.hi = count_;
+      return out;
+    case AggFunc::kSum:
+      out.lo = std::min(0.0, count_ * val_min_);
+      out.hi = std::max(0.0, count_ * val_max_);
+      return out;
+    case AggFunc::kAvg:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      out.defined = count_ > 0.0;
+      out.empty_instance_possible = true;
+      out.lo = val_min_;
+      out.hi = val_max_;
+      return out;
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace pcx

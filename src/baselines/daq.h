@@ -1,0 +1,38 @@
+#ifndef PCX_BASELINES_DAQ_H_
+#define PCX_BASELINES_DAQ_H_
+
+#include <string>
+
+#include "baselines/estimator.h"
+#include "relation/table.h"
+
+namespace pcx {
+
+/// Deterministic relation-level bound in the spirit of DAQ (Potti &
+/// Patel, VLDB'15), discussed in the paper's related work (§7): model
+/// the uncertainty of the *whole* missing relation with one global
+/// value range and one cardinality, with no predicate-level structure.
+/// Equivalent to a PC set containing a single TRUE constraint — the
+/// degenerate end of the PC spectrum. Hard bounds that never fail, but
+/// much looser than predicate-level constraints on selective queries
+/// because a WHERE clause cannot shrink the cardinality term.
+class DaqStyleEstimator : public MissingDataEstimator {
+ public:
+  /// Summarizes `missing` into (count, min, max) of `agg_attr`.
+  DaqStyleEstimator(const Table& missing, size_t agg_attr,
+                    std::string name = "DAQ");
+
+  StatusOr<ResultRange> Estimate(const AggQuery& query) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  double count_ = 0.0;
+  double val_min_ = 0.0;
+  double val_max_ = 0.0;
+  size_t agg_attr_;
+  std::string name_;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_BASELINES_DAQ_H_

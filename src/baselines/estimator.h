@@ -1,0 +1,30 @@
+#ifndef PCX_BASELINES_ESTIMATOR_H_
+#define PCX_BASELINES_ESTIMATOR_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "pc/query.h"
+
+namespace pcx {
+
+/// Common interface of every technique compared in the paper's §6:
+/// given some summary of the missing rows (a sample, a histogram, a
+/// generative model, a PC set...), produce an interval that hopefully
+/// contains the aggregate of the missing rows. Statistical baselines
+/// produce *confidence* intervals that can fail; the PC framework
+/// produces ranges that cannot (if the constraints hold).
+class MissingDataEstimator {
+ public:
+  virtual ~MissingDataEstimator() = default;
+
+  /// Interval estimate for `query` over the missing rows.
+  virtual StatusOr<ResultRange> Estimate(const AggQuery& query) const = 0;
+
+  /// Display name used in experiment tables ("US-1p", "Corr-PC", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_BASELINES_ESTIMATOR_H_

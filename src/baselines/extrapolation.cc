@@ -1,0 +1,48 @@
+#include "baselines/extrapolation.h"
+
+#include "relation/aggregate.h"
+
+namespace pcx {
+
+ExtrapolationEstimator::ExtrapolationEstimator(Table observed,
+                                               size_t num_missing,
+                                               std::string name)
+    : observed_(std::move(observed)),
+      num_missing_(num_missing),
+      name_(std::move(name)) {}
+
+StatusOr<ResultRange> ExtrapolationEstimator::Estimate(
+    const AggQuery& query) const {
+  if (observed_.num_rows() == 0) {
+    return Status::FailedPrecondition("no observed rows to extrapolate from");
+  }
+  std::function<bool(size_t)> filter = nullptr;
+  if (query.where.has_value()) {
+    const Predicate& where = *query.where;
+    filter = [this, &where](size_t r) {
+      return where.MatchesRow(observed_, r);
+    };
+  }
+  const AggregateResult agg =
+      Aggregate(observed_, query.agg, query.attr, filter);
+  const double ratio = static_cast<double>(num_missing_) /
+                       static_cast<double>(observed_.num_rows());
+  ResultRange out;
+  switch (query.agg) {
+    case AggFunc::kCount:
+    case AggFunc::kSum:
+      // Scale volume-like aggregates by the missing fraction.
+      out.lo = out.hi = agg.value * ratio;
+      return out;
+    case AggFunc::kAvg:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      // Location-like aggregates carry over unscaled.
+      out.defined = !agg.empty_input;
+      out.lo = out.hi = agg.value;
+      return out;
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace pcx

@@ -1,0 +1,34 @@
+#ifndef PCX_BASELINES_EXTRAPOLATION_H_
+#define PCX_BASELINES_EXTRAPOLATION_H_
+
+#include <string>
+
+#include "baselines/estimator.h"
+#include "relation/table.h"
+
+namespace pcx {
+
+/// Simple extrapolation (paper §2.1 / Fig. 1): scale the aggregate of
+/// the *observed* rows by the known missing fraction and report it as a
+/// point "interval". Assumes the missing rows resemble the observed
+/// rows — exactly the assumption the paper's Fig. 1 experiment breaks
+/// with correlated missingness.
+class ExtrapolationEstimator : public MissingDataEstimator {
+ public:
+  /// `observed` are the rows that did load; `num_missing` is the known
+  /// count of missing rows.
+  ExtrapolationEstimator(Table observed, size_t num_missing,
+                         std::string name = "Extrapolation");
+
+  StatusOr<ResultRange> Estimate(const AggQuery& query) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  Table observed_;
+  size_t num_missing_;
+  std::string name_;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_BASELINES_EXTRAPOLATION_H_

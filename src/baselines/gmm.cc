@@ -1,0 +1,260 @@
+#include "baselines/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace pcx {
+namespace {
+
+double LogGaussianDiag(const std::vector<double>& x,
+                       const std::vector<double>& mean,
+                       const std::vector<double>& var) {
+  double lp = 0.0;
+  for (size_t d = 0; d < x.size(); ++d) {
+    const double diff = x[d] - mean[d];
+    lp += -0.5 * std::log(2.0 * std::numbers::pi * var[d]) -
+          0.5 * diff * diff / var[d];
+  }
+  return lp;
+}
+
+double LogSumExp(const std::vector<double>& v) {
+  const double m = *std::max_element(v.begin(), v.end());
+  if (m == -std::numeric_limits<double>::infinity()) return m;
+  double s = 0.0;
+  for (double x : v) s += std::exp(x - m);
+  return m + std::log(s);
+}
+
+}  // namespace
+
+StatusOr<GaussianMixtureModel> GaussianMixtureModel::Fit(
+    const std::vector<std::vector<double>>& data, const FitOptions& options) {
+  if (data.empty()) return Status::InvalidArgument("empty training data");
+  const size_t n = data.size();
+  const size_t dims = data[0].size();
+  const size_t k = std::min(options.num_components, n);
+  for (const auto& row : data) {
+    if (row.size() != dims) {
+      return Status::InvalidArgument("ragged training data");
+    }
+  }
+
+  GaussianMixtureModel model;
+  model.dims_ = dims;
+  model.components_.resize(k);
+
+  // Initialize with random distinct points and the global variance.
+  Rng rng(options.seed);
+  std::vector<double> global_var(dims, 0.0);
+  std::vector<double> global_mean(dims, 0.0);
+  for (const auto& row : data) {
+    for (size_t d = 0; d < dims; ++d) global_mean[d] += row[d];
+  }
+  for (size_t d = 0; d < dims; ++d) global_mean[d] /= static_cast<double>(n);
+  for (const auto& row : data) {
+    for (size_t d = 0; d < dims; ++d) {
+      const double diff = row[d] - global_mean[d];
+      global_var[d] += diff * diff;
+    }
+  }
+  for (size_t d = 0; d < dims; ++d) {
+    global_var[d] =
+        std::max(options.min_variance, global_var[d] / static_cast<double>(n));
+  }
+  const std::vector<size_t> init = rng.SampleWithoutReplacement(n, k);
+  for (size_t c = 0; c < k; ++c) {
+    model.components_[c].weight = 1.0 / static_cast<double>(k);
+    model.components_[c].mean = data[init[c]];
+    model.components_[c].var = global_var;
+  }
+
+  std::vector<std::vector<double>> resp(n, std::vector<double>(k, 0.0));
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // E step.
+    double ll = 0.0;
+    std::vector<double> logp(k);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < k; ++c) {
+        logp[c] = std::log(std::max(model.components_[c].weight, 1e-300)) +
+                  LogGaussianDiag(data[i], model.components_[c].mean,
+                                  model.components_[c].var);
+      }
+      const double lse = LogSumExp(logp);
+      ll += lse;
+      for (size_t c = 0; c < k; ++c) resp[i][c] = std::exp(logp[c] - lse);
+    }
+    model.log_likelihood_ = ll;
+    if (std::fabs(ll - prev_ll) <
+        options.tolerance * (std::fabs(prev_ll) + 1.0)) {
+      break;
+    }
+    prev_ll = ll;
+    // M step.
+    for (size_t c = 0; c < k; ++c) {
+      double nk = 0.0;
+      std::vector<double> mean(dims, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        nk += resp[i][c];
+        for (size_t d = 0; d < dims; ++d) mean[d] += resp[i][c] * data[i][d];
+      }
+      if (nk < 1e-10) {
+        // Dead component: re-seed at a random point.
+        model.components_[c].mean =
+            data[static_cast<size_t>(rng.UniformInt(0, n - 1))];
+        model.components_[c].var = global_var;
+        model.components_[c].weight = 1.0 / static_cast<double>(n);
+        continue;
+      }
+      for (size_t d = 0; d < dims; ++d) mean[d] /= nk;
+      std::vector<double> var(dims, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t d = 0; d < dims; ++d) {
+          const double diff = data[i][d] - mean[d];
+          var[d] += resp[i][c] * diff * diff;
+        }
+      }
+      for (size_t d = 0; d < dims; ++d) {
+        var[d] = std::max(options.min_variance, var[d] / nk);
+      }
+      model.components_[c].weight = nk / static_cast<double>(n);
+      model.components_[c].mean = std::move(mean);
+      model.components_[c].var = std::move(var);
+    }
+  }
+  return model;
+}
+
+std::vector<double> GaussianMixtureModel::Sample(Rng* rng) const {
+  PCX_CHECK(rng != nullptr);
+  PCX_CHECK(!components_.empty());
+  double u = rng->Uniform();
+  size_t pick = components_.size() - 1;
+  for (size_t c = 0; c < components_.size(); ++c) {
+    if (u < components_[c].weight) {
+      pick = c;
+      break;
+    }
+    u -= components_[c].weight;
+  }
+  const Component& comp = components_[pick];
+  std::vector<double> out(dims_);
+  for (size_t d = 0; d < dims_; ++d) {
+    out[d] = rng->Gaussian(comp.mean[d], std::sqrt(comp.var[d]));
+  }
+  return out;
+}
+
+double GaussianMixtureModel::LogPdf(const std::vector<double>& x) const {
+  PCX_CHECK_EQ(x.size(), dims_);
+  std::vector<double> logp(components_.size());
+  for (size_t c = 0; c < components_.size(); ++c) {
+    logp[c] = std::log(std::max(components_[c].weight, 1e-300)) +
+              LogGaussianDiag(x, components_[c].mean, components_[c].var);
+  }
+  return LogSumExp(logp);
+}
+
+GenerativeEstimator::GenerativeEstimator(
+    const Table& missing, std::vector<size_t> attrs,
+    GaussianMixtureModel::FitOptions fit_options, size_t replicates,
+    uint64_t seed, std::string name)
+    : attrs_(std::move(attrs)),
+      gmm_(Status::Internal("unfitted")),
+      total_missing_(missing.num_rows()),
+      replicates_(replicates),
+      rng_(seed),
+      name_(std::move(name)) {
+  std::vector<std::vector<double>> data;
+  data.reserve(missing.num_rows());
+  for (size_t r = 0; r < missing.num_rows(); ++r) {
+    std::vector<double> row(attrs_.size());
+    for (size_t d = 0; d < attrs_.size(); ++d) row[d] = missing.At(r, attrs_[d]);
+    data.push_back(std::move(row));
+  }
+  gmm_ = GaussianMixtureModel::Fit(data, fit_options);
+}
+
+StatusOr<ResultRange> GenerativeEstimator::Estimate(
+    const AggQuery& query) const {
+  if (!gmm_.ok()) return gmm_.status();
+  // Map query columns into model dimensions.
+  auto model_dim = [&](size_t table_col) -> int {
+    for (size_t d = 0; d < attrs_.size(); ++d) {
+      if (attrs_[d] == table_col) return static_cast<int>(d);
+    }
+    return -1;
+  };
+  const int agg_dim =
+      query.agg == AggFunc::kCount ? -1 : model_dim(query.attr);
+  if (query.agg != AggFunc::kCount && agg_dim < 0) {
+    return Status::InvalidArgument("aggregate attribute not in the model");
+  }
+
+  ResultRange out;
+  bool first = true;
+  for (size_t rep = 0; rep < replicates_; ++rep) {
+    double sum = 0.0, mn = 0.0, mx = 0.0;
+    size_t cnt = 0;
+    for (size_t i = 0; i < total_missing_; ++i) {
+      const std::vector<double> point = gmm_->Sample(&rng_);
+      if (query.where.has_value()) {
+        bool match = true;
+        for (size_t d = 0; d < attrs_.size(); ++d) {
+          if (!query.where->box().dim(attrs_[d]).Contains(point[d])) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+      }
+      const double v = agg_dim >= 0 ? point[agg_dim] : 0.0;
+      if (cnt == 0) {
+        mn = mx = v;
+      } else {
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      sum += v;
+      ++cnt;
+    }
+    double value = 0.0;
+    bool defined = true;
+    switch (query.agg) {
+      case AggFunc::kCount:
+        value = static_cast<double>(cnt);
+        break;
+      case AggFunc::kSum:
+        value = sum;
+        break;
+      case AggFunc::kAvg:
+        defined = cnt > 0;
+        value = defined ? sum / static_cast<double>(cnt) : 0.0;
+        break;
+      case AggFunc::kMin:
+        defined = cnt > 0;
+        value = mn;
+        break;
+      case AggFunc::kMax:
+        defined = cnt > 0;
+        value = mx;
+        break;
+    }
+    if (!defined) continue;
+    if (first) {
+      out.lo = out.hi = value;
+      first = false;
+    } else {
+      out.lo = std::min(out.lo, value);
+      out.hi = std::max(out.hi, value);
+    }
+  }
+  out.defined = !first;
+  return out;
+}
+
+}  // namespace pcx

@@ -1,0 +1,198 @@
+#include "baselines/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pcx {
+
+HistogramEstimator::HistogramEstimator(const Table& missing,
+                                       std::vector<size_t> pred_attrs,
+                                       size_t agg_attr, size_t buckets,
+                                       std::string name)
+    : agg_attr_(agg_attr), name_(std::move(name)) {
+  PCX_CHECK_GE(buckets, 1u);
+  total_rows_ = static_cast<double>(missing.num_rows());
+  for (size_t r = 0; r < missing.num_rows(); ++r) {
+    const double v = missing.At(r, agg_attr_);
+    if (r == 0) {
+      global_min_ = global_max_ = v;
+    } else {
+      global_min_ = std::min(global_min_, v);
+      global_max_ = std::max(global_max_, v);
+    }
+  }
+  for (size_t attr : pred_attrs) {
+    AttrHistogram h;
+    h.attr = attr;
+    if (missing.num_rows() == 0) {
+      hists_.push_back(std::move(h));
+      continue;
+    }
+    auto range = missing.ColumnRange(attr);
+    PCX_CHECK(range.ok());
+    const double lo = range->first;
+    // Widen slightly so the max value falls inside the last bucket.
+    const double hi =
+        range->second + std::max(1e-9, 1e-9 * std::fabs(range->second));
+    const double width = (hi - lo) / static_cast<double>(buckets);
+    h.buckets.resize(buckets);
+    for (size_t b = 0; b < buckets; ++b) {
+      h.buckets[b].lo = lo + width * static_cast<double>(b);
+      h.buckets[b].hi = lo + width * static_cast<double>(b + 1);
+    }
+    for (size_t r = 0; r < missing.num_rows(); ++r) {
+      const double x = missing.At(r, attr);
+      size_t b = width > 0.0
+                     ? static_cast<size_t>((x - lo) / width)
+                     : 0;
+      b = std::min(b, buckets - 1);
+      Bucket& bk = h.buckets[b];
+      const double v = missing.At(r, agg_attr_);
+      if (bk.count == 0.0) {
+        bk.agg_min = bk.agg_max = v;
+      } else {
+        bk.agg_min = std::min(bk.agg_min, v);
+        bk.agg_max = std::max(bk.agg_max, v);
+      }
+      bk.count += 1.0;
+      if (v < 0.0) {
+        bk.agg_neg_mass += v;
+      } else {
+        bk.agg_pos_mass += v;
+      }
+    }
+    hists_.push_back(std::move(h));
+  }
+}
+
+HistogramEstimator::AttrBounds HistogramEstimator::BoundsForAttr(
+    const AttrHistogram& h, const Interval& query_iv) const {
+  AttrBounds out;
+  bool first_val = true;
+  for (const Bucket& b : h.buckets) {
+    if (b.count == 0.0) continue;
+    const Interval bucket_iv{b.lo, b.hi, false, true};
+    const Interval overlap = bucket_iv.Intersect(query_iv);
+    if (overlap.IsEmpty()) continue;
+    out.any_overlap = true;
+    // Fully contained bucket: all rows must match on this attribute.
+    const bool full = query_iv.Contains(b.lo) &&
+                      (query_iv.Contains(b.hi) ||
+                       (query_iv.hi == b.hi && query_iv.hi_strict));
+    out.count_hi += b.count;
+    if (full) {
+      out.count_lo += b.count;
+      // Every row of a fully-contained bucket matches on this
+      // attribute, so at least its full mass is mandatory *for this
+      // dimension alone*; other dimensions may still exclude rows, so
+      // the conjunction-level combination only uses this when the query
+      // constrains a single attribute (see Estimate).
+      out.sum_lo_single += b.agg_neg_mass + b.agg_pos_mass;
+    } else {
+      // An unknown subset of the bucket matches.
+      out.sum_lo_single += b.agg_neg_mass;
+    }
+    out.sum_lo += b.agg_neg_mass;  // subset bound: all negative rows match
+    out.sum_hi += b.agg_pos_mass;  // subset bound: all positive rows match
+    if (first_val) {
+      out.val_min = b.agg_min;
+      out.val_max = b.agg_max;
+      first_val = false;
+    } else {
+      out.val_min = std::min(out.val_min, b.agg_min);
+      out.val_max = std::max(out.val_max, b.agg_max);
+    }
+  }
+  return out;
+}
+
+StatusOr<ResultRange> HistogramEstimator::Estimate(
+    const AggQuery& query) const {
+  if (hists_.empty()) return Status::FailedPrecondition("no histograms");
+  // Collect per-attribute bounds for every histogram attribute the query
+  // constrains; an unconstrained query uses the trivial full-range
+  // bounds of the first histogram.
+  std::vector<AttrBounds> dims;
+  for (const AttrHistogram& h : hists_) {
+    if (!query.where.has_value()) continue;
+    const Interval iv = query.where->box().dim(h.attr);
+    if (iv.is_unbounded()) continue;
+    dims.push_back(BoundsForAttr(h, iv));
+  }
+  if (dims.empty()) {
+    // Unconstrained query: any one histogram summarizes all rows.
+    dims.push_back(BoundsForAttr(hists_[0], Interval::All()));
+  }
+
+  ResultRange out;
+  bool any = false;
+  double count_hi = std::numeric_limits<double>::infinity();
+  double count_lo_ie = total_rows_;  // inclusion-exclusion accumulator
+  double sum_hi = std::numeric_limits<double>::infinity();
+  double sum_lo = -std::numeric_limits<double>::infinity();
+  double val_min = 0.0, val_max = 0.0;
+  bool first = true;
+  for (const AttrBounds& d : dims) {
+    any = any || d.any_overlap;
+    count_hi = std::min(count_hi, d.count_hi);
+    count_lo_ie -= (total_rows_ - d.count_lo);
+    sum_hi = std::min(sum_hi, d.sum_hi);
+    sum_lo = std::max(sum_lo, d.sum_lo);
+    if (d.any_overlap) {
+      if (first) {
+        val_min = d.val_min;
+        val_max = d.val_max;
+        first = false;
+      } else {
+        val_min = std::max(val_min, d.val_min);  // intersection of matches
+        val_max = std::min(val_max, d.val_max);
+      }
+    }
+  }
+  const double count_lo = std::max(0.0, count_lo_ie);
+
+  switch (query.agg) {
+    case AggFunc::kCount:
+      out.lo = count_lo;
+      out.hi = any ? count_hi : 0.0;
+      return out;
+    case AggFunc::kSum: {
+      if (!any) return out;  // [0, 0]
+      out.hi = sum_hi;
+      out.lo = dims.size() == 1 ? dims[0].sum_lo_single : sum_lo;
+      // Mandatory rows at non-negative minimum value tighten the lower
+      // bound when all values are non-negative.
+      if (global_min_ >= 0.0) {
+        out.lo = std::max(out.lo, count_lo * std::max(val_min, 0.0));
+        out.lo = std::max(out.lo, 0.0);
+      }
+      return out;
+    }
+    case AggFunc::kAvg:
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      if (!any || count_hi == 0.0) {
+        out.defined = false;
+        return out;
+      }
+      // Hard envelope: any matching row's value is within
+      // [max of per-dim minima, min of per-dim maxima] — but that
+      // intersection can be empty for AVG/MIN/MAX when the dims
+      // disagree; fall back to the conservative union envelope.
+      double lo = val_min, hi = val_max;
+      if (lo > hi) {
+        lo = global_min_;
+        hi = global_max_;
+      }
+      out.lo = lo;
+      out.hi = hi;
+      out.empty_instance_possible = count_lo == 0.0;
+      return out;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace pcx

@@ -1,0 +1,68 @@
+#ifndef PCX_BASELINES_HISTOGRAM_H_
+#define PCX_BASELINES_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/estimator.h"
+#include "relation/table.h"
+
+namespace pcx {
+
+/// Equi-width histogram baseline (paper §6.1.3): one 1-D histogram per
+/// predicate attribute, each bucket annotated with the row count and the
+/// min/max/negative-mass of the aggregate attribute. Multi-attribute
+/// predicates combine the per-attribute bounds ("standard independence
+/// assumptions"): upper = min over attributes, lower by
+/// inclusion-exclusion. The paper views histograms as the dense,
+/// non-overlapping 1-D special case of predicate-constraints — like
+/// PCs, the intervals below are hard bounds and cannot fail.
+class HistogramEstimator : public MissingDataEstimator {
+ public:
+  /// Builds histograms over `missing`. `pred_attrs` are the columns
+  /// queries may filter on; `agg_attr` is the aggregated column;
+  /// `buckets` is the per-attribute bucket count.
+  HistogramEstimator(const Table& missing, std::vector<size_t> pred_attrs,
+                     size_t agg_attr, size_t buckets,
+                     std::string name = "Histogram");
+
+  StatusOr<ResultRange> Estimate(const AggQuery& query) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  struct Bucket {
+    double lo = 0.0, hi = 0.0;  ///< attribute range [lo, hi)
+    double count = 0.0;
+    double agg_min = 0.0, agg_max = 0.0;  ///< range of the agg attribute
+    double agg_neg_mass = 0.0;  ///< sum of negative agg values in bucket
+    double agg_pos_mass = 0.0;  ///< sum of positive agg values in bucket
+  };
+  struct AttrHistogram {
+    size_t attr = 0;
+    std::vector<Bucket> buckets;
+  };
+
+  /// Per-attribute hard bounds on [count, sum] of rows matching the
+  /// query's interval on that attribute.
+  struct AttrBounds {
+    double count_lo = 0.0, count_hi = 0.0;
+    double sum_lo = 0.0, sum_hi = 0.0;
+    /// Tighter SUM lower bound valid when this is the only constrained
+    /// attribute (fully-contained buckets contribute their whole mass).
+    double sum_lo_single = 0.0;
+    double val_min = 0.0, val_max = 0.0;
+    bool any_overlap = false;
+  };
+  AttrBounds BoundsForAttr(const AttrHistogram& h,
+                           const Interval& query_iv) const;
+
+  std::vector<AttrHistogram> hists_;
+  size_t agg_attr_;
+  double total_rows_ = 0.0;
+  double global_min_ = 0.0, global_max_ = 0.0;
+  std::string name_;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_BASELINES_HISTOGRAM_H_

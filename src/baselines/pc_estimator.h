@@ -1,0 +1,41 @@
+#ifndef PCX_BASELINES_PC_ESTIMATOR_H_
+#define PCX_BASELINES_PC_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "baselines/estimator.h"
+#include "pc/bound_solver.h"
+
+namespace pcx {
+
+/// Adapts PcBoundSolver to the MissingDataEstimator interface so the
+/// experiment harness can run PCs (Corr-PC, Rand-PC, Overlapping-PC...)
+/// side by side with the statistical baselines.
+class PcEstimator : public MissingDataEstimator {
+ public:
+  PcEstimator(PredicateConstraintSet pcs, std::vector<AttrDomain> domains,
+              std::string name)
+      : solver_(std::move(pcs), std::move(domains)), name_(std::move(name)) {}
+
+  PcEstimator(PredicateConstraintSet pcs, std::vector<AttrDomain> domains,
+              PcBoundSolver::Options options, std::string name)
+      : solver_(std::move(pcs), std::move(domains), options),
+        name_(std::move(name)) {}
+
+  StatusOr<ResultRange> Estimate(const AggQuery& query) const override {
+    return solver_.Bound(query);
+  }
+  std::string name() const override { return name_; }
+
+  const PcBoundSolver& solver() const { return solver_; }
+
+ private:
+  PcBoundSolver solver_;
+  std::string name_;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_BASELINES_PC_ESTIMATOR_H_

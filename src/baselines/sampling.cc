@@ -1,0 +1,249 @@
+#include "baselines/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace pcx {
+namespace {
+
+/// Per-row query contribution: 0 when the row misses the predicate,
+/// else 1 (COUNT) or the attribute value (SUM).
+double Contribution(const Table& t, size_t row, const AggQuery& q) {
+  if (q.where.has_value() && !q.where->MatchesRow(t, row)) return 0.0;
+  return q.agg == AggFunc::kCount ? 1.0 : t.At(row, q.attr);
+}
+
+/// Half-width of the mean interval for one stratum/sample.
+/// Parametric: z * s / sqrt(n). Non-parametric: Hoeffding with the
+/// sample range, (max-min) * sqrt(ln(2/delta) / 2n).
+double MeanHalfWidth(const RunningStats& stats, IntervalMethod method,
+                     double confidence) {
+  const double n = static_cast<double>(stats.count());
+  if (n < 1.0) return 0.0;
+  if (method == IntervalMethod::kParametric) {
+    return ZCritical(confidence) * stats.stddev() / std::sqrt(n);
+  }
+  const double delta = 1.0 - confidence;
+  const double range = stats.max() - stats.min();
+  return range * std::sqrt(std::log(2.0 / delta) / (2.0 * n));
+}
+
+}  // namespace
+
+UniformSamplingEstimator::UniformSamplingEstimator(Table sample,
+                                                   size_t total_missing,
+                                                   IntervalMethod method,
+                                                   double confidence,
+                                                   std::string name)
+    : sample_(std::move(sample)),
+      total_missing_(total_missing),
+      method_(method),
+      confidence_(confidence),
+      name_(std::move(name)) {
+  PCX_CHECK(confidence_ > 0.0 && confidence_ < 1.0);
+}
+
+UniformSamplingEstimator UniformSamplingEstimator::FromMissing(
+    const Table& missing, size_t sample_size, IntervalMethod method,
+    double confidence, std::string name, Rng* rng) {
+  PCX_CHECK(rng != nullptr);
+  const size_t k = std::min(sample_size, missing.num_rows());
+  const std::vector<size_t> idx =
+      rng->SampleWithoutReplacement(missing.num_rows(), k);
+  return UniformSamplingEstimator(missing.Select(idx), missing.num_rows(),
+                                  method, confidence, std::move(name));
+}
+
+StatusOr<ResultRange> UniformSamplingEstimator::Estimate(
+    const AggQuery& query) const {
+  if (sample_.num_rows() == 0) {
+    return Status::FailedPrecondition("empty sample");
+  }
+  const double scale = static_cast<double>(total_missing_);
+  switch (query.agg) {
+    case AggFunc::kCount:
+    case AggFunc::kSum: {
+      RunningStats stats;
+      for (size_t r = 0; r < sample_.num_rows(); ++r) {
+        stats.Add(Contribution(sample_, r, query));
+      }
+      const double est = scale * stats.mean();
+      const double half = scale * MeanHalfWidth(stats, method_, confidence_);
+      ResultRange out;
+      out.lo = est - half;
+      out.hi = est + half;
+      return out;
+    }
+    case AggFunc::kAvg: {
+      // Ratio estimator over the matching subset.
+      RunningStats stats;
+      for (size_t r = 0; r < sample_.num_rows(); ++r) {
+        if (query.where.has_value() && !query.where->MatchesRow(sample_, r)) {
+          continue;
+        }
+        stats.Add(sample_.At(r, query.attr));
+      }
+      if (stats.count() == 0) {
+        ResultRange out;
+        out.defined = false;
+        return out;
+      }
+      const double half = MeanHalfWidth(stats, method_, confidence_);
+      ResultRange out;
+      out.lo = stats.mean() - half;
+      out.hi = stats.mean() + half;
+      return out;
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      // Samples give only the observed extremes; they systematically
+      // under-cover the population extremes (paper Fig. 9 discussion).
+      RunningStats stats;
+      for (size_t r = 0; r < sample_.num_rows(); ++r) {
+        if (query.where.has_value() && !query.where->MatchesRow(sample_, r)) {
+          continue;
+        }
+        stats.Add(sample_.At(r, query.attr));
+      }
+      ResultRange out;
+      if (stats.count() == 0) {
+        out.defined = false;
+        return out;
+      }
+      out.lo = stats.min();
+      out.hi = stats.max();
+      return out;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+StratifiedSamplingEstimator::StratifiedSamplingEstimator(
+    std::vector<Stratum> strata, IntervalMethod method, double confidence,
+    std::string name)
+    : strata_(std::move(strata)),
+      method_(method),
+      confidence_(confidence),
+      name_(std::move(name)) {
+  PCX_CHECK(confidence_ > 0.0 && confidence_ < 1.0);
+}
+
+StratifiedSamplingEstimator StratifiedSamplingEstimator::FromMissing(
+    const Table& missing, const std::vector<Predicate>& regions,
+    size_t total_sample_size, IntervalMethod method, double confidence,
+    std::string name, Rng* rng) {
+  PCX_CHECK(rng != nullptr);
+  PCX_CHECK(!regions.empty());
+  // Assign each missing row to its first matching region.
+  std::vector<std::vector<size_t>> members(regions.size());
+  for (size_t r = 0; r < missing.num_rows(); ++r) {
+    for (size_t g = 0; g < regions.size(); ++g) {
+      if (regions[g].MatchesRow(missing, r)) {
+        members[g].push_back(r);
+        break;
+      }
+    }
+  }
+  std::vector<Stratum> strata;
+  for (size_t g = 0; g < regions.size(); ++g) {
+    if (members[g].empty()) continue;
+    Stratum s;
+    s.region = regions[g];
+    s.population = members[g].size();
+    // Proportional allocation, at least one row per non-empty stratum.
+    size_t quota = std::max<size_t>(
+        1, total_sample_size * members[g].size() / missing.num_rows());
+    quota = std::min(quota, members[g].size());
+    std::vector<size_t> pick =
+        rng->SampleWithoutReplacement(members[g].size(), quota);
+    std::vector<size_t> rows;
+    rows.reserve(pick.size());
+    for (size_t p : pick) rows.push_back(members[g][p]);
+    s.sample = missing.Select(rows);
+    strata.push_back(std::move(s));
+  }
+  return StratifiedSamplingEstimator(std::move(strata), method, confidence,
+                                     std::move(name));
+}
+
+StatusOr<ResultRange> StratifiedSamplingEstimator::Estimate(
+    const AggQuery& query) const {
+  if (strata_.empty()) return Status::FailedPrecondition("no strata");
+  switch (query.agg) {
+    case AggFunc::kCount:
+    case AggFunc::kSum: {
+      double est = 0.0;
+      double var = 0.0;
+      double hoeffding_half = 0.0;
+      for (const Stratum& s : strata_) {
+        RunningStats stats;
+        for (size_t r = 0; r < s.sample.num_rows(); ++r) {
+          stats.Add(Contribution(s.sample, r, query));
+        }
+        const double nh = static_cast<double>(s.population);
+        est += nh * stats.mean();
+        if (method_ == IntervalMethod::kParametric) {
+          var += nh * nh * stats.variance() /
+                 std::max<double>(1.0, static_cast<double>(stats.count()));
+        } else {
+          hoeffding_half += nh * MeanHalfWidth(stats, method_, confidence_);
+        }
+      }
+      double half;
+      if (method_ == IntervalMethod::kParametric) {
+        half = ZCritical(confidence_) * std::sqrt(var);
+      } else {
+        half = hoeffding_half;
+      }
+      ResultRange out;
+      out.lo = est - half;
+      out.hi = est + half;
+      return out;
+    }
+    case AggFunc::kAvg: {
+      // Combine SUM and COUNT estimates.
+      AggQuery sum_q = query;
+      sum_q.agg = AggFunc::kSum;
+      AggQuery cnt_q = query;
+      cnt_q.agg = AggFunc::kCount;
+      PCX_ASSIGN_OR_RETURN(const ResultRange s, Estimate(sum_q));
+      PCX_ASSIGN_OR_RETURN(const ResultRange c, Estimate(cnt_q));
+      ResultRange out;
+      if (c.hi <= 0.0) {
+        out.defined = false;
+        return out;
+      }
+      const double c_lo = std::max(c.lo, 1.0);
+      out.lo = std::min(s.lo / c_lo, s.lo / c.hi);
+      out.hi = std::max(s.hi / c_lo, s.hi / c.hi);
+      return out;
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      RunningStats stats;
+      for (const Stratum& s : strata_) {
+        for (size_t r = 0; r < s.sample.num_rows(); ++r) {
+          if (query.where.has_value() &&
+              !query.where->MatchesRow(s.sample, r)) {
+            continue;
+          }
+          stats.Add(s.sample.At(r, query.attr));
+        }
+      }
+      ResultRange out;
+      if (stats.count() == 0) {
+        out.defined = false;
+        return out;
+      }
+      out.lo = stats.min();
+      out.hi = stats.max();
+      return out;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace pcx

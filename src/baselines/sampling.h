@@ -1,0 +1,90 @@
+#ifndef PCX_BASELINES_SAMPLING_H_
+#define PCX_BASELINES_SAMPLING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/estimator.h"
+#include "common/random.h"
+#include "predicate/predicate.h"
+#include "relation/table.h"
+
+namespace pcx {
+
+/// How a sampling estimator turns sample statistics into an interval.
+enum class IntervalMethod {
+  /// Central-Limit-Theorem (parametric) confidence interval from the
+  /// sample standard error — the "US-1p"/"US-10p" baselines. Fails more
+  /// than advertised on skewed data (paper §6.7).
+  kParametric,
+  /// Hoeffding-style non-parametric interval using the *sample* min/max
+  /// as the range estimate — "US-1n"/"US-10n". Milder assumptions, still
+  /// fallible because extrema are estimated from the sample.
+  kNonParametric,
+};
+
+/// Uniform-sampling estimator (paper §6.1.1): the user supplies `sample`
+/// — actual unbiased example missing rows — and the total number of
+/// missing rows; aggregates are scaled up with a confidence interval.
+class UniformSamplingEstimator : public MissingDataEstimator {
+ public:
+  /// `total_missing` is the (known) number of missing rows.
+  UniformSamplingEstimator(Table sample, size_t total_missing,
+                           IntervalMethod method, double confidence,
+                           std::string name);
+
+  StatusOr<ResultRange> Estimate(const AggQuery& query) const override;
+  std::string name() const override { return name_; }
+
+  /// Draws a uniform sample of `sample_size` rows from `missing` and
+  /// builds the estimator.
+  static UniformSamplingEstimator FromMissing(const Table& missing,
+                                              size_t sample_size,
+                                              IntervalMethod method,
+                                              double confidence,
+                                              std::string name, Rng* rng);
+
+ private:
+  Table sample_;
+  size_t total_missing_;
+  IntervalMethod method_;
+  double confidence_;
+  std::string name_;
+};
+
+/// Stratified-sampling estimator (paper §6.1.1, "ST-*"): weighted
+/// per-stratum sampling against a partition of the attribute space;
+/// estimates combine per-stratum means with finite-population scaling.
+class StratifiedSamplingEstimator : public MissingDataEstimator {
+ public:
+  struct Stratum {
+    Predicate region;
+    Table sample;
+    size_t population = 0;  ///< missing rows in this stratum
+  };
+
+  StratifiedSamplingEstimator(std::vector<Stratum> strata,
+                              IntervalMethod method, double confidence,
+                              std::string name);
+
+  StatusOr<ResultRange> Estimate(const AggQuery& query) const override;
+  std::string name() const override { return name_; }
+
+  /// Partitions `missing` by `regions` (first match wins; rows matching
+  /// no region are dropped) and samples `per_stratum` rows from each.
+  static StratifiedSamplingEstimator FromMissing(
+      const Table& missing, const std::vector<Predicate>& regions,
+      size_t total_sample_size, IntervalMethod method, double confidence,
+      std::string name, Rng* rng);
+
+ private:
+  std::vector<Stratum> strata_;
+  IntervalMethod method_;
+  double confidence_;
+  std::string name_;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_BASELINES_SAMPLING_H_

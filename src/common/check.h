@@ -1,0 +1,59 @@
+#ifndef PCX_COMMON_CHECK_H_
+#define PCX_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace pcx {
+namespace internal_check {
+
+/// Accumulates a fatal message; aborts the process when destroyed.
+/// Used only via the PCX_CHECK family of macros.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace pcx
+
+/// Aborts with a message when `cond` is false. Invariant checks only —
+/// recoverable errors go through Status.
+#define PCX_CHECK(cond)                                                \
+  if (cond) {                                                          \
+  } else                                                               \
+    ::pcx::internal_check::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+#define PCX_CHECK_EQ(a, b) PCX_CHECK((a) == (b))
+#define PCX_CHECK_NE(a, b) PCX_CHECK((a) != (b))
+#define PCX_CHECK_LT(a, b) PCX_CHECK((a) < (b))
+#define PCX_CHECK_LE(a, b) PCX_CHECK((a) <= (b))
+#define PCX_CHECK_GT(a, b) PCX_CHECK((a) > (b))
+#define PCX_CHECK_GE(a, b) PCX_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define PCX_DCHECK(cond) PCX_CHECK(cond)
+#else
+#define PCX_DCHECK(cond) \
+  if (true) {            \
+  } else                 \
+    ::pcx::internal_check::CheckFailureStream(#cond, __FILE__, __LINE__)
+#endif
+
+#endif  // PCX_COMMON_CHECK_H_

@@ -1,0 +1,148 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace pcx {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  have_cached_gaussian_ = false;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  PCX_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  PCX_CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % span);
+}
+
+double Rng::Gaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  cached_gaussian_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+  have_cached_gaussian_ = true;
+  return mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Rng::Exponential(double lambda) {
+  PCX_CHECK_GT(lambda, 0.0);
+  double u = Uniform();
+  while (u <= 1e-300) u = Uniform();
+  return -std::log(u) / lambda;
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Gaussian(mu, sigma));
+}
+
+double Rng::Pareto(double x_m, double alpha) {
+  PCX_CHECK_GT(x_m, 0.0);
+  PCX_CHECK_GT(alpha, 0.0);
+  double u = Uniform();
+  while (u <= 1e-300) u = Uniform();
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  PCX_CHECK_GT(n, 0);
+  if (s <= 0.0) return UniformInt(0, n - 1);
+  // Inverse-CDF on the (truncated) zeta distribution. O(n) normalization
+  // would be slow for large n, so use rejection from the continuous
+  // bounded Pareto envelope.
+  while (true) {
+    const double u = Uniform();
+    const double x = std::pow(1.0 - u * (1.0 - std::pow(n + 1.0, 1.0 - s)),
+                              1.0 / (1.0 - s));
+    const int64_t k = static_cast<int64_t>(x);
+    if (k >= 1 && k <= n) {
+      const double ratio = std::pow(static_cast<double>(k) / x, s);
+      if (Uniform() < ratio) return k - 1;
+    }
+  }
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  PCX_CHECK_LE(k, n);
+  std::unordered_set<size_t> chosen;
+  std::vector<size_t> out;
+  out.reserve(k);
+  // Floyd's algorithm.
+  for (size_t j = n - k; j < n; ++j) {
+    const size_t t =
+        static_cast<size_t>(UniformInt(0, static_cast<int64_t>(j)));
+    if (chosen.count(t)) {
+      chosen.insert(j);
+      out.push_back(j);
+    } else {
+      chosen.insert(t);
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+void Rng::Shuffle(std::vector<size_t>* v) {
+  for (size_t i = v->size(); i > 1; --i) {
+    const size_t j =
+        static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i - 1)));
+    std::swap((*v)[i - 1], (*v)[j]);
+  }
+}
+
+}  // namespace pcx

@@ -1,0 +1,67 @@
+#ifndef PCX_COMMON_RANDOM_H_
+#define PCX_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pcx {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**).
+/// All experiments in the repo are reproducible given a seed; no code
+/// path uses std::random_device.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator via splitmix64 expansion of `seed`.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential with the given rate (lambda > 0).
+  double Exponential(double lambda);
+
+  /// Lognormal: exp(N(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  /// Pareto with scale x_m > 0 and shape alpha > 0 (heavy tail).
+  double Pareto(double x_m, double alpha);
+
+  /// Zipf-like integer in [0, n) with exponent s (s=0 is uniform).
+  int64_t Zipf(int64_t n, double s);
+
+  /// Bernoulli(p).
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Samples k distinct indices from [0, n) (Floyd's algorithm).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// In-place Fisher-Yates shuffle of indices [0, n).
+  void Shuffle(std::vector<size_t>* v);
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_COMMON_RANDOM_H_

@@ -1,0 +1,50 @@
+#ifndef PCX_COMMON_STATS_H_
+#define PCX_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pcx {
+
+/// Single-pass running mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by linear
+/// interpolation on the sorted copy. Returns 0 for empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Convenience: median of `values`.
+double Median(std::vector<double> values);
+
+/// Normal-distribution inverse CDF (Acklam's rational approximation,
+/// |error| < 1.2e-9). Used for parametric (CLT) confidence intervals.
+double NormalQuantile(double p);
+
+/// Two-sided z critical value for the given confidence level in (0,1),
+/// e.g. 0.95 -> 1.959964.
+double ZCritical(double confidence);
+
+}  // namespace pcx
+
+#endif  // PCX_COMMON_STATS_H_

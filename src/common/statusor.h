@@ -1,0 +1,71 @@
+#ifndef PCX_COMMON_STATUSOR_H_
+#define PCX_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace pcx {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of a non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (mirrors absl::StatusOr).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {
+    PCX_CHECK(!status_.ok()) << "StatusOr constructed from OK status without value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PCX_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    PCX_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    PCX_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a StatusOr expression to `lhs`, or returns its
+/// status from the enclosing function.
+#define PCX_ASSIGN_OR_RETURN(lhs, expr)             \
+  PCX_ASSIGN_OR_RETURN_IMPL_(                       \
+      PCX_STATUS_MACRO_CONCAT_(_pcx_sor, __LINE__), lhs, expr)
+
+#define PCX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define PCX_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define PCX_STATUS_MACRO_CONCAT_(x, y) PCX_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+}  // namespace pcx
+
+#endif  // PCX_COMMON_STATUSOR_H_

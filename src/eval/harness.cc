@@ -1,0 +1,87 @@
+#include "eval/harness.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.h"
+#include "relation/aggregate.h"
+
+namespace pcx {
+namespace eval {
+
+double EstimatorReport::failure_rate_percent() const {
+  const size_t counted = total - skipped;
+  if (counted == 0) return 0.0;
+  return 100.0 * static_cast<double>(failures) /
+         static_cast<double>(counted);
+}
+
+double EstimatorReport::median_over_rate() const {
+  return Median(over_rates);
+}
+
+EstimatorReport EvaluateEstimator(const MissingDataEstimator& estimator,
+                                  const std::vector<AggQuery>& queries,
+                                  const Table& missing) {
+  EstimatorReport report;
+  report.name = estimator.name();
+  for (const AggQuery& q : queries) {
+    ++report.total;
+    std::function<bool(size_t)> filter = nullptr;
+    if (q.where.has_value()) {
+      const Predicate& where = *q.where;
+      filter = [&](size_t r) { return where.MatchesRow(missing, r); };
+    }
+    const AggregateResult truth = Aggregate(missing, q.agg, q.attr, filter);
+    const auto est = estimator.Estimate(q);
+    if (!est.ok()) {
+      ++report.skipped;
+      continue;
+    }
+    if (truth.empty_input) {
+      // AVG/MIN/MAX over zero rows: only meaningful check is that the
+      // estimator did not promise a non-empty instance.
+      ++report.skipped;
+      continue;
+    }
+    if (!est->defined) {
+      // The estimator claims no row can match, but rows do match.
+      ++report.failures;
+      continue;
+    }
+    const double tol = 1e-6 * std::max(1.0, std::fabs(truth.value));
+    if (truth.value < est->lo - tol || truth.value > est->hi + tol) {
+      ++report.failures;
+    }
+    if (truth.value > 0.0 && est->hi > 0.0) {
+      report.over_rates.push_back(est->hi / truth.value);
+    }
+  }
+  return report;
+}
+
+std::vector<EstimatorReport> CompareEstimators(
+    const std::vector<const MissingDataEstimator*>& estimators,
+    const std::vector<AggQuery>& queries, const Table& missing) {
+  std::vector<EstimatorReport> out;
+  out.reserve(estimators.size());
+  for (const MissingDataEstimator* e : estimators) {
+    out.push_back(EvaluateEstimator(*e, queries, missing));
+  }
+  return out;
+}
+
+void PrintReports(const std::vector<EstimatorReport>& reports,
+                  const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-18s %10s %10s %12s %8s\n", "technique", "failures",
+              "fail-rate%", "med-over", "skipped");
+  for (const auto& r : reports) {
+    std::printf("%-18s %10zu %10.2f %12.3f %8zu\n", r.name.c_str(),
+                r.failures, r.failure_rate_percent(), r.median_over_rate(),
+                r.skipped);
+  }
+}
+
+}  // namespace eval
+}  // namespace pcx

@@ -1,0 +1,56 @@
+#ifndef PCX_EVAL_HARNESS_H_
+#define PCX_EVAL_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/estimator.h"
+#include "pc/query.h"
+#include "relation/table.h"
+
+namespace pcx {
+namespace eval {
+
+/// Outcome of one (estimator, query) pair.
+struct QueryOutcome {
+  double truth = 0.0;
+  ResultRange estimate;
+  bool failed = false;   ///< truth fell outside [lo, hi]
+  bool skipped = false;  ///< estimator errored or truth undefined
+  double over_rate = 0.0;  ///< hi / truth (only when truth > 0)
+  bool has_over_rate = false;
+};
+
+/// Aggregated quality report of one estimator over a query workload —
+/// the two metrics of paper §6.1: failure rate and tightness (median
+/// over-estimation rate, hi / truth).
+struct EstimatorReport {
+  std::string name;
+  size_t total = 0;
+  size_t failures = 0;
+  size_t skipped = 0;
+  std::vector<double> over_rates;
+
+  double failure_rate_percent() const;
+  double median_over_rate() const;
+};
+
+/// Evaluates `estimator` on every query, comparing against the ground
+/// truth computed on `missing` (the rows the estimator is modeling).
+EstimatorReport EvaluateEstimator(const MissingDataEstimator& estimator,
+                                  const std::vector<AggQuery>& queries,
+                                  const Table& missing);
+
+/// Runs a panel of estimators over the same workload.
+std::vector<EstimatorReport> CompareEstimators(
+    const std::vector<const MissingDataEstimator*>& estimators,
+    const std::vector<AggQuery>& queries, const Table& missing);
+
+/// Prints a fixed-width comparison table ("Technique  Fail%  MedOver").
+void PrintReports(const std::vector<EstimatorReport>& reports,
+                  const std::string& title);
+
+}  // namespace eval
+}  // namespace pcx
+
+#endif  // PCX_EVAL_HARNESS_H_

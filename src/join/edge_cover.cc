@@ -1,0 +1,47 @@
+#include "join/edge_cover.h"
+
+#include "common/check.h"
+#include "solver/simplex.h"
+
+namespace pcx {
+
+StatusOr<EdgeCoverResult> MinimizeFractionalEdgeCover(
+    const JoinHypergraph& graph, const std::vector<double>& log_sizes,
+    std::optional<size_t> fixed_relation) {
+  const size_t r = graph.num_relations();
+  if (r == 0) return Status::InvalidArgument("empty hypergraph");
+  if (log_sizes.size() != r) {
+    return Status::InvalidArgument("log_sizes must have one entry per relation");
+  }
+
+  LpModel model;
+  model.set_sense(OptSense::kMinimize);
+  for (size_t i = 0; i < r; ++i) {
+    model.AddVariable(log_sizes[i], 0.0);
+  }
+  if (fixed_relation.has_value()) {
+    PCX_CHECK(*fixed_relation < r);
+    model.SetVariableBounds(*fixed_relation, 1.0, 1.0);
+  }
+  for (const std::string& attr : graph.attributes()) {
+    LinearConstraint cover;
+    for (size_t i = 0; i < r; ++i) {
+      if (graph.RelationHasAttr(i, attr)) cover.terms.push_back({i, 1.0});
+    }
+    PCX_CHECK(!cover.terms.empty());
+    cover.lo = 1.0;
+    model.AddConstraint(std::move(cover));
+  }
+
+  const Solution sol = SimplexSolver().Solve(model);
+  if (sol.status != SolveStatus::kOptimal) {
+    return Status::Internal(std::string("edge-cover LP: ") +
+                            SolveStatusToString(sol.status));
+  }
+  EdgeCoverResult out;
+  out.weights = sol.x;
+  out.log_bound = sol.objective;
+  return out;
+}
+
+}  // namespace pcx

@@ -1,0 +1,32 @@
+#ifndef PCX_JOIN_EDGE_COVER_H_
+#define PCX_JOIN_EDGE_COVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/statusor.h"
+#include "join/hypergraph.h"
+
+namespace pcx {
+
+/// Result of the fractional-edge-cover optimization (paper §5.2).
+struct EdgeCoverResult {
+  std::vector<double> weights;  ///< c_i per relation, all >= 0
+  double log_bound = 0.0;       ///< Σ c_i · log_size_i (the minimized RHS)
+};
+
+/// Solves the paper's novel FEC formulation with our LP solver:
+///   minimize    Σ_i c_i · log_sizes[i]
+///   subject to  Σ_{R_i ∋ s} c_i >= 1   for every attribute s
+///               c_i >= 0,
+///               c_fixed = 1 when `fixed_relation` is set (the relation
+///               carrying the SUM attribute; its weight must be 1 for
+///               Friedgut's inequality to bound SUM, see (**) in §5.2).
+/// The log keeps both the objective and the constraints linear.
+StatusOr<EdgeCoverResult> MinimizeFractionalEdgeCover(
+    const JoinHypergraph& graph, const std::vector<double>& log_sizes,
+    std::optional<size_t> fixed_relation = std::nullopt);
+
+}  // namespace pcx
+
+#endif  // PCX_JOIN_EDGE_COVER_H_

@@ -1,0 +1,18 @@
+#include "join/elastic_sensitivity.h"
+
+namespace pcx {
+
+StatusOr<double> ElasticSensitivityCountBound(
+    const JoinHypergraph& graph, const std::vector<EsRelation>& relations) {
+  if (relations.size() != graph.num_relations()) {
+    return Status::InvalidArgument("one EsRelation per relation required");
+  }
+  if (relations.empty()) return Status::InvalidArgument("empty join");
+  double bound = relations[0].size;
+  for (size_t i = 1; i < relations.size(); ++i) {
+    bound *= relations[i].EffectiveMaxFreq();
+  }
+  return bound;
+}
+
+}  // namespace pcx

@@ -1,0 +1,37 @@
+#ifndef PCX_JOIN_ELASTIC_SENSITIVITY_H_
+#define PCX_JOIN_ELASTIC_SENSITIVITY_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "join/hypergraph.h"
+
+namespace pcx {
+
+/// Metadata elastic sensitivity needs about one relation (Johnson et
+/// al. [14]): its size bound and the largest multiplicity any join-key
+/// value may have. In the missing-data setting the key distribution of
+/// the absent rows is unknown, so max_freq defaults to size — exactly
+/// why the technique degenerates to the Cartesian-product bound in the
+/// paper's Fig. 12 comparison.
+struct EsRelation {
+  double size = 0.0;
+  double max_freq = -1.0;  ///< negative: default to `size`
+
+  double EffectiveMaxFreq() const { return max_freq < 0.0 ? size : max_freq; }
+};
+
+/// Elastic-sensitivity-style upper bound on the COUNT of a natural join
+/// described by `graph`: the join is evaluated left-deep in relation
+/// order; each additional relation can multiply the number of matching
+/// result rows by at most its max key frequency, so
+///   bound = size_0 · Π_{i>0} max_freq_i.
+/// With unknown key distributions (max_freq = size) this is Π_i size_i,
+/// the Cartesian product — the baseline pcx improves upon with
+/// EdgeCoverJoinBound.
+StatusOr<double> ElasticSensitivityCountBound(
+    const JoinHypergraph& graph, const std::vector<EsRelation>& relations);
+
+}  // namespace pcx
+
+#endif  // PCX_JOIN_ELASTIC_SENSITIVITY_H_

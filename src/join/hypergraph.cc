@@ -1,0 +1,54 @@
+#include "join/hypergraph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pcx {
+
+JoinHypergraph::JoinHypergraph(std::vector<JoinRelation> relations)
+    : relations_(std::move(relations)) {
+  for (const auto& r : relations_) {
+    for (const auto& a : r.attrs) {
+      if (std::find(attributes_.begin(), attributes_.end(), a) ==
+          attributes_.end()) {
+        attributes_.push_back(a);
+      }
+    }
+  }
+}
+
+bool JoinHypergraph::RelationHasAttr(size_t i, const std::string& attr) const {
+  PCX_CHECK(i < relations_.size());
+  const auto& attrs = relations_[i].attrs;
+  return std::find(attrs.begin(), attrs.end(), attr) != attrs.end();
+}
+
+JoinHypergraph JoinHypergraph::Triangle() {
+  return JoinHypergraph({{"R", {"a", "b"}}, {"S", {"b", "c"}},
+                         {"T", {"c", "a"}}});
+}
+
+JoinHypergraph JoinHypergraph::Chain(size_t k) {
+  PCX_CHECK_GE(k, 1u);
+  std::vector<JoinRelation> rels;
+  for (size_t i = 0; i < k; ++i) {
+    rels.push_back({"R" + std::to_string(i + 1),
+                    {"x" + std::to_string(i + 1), "x" + std::to_string(i + 2)}});
+  }
+  return JoinHypergraph(std::move(rels));
+}
+
+JoinHypergraph JoinHypergraph::Clique(size_t k) {
+  PCX_CHECK_GE(k, 2u);
+  std::vector<JoinRelation> rels;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      rels.push_back({"E" + std::to_string(i) + "_" + std::to_string(j),
+                      {"v" + std::to_string(i), "v" + std::to_string(j)}});
+    }
+  }
+  return JoinHypergraph(std::move(rels));
+}
+
+}  // namespace pcx

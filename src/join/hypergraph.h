@@ -1,0 +1,50 @@
+#ifndef PCX_JOIN_HYPERGRAPH_H_
+#define PCX_JOIN_HYPERGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace pcx {
+
+/// One relation participating in a natural join; attributes with equal
+/// names join (paper §5.2: attributes joined across relations are
+/// considered indistinguishable).
+struct JoinRelation {
+  std::string name;
+  std::vector<std::string> attrs;
+};
+
+/// The query hypergraph of a natural join: vertices are attribute
+/// names, hyperedges are relations.
+class JoinHypergraph {
+ public:
+  JoinHypergraph() = default;
+  explicit JoinHypergraph(std::vector<JoinRelation> relations);
+
+  size_t num_relations() const { return relations_.size(); }
+  const JoinRelation& relation(size_t i) const { return relations_[i]; }
+
+  /// Distinct attribute names, in first-appearance order.
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+  /// True when relation `i` contains attribute `attr` (R_i ⊕ s).
+  bool RelationHasAttr(size_t i, const std::string& attr) const;
+
+  /// Convenience builders for the two query shapes the paper evaluates.
+  /// Triangle: R(a,b), S(b,c), T(c,a).
+  static JoinHypergraph Triangle();
+  /// Chain: R1(x1,x2) ⋈ R2(x2,x3) ⋈ ... ⋈ Rk(xk, xk+1).
+  static JoinHypergraph Chain(size_t k);
+  /// k-clique over binary edge relations (4-clique etc., paper §5.1).
+  static JoinHypergraph Clique(size_t k);
+
+ private:
+  std::vector<JoinRelation> relations_;
+  std::vector<std::string> attributes_;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_JOIN_HYPERGRAPH_H_

@@ -1,0 +1,50 @@
+#ifndef PCX_JOIN_JOIN_BOUND_H_
+#define PCX_JOIN_JOIN_BOUND_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/statusor.h"
+#include "join/hypergraph.h"
+#include "pc/bound_solver.h"
+
+namespace pcx {
+
+/// Per-relation inputs of a multi-table bound: the COUNT upper bound of
+/// each relation's missing rows and, for SUM queries, the SUM upper
+/// bound of the relation carrying the aggregate attribute. These come
+/// from single-table PcBoundSolver runs (paper §5.2: "the right hand
+/// side can be solved on each relation individually").
+struct JoinBoundInput {
+  JoinHypergraph graph;
+  std::vector<double> count_upper;          ///< per relation
+  std::optional<size_t> agg_relation;       ///< relation of SUM attribute
+  double sum_upper = 0.0;                   ///< SUM bound on agg_relation
+};
+
+/// Naive Cartesian-product bound (paper §5.1): the direct product of the
+/// per-relation constraints ignores the join conditions entirely, so the
+/// COUNT bound is Π_i COUNT_i and the SUM bound is
+/// SUM_a · Π_{i≠a} COUNT_i. Always valid for inner joins, often loose.
+StatusOr<double> NaiveJoinBound(const JoinBoundInput& input);
+
+/// Fractional-edge-cover bound via Friedgut's Generalized Weighted
+/// Entropy inequality (paper §5.2): SUM ≤ SUM_a · Π_{i≠a} COUNT_i^{c_i}
+/// with c a minimum-weight fractional edge cover (c_a fixed to 1).
+/// COUNT is the SUM of the constant-1 weight, i.e. Π COUNT_i^{c_i}.
+StatusOr<double> EdgeCoverJoinBound(const JoinBoundInput& input);
+
+/// End-to-end helper: computes each relation's COUNT (and the aggregate
+/// relation's SUM) upper bounds from its own predicate-constraint set,
+/// then applies EdgeCoverJoinBound. `agg_attr` is the column index of
+/// the aggregate within its relation's schema; pass std::nullopt for
+/// COUNT(*) of the join.
+StatusOr<double> BoundNaturalJoin(
+    const JoinHypergraph& graph,
+    const std::vector<const PredicateConstraintSet*>& per_relation_pcs,
+    std::optional<size_t> agg_relation = std::nullopt,
+    std::optional<size_t> agg_attr = std::nullopt);
+
+}  // namespace pcx
+
+#endif  // PCX_JOIN_JOIN_BOUND_H_

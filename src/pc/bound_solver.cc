@@ -1,0 +1,488 @@
+#include "pc/bound_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace pcx {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// True when the query predicate region contains the whole predicate
+/// box of `pc` — only then do the PC's mandatory rows (kappa.lo) have to
+/// fall inside the query region.
+bool QueryCoversConstraint(const std::optional<Predicate>& where,
+                           const PredicateConstraint& pc) {
+  if (!where.has_value()) return true;
+  return where->box().Covers(pc.predicate().box());
+}
+
+}  // namespace
+
+PcBoundSolver::PcBoundSolver(PredicateConstraintSet pcs,
+                             std::vector<AttrDomain> domains)
+    : PcBoundSolver(std::move(pcs), std::move(domains), Options{}) {}
+
+PcBoundSolver::PcBoundSolver(PredicateConstraintSet pcs,
+                             std::vector<AttrDomain> domains, Options options)
+    : pcs_(std::move(pcs)),
+      domains_(std::move(domains)),
+      options_(options) {
+  predicates_disjoint_ =
+      options_.auto_disjoint_fast_path && pcs_.PredicatesDisjoint(domains_);
+}
+
+StatusOr<std::vector<PcBoundSolver::CellBound>> PcBoundSolver::BuildCells(
+    const AggQuery& query, size_t attr) const {
+  DecompositionResult decomp = DecomposeCells(
+      pcs_, query.where, options_.decomposition, domains_);
+  stats_.num_cells = decomp.cells.size();
+  stats_.sat_calls = decomp.sat_calls;
+
+  std::vector<CellBound> out;
+  out.reserve(decomp.cells.size());
+  for (const Cell& cell : decomp.cells) {
+    // The attribute values of a row in this cell are constrained by the
+    // value boxes of every covering PC and by the cell's own region
+    // (its positive box already includes the query pushdown).
+    Box combined = cell.positive;
+    for (size_t j : cell.covering) {
+      combined = combined.Intersect(pcs_.at(j).values());
+    }
+    if (combined.IsEmpty(domains_)) continue;  // no row can live here
+    CellBound cb;
+    cb.val_lo = combined.dim(attr).lo;
+    cb.val_hi = combined.dim(attr).hi;
+    cb.covering = cell.covering;
+    out.push_back(std::move(cb));
+  }
+  return out;
+}
+
+LpModel PcBoundSolver::BuildAllocationModel(
+    const std::vector<CellBound>& cells, const std::vector<double>& objective,
+    const std::optional<Predicate>& where) const {
+  PCX_CHECK_EQ(cells.size(), objective.size());
+  LpModel model;
+  model.set_sense(OptSense::kMaximize);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    model.AddVariable(objective[i], 0.0, kInf, /*integer=*/true);
+  }
+  // One ranged frequency row per PC that covers at least one cell
+  // (paper Eq. 2): kappa.lo <= sum_{i covered by j} x_i <= kappa.hi.
+  for (size_t j = 0; j < pcs_.size(); ++j) {
+    LinearConstraint row;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (std::find(cells[i].covering.begin(), cells[i].covering.end(), j) !=
+          cells[i].covering.end()) {
+        row.terms.push_back({i, 1.0});
+      }
+    }
+    const FrequencyConstraint& k = pcs_.at(j).frequency();
+    row.hi = k.hi;
+    // A frequency *lower* bound applies to all of the PC's rows; when
+    // the query region only intersects part of the predicate those rows
+    // may legitimately live outside the region, so the bound cannot be
+    // imposed on the in-region allocation.
+    row.lo = QueryCoversConstraint(where, pcs_.at(j)) ? k.lo : 0.0;
+    if (row.terms.empty()) {
+      // No cell of this PC survived. If rows are mandatory the whole
+      // set is unsatisfiable; encode with an impossible empty row.
+      if (row.lo > 0.0) {
+        // 0 >= row.lo is infeasible; add a contradictory row on x_0 or,
+        // if there are no variables at all, let the caller handle it.
+        if (!cells.empty()) {
+          LinearConstraint impossible;
+          impossible.terms.push_back({0, 0.0});
+          impossible.lo = row.lo;
+          impossible.hi = kInf;
+          model.AddConstraint(std::move(impossible));
+        }
+      }
+      continue;
+    }
+    model.AddConstraint(std::move(row));
+  }
+  return model;
+}
+
+StatusOr<double> PcBoundSolver::MaximizeAllocation(
+    const std::vector<CellBound>& cells, const std::vector<double>& objective,
+    const std::optional<Predicate>& where, double extra_min_rows) const {
+  if (cells.empty()) {
+    return extra_min_rows > 0.0
+               ? StatusOr<double>(Status::Infeasible("no cells"))
+               : StatusOr<double>(0.0);
+  }
+  LpModel model = BuildAllocationModel(cells, objective, where);
+  if (extra_min_rows > 0.0) {
+    LinearConstraint row;
+    for (size_t i = 0; i < cells.size(); ++i) row.terms.push_back({i, 1.0});
+    row.lo = extra_min_rows;
+    model.AddConstraint(std::move(row));
+  }
+  BranchAndBoundSolver solver(options_.milp);
+  const Solution sol = solver.Solve(model);
+  stats_.milp_nodes += solver.last_num_nodes();
+  ++stats_.lp_solves;
+  switch (sol.status) {
+    case SolveStatus::kOptimal:
+      return sol.objective;
+    case SolveStatus::kUnbounded:
+      return kInf;
+    case SolveStatus::kInfeasible:
+      return Status::Infeasible(
+          "predicate-constraint set admits no valid missing-row instance "
+          "for this query");
+    case SolveStatus::kIterationLimit:
+      return Status::ResourceExhausted("MILP node/iteration limit reached");
+  }
+  return Status::Internal("unreachable");
+}
+
+StatusOr<double> PcBoundSolver::UpperSum(const AggQuery& query) const {
+  PCX_ASSIGN_OR_RETURN(std::vector<CellBound> cells,
+                       BuildCells(query, query.attr));
+  std::vector<double> obj(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].val_hi == kInf) {
+      // A cell with unbounded value that could receive a row makes the
+      // SUM unbounded; report +inf conservatively.
+      return kInf;
+    }
+    obj[i] = cells[i].val_hi;
+  }
+  return MaximizeAllocation(cells, obj, query.where);
+}
+
+StatusOr<double> PcBoundSolver::UpperCount(const AggQuery& query) const {
+  PCX_ASSIGN_OR_RETURN(std::vector<CellBound> cells,
+                       BuildCells(query, query.attr));
+  std::vector<double> obj(cells.size(), 1.0);
+  return MaximizeAllocation(cells, obj, query.where);
+}
+
+StatusOr<bool> PcBoundSolver::EmptyInstancePossible(
+    const AggQuery& query) const {
+  // The zero allocation trivially satisfies every upper bound; it
+  // violates only a kept frequency lower bound.
+  for (size_t j = 0; j < pcs_.size(); ++j) {
+    if (pcs_.at(j).frequency().lo > 0.0 &&
+        QueryCoversConstraint(query.where, pcs_.at(j))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<ResultRange> PcBoundSolver::BoundAvg(const AggQuery& query) const {
+  PCX_ASSIGN_OR_RETURN(std::vector<CellBound> cells,
+                       BuildCells(query, query.attr));
+  ResultRange out;
+  PCX_ASSIGN_OR_RETURN(out.empty_instance_possible,
+                       EmptyInstancePossible(query));
+  if (cells.empty()) {
+    out.defined = false;
+    return out;
+  }
+
+  // feasible(r): some valid allocation with >= 1 row attains AVG >= r,
+  // i.e. max over allocations of sum (val_hi - r) * x >= 0 (paper §4.2).
+  auto upper_avg = [&](auto value_of) -> StatusOr<double> {
+    double r_lo = kInf, r_hi = -kInf;
+    for (const CellBound& c : cells) {
+      r_lo = std::min(r_lo, c.val_lo);
+      r_hi = std::max(r_hi, value_of(c));
+    }
+    if (r_hi == kInf) return kInf;
+    if (r_lo == -kInf) r_lo = std::min(r_hi, -1e18);
+    auto feasible = [&](double r) -> StatusOr<bool> {
+      std::vector<double> obj(cells.size());
+      for (size_t i = 0; i < cells.size(); ++i) {
+        obj[i] = value_of(cells[i]) - r;
+      }
+      auto opt = MaximizeAllocation(cells, obj, query.where,
+                                    /*extra_min_rows=*/1.0);
+      if (!opt.ok()) return opt.status();
+      return *opt >= -1e-9;
+    };
+    PCX_ASSIGN_OR_RETURN(const bool any, feasible(r_lo));
+    if (!any) return Status::Infeasible("no instance with a matching row");
+    double lo = r_lo, hi = r_hi;
+    for (int it = 0; it < options_.avg_search_iterations && hi - lo > 1e-9;
+         ++it) {
+      const double mid = lo + (hi - lo) / 2.0;
+      PCX_ASSIGN_OR_RETURN(const bool f, feasible(mid));
+      if (f) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+
+  // Upper end on the values; lower end by negation symmetry:
+  // min AVG(v) = -max AVG(-v).
+  auto hi_res = upper_avg([](const CellBound& c) { return c.val_hi; });
+  if (!hi_res.ok()) {
+    if (hi_res.status().code() == StatusCode::kInfeasible) {
+      out.defined = false;
+      return out;
+    }
+    return hi_res.status();
+  }
+  out.hi = *hi_res;
+
+  std::vector<CellBound> negated = cells;
+  for (CellBound& c : negated) {
+    const double lo = c.val_lo, hi = c.val_hi;
+    c.val_lo = -hi;
+    c.val_hi = -lo;
+  }
+  std::swap(cells, negated);  // reuse the captured-by-reference lambda
+  auto lo_res = upper_avg([](const CellBound& c) { return c.val_hi; });
+  std::swap(cells, negated);
+  if (!lo_res.ok()) return lo_res.status();
+  out.lo = -*lo_res;
+  return out;
+}
+
+StatusOr<ResultRange> PcBoundSolver::BoundMax(const AggQuery& query) const {
+  PCX_ASSIGN_OR_RETURN(std::vector<CellBound> cells,
+                       BuildCells(query, query.attr));
+  ResultRange out;
+  PCX_ASSIGN_OR_RETURN(out.empty_instance_possible,
+                       EmptyInstancePossible(query));
+  if (cells.empty()) {
+    out.defined = false;
+    return out;
+  }
+
+  // Can cell i receive at least one row in a valid allocation?
+  auto occupiable = [&](size_t i) -> StatusOr<bool> {
+    if (!options_.check_cell_occupancy) return true;
+    std::vector<double> obj(cells.size(), 0.0);
+    obj[i] = 1.0;
+    auto opt = MaximizeAllocation(cells, obj, query.where);
+    if (!opt.ok()) {
+      if (opt.status().code() == StatusCode::kInfeasible) return false;
+      return opt.status();
+    }
+    return *opt >= 1.0 - 1e-9;
+  };
+
+  // Upper end: largest value bound among occupiable cells (paper §4.2).
+  std::vector<size_t> order(cells.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return cells[a].val_hi > cells[b].val_hi;
+  });
+  bool found = false;
+  for (size_t i : order) {
+    PCX_ASSIGN_OR_RETURN(const bool occ, occupiable(i));
+    if (occ) {
+      out.hi = cells[i].val_hi;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    out.defined = false;
+    return out;
+  }
+
+  // Lower end: the smallest value the MAX could take over instances with
+  // at least one matching row — the least threshold t such that a valid
+  // allocation uses only cells whose value interval reaches below t.
+  std::vector<double> thresholds;
+  for (const CellBound& c : cells) thresholds.push_back(c.val_lo);
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+  out.lo = out.hi;
+  for (double t : thresholds) {
+    std::vector<CellBound> allowed;
+    for (const CellBound& c : cells) {
+      if (c.val_lo <= t) allowed.push_back(c);
+    }
+    std::vector<double> obj(allowed.size(), 0.0);
+    auto feas = MaximizeAllocation(allowed, obj, query.where,
+                                   /*extra_min_rows=*/1.0);
+    if (feas.ok()) {
+      out.lo = t;
+      break;
+    }
+    if (feas.status().code() != StatusCode::kInfeasible) {
+      return feas.status();
+    }
+  }
+  return out;
+}
+
+StatusOr<double> PcBoundSolver::DisjointUpper(const AggQuery& query,
+                                              bool count) const {
+  return DisjointUpperOn(pcs_, query, count);
+}
+
+StatusOr<double> PcBoundSolver::DisjointUpperOn(
+    const PredicateConstraintSet& pcs, const AggQuery& query,
+    bool count) const {
+  double total = 0.0;
+  for (size_t j = 0; j < pcs.size(); ++j) {
+    const PredicateConstraint& pc = pcs.at(j);
+    Box region = pc.predicate().box();
+    if (query.where.has_value()) {
+      region = region.Intersect(query.where->box());
+    }
+    if (region.IsEmpty(domains_)) continue;
+    Box combined = region.Intersect(pc.values());
+    const double k_hi = pc.frequency().hi;
+    const double k_lo =
+        QueryCoversConstraint(query.where, pc) ? pc.frequency().lo : 0.0;
+    if (combined.IsEmpty(domains_)) {
+      if (k_lo > 0.0) {
+        return Status::Infeasible("mandatory rows with empty value range");
+      }
+      continue;
+    }
+    if (count) {
+      total += k_hi;
+      continue;
+    }
+    const double u = combined.dim(query.attr).hi;
+    if (u == kInf && k_hi > 0.0) return kInf;
+    // Allocate the maximum count at positive per-row values, otherwise
+    // only the mandatory rows.
+    total += u > 0.0 ? u * k_hi : u * k_lo;
+  }
+  return total;
+}
+
+StatusOr<ResultRange> PcBoundSolver::Bound(const AggQuery& query) const {
+  stats_ = SolveStats{};
+  if (query.agg != AggFunc::kCount) {
+    if (!pcs_.empty() && query.attr >= pcs_.num_attrs()) {
+      return Status::InvalidArgument("aggregate attribute out of range");
+    }
+  }
+  if (pcs_.empty()) {
+    // No constraints on missing rows: nothing is known to be missing.
+    ResultRange r;
+    r.empty_instance_possible = true;
+    r.defined = query.agg == AggFunc::kCount || query.agg == AggFunc::kSum;
+    return r;
+  }
+
+  switch (query.agg) {
+    case AggFunc::kSum: {
+      if (predicates_disjoint_) {
+        stats_.used_disjoint_fast_path = true;
+        PCX_ASSIGN_OR_RETURN(const double hi,
+                             DisjointUpper(query, /*count=*/false));
+        // min SUM(v) = -max SUM(-v) on the value-negated set.
+        PCX_ASSIGN_OR_RETURN(
+            const double neg_hi,
+            DisjointUpperOn(pcs_.NegatedValues(), query, /*count=*/false));
+        ResultRange r;
+        r.hi = hi;
+        r.lo = -neg_hi;
+        PCX_ASSIGN_OR_RETURN(r.empty_instance_possible,
+                             EmptyInstancePossible(query));
+        return r;
+      }
+      PCX_ASSIGN_OR_RETURN(std::vector<CellBound> cells,
+                           BuildCells(query, query.attr));
+      ResultRange r;
+      PCX_ASSIGN_OR_RETURN(r.empty_instance_possible,
+                           EmptyInstancePossible(query));
+      if (cells.empty()) return r;  // [0, 0]
+      std::vector<double> obj_hi(cells.size()), obj_lo(cells.size());
+      for (size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].val_hi == kInf) {
+          r.hi = kInf;
+        }
+        if (cells[i].val_lo == -kInf) {
+          r.lo = -kInf;
+        }
+        obj_hi[i] = std::min(cells[i].val_hi, 1e300);
+        obj_lo[i] = std::max(cells[i].val_lo, -1e300);
+      }
+      if (r.hi != kInf) {
+        PCX_ASSIGN_OR_RETURN(r.hi,
+                             MaximizeAllocation(cells, obj_hi, query.where));
+      }
+      if (r.lo != -kInf) {
+        // min sum(val_lo * x) = -max sum(-val_lo * x).
+        std::vector<double> neg(obj_lo.size());
+        for (size_t i = 0; i < neg.size(); ++i) neg[i] = -obj_lo[i];
+        PCX_ASSIGN_OR_RETURN(const double m,
+                             MaximizeAllocation(cells, neg, query.where));
+        r.lo = -m;
+      }
+      return r;
+    }
+    case AggFunc::kCount: {
+      if (predicates_disjoint_) {
+        stats_.used_disjoint_fast_path = true;
+        PCX_ASSIGN_OR_RETURN(const double hi,
+                             DisjointUpper(query, /*count=*/true));
+        double lo = 0.0;
+        for (size_t j = 0; j < pcs_.size(); ++j) {
+          const PredicateConstraint& pc = pcs_.at(j);
+          if (QueryCoversConstraint(query.where, pc)) {
+            lo += pc.frequency().lo;
+          }
+        }
+        ResultRange r;
+        r.hi = hi;
+        r.lo = lo;
+        r.empty_instance_possible = lo == 0.0;
+        return r;
+      }
+      PCX_ASSIGN_OR_RETURN(std::vector<CellBound> cells,
+                           BuildCells(query, query.attr));
+      ResultRange r;
+      PCX_ASSIGN_OR_RETURN(r.empty_instance_possible,
+                           EmptyInstancePossible(query));
+      if (cells.empty()) return r;
+      std::vector<double> ones(cells.size(), 1.0);
+      PCX_ASSIGN_OR_RETURN(r.hi, MaximizeAllocation(cells, ones, query.where));
+      std::vector<double> neg(cells.size(), -1.0);
+      PCX_ASSIGN_OR_RETURN(const double m,
+                           MaximizeAllocation(cells, neg, query.where));
+      r.lo = -m;
+      return r;
+    }
+    case AggFunc::kAvg:
+      return BoundAvg(query);
+    case AggFunc::kMax:
+      return BoundMax(query);
+    case AggFunc::kMin: {
+      // MIN over v is -MAX over -v.
+      PcBoundSolver negated(pcs_.NegatedValues(), domains_, options_);
+      PCX_ASSIGN_OR_RETURN(ResultRange m, negated.BoundMax(query));
+      stats_ = negated.last_stats();
+      ResultRange r = m;
+      r.lo = -m.hi;
+      r.hi = -m.lo;
+      return r;
+    }
+  }
+  return Status::Internal("unreachable aggregate");
+}
+
+StatusOr<double> PcBoundSolver::UpperBound(const AggQuery& query) const {
+  PCX_ASSIGN_OR_RETURN(const ResultRange r, Bound(query));
+  return r.hi;
+}
+
+StatusOr<double> PcBoundSolver::LowerBound(const AggQuery& query) const {
+  PCX_ASSIGN_OR_RETURN(const ResultRange r, Bound(query));
+  return r.lo;
+}
+
+}  // namespace pcx

@@ -1,0 +1,126 @@
+#ifndef PCX_PC_BOUND_SOLVER_H_
+#define PCX_PC_BOUND_SOLVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/statusor.h"
+#include "pc/cell_decomposition.h"
+#include "pc/pc_set.h"
+#include "pc/query.h"
+#include "solver/milp.h"
+
+namespace pcx {
+
+/// Computes deterministic result ranges for aggregate queries over
+/// missing rows described by a PredicateConstraintSet (paper §4).
+///
+/// Pipeline per query: (1) cell decomposition restricted to the query
+/// predicate (Optimization 1), (2) per-cell value bounds from the
+/// covering constraints, (3) a MILP allocating rows to cells under the
+/// frequency constraints, solved by the built-in branch-and-bound.
+/// SUM/COUNT are a single MILP; AVG binary-searches feasibility; MIN and
+/// MAX scan cell bounds with an occupancy check. Lower bounds reduce to
+/// upper bounds on the value-negated constraint set. When the predicates
+/// are pairwise disjoint, a greedy O(n) fast path replaces the
+/// decomposition and the MILP entirely (paper §4.2, Fig. 8).
+class PcBoundSolver {
+ public:
+  struct Options {
+    DecompositionOptions decomposition;
+    BranchAndBoundSolver::Options milp;
+    /// Detect pairwise-disjoint predicates and use the greedy closed
+    /// form for SUM/COUNT (skips decomposition + MILP).
+    bool auto_disjoint_fast_path = true;
+    /// Verify that a cell can actually receive >= 1 row before using
+    /// its bound for MIN/MAX (one feasibility solve per scanned cell).
+    bool check_cell_occupancy = true;
+    /// Iterations of the AVG binary search.
+    int avg_search_iterations = 60;
+  };
+
+  /// Per-query diagnostics of the last Bound call.
+  struct SolveStats {
+    size_t num_cells = 0;
+    size_t sat_calls = 0;
+    size_t milp_nodes = 0;
+    size_t lp_solves = 0;
+    bool used_disjoint_fast_path = false;
+  };
+
+  /// `domains` declares integer-valued attributes (see
+  /// DomainsFromSchema).
+  explicit PcBoundSolver(PredicateConstraintSet pcs,
+                         std::vector<AttrDomain> domains = {});
+  PcBoundSolver(PredicateConstraintSet pcs, std::vector<AttrDomain> domains,
+                Options options);
+
+  /// Computes the result range of `query` over the missing rows.
+  StatusOr<ResultRange> Bound(const AggQuery& query) const;
+
+  /// Upper (max) end only; equals Bound(query)->hi.
+  StatusOr<double> UpperBound(const AggQuery& query) const;
+  /// Lower (min) end only; equals Bound(query)->lo.
+  StatusOr<double> LowerBound(const AggQuery& query) const;
+
+  const PredicateConstraintSet& constraints() const { return pcs_; }
+  const SolveStats& last_stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+ private:
+  /// A decomposition cell reduced to what the MILP needs: the feasible
+  /// value interval of the aggregate attribute and the covering PCs.
+  struct CellBound {
+    double val_lo = 0.0;
+    double val_hi = 0.0;
+    std::vector<size_t> covering;
+  };
+
+  /// Decomposes against the query predicate and computes per-cell value
+  /// intervals on `attr`. Cells that cannot host any row are dropped.
+  StatusOr<std::vector<CellBound>> BuildCells(const AggQuery& query,
+                                              size_t attr) const;
+
+  /// Builds the allocation MILP (paper Eq. 2) over `cells`:
+  /// one integer variable per cell, ranged frequency row per PC.
+  /// Frequency lower bounds are kept only when the PC's predicate is
+  /// entirely inside the query region (otherwise the PC's mandatory rows
+  /// may fall outside the query, and forcing them in would be unsound).
+  LpModel BuildAllocationModel(const std::vector<CellBound>& cells,
+                               const std::vector<double>& objective,
+                               const std::optional<Predicate>& where) const;
+
+  /// Max of Σ objective_i · x_i; infinity-aware.
+  StatusOr<double> MaximizeAllocation(const std::vector<CellBound>& cells,
+                                      const std::vector<double>& objective,
+                                      const std::optional<Predicate>& where,
+                                      double extra_min_rows = 0.0) const;
+
+  StatusOr<double> UpperSum(const AggQuery& query) const;
+  StatusOr<double> UpperCount(const AggQuery& query) const;
+  StatusOr<ResultRange> BoundAvg(const AggQuery& query) const;
+  StatusOr<ResultRange> BoundMax(const AggQuery& query) const;
+
+  /// Greedy closed form when all predicates are pairwise disjoint.
+  StatusOr<double> DisjointUpper(const AggQuery& query, bool count) const;
+
+  /// DisjointUpper evaluated over an arbitrary constraint set (used for
+  /// the value-negated lower-bound pass without re-running the O(n^2)
+  /// disjointness detection).
+  StatusOr<double> DisjointUpperOn(const PredicateConstraintSet& pcs,
+                                   const AggQuery& query, bool count) const;
+
+  /// True if the PC set admits an instance with zero rows matching the
+  /// query region.
+  StatusOr<bool> EmptyInstancePossible(const AggQuery& query) const;
+
+  PredicateConstraintSet pcs_;
+  std::vector<AttrDomain> domains_;
+  Options options_;
+  bool predicates_disjoint_ = false;
+  mutable SolveStats stats_;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_PC_BOUND_SOLVER_H_

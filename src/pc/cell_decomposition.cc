@@ -1,0 +1,185 @@
+#include "pc/cell_decomposition.h"
+
+#include "common/check.h"
+
+namespace pcx {
+namespace {
+
+/// Shared state of one decomposition run.
+struct DfsContext {
+  const PredicateConstraintSet* pcs = nullptr;
+  const DecompositionOptions* options = nullptr;
+  IntervalSatChecker* checker = nullptr;
+  DecompositionResult* result = nullptr;
+  size_t n = 0;  ///< number of enumerated (non-universal) predicates
+  /// Enumerated PC indices: depth d decides the sign of pcs[order[d]].
+  const std::vector<size_t>* order = nullptr;
+  /// Indices of PCs with a TRUE predicate. A TRUE predicate covers every
+  /// cell and its negation is empty, so these never enter the sign
+  /// enumeration; they are appended to every emitted cell instead. This
+  /// keeps catch-all closure constraints (e.g. Rand-PC's) free.
+  const std::vector<size_t>* universal = nullptr;
+};
+
+/// Emits one satisfiable cell, attaching the universal constraints.
+void EmitCell(DfsContext& ctx, const Box& positive,
+              const std::vector<Box>& negated,
+              const std::vector<size_t>& covering, bool verified) {
+  std::vector<size_t> full_covering = covering;
+  full_covering.insert(full_covering.end(), ctx.universal->begin(),
+                       ctx.universal->end());
+  if (full_covering.empty()) return;  // closure: no PC covers this region
+  std::sort(full_covering.begin(), full_covering.end());
+  ctx.result->cells.push_back(
+      Cell{std::move(full_covering), positive, negated, verified});
+}
+
+/// Depth-first enumeration of sign assignments over the PC predicates.
+/// `known_sat` is true when the current prefix expression has already
+/// been proven satisfiable (by the parent's check or by the rewrite
+/// rule), so no solver call is needed at this node.
+void Dfs(DfsContext& ctx, size_t depth, const Box& positive,
+         std::vector<Box>& negated, std::vector<size_t>& covering,
+         bool known_sat, bool verified) {
+  ++ctx.result->nodes_visited;
+
+  const bool checks_enabled = depth < ctx.options->early_stop_depth;
+  if (!known_sat && checks_enabled) {
+    ++ctx.result->sat_calls;
+    if (!ctx.checker->IsSatisfiable({positive, negated})) {
+      ++ctx.result->cells_pruned;
+      return;
+    }
+  } else if (!known_sat && !checks_enabled) {
+    verified = false;  // admitted without verification (Optimization 4)
+  }
+
+  if (depth == ctx.n) {
+    EmitCell(ctx, positive, negated, covering, verified);
+    return;
+  }
+
+  const size_t pc_index = (*ctx.order)[depth];
+  const Box& pred_box = ctx.pcs->at(pc_index).predicate().box();
+
+  // Geometric fast path: when the predicate cannot intersect the current
+  // positive region, the positive child is trivially UNSAT and the
+  // negation ¬ψ is implied, so neither child needs a solver call nor a
+  // growing negation list. This is what keeps decompositions over many
+  // query-irrelevant PCs cheap under predicate pushdown.
+  if (positive.Intersect(pred_box).IsEmpty(ctx.checker->domains())) {
+    Dfs(ctx, depth + 1, positive, negated, covering, known_sat, verified);
+    return;
+  }
+
+  if (ctx.options->use_rewriting && checks_enabled) {
+    // Check the positive child here; if it is UNSAT the rewrite rule
+    // proves the negative child satisfiable with no extra call.
+    const Box pos_child = positive.Intersect(pred_box);
+    ++ctx.result->sat_calls;
+    const bool pos_sat = ctx.checker->IsSatisfiable({pos_child, negated});
+    if (pos_sat) {
+      covering.push_back(pc_index);
+      Dfs(ctx, depth + 1, pos_child, negated, covering, /*known_sat=*/true,
+          verified);
+      covering.pop_back();
+      negated.push_back(pred_box);
+      Dfs(ctx, depth + 1, positive, negated, covering, /*known_sat=*/false,
+          verified);
+      negated.pop_back();
+    } else {
+      ++ctx.result->cells_pruned;
+      ++ctx.result->rewrites_used;
+      negated.push_back(pred_box);
+      Dfs(ctx, depth + 1, positive, negated, covering, /*known_sat=*/true,
+          verified);
+      negated.pop_back();
+    }
+    return;
+  }
+
+  // Plain DFS (or unverified enumeration below the early-stop depth):
+  // children test themselves on entry.
+  covering.push_back(pc_index);
+  const Box pos_child = positive.Intersect(pred_box);
+  Dfs(ctx, depth + 1, pos_child, negated, covering, /*known_sat=*/false,
+      verified);
+  covering.pop_back();
+  negated.push_back(pred_box);
+  Dfs(ctx, depth + 1, positive, negated, covering, /*known_sat=*/false,
+      verified);
+  negated.pop_back();
+}
+
+}  // namespace
+
+DecompositionResult DecomposeCells(const PredicateConstraintSet& pcs,
+                                   const std::optional<Predicate>& pushdown,
+                                   const DecompositionOptions& options,
+                                   const std::vector<AttrDomain>& domains) {
+  DecompositionResult result;
+  const size_t n = pcs.size();
+  if (n == 0) return result;
+  const size_t num_attrs = pcs.num_attrs();
+
+  Box root(num_attrs);
+  if (pushdown.has_value()) {
+    PCX_CHECK_EQ(pushdown->num_attrs(), num_attrs);
+    root = root.Intersect(pushdown->box());  // Optimization 1
+  }
+
+  IntervalSatChecker checker(domains);
+
+  if (options.use_dfs) {
+    // Split off TRUE predicates: they cover every cell and cannot be
+    // negated, so there is nothing to enumerate for them.
+    std::vector<size_t> order;
+    std::vector<size_t> universal;
+    for (size_t i = 0; i < n; ++i) {
+      if (pcs.at(i).predicate().box().IsUniverse()) {
+        universal.push_back(i);
+      } else {
+        order.push_back(i);
+      }
+    }
+    DfsContext ctx{&pcs,   &options, &checker,  &result,
+                   order.size(), &order,   &universal};
+    std::vector<Box> negated;
+    std::vector<size_t> covering;
+    negated.reserve(order.size());
+    covering.reserve(order.size());
+    Dfs(ctx, 0, root, negated, covering, /*known_sat=*/false,
+        /*verified=*/true);
+    result.sat_calls = checker.num_calls();
+    return result;
+  }
+
+  // Naive path: enumerate every sign assignment and test the complete
+  // conjunction independently.
+  PCX_CHECK(n < 63) << "too many predicate constraints for the naive path";
+  const uint64_t num_assignments = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < num_assignments; ++mask) {
+    if (mask == 0) continue;  // all-negated cell: covered by no PC
+    ++result.nodes_visited;
+    Cell cell;
+    cell.positive = root;
+    for (size_t i = 0; i < n; ++i) {
+      const Box& b = pcs.at(i).predicate().box();
+      if (mask & (uint64_t{1} << i)) {
+        cell.covering.push_back(i);
+        cell.positive = cell.positive.Intersect(b);
+      } else {
+        cell.negated.push_back(b);
+      }
+    }
+    if (checker.IsSatisfiable({cell.positive, cell.negated})) {
+      result.cells.push_back(std::move(cell));
+    } else {
+      ++result.cells_pruned;
+    }
+  }
+  result.sat_calls = checker.num_calls();
+  return result;
+}
+
+}  // namespace pcx

@@ -1,0 +1,64 @@
+#ifndef PCX_PC_CELL_DECOMPOSITION_H_
+#define PCX_PC_CELL_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pc/pc_set.h"
+#include "predicate/predicate.h"
+#include "predicate/sat.h"
+
+namespace pcx {
+
+/// One disjoint cell of the decomposition (paper §4.1): the region of
+/// tuple space inside the predicates of `covering` and outside all
+/// other predicates.
+struct Cell {
+  std::vector<size_t> covering;   ///< indices of non-negated PCs (never empty)
+  Box positive;                   ///< intersection of covering boxes (+ pushdown)
+  std::vector<Box> negated;       ///< boxes of the negated PCs
+  bool verified = true;           ///< false when admitted by early stopping
+};
+
+/// Decomposition strategy (paper §4.1 optimizations).
+struct DecompositionOptions {
+  /// Optimization 2: depth-first search with UNSAT-prefix pruning. When
+  /// false, all 2^n - 1 sign assignments are enumerated and each full
+  /// conjunction is tested individually (the "No Optimization" bar of
+  /// Fig. 7).
+  bool use_dfs = true;
+  /// Optimization 3: the rewrite SAT(X) ∧ UNSAT(X∧Y) ⇒ SAT(X∧¬Y), which
+  /// skips one solver call per such branch. Requires use_dfs.
+  bool use_rewriting = true;
+  /// Optimization 4: stop verifying below this DFS depth and admit all
+  /// remaining cells as satisfiable ("false positives" that loosen but
+  /// never invalidate the bound). SIZE_MAX disables early stopping.
+  size_t early_stop_depth = SIZE_MAX;
+};
+
+/// Decomposition result plus the counters reported in Fig. 7.
+struct DecompositionResult {
+  std::vector<Cell> cells;
+  size_t sat_calls = 0;        ///< satisfiability decisions actually made
+  size_t nodes_visited = 0;    ///< DFS nodes (or cells, for the naive path)
+  size_t cells_pruned = 0;     ///< subtrees/cells eliminated as UNSAT
+  size_t rewrites_used = 0;    ///< solver calls saved by Optimization 3
+};
+
+/// Decomposes a predicate-constraint set into disjoint satisfiable
+/// cells. `pushdown` (Optimization 1) restricts the decomposition to the
+/// region overlapping the query predicate; pass std::nullopt to cover
+/// the whole space. `domains` declares integer-valued attributes.
+///
+/// Cells covered by no predicate are never emitted: under the closure
+/// assumption (paper Definition 3.2) they contain no missing rows.
+DecompositionResult DecomposeCells(
+    const PredicateConstraintSet& pcs,
+    const std::optional<Predicate>& pushdown = std::nullopt,
+    const DecompositionOptions& options = {},
+    const std::vector<AttrDomain>& domains = {});
+
+}  // namespace pcx
+
+#endif  // PCX_PC_CELL_DECOMPOSITION_H_

@@ -1,0 +1,93 @@
+#include "pc/combine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pcx {
+
+ResultRange CombineWithObserved(AggFunc agg, const AggregateResult& observed,
+                                const ResultRange& missing,
+                                const ResultRange* missing_count) {
+  ResultRange out;
+  switch (agg) {
+    case AggFunc::kCount:
+    case AggFunc::kSum: {
+      const double base = observed.value;
+      out.lo = base + missing.lo;
+      out.hi = base + missing.hi;
+      out.defined = true;
+      return out;
+    }
+    case AggFunc::kMin: {
+      if (observed.empty_input && !missing.defined) {
+        out.defined = false;
+        return out;
+      }
+      if (observed.empty_input) return missing;
+      if (!missing.defined) {
+        out.lo = out.hi = observed.value;
+        return out;
+      }
+      out.lo = std::min(observed.value, missing.lo);
+      // If the missing side may be empty, the overall MIN can stay at
+      // the observed value.
+      out.hi = missing.empty_instance_possible
+                   ? observed.value
+                   : std::min(observed.value, missing.hi);
+      return out;
+    }
+    case AggFunc::kMax: {
+      if (observed.empty_input && !missing.defined) {
+        out.defined = false;
+        return out;
+      }
+      if (observed.empty_input) return missing;
+      if (!missing.defined) {
+        out.lo = out.hi = observed.value;
+        return out;
+      }
+      out.hi = std::max(observed.value, missing.hi);
+      out.lo = missing.empty_instance_possible
+                   ? observed.value
+                   : std::max(observed.value, missing.lo);
+      return out;
+    }
+    case AggFunc::kAvg: {
+      PCX_CHECK(missing_count != nullptr)
+          << "AVG combination needs the missing COUNT range";
+      if (observed.empty_input && !missing.defined) {
+        out.defined = false;
+        return out;
+      }
+      if (observed.empty_input) return missing;
+      if (!missing.defined || missing_count->hi == 0.0) {
+        out.lo = out.hi = observed.value;  // nothing can be missing
+        return out;
+      }
+      const double s_obs = observed.value * static_cast<double>(observed.num_rows);
+      const double c_obs = static_cast<double>(observed.num_rows);
+      // Evaluate (s_obs + m*avg) / (c_obs + m) over the corner values of
+      // the missing count m and missing average avg; the expression is
+      // monotone in avg and monotone in m for fixed avg, so corners
+      // bound it.
+      out.lo = observed.value;
+      out.hi = observed.value;
+      const double counts[2] = {std::max(missing_count->lo, 0.0),
+                                missing_count->hi};
+      const double avgs[2] = {missing.lo, missing.hi};
+      for (double m : counts) {
+        for (double a : avgs) {
+          if (c_obs + m <= 0.0) continue;
+          const double v = (s_obs + m * a) / (c_obs + m);
+          out.lo = std::min(out.lo, v);
+          out.hi = std::max(out.hi, v);
+        }
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace pcx

@@ -1,0 +1,22 @@
+#ifndef PCX_PC_COMBINE_H_
+#define PCX_PC_COMBINE_H_
+
+#include "pc/query.h"
+#include "relation/aggregate.h"
+
+namespace pcx {
+
+/// Combines the aggregate computed over the *observed* rows with the
+/// result range bounding the *missing* rows into a range for the full
+/// relation R = R* ∪ R? (paper §6.2: "partially covered" queries).
+///
+/// SUM/COUNT add; MIN/MAX take envelope extremes; AVG combines the
+/// missing COUNT and AVG ranges with the observed sum/count by interval
+/// arithmetic over the corner cases (conservative but always sound).
+ResultRange CombineWithObserved(AggFunc agg, const AggregateResult& observed,
+                                const ResultRange& missing,
+                                const ResultRange* missing_count = nullptr);
+
+}  // namespace pcx
+
+#endif  // PCX_PC_COMBINE_H_

@@ -1,0 +1,42 @@
+#include "pc/group_by.h"
+
+namespace pcx {
+
+StatusOr<std::vector<GroupRange>> BoundGroupBy(
+    const PcBoundSolver& solver, const AggQuery& query, size_t group_attr,
+    const std::vector<double>& group_values) {
+  if (!solver.constraints().empty() &&
+      group_attr >= solver.constraints().num_attrs()) {
+    return Status::InvalidArgument("group attribute out of range");
+  }
+  std::vector<GroupRange> out;
+  out.reserve(group_values.size());
+  for (double value : group_values) {
+    AggQuery per_group = query;
+    Predicate where =
+        query.where.has_value()
+            ? *query.where
+            : Predicate(solver.constraints().num_attrs());
+    where.AddEquals(group_attr, value);
+    per_group.where = std::move(where);
+    PCX_ASSIGN_OR_RETURN(ResultRange range, solver.Bound(per_group));
+    out.push_back(GroupRange{value, range});
+  }
+  return out;
+}
+
+StatusOr<std::vector<GroupRange>> BoundGroupByCategorical(
+    const PcBoundSolver& solver, const AggQuery& query, const Schema& schema,
+    const std::string& group_column) {
+  PCX_ASSIGN_OR_RETURN(const size_t col, schema.ColumnIndex(group_column));
+  if (schema.column(col).type != ColumnType::kCategorical) {
+    return Status::InvalidArgument("group column must be categorical");
+  }
+  std::vector<double> values;
+  for (size_t code = 0; code < schema.DictionarySize(col); ++code) {
+    values.push_back(static_cast<double>(code));
+  }
+  return BoundGroupBy(solver, query, col, values);
+}
+
+}  // namespace pcx

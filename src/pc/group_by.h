@@ -1,0 +1,34 @@
+#ifndef PCX_PC_GROUP_BY_H_
+#define PCX_PC_GROUP_BY_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "pc/bound_solver.h"
+
+namespace pcx {
+
+/// One group's result range.
+struct GroupRange {
+  double group_value = 0.0;
+  ResultRange range;
+};
+
+/// Bounds a GROUP BY query: per paper §2, "the GROUP-BY clause can be
+/// considered as a union of such queries without GROUP-BY", so each
+/// group value becomes an extra equality predicate conjoined onto the
+/// query's WHERE clause. `group_values` enumerates the groups of
+/// interest (e.g. the dictionary codes of a categorical column).
+StatusOr<std::vector<GroupRange>> BoundGroupBy(
+    const PcBoundSolver& solver, const AggQuery& query, size_t group_attr,
+    const std::vector<double>& group_values);
+
+/// Convenience: groups over every interned label of a categorical
+/// column of `schema`.
+StatusOr<std::vector<GroupRange>> BoundGroupByCategorical(
+    const PcBoundSolver& solver, const AggQuery& query, const Schema& schema,
+    const std::string& group_column);
+
+}  // namespace pcx
+
+#endif  // PCX_PC_GROUP_BY_H_

@@ -1,0 +1,123 @@
+#include "pc/instance_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "pc/cell_decomposition.h"
+#include "predicate/sat.h"
+#include "solver/milp.h"
+
+namespace pcx {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct BuiltCell {
+  Box combined;  ///< positive region ∩ covering value boxes
+  std::vector<Box> negated;
+  std::vector<size_t> covering;
+  double val_lo = 0.0, val_hi = 0.0;
+};
+
+}  // namespace
+
+StatusOr<Table> BuildExtremalInstance(const PredicateConstraintSet& pcs,
+                                      const std::vector<AttrDomain>& domains,
+                                      const AggQuery& query, bool maximize,
+                                      Schema schema) {
+  if (query.agg != AggFunc::kSum && query.agg != AggFunc::kCount) {
+    return Status::Unimplemented(
+        "extremal instances are built for SUM and COUNT queries");
+  }
+  if (schema.num_columns() != pcs.num_attrs()) {
+    return Status::InvalidArgument("schema does not match the constraints");
+  }
+  const DecompositionResult decomp =
+      DecomposeCells(pcs, query.where, {}, domains);
+
+  std::vector<BuiltCell> cells;
+  for (const Cell& cell : decomp.cells) {
+    BuiltCell bc;
+    bc.combined = cell.positive;
+    for (size_t j : cell.covering) {
+      bc.combined = bc.combined.Intersect(pcs.at(j).values());
+    }
+    if (bc.combined.IsEmpty(domains)) continue;
+    bc.negated = cell.negated;
+    bc.covering = cell.covering;
+    bc.val_lo = bc.combined.dim(query.attr).lo;
+    bc.val_hi = bc.combined.dim(query.attr).hi;
+    cells.push_back(std::move(bc));
+  }
+
+  // Allocation MILP mirroring PcBoundSolver::BuildAllocationModel.
+  LpModel model;
+  model.set_sense(OptSense::kMaximize);
+  for (const BuiltCell& c : cells) {
+    double coef;
+    if (query.agg == AggFunc::kCount) {
+      coef = maximize ? 1.0 : -1.0;
+    } else {
+      const double v = maximize ? c.val_hi : c.val_lo;
+      if (std::fabs(v) == kInf) {
+        return Status::FailedPrecondition(
+            "unbounded value range: no finite extremal instance exists");
+      }
+      coef = maximize ? v : -v;
+    }
+    model.AddVariable(coef, 0.0, kInf, /*integer=*/true);
+  }
+  for (size_t j = 0; j < pcs.size(); ++j) {
+    LinearConstraint row;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (std::find(cells[i].covering.begin(), cells[i].covering.end(), j) !=
+          cells[i].covering.end()) {
+        row.terms.push_back({i, 1.0});
+      }
+    }
+    if (row.terms.empty()) continue;
+    row.hi = pcs.at(j).frequency().hi;
+    const bool covered =
+        !query.where.has_value() ||
+        query.where->box().Covers(pcs.at(j).predicate().box());
+    row.lo = covered ? pcs.at(j).frequency().lo : 0.0;
+    model.AddConstraint(std::move(row));
+  }
+
+  const Solution sol = BranchAndBoundSolver().Solve(model);
+  if (sol.status != SolveStatus::kOptimal) {
+    return Status::Infeasible(std::string("allocation MILP: ") +
+                              SolveStatusToString(sol.status));
+  }
+
+  // Materialize rows: for each cell, find a witness point with the
+  // aggregate attribute pinned to the extremal end when attainable.
+  IntervalSatChecker checker(domains);
+  Table out(std::move(schema));
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const auto count = static_cast<size_t>(std::llround(sol.x[i]));
+    if (count == 0) continue;
+    Box pinned = cells[i].combined;
+    const Interval& agg_iv = pinned.dim(query.attr);
+    if (query.agg == AggFunc::kSum) {
+      const double target = maximize ? agg_iv.hi : agg_iv.lo;
+      const bool attainable =
+          std::fabs(target) != kInf &&
+          (maximize ? !agg_iv.hi_strict : !agg_iv.lo_strict);
+      if (attainable) pinned.Constrain(query.attr, Interval::Point(target));
+    }
+    auto witness = checker.FindWitness({pinned, cells[i].negated});
+    if (!witness.has_value()) {
+      // Pinning may have collided with a negated box; retry unpinned.
+      witness = checker.FindWitness({cells[i].combined, cells[i].negated});
+    }
+    if (!witness.has_value()) {
+      return Status::Internal("satisfiable cell lost its witness");
+    }
+    for (size_t k = 0; k < count; ++k) out.AppendRow(*witness);
+  }
+  return out;
+}
+
+}  // namespace pcx

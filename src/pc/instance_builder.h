@@ -1,0 +1,32 @@
+#ifndef PCX_PC_INSTANCE_BUILDER_H_
+#define PCX_PC_INSTANCE_BUILDER_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "pc/pc_set.h"
+#include "pc/query.h"
+#include "relation/table.h"
+
+namespace pcx {
+
+/// Materializes a concrete missing-rows instance that *attains* the
+/// SUM/COUNT bound — the constructive side of the paper's tightness
+/// claim ("the bound found by the optimization problem is a valid
+/// relation that satisfies the constraints", §4). Useful for debugging
+/// constraint sets ("show me the worst case") and for testing.
+///
+/// The returned table satisfies every constraint of `pcs` whenever the
+/// query has no WHERE clause (with a WHERE clause the instance contains
+/// only in-region rows, so frequency lower bounds of partially covered
+/// constraints may be unmet by design — the bound drops them too).
+///
+/// `maximize` selects which end of the range to realize.
+StatusOr<Table> BuildExtremalInstance(const PredicateConstraintSet& pcs,
+                                      const std::vector<AttrDomain>& domains,
+                                      const AggQuery& query, bool maximize,
+                                      Schema schema);
+
+}  // namespace pcx
+
+#endif  // PCX_PC_INSTANCE_BUILDER_H_

@@ -1,0 +1,74 @@
+#include "pc/pc_set.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pcx {
+
+PredicateConstraintSet::PredicateConstraintSet(
+    std::vector<PredicateConstraint> pcs)
+    : pcs_(std::move(pcs)) {
+  for (size_t i = 1; i < pcs_.size(); ++i) {
+    PCX_CHECK_EQ(pcs_[i].num_attrs(), pcs_[0].num_attrs())
+        << "all PCs in a set must share a schema";
+  }
+}
+
+void PredicateConstraintSet::Add(PredicateConstraint pc) {
+  if (!pcs_.empty()) {
+    PCX_CHECK_EQ(pc.num_attrs(), pcs_[0].num_attrs());
+  }
+  pcs_.push_back(std::move(pc));
+}
+
+size_t PredicateConstraintSet::num_attrs() const {
+  return pcs_.empty() ? 0 : pcs_[0].num_attrs();
+}
+
+bool PredicateConstraintSet::SatisfiedBy(const Table& table) const {
+  for (const auto& pc : pcs_) {
+    if (!pc.SatisfiedBy(table)) return false;
+  }
+  return true;
+}
+
+bool PredicateConstraintSet::IsClosedOver(
+    const Box& domain, const std::vector<AttrDomain>& domains) const {
+  IntervalSatChecker checker(domains);
+  CellExpr uncovered;
+  uncovered.positive = domain;
+  for (const auto& pc : pcs_) {
+    uncovered.negated.push_back(pc.predicate().box());
+  }
+  return !checker.IsSatisfiable(uncovered);
+}
+
+bool PredicateConstraintSet::PredicatesDisjoint(
+    const std::vector<AttrDomain>& domains) const {
+  for (size_t i = 0; i < pcs_.size(); ++i) {
+    for (size_t j = i + 1; j < pcs_.size(); ++j) {
+      const Box overlap =
+          pcs_[i].predicate().box().Intersect(pcs_[j].predicate().box());
+      if (!overlap.IsEmpty(domains)) return false;
+    }
+  }
+  return true;
+}
+
+PredicateConstraintSet PredicateConstraintSet::NegatedValues() const {
+  std::vector<PredicateConstraint> out;
+  out.reserve(pcs_.size());
+  for (const auto& pc : pcs_) out.push_back(pc.NegatedValues());
+  return PredicateConstraintSet(std::move(out));
+}
+
+std::string PredicateConstraintSet::ToString() const {
+  std::ostringstream os;
+  os << "{\n";
+  for (const auto& pc : pcs_) os << "  " << pc.ToString() << "\n";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace pcx

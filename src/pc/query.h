@@ -1,0 +1,62 @@
+#ifndef PCX_PC_QUERY_H_
+#define PCX_PC_QUERY_H_
+
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "predicate/predicate.h"
+#include "relation/aggregate.h"
+
+namespace pcx {
+
+/// An aggregate query `SELECT agg(attr) FROM R WHERE where` (paper §2).
+/// GROUP BY is a union of such queries; joins are handled separately in
+/// src/join.
+struct AggQuery {
+  AggFunc agg = AggFunc::kCount;
+  size_t attr = 0;  ///< aggregated column; ignored for COUNT(*)
+  std::optional<Predicate> where;
+
+  static AggQuery Count(std::optional<Predicate> where = std::nullopt) {
+    return AggQuery{AggFunc::kCount, 0, std::move(where)};
+  }
+  static AggQuery Sum(size_t attr,
+                      std::optional<Predicate> where = std::nullopt) {
+    return AggQuery{AggFunc::kSum, attr, std::move(where)};
+  }
+  static AggQuery Avg(size_t attr,
+                      std::optional<Predicate> where = std::nullopt) {
+    return AggQuery{AggFunc::kAvg, attr, std::move(where)};
+  }
+  static AggQuery Min(size_t attr,
+                      std::optional<Predicate> where = std::nullopt) {
+    return AggQuery{AggFunc::kMin, attr, std::move(where)};
+  }
+  static AggQuery Max(size_t attr,
+                      std::optional<Predicate> where = std::nullopt) {
+    return AggQuery{AggFunc::kMax, attr, std::move(where)};
+  }
+};
+
+/// A deterministic result range [lo, hi] (paper's term; §1): the
+/// aggregate over the missing rows of any relation satisfying the
+/// predicate-constraint set lies inside it.
+struct ResultRange {
+  double lo = 0.0;
+  double hi = 0.0;
+  /// True when a valid missing-rows instance with zero matching rows
+  /// exists, which makes AVG/MIN/MAX undefined on that instance. For
+  /// COUNT/SUM the numeric range already covers it.
+  bool empty_instance_possible = false;
+  /// False when no valid instance has any matching row at all; lo/hi are
+  /// then meaningless for AVG/MIN/MAX (COUNT/SUM ranges are [0, 0]).
+  bool defined = true;
+
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+  double width() const { return hi - lo; }
+};
+
+}  // namespace pcx
+
+#endif  // PCX_PC_QUERY_H_

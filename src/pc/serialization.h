@@ -1,0 +1,37 @@
+#ifndef PCX_PC_SERIALIZATION_H_
+#define PCX_PC_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "pc/pc_set.h"
+
+namespace pcx {
+
+/// Text serialization of predicate-constraint sets. The paper's central
+/// methodological point is that constraints are *artifacts*: "they can
+/// be checked, versioned, and tested just like any other analysis code"
+/// (§1). This module gives them a stable, diff-friendly format:
+///
+///   pcset v1 attrs=2
+///   # free-form comments
+///   pc pred={0:[0,24)} values={1:[0.99,129.99]} freq=[50,100]
+///   pc pred={} values={1:[0,149.99]} freq=[0,1200]
+///
+/// `pred={}` is the TRUE predicate. Interval brackets encode strictness
+/// ('[' / ']' closed, '(' / ')' open); "inf"/"-inf" are accepted.
+std::string SerializePcSet(const PredicateConstraintSet& pcs);
+
+/// Parses the format produced by SerializePcSet. Returns
+/// InvalidArgument with a line number on malformed input.
+StatusOr<PredicateConstraintSet> ParsePcSet(const std::string& text);
+
+/// Serializes one interval ("[0, 24)").
+std::string SerializeInterval(const Interval& iv);
+
+/// Parses one interval.
+StatusOr<Interval> ParseInterval(const std::string& text);
+
+}  // namespace pcx
+
+#endif  // PCX_PC_SERIALIZATION_H_

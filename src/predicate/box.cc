@@ -1,0 +1,87 @@
+#include "predicate/box.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pcx {
+
+void Box::Constrain(size_t attr, const Interval& iv) {
+  PCX_CHECK(attr < dims_.size()) << "attribute " << attr << " out of range";
+  dims_[attr] = dims_[attr].Intersect(iv);
+}
+
+Box Box::Intersect(const Box& other) const {
+  PCX_CHECK_EQ(dims_.size(), other.dims_.size());
+  Box out(dims_.size());
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    out.dims_[i] = dims_[i].Intersect(other.dims_[i]);
+  }
+  return out;
+}
+
+bool Box::IsEmpty(const std::vector<AttrDomain>& domains) const {
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].IsEmpty(DomainOf(domains, i))) return true;
+  }
+  return false;
+}
+
+bool Box::Contains(const std::vector<double>& point) const {
+  PCX_CHECK_EQ(point.size(), dims_.size());
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (!dims_[i].Contains(point[i])) return false;
+  }
+  return true;
+}
+
+bool Box::Covers(const Box& other) const {
+  PCX_CHECK_EQ(dims_.size(), other.dims_.size());
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    const Interval merged = dims_[i].Intersect(other.dims_[i]);
+    if (!(merged == other.dims_[i])) return false;
+  }
+  return true;
+}
+
+bool Box::IsUniverse() const {
+  for (const auto& d : dims_) {
+    if (!d.is_unbounded()) return false;
+  }
+  return true;
+}
+
+std::vector<double> Box::Witness(
+    const std::vector<AttrDomain>& domains) const {
+  PCX_CHECK(!IsEmpty(domains));
+  std::vector<double> out(dims_.size());
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    out[i] = dims_[i].Witness(DomainOf(domains, i));
+  }
+  return out;
+}
+
+std::string Box::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].is_unbounded()) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "a" << i << " in " << dims_[i].ToString();
+  }
+  if (first) os << "TRUE";
+  os << "}";
+  return os.str();
+}
+
+bool operator==(const Box& a, const Box& b) {
+  if (a.num_attrs() != b.num_attrs()) return false;
+  for (size_t i = 0; i < a.num_attrs(); ++i) {
+    if (!(a.dim(i) == b.dim(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace pcx

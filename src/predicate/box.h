@@ -1,0 +1,64 @@
+#ifndef PCX_PREDICATE_BOX_H_
+#define PCX_PREDICATE_BOX_H_
+
+#include <string>
+#include <vector>
+
+#include "predicate/interval.h"
+
+namespace pcx {
+
+/// An axis-aligned box over a fixed number of attributes: one Interval
+/// per attribute (unbounded by default). A conjunction of range atoms
+/// canonicalizes to exactly one Box, which is why the paper restricts
+/// predicates to conjunctions of ranges and inequalities (§3.1).
+class Box {
+ public:
+  Box() = default;
+  explicit Box(size_t num_attrs) : dims_(num_attrs) {}
+
+  size_t num_attrs() const { return dims_.size(); }
+  const Interval& dim(size_t attr) const { return dims_[attr]; }
+  const std::vector<Interval>& dims() const { return dims_; }
+
+  /// Intersects attribute `attr` with `iv` (conjunction of an atom).
+  void Constrain(size_t attr, const Interval& iv);
+
+  /// Componentwise intersection of two boxes over the same attributes.
+  Box Intersect(const Box& other) const;
+
+  /// True if some attribute's interval is empty under `domains`.
+  /// `domains` may be shorter than num_attrs; missing entries default to
+  /// continuous.
+  bool IsEmpty(const std::vector<AttrDomain>& domains = {}) const;
+
+  /// True if the point (one value per attribute) lies in the box.
+  bool Contains(const std::vector<double>& point) const;
+
+  /// True if every point of `other` is inside this box.
+  bool Covers(const Box& other) const;
+
+  /// True if the box constrains no attribute (the TRUE predicate).
+  bool IsUniverse() const;
+
+  /// Any point inside the box; requires !IsEmpty(domains).
+  std::vector<double> Witness(const std::vector<AttrDomain>& domains = {}) const;
+
+  /// e.g. "{a1 in [0, 5], a3 in (2, inf)}".
+  std::string ToString() const;
+
+ private:
+  std::vector<Interval> dims_;
+};
+
+bool operator==(const Box& a, const Box& b);
+
+/// Domain lookup helper: `domains[attr]` or continuous when absent.
+inline AttrDomain DomainOf(const std::vector<AttrDomain>& domains,
+                           size_t attr) {
+  return attr < domains.size() ? domains[attr] : AttrDomain::kContinuous;
+}
+
+}  // namespace pcx
+
+#endif  // PCX_PREDICATE_BOX_H_

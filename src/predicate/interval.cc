@@ -1,0 +1,104 @@
+#include "predicate/interval.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pcx {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Lowest integer admitted by the lower bound.
+double IntegerFloorOfLower(double lo, bool lo_strict) {
+  if (lo == -kInf) return -kInf;
+  const double c = std::ceil(lo);
+  if (lo_strict && c == lo) return c + 1.0;
+  return c;
+}
+
+/// Highest integer admitted by the upper bound.
+double IntegerCeilOfUpper(double hi, bool hi_strict) {
+  if (hi == kInf) return kInf;
+  const double f = std::floor(hi);
+  if (hi_strict && f == hi) return f - 1.0;
+  return f;
+}
+
+}  // namespace
+
+bool Interval::IsEmpty(AttrDomain domain) const {
+  if (domain == AttrDomain::kInteger) {
+    return IntegerFloorOfLower(lo, lo_strict) >
+           IntegerCeilOfUpper(hi, hi_strict);
+  }
+  if (lo > hi) return true;
+  if (lo == hi) return lo_strict || hi_strict || lo == kInf || hi == -kInf;
+  return false;
+}
+
+bool Interval::Contains(double x) const {
+  if (lo_strict ? x <= lo : x < lo) return false;
+  if (hi_strict ? x >= hi : x > hi) return false;
+  return true;
+}
+
+Interval Interval::Intersect(const Interval& other) const {
+  Interval out = *this;
+  if (other.lo > out.lo || (other.lo == out.lo && other.lo_strict)) {
+    out.lo = other.lo;
+    out.lo_strict = other.lo_strict;
+  }
+  if (other.hi < out.hi || (other.hi == out.hi && other.hi_strict)) {
+    out.hi = other.hi;
+    out.hi_strict = other.hi_strict;
+  }
+  return out;
+}
+
+double Interval::Witness(AttrDomain domain) const {
+  PCX_CHECK(!IsEmpty(domain));
+  if (domain == AttrDomain::kInteger) {
+    const double f = IntegerFloorOfLower(lo, lo_strict);
+    if (f != -kInf) return f;
+    const double c = IntegerCeilOfUpper(hi, hi_strict);
+    if (c != kInf) return c;
+    return 0.0;
+  }
+  const bool lo_finite = lo != -kInf;
+  const bool hi_finite = hi != kInf;
+  if (lo_finite && hi_finite) {
+    if (!lo_strict) return lo;
+    if (!hi_strict) return hi;
+    return (lo + hi) / 2.0;
+  }
+  if (lo_finite) return lo_strict ? lo + 1.0 : lo;
+  if (hi_finite) return hi_strict ? hi - 1.0 : hi;
+  return 0.0;
+}
+
+std::string Interval::ToString() const {
+  std::ostringstream os;
+  os << (lo_strict || lo == -kInf ? "(" : "[");
+  if (lo == -kInf) {
+    os << "-inf";
+  } else {
+    os << lo;
+  }
+  os << ", ";
+  if (hi == kInf) {
+    os << "inf";
+  } else {
+    os << hi;
+  }
+  os << (hi_strict || hi == kInf ? ")" : "]");
+  return os.str();
+}
+
+bool operator==(const Interval& a, const Interval& b) {
+  return a.lo == b.lo && a.hi == b.hi && a.lo_strict == b.lo_strict &&
+         a.hi_strict == b.hi_strict;
+}
+
+}  // namespace pcx

@@ -1,0 +1,74 @@
+#ifndef PCX_PREDICATE_INTERVAL_H_
+#define PCX_PREDICATE_INTERVAL_H_
+
+#include <limits>
+#include <string>
+
+namespace pcx {
+
+/// Whether an attribute ranges over the reals or over the integers.
+/// Integer domains matter for exact satisfiability: the open interval
+/// (2, 3) is non-empty over the reals but empty over the integers
+/// (e.g. a dictionary-coded categorical attribute).
+enum class AttrDomain { kContinuous, kInteger };
+
+/// A (possibly open-ended, possibly strict) interval of one attribute.
+/// The default-constructed interval is unbounded: (-inf, +inf).
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_strict = false;  ///< true: x > lo; false: x >= lo
+  bool hi_strict = false;  ///< true: x < hi; false: x <= hi
+
+  /// Closed interval [lo, hi].
+  static Interval Closed(double lo, double hi) {
+    return Interval{lo, hi, false, false};
+  }
+  /// Point interval [v, v].
+  static Interval Point(double v) { return Closed(v, v); }
+  /// [lo, +inf).
+  static Interval AtLeast(double lo) {
+    return Interval{lo, std::numeric_limits<double>::infinity(), false, false};
+  }
+  /// (-inf, hi].
+  static Interval AtMost(double hi) {
+    return Interval{-std::numeric_limits<double>::infinity(), hi, false,
+                    false};
+  }
+  /// (lo, +inf).
+  static Interval GreaterThan(double lo) {
+    return Interval{lo, std::numeric_limits<double>::infinity(), true, false};
+  }
+  /// (-inf, hi).
+  static Interval LessThan(double hi) {
+    return Interval{-std::numeric_limits<double>::infinity(), hi, false, true};
+  }
+  /// The full line.
+  static Interval All() { return Interval{}; }
+
+  bool is_unbounded() const {
+    return lo == -std::numeric_limits<double>::infinity() &&
+           hi == std::numeric_limits<double>::infinity();
+  }
+
+  /// True if no value of the given domain lies in the interval.
+  bool IsEmpty(AttrDomain domain = AttrDomain::kContinuous) const;
+
+  /// True if `x` is in the interval.
+  bool Contains(double x) const;
+
+  /// Intersection (same domain).
+  Interval Intersect(const Interval& other) const;
+
+  /// A value inside the interval; only valid if !IsEmpty(domain).
+  double Witness(AttrDomain domain = AttrDomain::kContinuous) const;
+
+  /// Human-readable form like "[0, 5)" or "(-inf, 3]".
+  std::string ToString() const;
+};
+
+bool operator==(const Interval& a, const Interval& b);
+
+}  // namespace pcx
+
+#endif  // PCX_PREDICATE_INTERVAL_H_

@@ -1,0 +1,77 @@
+#include "predicate/predicate.h"
+
+namespace pcx {
+
+Predicate& Predicate::AddRange(size_t attr, double lo, double hi) {
+  box_.Constrain(attr, Interval::Closed(lo, hi));
+  return *this;
+}
+
+Predicate& Predicate::AddInterval(size_t attr, const Interval& iv) {
+  box_.Constrain(attr, iv);
+  return *this;
+}
+
+Predicate& Predicate::AddEquals(size_t attr, double value) {
+  box_.Constrain(attr, Interval::Point(value));
+  return *this;
+}
+
+Predicate& Predicate::AddAtLeast(size_t attr, double lo) {
+  box_.Constrain(attr, Interval::AtLeast(lo));
+  return *this;
+}
+
+Predicate& Predicate::AddAtMost(size_t attr, double hi) {
+  box_.Constrain(attr, Interval::AtMost(hi));
+  return *this;
+}
+
+Predicate& Predicate::AddLessThan(size_t attr, double hi) {
+  box_.Constrain(attr, Interval::LessThan(hi));
+  return *this;
+}
+
+Predicate& Predicate::AddGreaterThan(size_t attr, double lo) {
+  box_.Constrain(attr, Interval::GreaterThan(lo));
+  return *this;
+}
+
+StatusOr<Predicate> Predicate::RangeOn(const Schema& schema,
+                                       const std::string& attr, double lo,
+                                       double hi) {
+  PCX_ASSIGN_OR_RETURN(const size_t col, schema.ColumnIndex(attr));
+  Predicate p(schema.num_columns());
+  p.AddRange(col, lo, hi);
+  return p;
+}
+
+StatusOr<Predicate> Predicate::LabelEquals(const Schema& schema,
+                                           const std::string& attr,
+                                           const std::string& label) {
+  PCX_ASSIGN_OR_RETURN(const size_t col, schema.ColumnIndex(attr));
+  PCX_ASSIGN_OR_RETURN(const double code, schema.LabelCode(col, label));
+  Predicate p(schema.num_columns());
+  p.AddEquals(col, code);
+  return p;
+}
+
+bool Predicate::MatchesRow(const Table& table, size_t r) const {
+  for (size_t c = 0; c < box_.num_attrs(); ++c) {
+    if (box_.dim(c).is_unbounded()) continue;
+    if (!box_.dim(c).Contains(table.At(r, c))) return false;
+  }
+  return true;
+}
+
+std::vector<AttrDomain> DomainsFromSchema(const Schema& schema) {
+  std::vector<AttrDomain> out(schema.num_columns());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = schema.column(i).type == ColumnType::kCategorical
+                 ? AttrDomain::kInteger
+                 : AttrDomain::kContinuous;
+  }
+  return out;
+}
+
+}  // namespace pcx

@@ -1,0 +1,70 @@
+#ifndef PCX_PREDICATE_PREDICATE_H_
+#define PCX_PREDICATE_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "predicate/box.h"
+#include "relation/schema.h"
+#include "relation/table.h"
+
+namespace pcx {
+
+/// A conjunctive predicate over the attributes of a schema: a Box plus
+/// convenience builders that resolve column names and categorical
+/// labels. This is the ψ of a predicate-constraint (paper §3.1) and also
+/// the WHERE clause of the supported aggregate queries.
+class Predicate {
+ public:
+  Predicate() = default;
+  /// The TRUE predicate over `num_attrs` attributes.
+  explicit Predicate(size_t num_attrs) : box_(num_attrs) {}
+  /// Wraps an existing box.
+  explicit Predicate(Box box) : box_(std::move(box)) {}
+
+  /// Builders (each returns *this for chaining). All constraints are
+  /// conjoined onto the predicate.
+  Predicate& AddRange(size_t attr, double lo, double hi);   ///< lo <= a <= hi
+  Predicate& AddInterval(size_t attr, const Interval& iv);  ///< a in iv
+  Predicate& AddEquals(size_t attr, double value);          ///< a == value
+  Predicate& AddAtLeast(size_t attr, double lo);            ///< a >= lo
+  Predicate& AddAtMost(size_t attr, double hi);             ///< a <= hi
+  Predicate& AddLessThan(size_t attr, double hi);           ///< a < hi
+  Predicate& AddGreaterThan(size_t attr, double lo);        ///< a > lo
+
+  /// Name/label-based builders resolved against a schema.
+  static StatusOr<Predicate> RangeOn(const Schema& schema,
+                                     const std::string& attr, double lo,
+                                     double hi);
+  /// Categorical equality, e.g. branch = 'Chicago'.
+  static StatusOr<Predicate> LabelEquals(const Schema& schema,
+                                         const std::string& attr,
+                                         const std::string& label);
+
+  size_t num_attrs() const { return box_.num_attrs(); }
+  const Box& box() const { return box_; }
+
+  /// Whether the predicate holds for a materialized row.
+  bool Matches(const std::vector<double>& row) const {
+    return box_.Contains(row);
+  }
+  /// Whether the predicate holds for row `r` of `table`.
+  bool MatchesRow(const Table& table, size_t r) const;
+
+  /// True when the predicate constrains nothing.
+  bool IsTrue() const { return box_.IsUniverse(); }
+
+  std::string ToString() const { return box_.ToString(); }
+
+ private:
+  Box box_;
+};
+
+/// Derives AttrDomain hints from a schema: categorical columns are
+/// integer-valued (dictionary codes), numeric columns continuous.
+std::vector<AttrDomain> DomainsFromSchema(const Schema& schema);
+
+}  // namespace pcx
+
+#endif  // PCX_PREDICATE_PREDICATE_H_

@@ -1,0 +1,74 @@
+#include "predicate/sat.h"
+
+#include "common/check.h"
+
+namespace pcx {
+
+bool IntervalSatChecker::IsSatisfiable(const CellExpr& cell) {
+  ++num_calls_;
+  return SubtractNonEmpty(cell.positive, cell.negated, 0, nullptr);
+}
+
+std::optional<std::vector<double>> IntervalSatChecker::FindWitness(
+    const CellExpr& cell) {
+  ++num_calls_;
+  std::vector<double> witness;
+  if (SubtractNonEmpty(cell.positive, cell.negated, 0, &witness)) {
+    return witness;
+  }
+  return std::nullopt;
+}
+
+bool IntervalSatChecker::SubtractNonEmpty(const Box& box,
+                                          const std::vector<Box>& negated,
+                                          size_t from,
+                                          std::vector<double>* witness) {
+  if (box.IsEmpty(domains_)) return false;
+  // Skip negated boxes that do not intersect the current box at all.
+  size_t i = from;
+  while (i < negated.size() && box.Intersect(negated[i]).IsEmpty(domains_)) {
+    ++i;
+  }
+  if (i == negated.size()) {
+    if (witness != nullptr) *witness = box.Witness(domains_);
+    return true;
+  }
+  const Box& n = negated[i];
+  // Split `box` against `n` dimension by dimension. For each dimension d
+  // constrained by n, the part of the current region strictly below or
+  // strictly above n's interval cannot intersect n, so it only needs the
+  // remaining negated boxes. The residue fully inside n on all
+  // dimensions is swallowed by n and contributes nothing.
+  Box current = box;
+  for (size_t d = 0; d < n.num_attrs(); ++d) {
+    const Interval& nd = n.dim(d);
+    if (nd.is_unbounded()) continue;
+    // Part below nd: x < nd.lo (or <= if nd.lo is strict).
+    {
+      Box below = current;
+      below.Constrain(d, Interval{-std::numeric_limits<double>::infinity(),
+                                  nd.lo, false, !nd.lo_strict});
+      if (SubtractNonEmpty(below, negated, i + 1, witness)) return true;
+    }
+    // Part above nd: x > nd.hi (or >= if nd.hi is strict).
+    {
+      Box above = current;
+      above.Constrain(d, Interval{nd.hi,
+                                  std::numeric_limits<double>::infinity(),
+                                  !nd.hi_strict, false});
+      if (SubtractNonEmpty(above, negated, i + 1, witness)) return true;
+    }
+    // Continue with the slab inside nd on dimension d.
+    current.Constrain(d, nd);
+    if (current.IsEmpty(domains_)) return false;
+  }
+  // `current` is now contained in n, hence removed entirely.
+  return false;
+}
+
+std::unique_ptr<SatChecker> MakeDefaultSatChecker(
+    std::vector<AttrDomain> domains) {
+  return std::make_unique<IntervalSatChecker>(std::move(domains));
+}
+
+}  // namespace pcx

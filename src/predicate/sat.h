@@ -1,0 +1,77 @@
+#ifndef PCX_PREDICATE_SAT_H_
+#define PCX_PREDICATE_SAT_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "predicate/box.h"
+
+namespace pcx {
+
+/// A cell expression (paper §4.1): the conjunction of a *positive* box
+/// (the intersection of the non-negated predicates, plus any query
+/// pushdown) and a list of *negated* boxes. A cell like
+/// ψ1 ∧ ¬ψ2 ∧ ψ3 is represented as positive = box(ψ1) ∩ box(ψ3),
+/// negated = {box(ψ2)}.
+struct CellExpr {
+  Box positive;
+  std::vector<Box> negated;
+};
+
+/// Decides satisfiability of cell expressions. The decomposition code
+/// talks to this interface; the default implementation is the exact
+/// interval checker below, and a Z3-backed implementation is available
+/// when the library is built with libz3 (see z3_sat.h).
+class SatChecker {
+ public:
+  virtual ~SatChecker() = default;
+
+  /// True iff some point over the attribute domains satisfies the cell.
+  virtual bool IsSatisfiable(const CellExpr& cell) = 0;
+
+  /// Like IsSatisfiable but also produces a witness point when SAT.
+  virtual std::optional<std::vector<double>> FindWitness(
+      const CellExpr& cell) = 0;
+
+  /// Number of satisfiability decisions made so far (Fig. 7 metric).
+  size_t num_calls() const { return num_calls_; }
+  void ResetStats() { num_calls_ = 0; }
+
+ protected:
+  size_t num_calls_ = 0;
+};
+
+/// Exact decision procedure for the paper's conjunctive range language:
+/// decides whether positive \ (neg_1 ∪ ... ∪ neg_k) is non-empty by
+/// recursive box subtraction, respecting integer attribute domains.
+/// Sound and complete for conjunctions of ranges/inequalities — the
+/// fragment the paper feeds to Z3 — without an SMT dependency.
+class IntervalSatChecker : public SatChecker {
+ public:
+  /// `domains[attr]` declares integer-valued attributes; attributes past
+  /// the end of the vector are treated as continuous.
+  explicit IntervalSatChecker(std::vector<AttrDomain> domains = {})
+      : domains_(std::move(domains)) {}
+
+  bool IsSatisfiable(const CellExpr& cell) override;
+  std::optional<std::vector<double>> FindWitness(const CellExpr& cell) override;
+
+  const std::vector<AttrDomain>& domains() const { return domains_; }
+
+ private:
+  /// Core recursion: is box \ union(negated[from..]) non-empty?
+  bool SubtractNonEmpty(const Box& box, const std::vector<Box>& negated,
+                        size_t from, std::vector<double>* witness);
+
+  std::vector<AttrDomain> domains_;
+};
+
+/// Creates the default checker for a given attribute-domain vector.
+std::unique_ptr<SatChecker> MakeDefaultSatChecker(
+    std::vector<AttrDomain> domains = {});
+
+}  // namespace pcx
+
+#endif  // PCX_PREDICATE_SAT_H_

@@ -1,0 +1,106 @@
+#include "predicate/z3_sat.h"
+
+#ifdef PCX_HAVE_Z3
+#include <z3++.h>
+#endif
+
+namespace pcx {
+
+#ifdef PCX_HAVE_Z3
+
+namespace {
+
+/// SatChecker that translates cell expressions into Z3 real/int
+/// arithmetic and asks the SMT solver, mirroring the paper's
+/// implementation strategy.
+class Z3SatChecker : public SatChecker {
+ public:
+  explicit Z3SatChecker(std::vector<AttrDomain> domains)
+      : domains_(std::move(domains)) {}
+
+  bool IsSatisfiable(const CellExpr& cell) override {
+    ++num_calls_;
+    z3::context ctx;
+    z3::solver solver(ctx);
+    std::vector<z3::expr> vars = MakeVars(ctx, cell.positive.num_attrs());
+    solver.add(BoxExpr(ctx, vars, cell.positive));
+    for (const Box& n : cell.negated) solver.add(!BoxExpr(ctx, vars, n));
+    return solver.check() == z3::sat;
+  }
+
+  std::optional<std::vector<double>> FindWitness(
+      const CellExpr& cell) override {
+    ++num_calls_;
+    z3::context ctx;
+    z3::solver solver(ctx);
+    std::vector<z3::expr> vars = MakeVars(ctx, cell.positive.num_attrs());
+    solver.add(BoxExpr(ctx, vars, cell.positive));
+    for (const Box& n : cell.negated) solver.add(!BoxExpr(ctx, vars, n));
+    if (solver.check() != z3::sat) return std::nullopt;
+    z3::model model = solver.get_model();
+    std::vector<double> out(vars.size(), 0.0);
+    for (size_t i = 0; i < vars.size(); ++i) {
+      const z3::expr v = model.eval(vars[i], /*model_completion=*/true);
+      double value = 0.0;
+      if (v.is_numeral()) {
+        value = std::stod(v.get_decimal_string(12));
+      }
+      out[i] = value;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<z3::expr> MakeVars(z3::context& ctx, size_t n) {
+    std::vector<z3::expr> vars;
+    vars.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const std::string name = "a" + std::to_string(i);
+      if (DomainOf(domains_, i) == AttrDomain::kInteger) {
+        vars.push_back(ctx.int_const(name.c_str()));
+      } else {
+        vars.push_back(ctx.real_const(name.c_str()));
+      }
+    }
+    return vars;
+  }
+
+  z3::expr BoxExpr(z3::context& ctx, const std::vector<z3::expr>& vars,
+                   const Box& box) {
+    z3::expr e = ctx.bool_val(true);
+    for (size_t d = 0; d < box.num_attrs(); ++d) {
+      const Interval& iv = box.dim(d);
+      if (iv.lo != -std::numeric_limits<double>::infinity()) {
+        z3::expr bound = ctx.real_val(std::to_string(iv.lo).c_str());
+        e = e && (iv.lo_strict ? vars[d] > bound : vars[d] >= bound);
+      }
+      if (iv.hi != std::numeric_limits<double>::infinity()) {
+        z3::expr bound = ctx.real_val(std::to_string(iv.hi).c_str());
+        e = e && (iv.hi_strict ? vars[d] < bound : vars[d] <= bound);
+      }
+    }
+    return e;
+  }
+
+  std::vector<AttrDomain> domains_;
+};
+
+}  // namespace
+
+std::unique_ptr<SatChecker> MakeZ3SatChecker(std::vector<AttrDomain> domains) {
+  return std::make_unique<Z3SatChecker>(std::move(domains));
+}
+
+bool Z3BackendAvailable() { return true; }
+
+#else  // !PCX_HAVE_Z3
+
+std::unique_ptr<SatChecker> MakeZ3SatChecker(std::vector<AttrDomain>) {
+  return nullptr;
+}
+
+bool Z3BackendAvailable() { return false; }
+
+#endif  // PCX_HAVE_Z3
+
+}  // namespace pcx

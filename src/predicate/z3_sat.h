@@ -1,0 +1,24 @@
+#ifndef PCX_PREDICATE_Z3_SAT_H_
+#define PCX_PREDICATE_Z3_SAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "predicate/sat.h"
+
+namespace pcx {
+
+/// Returns a Z3-backed SatChecker when the library was compiled with
+/// libz3 (PCX_HAVE_Z3), or nullptr otherwise. The paper's reference
+/// implementation uses Z3 [9] for cell satisfiability; pcx uses the
+/// exact IntervalSatChecker by default and offers this backend to
+/// cross-validate it (see tests/predicate/z3_cross_test if enabled).
+std::unique_ptr<SatChecker> MakeZ3SatChecker(
+    std::vector<AttrDomain> domains = {});
+
+/// True when MakeZ3SatChecker returns a real solver.
+bool Z3BackendAvailable();
+
+}  // namespace pcx
+
+#endif  // PCX_PREDICATE_Z3_SAT_H_

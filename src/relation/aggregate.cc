@@ -1,0 +1,89 @@
+#include "relation/aggregate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pcx {
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+AggregateResult Aggregate(const Table& table, AggFunc agg, size_t attr,
+                          const std::function<bool(size_t)>& filter) {
+  if (agg != AggFunc::kCount) {
+    PCX_CHECK(table.schema().IsValidColumn(attr));
+  }
+  AggregateResult out;
+  double sum = 0.0;
+  double mn = 0.0, mx = 0.0;
+  size_t n = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (filter && !filter(r)) continue;
+    const double v = agg == AggFunc::kCount ? 0.0 : table.At(r, attr);
+    if (n == 0) {
+      mn = mx = v;
+    } else {
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    sum += v;
+    ++n;
+  }
+  out.num_rows = n;
+  switch (agg) {
+    case AggFunc::kCount:
+      out.value = static_cast<double>(n);
+      break;
+    case AggFunc::kSum:
+      out.value = sum;
+      break;
+    case AggFunc::kAvg:
+      if (n == 0) {
+        out.empty_input = true;
+      } else {
+        out.value = sum / static_cast<double>(n);
+      }
+      break;
+    case AggFunc::kMin:
+      if (n == 0) {
+        out.empty_input = true;
+      } else {
+        out.value = mn;
+      }
+      break;
+    case AggFunc::kMax:
+      if (n == 0) {
+        out.empty_input = true;
+      } else {
+        out.value = mx;
+      }
+      break;
+  }
+  return out;
+}
+
+StatusOr<AggregateResult> Aggregate(const Table& table, AggFunc agg,
+                                    const std::string& attr,
+                                    const std::function<bool(size_t)>& filter) {
+  size_t col = 0;
+  if (agg != AggFunc::kCount) {
+    PCX_ASSIGN_OR_RETURN(col, table.schema().ColumnIndex(attr));
+  }
+  return Aggregate(table, agg, col, filter);
+}
+
+}  // namespace pcx

@@ -1,0 +1,40 @@
+#ifndef PCX_RELATION_AGGREGATE_H_
+#define PCX_RELATION_AGGREGATE_H_
+
+#include <functional>
+#include <string>
+
+#include "common/statusor.h"
+#include "relation/table.h"
+
+namespace pcx {
+
+/// Aggregate functions supported by the framework (paper §2).
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+/// Stable display name ("COUNT", "SUM", ...).
+const char* AggFuncToString(AggFunc f);
+
+/// Result of running an aggregate over a set of rows.
+struct AggregateResult {
+  double value = 0.0;   ///< aggregate value; 0 for empty COUNT/SUM
+  size_t num_rows = 0;  ///< number of rows that matched
+  /// True when the aggregate is undefined on the empty set (AVG/MIN/MAX
+  /// over zero rows). `value` is 0 in that case.
+  bool empty_input = false;
+};
+
+/// Computes `agg(attr)` over the rows of `table` for which `filter`
+/// returns true. `filter` may be null, meaning all rows. For kCount the
+/// attribute is ignored (COUNT(*)).
+AggregateResult Aggregate(const Table& table, AggFunc agg, size_t attr,
+                          const std::function<bool(size_t)>& filter = nullptr);
+
+/// Convenience overload resolving the attribute by name.
+StatusOr<AggregateResult> Aggregate(
+    const Table& table, AggFunc agg, const std::string& attr,
+    const std::function<bool(size_t)>& filter = nullptr);
+
+}  // namespace pcx
+
+#endif  // PCX_RELATION_AGGREGATE_H_

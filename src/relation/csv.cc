@@ -1,0 +1,139 @@
+#include "relation/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace pcx {
+namespace {
+
+/// Splits one CSV record; supports double-quoted fields with embedded
+/// commas and doubled quotes.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      out.push_back(field);
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  out.push_back(field);
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Table> ReadCsv(std::istream& in, Schema schema) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  const std::vector<std::string> header = SplitCsvLine(line);
+  // Map each schema column to its CSV position.
+  std::vector<int> csv_pos(schema.num_columns(), -1);
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    for (size_t h = 0; h < header.size(); ++h) {
+      if (header[h] == schema.column(c).name) {
+        csv_pos[c] = static_cast<int>(h);
+        break;
+      }
+    }
+    if (csv_pos[c] < 0) {
+      return Status::InvalidArgument("CSV is missing column '" +
+                                     schema.column(c).name + "'");
+    }
+  }
+
+  Table table(std::move(schema));
+  std::vector<double> row(table.num_columns());
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const size_t pos = static_cast<size_t>(csv_pos[c]);
+      if (pos >= fields.size()) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": too few fields");
+      }
+      const std::string& field = fields[pos];
+      if (table.schema().column(c).type == ColumnType::kCategorical) {
+        row[c] = table.mutable_schema()->InternLabel(c, field);
+      } else {
+        char* end = nullptr;
+        row[c] = std::strtod(field.c_str(), &end);
+        if (end == field.c_str()) {
+          return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                         ": bad number '" + field + "'");
+        }
+      }
+    }
+    table.AppendRow(row);
+  }
+  return table;
+}
+
+StatusOr<Table> ReadCsvFile(const std::string& path, Schema schema) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  return ReadCsv(in, std::move(schema));
+}
+
+Status WriteCsv(const Table& table, std::ostream& out) {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << ",";
+    out << table.schema().column(c).name;
+  }
+  out << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << ",";
+      if (table.schema().column(c).type == ColumnType::kCategorical) {
+        auto label = table.schema().LabelForCode(c, table.At(r, c));
+        if (!label.ok()) return label.status();
+        // Quote labels containing commas or quotes.
+        if (label->find(',') != std::string::npos ||
+            label->find('"') != std::string::npos) {
+          std::string escaped = "\"";
+          for (char ch : *label) {
+            if (ch == '"') escaped += '"';
+            escaped += ch;
+          }
+          escaped += '"';
+          out << escaped;
+        } else {
+          out << *label;
+        }
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", table.At(r, c));
+        out << buf;
+      }
+    }
+    out << "\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace pcx

@@ -1,0 +1,31 @@
+#ifndef PCX_RELATION_CSV_H_
+#define PCX_RELATION_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/statusor.h"
+#include "relation/table.h"
+
+namespace pcx {
+
+/// CSV ingestion so the experiments can run against the *real* paper
+/// datasets when available (Intel lab data, Airbnb NYC, BTS border
+/// crossings) instead of the bundled synthetic stand-ins.
+///
+/// The first line must be a header naming the columns of `schema` (a
+/// subset, in any order); unknown columns are ignored. Numeric columns
+/// parse as doubles; categorical columns are interned into the schema's
+/// dictionary. Rows with unparsable numerics are rejected.
+StatusOr<Table> ReadCsv(std::istream& in, Schema schema);
+
+/// File-path convenience wrapper.
+StatusOr<Table> ReadCsvFile(const std::string& path, Schema schema);
+
+/// Writes `table` as CSV with a header row; categorical codes are
+/// emitted as their dictionary labels.
+Status WriteCsv(const Table& table, std::ostream& out);
+
+}  // namespace pcx
+
+#endif  // PCX_RELATION_CSV_H_

@@ -1,0 +1,114 @@
+#include "relation/join.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace pcx {
+
+StatusOr<Table> HashJoin(const Table& left, size_t left_col,
+                         const Table& right, size_t right_col) {
+  if (!left.schema().IsValidColumn(left_col) ||
+      !right.schema().IsValidColumn(right_col)) {
+    return Status::InvalidArgument("join column out of range");
+  }
+  // Output schema: all left columns then all right columns.
+  std::vector<ColumnSpec> specs;
+  for (const auto& c : left.schema().columns()) specs.push_back(c);
+  for (const auto& c : right.schema().columns()) {
+    ColumnSpec s = c;
+    auto taken = [&specs](const std::string& name) {
+      for (const auto& spec : specs) {
+        if (spec.name == name) return true;
+      }
+      return false;
+    };
+    while (taken(s.name)) s.name += "_r";
+    specs.push_back(s);
+  }
+  Table out((Schema(std::move(specs))));
+
+  // Build side: right table.
+  std::unordered_multimap<double, size_t> build;
+  build.reserve(right.num_rows());
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    build.emplace(right.At(r, right_col), r);
+  }
+  std::vector<double> row(out.num_columns());
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    const double key = left.At(l, left_col);
+    auto [lo, hi] = build.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      size_t k = 0;
+      for (size_t c = 0; c < left.num_columns(); ++c) row[k++] = left.At(l, c);
+      for (size_t c = 0; c < right.num_columns(); ++c) {
+        row[k++] = right.At(it->second, c);
+      }
+      out.AppendRow(row);
+    }
+  }
+  return out;
+}
+
+StatusOr<double> ChainJoinCount(const std::vector<const Table*>& tables) {
+  if (tables.empty()) return Status::InvalidArgument("empty chain");
+  for (const Table* t : tables) {
+    if (t->num_columns() < 2) {
+      return Status::InvalidArgument("chain tables need >= 2 columns");
+    }
+  }
+  // weight[v] = number of partial join paths ending with join value v.
+  std::unordered_map<double, double> weight;
+  for (size_t r = 0; r < tables[0]->num_rows(); ++r) {
+    weight[tables[0]->At(r, 1)] += 1.0;
+  }
+  for (size_t i = 1; i < tables.size(); ++i) {
+    std::unordered_map<double, double> next;
+    const Table& t = *tables[i];
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      auto it = weight.find(t.At(r, 0));
+      if (it != weight.end()) next[t.At(r, 1)] += it->second;
+    }
+    weight = std::move(next);
+  }
+  double total = 0.0;
+  for (const auto& [v, w] : weight) total += w;
+  return total;
+}
+
+StatusOr<double> TriangleCount(const Table& r, const Table& s,
+                               const Table& t) {
+  for (const Table* tab : {&r, &s, &t}) {
+    if (tab->num_columns() < 2) {
+      return Status::InvalidArgument("edge tables need >= 2 columns");
+    }
+  }
+  // Index S by b and T by (c, a).
+  std::unordered_multimap<double, double> s_by_b;  // b -> c
+  for (size_t i = 0; i < s.num_rows(); ++i) {
+    s_by_b.emplace(s.At(i, 0), s.At(i, 1));
+  }
+  auto key = [](double c, double a) {
+    // Combine two doubles into a hashable key; exact as long as values
+    // are small integers (which our edge generators guarantee).
+    return std::to_string(c) + "|" + std::to_string(a);
+  };
+  std::unordered_map<std::string, double> t_count;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    t_count[key(t.At(i, 0), t.At(i, 1))] += 1.0;
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    const double a = r.At(i, 0);
+    const double b = r.At(i, 1);
+    auto [lo, hi] = s_by_b.equal_range(b);
+    for (auto it = lo; it != hi; ++it) {
+      const double c = it->second;
+      auto found = t_count.find(key(c, a));
+      if (found != t_count.end()) total += found->second;
+    }
+  }
+  return total;
+}
+
+}  // namespace pcx

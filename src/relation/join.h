@@ -1,0 +1,33 @@
+#ifndef PCX_RELATION_JOIN_H_
+#define PCX_RELATION_JOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "relation/table.h"
+
+namespace pcx {
+
+/// Hash equi-join of two tables on one column each. Output schema is the
+/// concatenation of both schemas (right join column retained, its name
+/// suffixed with "_r" on collision). Used for ground truth in the join
+/// experiments; correctness matters more than speed here.
+StatusOr<Table> HashJoin(const Table& left, size_t left_col,
+                         const Table& right, size_t right_col);
+
+/// Counts the natural-join cardinality |R1 ⋈ R2 ⋈ ... ⋈ Rk| of a chain
+/// R1(x1,x2), R2(x2,x3), ..., joining column 1 of each table to column 0
+/// of the next. Uses dynamic programming over join-key multiplicities so
+/// the (possibly huge) output is never materialized.
+StatusOr<double> ChainJoinCount(const std::vector<const Table*>& tables);
+
+/// Counts directed triangles |R(a,b) ⋈ S(b,c) ⋈ T(c,a)| where each table
+/// has two columns (src, dst).
+StatusOr<double> TriangleCount(const Table& r, const Table& s,
+                               const Table& t);
+
+}  // namespace pcx
+
+#endif  // PCX_RELATION_JOIN_H_

@@ -1,0 +1,60 @@
+#include "relation/schema.h"
+
+#include "common/check.h"
+
+namespace pcx {
+
+Schema::Schema(std::vector<ColumnSpec> columns) : columns_(std::move(columns)) {
+  dicts_.resize(columns_.size());
+  labels_.resize(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    by_name_[columns_[i].name] = i;
+  }
+  PCX_CHECK_EQ(by_name_.size(), columns_.size())
+      << "duplicate column names in schema";
+}
+
+StatusOr<size_t> Schema::ColumnIndex(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no column named '" + name + "'");
+  }
+  return it->second;
+}
+
+double Schema::InternLabel(size_t col, const std::string& label) {
+  PCX_CHECK(IsValidColumn(col));
+  PCX_CHECK(columns_[col].type == ColumnType::kCategorical)
+      << "InternLabel on non-categorical column " << columns_[col].name;
+  auto [it, inserted] =
+      dicts_[col].emplace(label, static_cast<double>(labels_[col].size()));
+  if (inserted) labels_[col].push_back(label);
+  return it->second;
+}
+
+StatusOr<double> Schema::LabelCode(size_t col, const std::string& label) const {
+  PCX_CHECK(IsValidColumn(col));
+  auto it = dicts_[col].find(label);
+  if (it == dicts_[col].end()) {
+    return Status::NotFound("label '" + label + "' not in dictionary of " +
+                            columns_[col].name);
+  }
+  return it->second;
+}
+
+StatusOr<std::string> Schema::LabelForCode(size_t col, double code) const {
+  PCX_CHECK(IsValidColumn(col));
+  const auto idx = static_cast<size_t>(code);
+  if (idx >= labels_[col].size()) {
+    return Status::NotFound("code out of range for column " +
+                            columns_[col].name);
+  }
+  return labels_[col][idx];
+}
+
+size_t Schema::DictionarySize(size_t col) const {
+  PCX_CHECK(IsValidColumn(col));
+  return labels_[col].size();
+}
+
+}  // namespace pcx

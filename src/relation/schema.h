@@ -1,0 +1,68 @@
+#ifndef PCX_RELATION_SCHEMA_H_
+#define PCX_RELATION_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace pcx {
+
+/// Column types supported by the engine. All cell payloads are stored as
+/// doubles; categorical columns store a dictionary code whose string is
+/// kept in the schema-level dictionary.
+enum class ColumnType {
+  kDouble,       ///< numeric attribute (aggregatable)
+  kCategorical,  ///< dictionary-encoded string attribute
+};
+
+/// Describes one column of a relation.
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kDouble;
+};
+
+/// Immutable-after-construction description of a relation's columns plus
+/// the dictionaries of its categorical columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnSpec& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  /// Index of the column with the given name.
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+
+  /// True if `i` is a valid column index.
+  bool IsValidColumn(size_t i) const { return i < columns_.size(); }
+
+  /// Interns `label` in the dictionary of categorical column `col` and
+  /// returns its code. Codes are dense, starting at 0.
+  double InternLabel(size_t col, const std::string& label);
+
+  /// Returns the code for `label` if already interned.
+  StatusOr<double> LabelCode(size_t col, const std::string& label) const;
+
+  /// Returns the label for a code in categorical column `col`.
+  StatusOr<std::string> LabelForCode(size_t col, double code) const;
+
+  /// Number of distinct labels interned for column `col`.
+  size_t DictionarySize(size_t col) const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+  std::unordered_map<std::string, size_t> by_name_;
+  // One dictionary per column (empty for kDouble columns).
+  std::vector<std::unordered_map<std::string, double>> dicts_;
+  std::vector<std::vector<std::string>> labels_;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_RELATION_SCHEMA_H_

@@ -1,0 +1,86 @@
+#include "relation/table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pcx {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_columns());
+}
+
+void Table::AppendRow(const std::vector<double>& values) {
+  PCX_CHECK_EQ(values.size(), schema_.num_columns());
+  for (size_t c = 0; c < values.size(); ++c) columns_[c].push_back(values[c]);
+  ++num_rows_;
+}
+
+double Table::At(size_t row, size_t col) const {
+  PCX_DCHECK(row < num_rows_);
+  PCX_DCHECK(col < columns_.size());
+  return columns_[col][row];
+}
+
+std::span<const double> Table::Column(size_t col) const {
+  PCX_CHECK(col < columns_.size());
+  return std::span<const double>(columns_[col].data(), num_rows_);
+}
+
+std::vector<double> Table::Row(size_t row) const {
+  PCX_CHECK(row < num_rows_);
+  std::vector<double> out(num_columns());
+  for (size_t c = 0; c < out.size(); ++c) out[c] = columns_[c][row];
+  return out;
+}
+
+Table Table::Filter(const std::function<bool(size_t)>& keep) const {
+  Table out(schema_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (keep(r)) {
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        out.columns_[c].push_back(columns_[c][r]);
+      }
+      ++out.num_rows_;
+    }
+  }
+  return out;
+}
+
+Table Table::Select(const std::vector<size_t>& rows) const {
+  Table out(schema_);
+  for (size_t r : rows) {
+    PCX_CHECK(r < num_rows_);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      out.columns_[c].push_back(columns_[c][r]);
+    }
+    ++out.num_rows_;
+  }
+  return out;
+}
+
+std::pair<Table, Table> Table::Partition(
+    const std::function<bool(size_t)>& keep) const {
+  Table kept(schema_);
+  Table dropped(schema_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    Table& dst = keep(r) ? kept : dropped;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      dst.columns_[c].push_back(columns_[c][r]);
+    }
+    ++dst.num_rows_;
+  }
+  return {std::move(kept), std::move(dropped)};
+}
+
+StatusOr<std::pair<double, double>> Table::ColumnRange(size_t col) const {
+  PCX_CHECK(col < columns_.size());
+  if (num_rows_ == 0) {
+    return Status::FailedPrecondition("ColumnRange on empty table");
+  }
+  const auto [mn, mx] =
+      std::minmax_element(columns_[col].begin(), columns_[col].end());
+  return std::make_pair(*mn, *mx);
+}
+
+}  // namespace pcx

@@ -1,0 +1,61 @@
+#ifndef PCX_RELATION_TABLE_H_
+#define PCX_RELATION_TABLE_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/statusor.h"
+#include "relation/schema.h"
+
+namespace pcx {
+
+/// Column-oriented in-memory table. Rows are append-only; each column is
+/// a contiguous vector of doubles (categorical columns hold dictionary
+/// codes). This is the substrate used to compute ground-truth aggregates
+/// in every experiment.
+class Table {
+ public:
+  /// Empty table over an empty schema.
+  Table() : Table(Schema()) {}
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return schema_.num_columns(); }
+
+  /// Appends one row; `values` must have one entry per column.
+  void AppendRow(const std::vector<double>& values);
+
+  /// Cell accessor.
+  double At(size_t row, size_t col) const;
+
+  /// Whole-column view.
+  std::span<const double> Column(size_t col) const;
+
+  /// Materializes one row (one value per column).
+  std::vector<double> Row(size_t row) const;
+
+  /// Returns a new table containing the rows for which `keep(row)` holds.
+  Table Filter(const std::function<bool(size_t)>& keep) const;
+
+  /// Returns a new table with exactly the rows whose indices are given.
+  Table Select(const std::vector<size_t>& rows) const;
+
+  /// Splits into (kept, dropped) by a per-row predicate.
+  std::pair<Table, Table> Partition(
+      const std::function<bool(size_t)>& keep) const;
+
+  /// Column min/max over all rows; error if the table is empty.
+  StatusOr<std::pair<double, double>> ColumnRange(size_t col) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<double>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_RELATION_TABLE_H_

@@ -1,0 +1,157 @@
+#include "solver/milp.h"
+
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pcx {
+namespace {
+
+struct Node {
+  // Variable bound overrides relative to the root model.
+  std::vector<std::pair<size_t, std::pair<double, double>>> bounds;
+  double lp_bound = 0.0;  // objective of the parent relaxation
+};
+
+/// Priority: explore the most promising bound first.
+struct NodeOrder {
+  bool maximize;
+  bool operator()(const Node& a, const Node& b) const {
+    return maximize ? a.lp_bound < b.lp_bound : a.lp_bound > b.lp_bound;
+  }
+};
+
+/// Most-fractional branching variable, or SIZE_MAX if integral.
+size_t PickBranchVariable(const LpModel& model, const std::vector<double>& x,
+                          double int_tol) {
+  size_t best = SIZE_MAX;
+  double best_frac_dist = int_tol;
+  for (size_t i = 0; i < model.num_variables(); ++i) {
+    if (!model.integer()[i]) continue;
+    const double frac = x[i] - std::floor(x[i]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_frac_dist) {
+      best_frac_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Solution BranchAndBoundSolver::Solve(const LpModel& model) const {
+  last_num_nodes_ = 0;
+  if (!model.has_integers()) return lp_solver_.Solve(model);
+
+  const bool maximize = model.sense() == OptSense::kMaximize;
+  LpModel work = model;
+
+  Solution incumbent;
+  incumbent.status = SolveStatus::kInfeasible;
+  double incumbent_obj =
+      maximize ? -std::numeric_limits<double>::infinity()
+               : std::numeric_limits<double>::infinity();
+  auto better = [&](double a, double b) {
+    return maximize ? a > b : a < b;
+  };
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open(
+      NodeOrder{maximize});
+  open.push(Node{{},
+                 maximize ? std::numeric_limits<double>::infinity()
+                          : -std::numeric_limits<double>::infinity()});
+
+  bool hit_limit = false;
+  while (!open.empty()) {
+    if (last_num_nodes_ >= options_.max_nodes) {
+      hit_limit = true;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    ++last_num_nodes_;
+
+    // Bound-based pruning against the incumbent.
+    if (incumbent.status == SolveStatus::kOptimal &&
+        !better(node.lp_bound,
+                incumbent_obj + (maximize ? options_.gap_tol
+                                          : -options_.gap_tol))) {
+      continue;
+    }
+
+    // Apply the node's variable bounds on top of the root bounds.
+    for (size_t i = 0; i < work.num_variables(); ++i) {
+      work.SetVariableBounds(i, model.var_lo()[i], model.var_hi()[i]);
+    }
+    bool bounds_ok = true;
+    for (const auto& [v, lh] : node.bounds) {
+      const double lo = std::max(work.var_lo()[v], lh.first);
+      const double hi = std::min(work.var_hi()[v], lh.second);
+      if (lo > hi) {
+        bounds_ok = false;
+        break;
+      }
+      work.SetVariableBounds(v, lo, hi);
+    }
+    if (!bounds_ok) continue;
+
+    const Solution relax = lp_solver_.Solve(work);
+    if (relax.status == SolveStatus::kInfeasible) continue;
+    if (relax.status == SolveStatus::kUnbounded) {
+      // An unbounded relaxation at the root means the MILP is unbounded
+      // too (our feasible cones contain integer rays).
+      Solution out;
+      out.status = SolveStatus::kUnbounded;
+      return out;
+    }
+    if (relax.status == SolveStatus::kIterationLimit) {
+      hit_limit = true;
+      continue;
+    }
+    if (incumbent.status == SolveStatus::kOptimal &&
+        !better(relax.objective, incumbent_obj)) {
+      continue;  // dominated
+    }
+
+    const size_t branch_var =
+        PickBranchVariable(model, relax.x, options_.int_tol);
+    if (branch_var == SIZE_MAX) {
+      // Integral: round off tolerance noise and accept as incumbent.
+      Solution cand = relax;
+      for (size_t i = 0; i < model.num_variables(); ++i) {
+        if (model.integer()[i]) cand.x[i] = std::round(cand.x[i]);
+      }
+      if (incumbent.status != SolveStatus::kOptimal ||
+          better(cand.objective, incumbent_obj)) {
+        incumbent = cand;
+        incumbent_obj = cand.objective;
+      }
+      continue;
+    }
+
+    const double v = relax.x[branch_var];
+    Node down = node;
+    down.lp_bound = relax.objective;
+    down.bounds.push_back(
+        {branch_var,
+         {-std::numeric_limits<double>::infinity(), std::floor(v)}});
+    Node up = node;
+    up.lp_bound = relax.objective;
+    up.bounds.push_back(
+        {branch_var,
+         {std::ceil(v), std::numeric_limits<double>::infinity()}});
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  if (incumbent.status == SolveStatus::kOptimal) return incumbent;
+  Solution out;
+  out.status = hit_limit ? SolveStatus::kIterationLimit
+                         : SolveStatus::kInfeasible;
+  return out;
+}
+
+}  // namespace pcx

@@ -1,0 +1,46 @@
+#ifndef PCX_SOLVER_MILP_H_
+#define PCX_SOLVER_MILP_H_
+
+#include <cstddef>
+
+#include "solver/lp_model.h"
+#include "solver/simplex.h"
+
+namespace pcx {
+
+/// Best-first branch-and-bound MILP solver built on SimplexSolver.
+/// Solves the mixed-integer programs of paper §4.2: maximize U'X subject
+/// to ranged cardinality rows, X integer. The constraint matrices there
+/// are 0/1 "interval" matrices, so LP relaxations are frequently
+/// integral and the search tree stays tiny; nonetheless the solver is a
+/// complete general-purpose MILP engine with node/iteration caps.
+class BranchAndBoundSolver {
+ public:
+  struct Options {
+    SimplexSolver::Options lp;
+    size_t max_nodes = 100000;  ///< search-node budget
+    double int_tol = 1e-6;      ///< integrality tolerance
+    /// Relative gap at which a node is pruned against the incumbent.
+    double gap_tol = 1e-9;
+  };
+
+  BranchAndBoundSolver() : BranchAndBoundSolver(Options{}) {}
+  explicit BranchAndBoundSolver(Options options)
+      : options_(options), lp_solver_(options.lp) {}
+
+  /// Solves `model` honoring its integrality flags. If no variable is
+  /// integral this is a single LP solve.
+  Solution Solve(const LpModel& model) const;
+
+  /// Number of branch-and-bound nodes explored in the last Solve call.
+  size_t last_num_nodes() const { return last_num_nodes_; }
+
+ private:
+  Options options_;
+  SimplexSolver lp_solver_;
+  mutable size_t last_num_nodes_ = 0;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_SOLVER_MILP_H_

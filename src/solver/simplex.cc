@@ -1,0 +1,296 @@
+#include "solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pcx {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One normalized row a'y (cmp) rhs with cmp in {<=, >=, ==}.
+enum class RowType { kLe, kGe, kEq };
+
+struct Row {
+  std::vector<double> a;  // dense coefficients over the shifted variables
+  double b = 0.0;
+  RowType type = RowType::kLe;
+};
+
+/// Full-tableau simplex working state.
+struct Tableau {
+  // rows x cols coefficient matrix; col layout: structural vars,
+  // slack/surplus vars, artificial vars.
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;       // rhs per row, kept >= 0
+  std::vector<double> obj;     // reduced-cost row
+  double obj_value = 0.0;      // objective of current basis
+  std::vector<size_t> basis;   // basic variable per row
+  size_t num_structural = 0;
+  size_t first_artificial = 0;  // columns >= this are artificial
+  size_t num_cols = 0;
+};
+
+void Pivot(Tableau* t, size_t row, size_t col) {
+  const double p = t->a[row][col];
+  PCX_DCHECK(std::fabs(p) > 1e-12);
+  const double inv = 1.0 / p;
+  for (double& v : t->a[row]) v *= inv;
+  t->b[row] *= inv;
+  for (size_t r = 0; r < t->a.size(); ++r) {
+    if (r == row) continue;
+    const double f = t->a[r][col];
+    if (f == 0.0) continue;
+    for (size_t c = 0; c < t->num_cols; ++c) t->a[r][c] -= f * t->a[row][c];
+    t->a[r][col] = 0.0;  // avoid drift
+    t->b[r] -= f * t->b[row];
+    if (t->b[r] < 0.0 && t->b[r] > -1e-11) t->b[r] = 0.0;
+  }
+  const double f = t->obj[col];
+  if (f != 0.0) {
+    for (size_t c = 0; c < t->num_cols; ++c) t->obj[c] -= f * t->a[row][c];
+    t->obj[col] = 0.0;
+    t->obj_value -= f * t->b[row];
+  }
+  t->basis[row] = col;
+}
+
+/// Runs simplex iterations maximizing the current objective row.
+/// `allow_col` masks columns that may enter the basis.
+SolveStatus Iterate(Tableau* t, const std::vector<bool>& allow_col,
+                    const SimplexSolver::Options& opts) {
+  const size_t bland_threshold =
+      static_cast<size_t>(opts.max_iterations) / 2;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    // Entering column: most positive reduced cost (Dantzig), switching
+    // to Bland's rule (lowest index) if we run long enough that cycling
+    // is conceivable.
+    size_t enter = t->num_cols;
+    const bool bland = static_cast<size_t>(iter) > bland_threshold;
+    double best = opts.eps;
+    for (size_t c = 0; c < t->num_cols; ++c) {
+      if (!allow_col[c]) continue;
+      if (t->obj[c] > best) {
+        enter = c;
+        if (bland) break;
+        best = t->obj[c];
+      }
+    }
+    if (enter == t->num_cols) return SolveStatus::kOptimal;
+
+    // Leaving row: min ratio test; Bland tie-break on basis index.
+    size_t leave = t->a.size();
+    double best_ratio = kInf;
+    for (size_t r = 0; r < t->a.size(); ++r) {
+      const double coef = t->a[r][enter];
+      if (coef > opts.eps) {
+        const double ratio = t->b[r] / coef;
+        if (ratio < best_ratio - opts.eps ||
+            (ratio < best_ratio + opts.eps && leave != t->a.size() &&
+             t->basis[r] < t->basis[leave])) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == t->a.size()) return SolveStatus::kUnbounded;
+    Pivot(t, leave, enter);
+  }
+  return SolveStatus::kIterationLimit;
+}
+
+}  // namespace
+
+Solution SimplexSolver::Solve(const LpModel& model) const {
+  const size_t n = model.num_variables();
+  const bool maximize = model.sense() == OptSense::kMaximize;
+
+  // Shift variables so that y_i = x_i - lo_i >= 0.
+  std::vector<double> shift(n);
+  for (size_t i = 0; i < n; ++i) {
+    PCX_CHECK(model.var_lo()[i] > -kInf)
+        << "SimplexSolver requires finite variable lower bounds";
+    shift[i] = model.var_lo()[i];
+  }
+
+  // Objective over shifted variables (constant folded back at the end).
+  std::vector<double> c(n);
+  double c0 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    c[i] = maximize ? model.objective()[i] : -model.objective()[i];
+    c0 += c[i] * shift[i];
+  }
+
+  // Collect normalized rows.
+  std::vector<Row> rows;
+  for (const auto& cons : model.constraints()) {
+    std::vector<double> a(n, 0.0);
+    double base = 0.0;
+    for (const auto& [v, coef] : cons.terms) {
+      a[v] += coef;
+      base += coef * shift[v];
+    }
+    if (cons.lo == cons.hi) {
+      rows.push_back({a, cons.lo - base, RowType::kEq});
+      continue;
+    }
+    if (cons.hi < kInf) rows.push_back({a, cons.hi - base, RowType::kLe});
+    if (cons.lo > -kInf) rows.push_back({a, cons.lo - base, RowType::kGe});
+  }
+  // Finite upper bounds become rows (lower bounds are the shift).
+  for (size_t i = 0; i < n; ++i) {
+    if (model.var_hi()[i] < kInf) {
+      std::vector<double> a(n, 0.0);
+      a[i] = 1.0;
+      rows.push_back({a, model.var_hi()[i] - shift[i], RowType::kLe});
+    }
+  }
+
+  const size_t m = rows.size();
+  // Column layout: n structural + m slack/surplus (at most one per row)
+  // + up to m artificials.
+  Tableau t;
+  t.num_structural = n;
+  size_t num_slack = 0;
+  for (const Row& r : rows) {
+    if (r.type != RowType::kEq) ++num_slack;
+  }
+  t.first_artificial = n + num_slack;
+  t.num_cols = t.first_artificial;  // artificials appended below
+  t.a.assign(m, std::vector<double>(n + num_slack, 0.0));
+  t.b.assign(m, 0.0);
+  t.basis.assign(m, SIZE_MAX);
+
+  size_t slack_idx = n;
+  std::vector<size_t> needs_artificial;
+  for (size_t r = 0; r < m; ++r) {
+    Row row = rows[r];
+    double sign = 1.0;
+    if (row.b < 0.0) {  // normalize rhs >= 0
+      sign = -1.0;
+      row.b = -row.b;
+      for (double& v : row.a) v = -v;
+      if (row.type == RowType::kLe) {
+        row.type = RowType::kGe;
+      } else if (row.type == RowType::kGe) {
+        row.type = RowType::kLe;
+      }
+    }
+    (void)sign;
+    for (size_t ccol = 0; ccol < n; ++ccol) t.a[r][ccol] = row.a[ccol];
+    t.b[r] = row.b;
+    if (row.type == RowType::kLe) {
+      t.a[r][slack_idx] = 1.0;
+      t.basis[r] = slack_idx;  // slack starts basic
+      ++slack_idx;
+    } else if (row.type == RowType::kGe) {
+      t.a[r][slack_idx] = -1.0;  // surplus
+      ++slack_idx;
+      needs_artificial.push_back(r);
+    } else {
+      needs_artificial.push_back(r);
+    }
+  }
+  PCX_CHECK_EQ(slack_idx, n + num_slack);
+
+  // Append artificial columns.
+  const size_t num_art = needs_artificial.size();
+  t.num_cols = t.first_artificial + num_art;
+  for (auto& arow : t.a) arow.resize(t.num_cols, 0.0);
+  for (size_t k = 0; k < num_art; ++k) {
+    const size_t r = needs_artificial[k];
+    const size_t col = t.first_artificial + k;
+    t.a[r][col] = 1.0;
+    t.basis[r] = col;
+  }
+
+  std::vector<bool> allow(t.num_cols, true);
+
+  Solution out;
+  // ---- Phase 1: maximize -sum(artificials). ----
+  if (num_art > 0) {
+    t.obj.assign(t.num_cols, 0.0);
+    t.obj_value = 0.0;
+    for (size_t k = 0; k < num_art; ++k) t.obj[t.first_artificial + k] = -1.0;
+    // Canonicalize: basis columns must have zero reduced cost.
+    for (size_t r = 0; r < m; ++r) {
+      const size_t bcol = t.basis[r];
+      const double f = t.obj[bcol];
+      if (f != 0.0) {
+        for (size_t cc = 0; cc < t.num_cols; ++cc) t.obj[cc] -= f * t.a[r][cc];
+        t.obj[bcol] = 0.0;
+        t.obj_value -= f * t.b[r];
+      }
+    }
+    const SolveStatus p1 = Iterate(&t, allow, options_);
+    if (p1 == SolveStatus::kIterationLimit) {
+      out.status = SolveStatus::kIterationLimit;
+      return out;
+    }
+    // Current phase-1 objective (max of -sum(artificials)) is
+    // -obj_value; it must be ~0 for feasibility.
+    if (t.obj_value > options_.feas_tol) {
+      out.status = SolveStatus::kInfeasible;
+      return out;
+    }
+    // Pivot any artificial still in the basis out (value must be ~0).
+    for (size_t r = 0; r < m; ++r) {
+      if (t.basis[r] >= t.first_artificial) {
+        size_t enter = t.num_cols;
+        for (size_t cc = 0; cc < t.first_artificial; ++cc) {
+          if (std::fabs(t.a[r][cc]) > options_.eps) {
+            enter = cc;
+            break;
+          }
+        }
+        if (enter != t.num_cols) Pivot(&t, r, enter);
+        // else: redundant row; the artificial stays basic at value 0 and
+        // is barred from increasing because its column can't re-enter.
+      }
+    }
+    for (size_t k = 0; k < num_art; ++k) {
+      allow[t.first_artificial + k] = false;
+    }
+  }
+
+  // ---- Phase 2: maximize the real objective. ----
+  t.obj.assign(t.num_cols, 0.0);
+  for (size_t i = 0; i < n; ++i) t.obj[i] = c[i];
+  t.obj_value = 0.0;
+  for (size_t r = 0; r < m; ++r) {
+    const size_t bcol = t.basis[r];
+    const double f = t.obj[bcol];
+    if (f != 0.0) {
+      for (size_t cc = 0; cc < t.num_cols; ++cc) t.obj[cc] -= f * t.a[r][cc];
+      t.obj[bcol] = 0.0;
+      t.obj_value -= f * t.b[r];
+    }
+  }
+  const SolveStatus p2 = Iterate(&t, allow, options_);
+  if (p2 == SolveStatus::kUnbounded) {
+    out.status = SolveStatus::kUnbounded;
+    return out;
+  }
+  if (p2 == SolveStatus::kIterationLimit) {
+    out.status = SolveStatus::kIterationLimit;
+    return out;
+  }
+
+  out.status = SolveStatus::kOptimal;
+  out.x.assign(n, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    if (t.basis[r] < n) out.x[t.basis[r]] = t.b[r];
+  }
+  for (size_t i = 0; i < n; ++i) out.x[i] += shift[i];
+  // -obj_value is z in canonical form bookkeeping: after canonicalizing,
+  // obj_value accumulated -(c_B' b). The optimum of the shifted problem
+  // is -obj_value; undo the shift constant and the minimize negation.
+  double z = -t.obj_value + c0;
+  out.objective = maximize ? z : -z;
+  return out;
+}
+
+}  // namespace pcx

@@ -1,0 +1,42 @@
+#ifndef PCX_SOLVER_SIMPLEX_H_
+#define PCX_SOLVER_SIMPLEX_H_
+
+#include "solver/lp_model.h"
+
+namespace pcx {
+
+/// Dense two-phase primal simplex solver, written from scratch (the
+/// paper assumes an off-the-shelf LP/MILP solver; none is available in
+/// this environment, so the solver is part of the reproduction).
+///
+/// Scope: the LPs produced by pcx are small and dense — one variable per
+/// decomposition cell or per joined relation, one ranged row per
+/// predicate-constraint — so a full-tableau implementation with Bland's
+/// anti-cycling rule is entirely adequate. Integer variables are ignored
+/// here (the relaxation is solved); see BranchAndBoundSolver for MILP.
+///
+/// Requirements: every variable must have a finite lower bound (pcx
+/// models always use 0).
+class SimplexSolver {
+ public:
+  struct Options {
+    int max_iterations = 200000;
+    double eps = 1e-9;         ///< pivot / reduced-cost tolerance
+    double feas_tol = 1e-7;    ///< phase-1 feasibility tolerance
+  };
+
+  SimplexSolver() : options_(Options{}) {}
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  /// Solves the continuous relaxation of `model`.
+  Solution Solve(const LpModel& model) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_SOLVER_SIMPLEX_H_

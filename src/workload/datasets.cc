@@ -1,0 +1,218 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace pcx {
+namespace workload {
+
+Table MakeIntelWireless(const IntelWirelessOptions& options) {
+  Schema schema({{"device_id", ColumnType::kDouble},
+                 {"time", ColumnType::kDouble},
+                 {"light", ColumnType::kDouble},
+                 {"temperature", ColumnType::kDouble},
+                 {"humidity", ColumnType::kDouble},
+                 {"voltage", ColumnType::kDouble}});
+  Table table(std::move(schema));
+  Rng rng(options.seed);
+
+  // Per-device baselines: some sensors sit near windows (bright, hot).
+  std::vector<double> light_offset(options.num_devices);
+  std::vector<double> temp_offset(options.num_devices);
+  for (size_t d = 0; d < options.num_devices; ++d) {
+    light_offset[d] = rng.Uniform(0.0, 300.0);
+    temp_offset[d] = rng.Uniform(-2.0, 4.0);
+  }
+
+  for (size_t e = 0; e < options.num_epochs; ++e) {
+    const double hours = static_cast<double>(e) * 0.5;  // 30-min epochs
+    const double hour_of_day = std::fmod(hours, 24.0);
+    // Daylight factor peaks at 13:00.
+    const double daylight = std::max(
+        0.0, std::cos((hour_of_day - 13.0) / 24.0 * 2.0 * std::numbers::pi));
+    for (size_t d = 0; d < options.num_devices; ++d) {
+      double light = light_offset[d] + 900.0 * daylight +
+                     rng.Gaussian(0.0, 30.0);
+      // Occasional direct-sunlight spikes give the heavy right tail the
+      // paper's SUM failures hinge on.
+      if (rng.Bernoulli(0.01)) light += rng.Pareto(200.0, 1.2);
+      light = std::max(0.0, light);
+      const double temperature = 19.0 + temp_offset[d] + 6.0 * daylight +
+                                 rng.Gaussian(0.0, 0.8);
+      const double humidity =
+          45.0 - 10.0 * daylight + rng.Gaussian(0.0, 3.0);
+      const double voltage = 2.7 - 0.0004 * hours + rng.Gaussian(0.0, 0.02);
+      table.AppendRow({static_cast<double>(d), hours, light, temperature,
+                       humidity, voltage});
+    }
+  }
+  return table;
+}
+
+Table MakeAirbnb(const AirbnbOptions& options) {
+  Schema schema({{"latitude", ColumnType::kDouble},
+                 {"longitude", ColumnType::kDouble},
+                 {"price", ColumnType::kDouble},
+                 {"num_reviews", ColumnType::kDouble},
+                 {"room_type", ColumnType::kCategorical}});
+  Table table(std::move(schema));
+  Rng rng(options.seed);
+
+  const char* kRoomTypes[] = {"Entire home/apt", "Private room",
+                              "Shared room"};
+  std::vector<double> room_codes;
+  for (const char* label : kRoomTypes) {
+    room_codes.push_back(table.mutable_schema()->InternLabel(4, label));
+  }
+
+  // Neighbourhood clusters around NYC, with per-cluster price levels —
+  // Manhattan-like clusters are small, dense and expensive.
+  struct Cluster {
+    double lat, lon, spread, price_mu, weight;
+  };
+  std::vector<Cluster> clusters(options.num_clusters);
+  double weight_sum = 0.0;
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    clusters[c].lat = rng.Uniform(40.55, 40.90);
+    clusters[c].lon = rng.Uniform(-74.15, -73.75);
+    clusters[c].spread = rng.Uniform(0.005, 0.03);
+    clusters[c].price_mu = rng.Uniform(3.6, 5.6);  // exp: ~36 .. ~270
+    clusters[c].weight = rng.Uniform(0.3, 1.0);
+    weight_sum += clusters[c].weight;
+  }
+
+  for (size_t r = 0; r < options.num_rows; ++r) {
+    double u = rng.Uniform(0.0, weight_sum);
+    size_t pick = clusters.size() - 1;
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      if (u < clusters[c].weight) {
+        pick = c;
+        break;
+      }
+      u -= clusters[c].weight;
+    }
+    const Cluster& cl = clusters[pick];
+    const double lat = rng.Gaussian(cl.lat, cl.spread);
+    const double lon = rng.Gaussian(cl.lon, cl.spread);
+    // Lognormal price with occasional luxury outliers: heavy skew.
+    double price = rng.LogNormal(cl.price_mu, 0.55);
+    if (rng.Bernoulli(0.003)) price += rng.Pareto(800.0, 1.1);
+    price = std::min(price, 10000.0);
+    const double reviews = std::floor(rng.Exponential(1.0 / 24.0));
+    const double room =
+        room_codes[static_cast<size_t>(rng.Zipf(3, 0.8))];
+    table.AppendRow({lat, lon, price, reviews, room});
+  }
+  return table;
+}
+
+Table MakeBorderCrossing(const BorderCrossingOptions& options) {
+  Schema schema({{"port", ColumnType::kDouble},
+                 {"date", ColumnType::kDouble},
+                 {"measure", ColumnType::kCategorical},
+                 {"value", ColumnType::kDouble}});
+  Table table(std::move(schema));
+  Rng rng(options.seed);
+
+  const char* kMeasures[] = {"Trucks",           "Buses",
+                             "Personal Vehicles", "Pedestrians",
+                             "Rail Containers",   "Truck Containers"};
+  std::vector<double> measure_codes;
+  for (size_t m = 0; m < options.measures && m < 6; ++m) {
+    measure_codes.push_back(table.mutable_schema()->InternLabel(2, kMeasures[m]));
+  }
+
+  // Port scale is heavy-tailed: a handful of ports (San Ysidro, El
+  // Paso...) dwarf the rest.
+  std::vector<double> port_scale(options.num_ports);
+  for (size_t p = 0; p < options.num_ports; ++p) {
+    port_scale[p] = rng.Pareto(20.0, 0.9);
+  }
+  std::vector<double> measure_scale(measure_codes.size());
+  for (size_t m = 0; m < measure_scale.size(); ++m) {
+    measure_scale[m] = rng.Uniform(0.05, 1.0);
+  }
+
+  const size_t grid =
+      options.num_ports * options.num_days * measure_codes.size();
+  const size_t target_rows =
+      static_cast<size_t>(options.rows_fraction * static_cast<double>(grid));
+  for (size_t r = 0; r < target_rows; ++r) {
+    const size_t p =
+        static_cast<size_t>(rng.Zipf(options.num_ports, 0.8));
+    const double day =
+        static_cast<double>(rng.UniformInt(0, options.num_days - 1));
+    const size_t m = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(measure_codes.size()) - 1));
+    const double season =
+        1.0 + 0.3 * std::sin(day / 365.0 * 2.0 * std::numbers::pi);
+    double value = port_scale[p] * measure_scale[m] * season *
+                   rng.LogNormal(0.0, 0.6);
+    value = std::floor(value);
+    table.AppendRow({static_cast<double>(p), day, measure_codes[m], value});
+  }
+  return table;
+}
+
+Table MakeSales(const SalesOptions& options) {
+  Schema schema({{"utc", ColumnType::kDouble},
+                 {"branch", ColumnType::kCategorical},
+                 {"price", ColumnType::kDouble}});
+  Table table(std::move(schema));
+  Rng rng(options.seed);
+  const char* kBranches[] = {"New York", "Chicago", "Trenton"};
+  const double kBranchWeight[] = {0.5, 0.3, 0.2};
+  const double kBranchPriceMu[] = {3.4, 3.0, 2.6};
+  std::vector<double> codes;
+  for (const char* b : kBranches) {
+    codes.push_back(table.mutable_schema()->InternLabel(1, b));
+  }
+  for (size_t r = 0; r < options.num_rows; ++r) {
+    const double u = rng.Uniform();
+    size_t b = u < kBranchWeight[0] ? 0 : (u < 0.8 ? 1 : 2);
+    const double utc =
+        rng.Uniform(0.0, static_cast<double>(options.num_days) * 24.0);
+    double price = rng.LogNormal(kBranchPriceMu[b], 0.5);
+    price = std::min(price, 149.99);
+    table.AppendRow({utc, codes[b], price});
+  }
+  return table;
+}
+
+Table MakeRandomEdges(size_t num_edges, size_t num_vertices, uint64_t seed) {
+  PCX_CHECK_GE(num_vertices, 1u);
+  Schema schema(
+      {{"src", ColumnType::kDouble}, {"dst", ColumnType::kDouble}});
+  Table table(std::move(schema));
+  Rng rng(seed);
+  for (size_t e = 0; e < num_edges; ++e) {
+    const double s = static_cast<double>(
+        rng.UniformInt(0, static_cast<int64_t>(num_vertices) - 1));
+    const double d = static_cast<double>(
+        rng.UniformInt(0, static_cast<int64_t>(num_vertices) - 1));
+    table.AppendRow({s, d});
+  }
+  return table;
+}
+
+Table MakeChainRelation(size_t rows, size_t domain, uint64_t seed) {
+  PCX_CHECK_GE(domain, 1u);
+  Schema schema({{"a", ColumnType::kDouble}, {"b", ColumnType::kDouble}});
+  Table table(std::move(schema));
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    table.AppendRow({static_cast<double>(
+                         rng.UniformInt(0, static_cast<int64_t>(domain) - 1)),
+                     static_cast<double>(rng.UniformInt(
+                         0, static_cast<int64_t>(domain) - 1))});
+  }
+  return table;
+}
+
+}  // namespace workload
+}  // namespace pcx

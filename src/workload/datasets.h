@@ -1,0 +1,69 @@
+#ifndef PCX_WORKLOAD_DATASETS_H_
+#define PCX_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+
+#include "relation/table.h"
+
+namespace pcx {
+namespace workload {
+
+/// Synthetic stand-in for the Intel Berkeley lab sensor dataset [25]
+/// (see DESIGN.md §2 for the substitution rationale). Columns:
+///   device_id (integer-coded), time (hours), light, temperature,
+///   humidity, voltage.
+/// `light` has a diurnal pattern, per-device offsets and a heavy right
+/// tail — the properties the paper's Intel experiments depend on.
+struct IntelWirelessOptions {
+  size_t num_devices = 54;
+  size_t num_epochs = 600;  ///< time steps; rows = devices * epochs
+  uint64_t seed = 7;
+};
+Table MakeIntelWireless(const IntelWirelessOptions& options);
+
+/// Synthetic stand-in for the Airbnb NYC 2019 listings [2]. Columns:
+///   latitude, longitude, price, num_reviews, room_type (categorical).
+/// (lat, lon) cluster into neighbourhoods; price is lognormal with
+/// strong cluster dependence (heavily skewed).
+struct AirbnbOptions {
+  size_t num_rows = 50000;
+  size_t num_clusters = 12;
+  uint64_t seed = 11;
+};
+Table MakeAirbnb(const AirbnbOptions& options);
+
+/// Synthetic stand-in for the BTS Border Crossing dataset [23]. Columns:
+///   port (integer-coded), date (days), measure (categorical vehicle
+///   type), value. `value` is heavy-tailed across ports (a few huge
+///   ports dominate) with mild seasonality.
+struct BorderCrossingOptions {
+  size_t num_ports = 80;
+  size_t num_days = 365;
+  size_t measures = 6;
+  double rows_fraction = 0.1;  ///< fraction of the port*day*measure grid
+  uint64_t seed = 13;
+};
+Table MakeBorderCrossing(const BorderCrossingOptions& options);
+
+/// The sales example of paper §2.1: Sales(utc, branch, price) with
+/// branches New York / Chicago / Trenton. `utc` is hours since Nov-01
+/// 00:00.
+struct SalesOptions {
+  size_t num_rows = 2000;
+  size_t num_days = 16;
+  uint64_t seed = 3;
+};
+Table MakeSales(const SalesOptions& options);
+
+/// Random directed edge table Edge(src, dst) over `num_vertices`
+/// vertices, for the triangle-counting experiment (paper §6.6.3).
+Table MakeRandomEdges(size_t num_edges, size_t num_vertices, uint64_t seed);
+
+/// One relation R(x_i, x_{i+1}) of the acyclic 5-chain experiment:
+/// `rows` rows with both columns uniform over [0, domain).
+Table MakeChainRelation(size_t rows, size_t domain, uint64_t seed);
+
+}  // namespace workload
+}  // namespace pcx
+
+#endif  // PCX_WORKLOAD_DATASETS_H_

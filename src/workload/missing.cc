@@ -1,0 +1,50 @@
+#include "workload/missing.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pcx {
+namespace workload {
+
+MissingSplit SplitTopValueCorrelated(const Table& table, size_t attr,
+                                     double fraction) {
+  PCX_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const size_t n = table.num_rows();
+  const size_t k = static_cast<size_t>(fraction * static_cast<double>(n));
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return table.At(a, attr) > table.At(b, attr);
+  });
+  std::vector<bool> drop(n, false);
+  for (size_t i = 0; i < k; ++i) drop[order[i]] = true;
+  auto [kept, dropped] =
+      table.Partition([&](size_t r) { return !drop[r]; });
+  return MissingSplit{std::move(kept), std::move(dropped)};
+}
+
+MissingSplit SplitRandom(const Table& table, double fraction, Rng* rng) {
+  PCX_CHECK(rng != nullptr);
+  PCX_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const size_t n = table.num_rows();
+  const size_t k = static_cast<size_t>(fraction * static_cast<double>(n));
+  std::vector<bool> drop(n, false);
+  for (size_t i : rng->SampleWithoutReplacement(n, k)) drop[i] = true;
+  auto [kept, dropped] =
+      table.Partition([&](size_t r) { return !drop[r]; });
+  return MissingSplit{std::move(kept), std::move(dropped)};
+}
+
+MissingSplit SplitRange(const Table& table, size_t attr, double lo,
+                        double hi) {
+  auto [kept, dropped] = table.Partition([&](size_t r) {
+    const double v = table.At(r, attr);
+    return v < lo || v > hi;
+  });
+  return MissingSplit{std::move(kept), std::move(dropped)};
+}
+
+}  // namespace workload
+}  // namespace pcx

@@ -1,0 +1,35 @@
+#ifndef PCX_WORKLOAD_MISSING_H_
+#define PCX_WORKLOAD_MISSING_H_
+
+#include <utility>
+
+#include "common/random.h"
+#include "relation/table.h"
+
+namespace pcx {
+namespace workload {
+
+/// (observed, missing) pair produced by a missing-data injector.
+struct MissingSplit {
+  Table observed;
+  Table missing;
+};
+
+/// Correlated missingness (paper §6.2): removes the `fraction` of rows
+/// with the *largest* values of `attr` — the adversarial pattern that
+/// breaks extrapolation and sampling in Figs. 1/3/4.
+MissingSplit SplitTopValueCorrelated(const Table& table, size_t attr,
+                                     double fraction);
+
+/// Missing-completely-at-random baseline split.
+MissingSplit SplitRandom(const Table& table, double fraction, Rng* rng);
+
+/// Removes the rows whose `attr` lies in [lo, hi] — e.g. the network
+/// outage between Nov-10 and Nov-13 of the running example (§2.1).
+MissingSplit SplitRange(const Table& table, size_t attr, double lo,
+                        double hi);
+
+}  // namespace workload
+}  // namespace pcx
+
+#endif  // PCX_WORKLOAD_MISSING_H_

@@ -1,0 +1,252 @@
+#include "workload/pc_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace pcx {
+namespace workload {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Quantile-based bucket edges for `attr`: `buckets`+1 edges, with the
+/// outermost pushed to ±inf so the buckets cover the whole domain.
+std::vector<double> QuantileEdges(const Table& t, size_t attr,
+                                  size_t buckets) {
+  std::vector<double> values;
+  values.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) values.push_back(t.At(r, attr));
+  std::sort(values.begin(), values.end());
+  std::vector<double> edges(buckets + 1);
+  edges[0] = -kInf;
+  edges[buckets] = kInf;
+  for (size_t b = 1; b < buckets; ++b) {
+    const double q = static_cast<double>(b) / static_cast<double>(buckets);
+    size_t idx = static_cast<size_t>(q * static_cast<double>(values.size()));
+    idx = std::min(idx, values.size() - 1);
+    edges[b] = values.empty() ? static_cast<double>(b) : values[idx];
+  }
+  // Collapse duplicate interior edges (heavily repeated values).
+  for (size_t b = 1; b < buckets; ++b) {
+    if (edges[b] <= edges[b - 1] && edges[b - 1] != -kInf) {
+      edges[b] = std::nextafter(edges[b - 1], kInf);
+    }
+  }
+  return edges;
+}
+
+/// Statistics of the missing rows inside `box`.
+struct BoxStats {
+  double count = 0.0;
+  double lo = 0.0, hi = 0.0;
+  bool any = false;
+};
+
+BoxStats StatsInBox(const Table& t, const Box& box, size_t agg_attr) {
+  BoxStats s;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    bool in = true;
+    for (size_t c = 0; c < box.num_attrs(); ++c) {
+      if (box.dim(c).is_unbounded()) continue;
+      if (!box.dim(c).Contains(t.At(r, c))) {
+        in = false;
+        break;
+      }
+    }
+    if (!in) continue;
+    const double v = t.At(r, agg_attr);
+    if (!s.any) {
+      s.lo = s.hi = v;
+      s.any = true;
+    } else {
+      s.lo = std::min(s.lo, v);
+      s.hi = std::max(s.hi, v);
+    }
+    s.count += 1.0;
+  }
+  return s;
+}
+
+PredicateConstraint ConstraintFromBox(const Table& t, const Box& pred_box,
+                                      size_t agg_attr, double freq_lo_scale) {
+  const BoxStats s = StatsInBox(t, pred_box, agg_attr);
+  Box values(pred_box.num_attrs());
+  if (s.any) {
+    values.Constrain(agg_attr, Interval::Closed(s.lo, s.hi));
+  } else {
+    // No rows: frequency 0 makes the value range irrelevant.
+    values.Constrain(agg_attr, Interval::Point(0.0));
+  }
+  return PredicateConstraint(
+      Predicate(pred_box), values,
+      FrequencyConstraint::Between(freq_lo_scale * s.count, s.count));
+}
+
+/// Per-dimension bucket counts whose product is ~target.
+std::vector<size_t> GridShape(size_t dims, size_t target) {
+  PCX_CHECK_GE(dims, 1u);
+  const double per =
+      std::pow(static_cast<double>(target), 1.0 / static_cast<double>(dims));
+  std::vector<size_t> shape(dims, std::max<size_t>(1, static_cast<size_t>(
+                                                          std::round(per))));
+  return shape;
+}
+
+}  // namespace
+
+PredicateConstraintSet MakeCorrPCs(const Table& missing,
+                                   const std::vector<size_t>& pred_attrs,
+                                   size_t agg_attr, size_t target_count) {
+  PCX_CHECK(!pred_attrs.empty());
+  const size_t num_attrs = missing.num_columns();
+  const std::vector<size_t> shape = GridShape(pred_attrs.size(), target_count);
+  std::vector<std::vector<double>> edges;
+  for (size_t d = 0; d < pred_attrs.size(); ++d) {
+    edges.push_back(QuantileEdges(missing, pred_attrs[d], shape[d]));
+  }
+
+  PredicateConstraintSet out;
+  // Iterate the multi-dimensional grid.
+  std::vector<size_t> idx(pred_attrs.size(), 0);
+  while (true) {
+    Box pred_box(num_attrs);
+    for (size_t d = 0; d < pred_attrs.size(); ++d) {
+      const double lo = edges[d][idx[d]];
+      const double hi = edges[d][idx[d] + 1];
+      // Half-open [lo, hi) buckets keep the partition disjoint; the last
+      // bucket is [lo, +inf).
+      pred_box.Constrain(pred_attrs[d],
+                         Interval{lo, hi, false, hi != kInf});
+    }
+    out.Add(ConstraintFromBox(missing, pred_box, agg_attr,
+                              /*freq_lo_scale=*/1.0));
+    // Advance the grid index.
+    size_t d = 0;
+    while (d < idx.size()) {
+      if (++idx[d] < shape[d]) break;
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == idx.size()) break;
+  }
+  return out;
+}
+
+PredicateConstraintSet MakeRandPCs(const Table& missing,
+                                   const std::vector<size_t>& pred_attrs,
+                                   size_t agg_attr, size_t target_count,
+                                   Rng* rng) {
+  PCX_CHECK(rng != nullptr);
+  PCX_CHECK(!pred_attrs.empty());
+  const size_t num_attrs = missing.num_columns();
+  PredicateConstraintSet out;
+
+  // The TRUE catch-all guarantees closure; its statistics are global.
+  {
+    Box universe(num_attrs);
+    out.Add(ConstraintFromBox(missing, universe, agg_attr,
+                              /*freq_lo_scale=*/0.0));
+  }
+  if (missing.num_rows() == 0) return out;
+
+  for (size_t i = 0; i + 1 < target_count; ++i) {
+    Box pred_box(num_attrs);
+    for (size_t attr : pred_attrs) {
+      // Random box centred on a data point with a random (moderate)
+      // extent: data-correlated placement, locally overlapping
+      // neighbours without covering the whole domain.
+      const size_t r1 = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(missing.num_rows()) - 1));
+      const double center = missing.At(r1, attr);
+      auto range = missing.ColumnRange(attr);
+      const double span =
+          range.ok() ? range->second - range->first : 1.0;
+      const double half_width =
+          std::max(1e-9, span) * rng->Uniform(0.02, 0.10);
+      pred_box.Constrain(
+          attr, Interval::Closed(center - half_width, center + half_width));
+    }
+    // Frequency lower bound 0: random boxes make no promise that rows
+    // exist, only that no more than the observed number do.
+    out.Add(ConstraintFromBox(missing, pred_box, agg_attr,
+                              /*freq_lo_scale=*/0.0));
+  }
+  return out;
+}
+
+PredicateConstraintSet MakeOverlappingPCs(
+    const Table& missing, const std::vector<size_t>& pred_attrs,
+    size_t agg_attr, size_t target_count, double overlap_factor) {
+  PCX_CHECK_GE(overlap_factor, 1.0);
+  PCX_CHECK(!pred_attrs.empty());
+  const size_t num_attrs = missing.num_columns();
+  const std::vector<size_t> shape = GridShape(pred_attrs.size(), target_count);
+  std::vector<std::vector<double>> edges;
+  for (size_t d = 0; d < pred_attrs.size(); ++d) {
+    edges.push_back(QuantileEdges(missing, pred_attrs[d], shape[d]));
+  }
+
+  PredicateConstraintSet out;
+  std::vector<size_t> idx(pred_attrs.size(), 0);
+  while (true) {
+    Box pred_box(num_attrs);
+    for (size_t d = 0; d < pred_attrs.size(); ++d) {
+      double lo = edges[d][idx[d]];
+      double hi = edges[d][idx[d] + 1];
+      if (lo != -kInf && hi != kInf) {
+        const double grow = (overlap_factor - 1.0) * (hi - lo) / 2.0;
+        lo -= grow;
+        hi += grow;
+      } else if (lo != -kInf) {
+        lo -= (overlap_factor - 1.0) * std::fabs(lo) * 0.5;
+      } else if (hi != kInf) {
+        hi += (overlap_factor - 1.0) * std::fabs(hi) * 0.5;
+      }
+      pred_box.Constrain(pred_attrs[d], Interval{lo, hi, false, hi != kInf});
+    }
+    out.Add(ConstraintFromBox(missing, pred_box, agg_attr,
+                              /*freq_lo_scale=*/0.0));
+    size_t d = 0;
+    while (d < idx.size()) {
+      if (++idx[d] < shape[d]) break;
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == idx.size()) break;
+  }
+  return out;
+}
+
+PredicateConstraintSet AddValueNoise(const PredicateConstraintSet& pcs,
+                                     const Table& missing, size_t agg_attr,
+                                     double sd_multiplier, Rng* rng) {
+  PCX_CHECK(rng != nullptr);
+  RunningStats stats;
+  for (size_t r = 0; r < missing.num_rows(); ++r) {
+    stats.Add(missing.At(r, agg_attr));
+  }
+  const double sd = stats.stddev() * sd_multiplier;
+
+  std::vector<PredicateConstraint> noisy;
+  noisy.reserve(pcs.size());
+  for (const auto& pc : pcs.constraints()) {
+    Box values = pc.values();
+    const Interval& iv = values.dim(agg_attr);
+    if (!iv.is_unbounded()) {
+      double lo = iv.lo == -kInf ? iv.lo : iv.lo + rng->Gaussian(0.0, sd);
+      double hi = iv.hi == kInf ? iv.hi : iv.hi + rng->Gaussian(0.0, sd);
+      if (lo > hi) std::swap(lo, hi);
+      Box perturbed(values.num_attrs());
+      perturbed.Constrain(agg_attr, Interval{lo, hi, false, false});
+      values = perturbed;
+    }
+    noisy.emplace_back(pc.predicate(), values, pc.frequency());
+  }
+  return PredicateConstraintSet(std::move(noisy));
+}
+
+}  // namespace workload
+}  // namespace pcx

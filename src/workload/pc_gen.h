@@ -1,0 +1,53 @@
+#ifndef PCX_WORKLOAD_PC_GEN_H_
+#define PCX_WORKLOAD_PC_GEN_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "pc/pc_set.h"
+#include "relation/table.h"
+
+namespace pcx {
+namespace workload {
+
+/// Corr-PC (paper §6.1.4): an equi-cardinality grid partition over the
+/// attributes most correlated with the aggregate. Each grid cell becomes
+/// one PC whose value range and frequency are the *true* statistics of
+/// the missing rows inside it (exact constraints — the "reasonable best
+/// case" of the framework). The outer buckets extend to ±inf, so the set
+/// is closed over the full domain, and all predicates are pairwise
+/// disjoint (enabling the greedy fast path).
+PredicateConstraintSet MakeCorrPCs(const Table& missing,
+                                   const std::vector<size_t>& pred_attrs,
+                                   size_t agg_attr, size_t target_count);
+
+/// Rand-PC (paper §6.1.4): randomly placed, overlapping boxes over the
+/// same attributes, each annotated with true statistics of the rows it
+/// contains, plus one TRUE catch-all constraint that guarantees closure.
+/// The worst case of the framework: valid but loose.
+PredicateConstraintSet MakeRandPCs(const Table& missing,
+                                   const std::vector<size_t>& pred_attrs,
+                                   size_t agg_attr, size_t target_count,
+                                   Rng* rng);
+
+/// Overlapping-PC (paper Fig. 6): a small partition whose boxes are
+/// inflated by `overlap_factor` so neighbours overlap; overlap lets the
+/// solver pick the most restrictive of several constraints, which makes
+/// the set robust to noise in any single constraint.
+PredicateConstraintSet MakeOverlappingPCs(
+    const Table& missing, const std::vector<size_t>& pred_attrs,
+    size_t agg_attr, size_t target_count, double overlap_factor);
+
+/// Adds independent Gaussian noise with standard deviation
+/// `sd_multiplier` x stddev(agg attribute of `missing`) to the value
+/// bounds of every PC (paper §6.3.2 robustness experiment). Inverted
+/// ranges are re-sorted; the result may no longer hold on the data —
+/// that is the point of the experiment.
+PredicateConstraintSet AddValueNoise(const PredicateConstraintSet& pcs,
+                                     const Table& missing, size_t agg_attr,
+                                     double sd_multiplier, Rng* rng);
+
+}  // namespace workload
+}  // namespace pcx
+
+#endif  // PCX_WORKLOAD_PC_GEN_H_

@@ -1,0 +1,58 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pcx {
+namespace workload {
+
+std::vector<AggQuery> MakeRandomRangeQueries(
+    const Table& data, const std::vector<size_t>& pred_attrs, AggFunc agg,
+    size_t agg_attr, const QueryGenOptions& options) {
+  PCX_CHECK(!pred_attrs.empty());
+  PCX_CHECK_GT(data.num_rows(), 0u);
+  Rng rng(options.seed);
+  const size_t per_query = options.attrs_per_query == 0
+                               ? pred_attrs.size()
+                               : std::min(options.attrs_per_query,
+                                          pred_attrs.size());
+
+  std::vector<AggQuery> out;
+  out.reserve(options.count);
+  for (size_t q = 0; q < options.count; ++q) {
+    Predicate where(data.num_columns());
+    std::vector<size_t> chosen =
+        rng.SampleWithoutReplacement(pred_attrs.size(), per_query);
+    for (size_t pick : chosen) {
+      const size_t attr = pred_attrs[pick];
+      const size_t r1 = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(data.num_rows()) - 1));
+      double lo, hi;
+      if (options.width_fraction > 0.0) {
+        const double center = data.At(r1, attr);
+        auto range = data.ColumnRange(attr);
+        const double span = range.ok() ? range->second - range->first : 1.0;
+        const double half = options.width_fraction * span / 2.0;
+        lo = center - half;
+        hi = center + half;
+      } else {
+        const size_t r2 = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(data.num_rows()) - 1));
+        lo = data.At(r1, attr);
+        hi = data.At(r2, attr);
+        if (lo > hi) std::swap(lo, hi);
+      }
+      where.AddRange(attr, lo, hi);
+    }
+    AggQuery query;
+    query.agg = agg;
+    query.attr = agg_attr;
+    query.where = std::move(where);
+    out.push_back(std::move(query));
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace pcx

@@ -1,0 +1,35 @@
+#ifndef PCX_WORKLOAD_QUERY_GEN_H_
+#define PCX_WORKLOAD_QUERY_GEN_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "pc/query.h"
+#include "relation/table.h"
+
+namespace pcx {
+namespace workload {
+
+/// Random range-query generator (paper §6: "1000 randomly chosen
+/// predicates"). Each query constrains the given predicate attributes
+/// with an interval whose endpoints are drawn from the data itself, so
+/// selectivities follow the data distribution.
+struct QueryGenOptions {
+  size_t count = 1000;
+  /// Subset size of pred_attrs each query constrains; 0 = all of them.
+  size_t attrs_per_query = 0;
+  /// When > 0, queries are narrow boxes centred on a random data point
+  /// with half-width = width_fraction * column range (selective
+  /// queries); when 0, each interval spans two random data points.
+  double width_fraction = 0.0;
+  uint64_t seed = 23;
+};
+
+std::vector<AggQuery> MakeRandomRangeQueries(
+    const Table& data, const std::vector<size_t>& pred_attrs, AggFunc agg,
+    size_t agg_attr, const QueryGenOptions& options);
+
+}  // namespace workload
+}  // namespace pcx
+
+#endif  // PCX_WORKLOAD_QUERY_GEN_H_

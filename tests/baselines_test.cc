@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "baselines/extrapolation.h"
+#include "baselines/gmm.h"
+#include "baselines/histogram.h"
+#include "baselines/pc_estimator.h"
+#include "baselines/sampling.h"
+#include "relation/aggregate.h"
+#include "workload/missing.h"
+
+namespace pcx {
+namespace {
+
+Table MakeValueTable(size_t n, uint64_t seed, double lo = 0.0,
+                     double hi = 100.0) {
+  Table t{Schema({{"key", ColumnType::kDouble},
+                  {"value", ColumnType::kDouble}})};
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    t.AppendRow({rng.Uniform(0.0, 10.0), rng.Uniform(lo, hi)});
+  }
+  return t;
+}
+
+TEST(UniformSamplingTest, FullSampleIsExact) {
+  Table missing = MakeValueTable(200, 5);
+  Rng rng(1);
+  auto est = UniformSamplingEstimator::FromMissing(
+      missing, 200, IntervalMethod::kParametric, 0.95, "US", &rng);
+  const auto r = est.Estimate(AggQuery::Count());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->lo, 200.0, 1e-6);
+  EXPECT_NEAR(r->hi, 200.0, 1e-6);
+}
+
+TEST(UniformSamplingTest, SumEstimateNearTruth) {
+  Table missing = MakeValueTable(5000, 7);
+  Rng rng(2);
+  auto est = UniformSamplingEstimator::FromMissing(
+      missing, 1000, IntervalMethod::kParametric, 0.99, "US", &rng);
+  const double truth = Aggregate(missing, AggFunc::kSum, 1).value;
+  const auto r = est.Estimate(AggQuery::Sum(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR((r->lo + r->hi) / 2.0, truth, truth * 0.1);
+  EXPECT_LE(r->lo, truth);
+  EXPECT_GE(r->hi, truth);
+}
+
+TEST(UniformSamplingTest, NonParametricWiderThanParametric) {
+  Table missing = MakeValueTable(5000, 9);
+  Rng rng(3);
+  auto par = UniformSamplingEstimator::FromMissing(
+      missing, 500, IntervalMethod::kParametric, 0.95, "p", &rng);
+  Rng rng2(3);
+  auto non = UniformSamplingEstimator::FromMissing(
+      missing, 500, IntervalMethod::kNonParametric, 0.95, "n", &rng2);
+  const auto rp = par.Estimate(AggQuery::Sum(1));
+  const auto rn = non.Estimate(AggQuery::Sum(1));
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rn.ok());
+  EXPECT_GT(rn->width(), rp->width());
+}
+
+TEST(UniformSamplingTest, PredicateFiltering) {
+  Table missing = MakeValueTable(2000, 11);
+  Rng rng(4);
+  auto est = UniformSamplingEstimator::FromMissing(
+      missing, 2000, IntervalMethod::kParametric, 0.95, "US", &rng);
+  Predicate where(2);
+  where.AddRange(0, 0.0, 5.0);
+  const double truth =
+      Aggregate(missing, AggFunc::kCount, 0, [&](size_t r) {
+        return where.MatchesRow(missing, r);
+      }).value;
+  const auto r = est.Estimate(AggQuery::Count(where));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR((r->lo + r->hi) / 2.0, truth, 1e-6);  // full sample: exact
+}
+
+TEST(UniformSamplingTest, MinMaxFromSampleUnderestimates) {
+  Table missing = MakeValueTable(10000, 13);
+  Rng rng(5);
+  auto est = UniformSamplingEstimator::FromMissing(
+      missing, 50, IntervalMethod::kNonParametric, 0.95, "US", &rng);
+  const double true_max = Aggregate(missing, AggFunc::kMax, 1).value;
+  const auto r = est.Estimate(AggQuery::Max(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->hi, true_max);  // sample max never exceeds population max
+}
+
+TEST(UniformSamplingTest, AvgUndefinedWhenNoMatch) {
+  Table missing = MakeValueTable(100, 15);
+  Rng rng(6);
+  auto est = UniformSamplingEstimator::FromMissing(
+      missing, 100, IntervalMethod::kParametric, 0.95, "US", &rng);
+  Predicate where(2);
+  where.AddRange(0, 999.0, 1000.0);
+  const auto r = est.Estimate(AggQuery::Avg(1, where));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->defined);
+}
+
+TEST(StratifiedSamplingTest, CoversTruthWithFullSampling) {
+  Table missing = MakeValueTable(1000, 17);
+  std::vector<Predicate> regions;
+  for (int g = 0; g < 5; ++g) {
+    Predicate p(2);
+    p.AddInterval(0, Interval{2.0 * g, 2.0 * (g + 1), false, true});
+    regions.push_back(p);
+  }
+  Rng rng(7);
+  auto est = StratifiedSamplingEstimator::FromMissing(
+      missing, regions, 1000, IntervalMethod::kParametric, 0.95, "ST", &rng);
+  const double truth = Aggregate(missing, AggFunc::kSum, 1).value;
+  const auto r = est.Estimate(AggQuery::Sum(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR((r->lo + r->hi) / 2.0, truth, truth * 0.02);
+}
+
+TEST(StratifiedSamplingTest, AvgViaRatio) {
+  Table missing = MakeValueTable(1000, 19, 10.0, 20.0);
+  std::vector<Predicate> regions;
+  Predicate all(2);
+  regions.push_back(all);
+  Rng rng(8);
+  auto est = StratifiedSamplingEstimator::FromMissing(
+      missing, regions, 500, IntervalMethod::kParametric, 0.95, "ST", &rng);
+  const auto r = est.Estimate(AggQuery::Avg(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->hi, 10.0);
+  EXPECT_LT(r->lo, 20.0);
+}
+
+TEST(HistogramTest, HardBoundsNeverFail) {
+  // The defining property (paper Table 2): histogram intervals always
+  // contain the truth, for any query.
+  Table missing = MakeValueTable(2000, 21);
+  HistogramEstimator hist(missing, {0}, 1, 32);
+  Rng rng(9);
+  for (int q = 0; q < 200; ++q) {
+    double lo = rng.Uniform(0.0, 10.0), hi = rng.Uniform(0.0, 10.0);
+    if (lo > hi) std::swap(lo, hi);
+    Predicate where(2);
+    where.AddRange(0, lo, hi);
+    for (AggFunc agg : {AggFunc::kCount, AggFunc::kSum}) {
+      const double truth =
+          Aggregate(missing, agg, 1, [&](size_t r) {
+            return where.MatchesRow(missing, r);
+          }).value;
+      const auto est = hist.Estimate(AggQuery{agg, 1, where});
+      ASSERT_TRUE(est.ok());
+      EXPECT_GE(truth, est->lo - 1e-6) << AggFuncToString(agg);
+      EXPECT_LE(truth, est->hi + 1e-6) << AggFuncToString(agg);
+    }
+  }
+}
+
+TEST(HistogramTest, ExactOnFullRangeQuery) {
+  Table missing = MakeValueTable(500, 23);
+  HistogramEstimator hist(missing, {0}, 1, 16);
+  const auto r = hist.Estimate(AggQuery::Count());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->lo, 500.0, 1e-9);
+  EXPECT_NEAR(r->hi, 500.0, 1e-9);
+  const double truth = Aggregate(missing, AggFunc::kSum, 1).value;
+  const auto s = hist.Estimate(AggQuery::Sum(1));
+  ASSERT_TRUE(s.ok());
+  EXPECT_LE(s->lo, truth + 1e-6);
+  EXPECT_GE(s->hi, truth - 1e-6);
+}
+
+TEST(HistogramTest, MultiAttributeIndependenceBounds) {
+  Table t{Schema({{"x", ColumnType::kDouble},
+                  {"y", ColumnType::kDouble},
+                  {"v", ColumnType::kDouble}})};
+  Rng rng(25);
+  for (int i = 0; i < 1000; ++i) {
+    t.AppendRow({rng.Uniform(0, 10), rng.Uniform(0, 10), rng.Uniform(0, 5)});
+  }
+  HistogramEstimator hist(t, {0, 1}, 2, 16);
+  Predicate where(3);
+  where.AddRange(0, 2.0, 7.0).AddRange(1, 3.0, 8.0);
+  const double truth = Aggregate(t, AggFunc::kCount, 2, [&](size_t r) {
+                         return where.MatchesRow(t, r);
+                       }).value;
+  const auto est = hist.Estimate(AggQuery::Count(where));
+  ASSERT_TRUE(est.ok());
+  EXPECT_GE(truth, est->lo - 1e-6);
+  EXPECT_LE(truth, est->hi + 1e-6);
+  // The upper bound is the min of the marginals, so well below N.
+  EXPECT_LT(est->hi, 1000.0);
+}
+
+TEST(GmmTest, FitRecoversTwoSeparatedClusters) {
+  std::vector<std::vector<double>> data;
+  Rng rng(27);
+  for (int i = 0; i < 400; ++i) data.push_back({rng.Gaussian(0.0, 0.5)});
+  for (int i = 0; i < 400; ++i) data.push_back({rng.Gaussian(10.0, 0.5)});
+  GaussianMixtureModel::FitOptions opts;
+  opts.num_components = 2;
+  auto gmm = GaussianMixtureModel::Fit(data, opts);
+  ASSERT_TRUE(gmm.ok());
+  std::vector<double> means = {gmm->component(0).mean[0],
+                               gmm->component(1).mean[0]};
+  std::sort(means.begin(), means.end());
+  EXPECT_NEAR(means[0], 0.0, 0.5);
+  EXPECT_NEAR(means[1], 10.0, 0.5);
+}
+
+TEST(GmmTest, SampleFollowsModel) {
+  std::vector<std::vector<double>> data;
+  Rng rng(29);
+  for (int i = 0; i < 500; ++i) data.push_back({rng.Gaussian(5.0, 1.0)});
+  GaussianMixtureModel::FitOptions opts;
+  opts.num_components = 1;
+  auto gmm = GaussianMixtureModel::Fit(data, opts);
+  ASSERT_TRUE(gmm.ok());
+  Rng sample_rng(31);
+  RunningStats stats;
+  for (int i = 0; i < 5000; ++i) stats.Add(gmm->Sample(&sample_rng)[0]);
+  EXPECT_NEAR(stats.mean(), 5.0, 0.2);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.2);
+}
+
+TEST(GmmTest, RejectsBadInput) {
+  EXPECT_FALSE(GaussianMixtureModel::Fit({}, {}).ok());
+  EXPECT_FALSE(GaussianMixtureModel::Fit({{1.0}, {1.0, 2.0}}, {}).ok());
+}
+
+TEST(GenerativeEstimatorTest, EstimatesCountOnWellModeledData) {
+  Table missing = MakeValueTable(1000, 33);
+  GaussianMixtureModel::FitOptions opts;
+  opts.num_components = 4;
+  GenerativeEstimator est(missing, {0, 1}, opts, 20, 35);
+  const auto r = est.Estimate(AggQuery::Count());
+  ASSERT_TRUE(r.ok());
+  // Unpredicated COUNT is always the full cardinality.
+  EXPECT_NEAR(r->lo, 1000.0, 1e-9);
+  EXPECT_NEAR(r->hi, 1000.0, 1e-9);
+}
+
+TEST(ExtrapolationTest, ScalesVolumeAggregates) {
+  Table full = MakeValueTable(1000, 37);
+  Rng rng(10);
+  auto split = workload::SplitRandom(full, 0.5, &rng);
+  ExtrapolationEstimator est(split.observed, split.missing.num_rows());
+  const auto r = est.Estimate(AggQuery::Count());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->lo, 500.0, 1.0);
+  const double truth = Aggregate(split.missing, AggFunc::kSum, 1).value;
+  const auto s = est.Estimate(AggQuery::Sum(1));
+  ASSERT_TRUE(s.ok());
+  // Random missingness: extrapolation is close.
+  EXPECT_NEAR(s->lo, truth, truth * 0.2);
+}
+
+TEST(ExtrapolationTest, FailsBadlyOnCorrelatedMissingness) {
+  // The Fig. 1 effect: dropping the top values makes the scaled
+  // estimate overshoot massively.
+  Table full = MakeValueTable(1000, 39);
+  auto split = workload::SplitTopValueCorrelated(full, 1, 0.5);
+  ExtrapolationEstimator est(split.observed, split.missing.num_rows());
+  const double truth = Aggregate(split.missing, AggFunc::kSum, 1).value;
+  const auto s = est.Estimate(AggQuery::Sum(1));
+  ASSERT_TRUE(s.ok());
+  EXPECT_LT(s->hi, truth * 0.6);  // badly under the true missing sum
+}
+
+TEST(PcEstimatorTest, WrapsSolver) {
+  PredicateConstraintSet pcs;
+  Predicate p(2);
+  p.AddRange(0, 0.0, 10.0);
+  Box v(2);
+  v.Constrain(1, Interval::Closed(0.0, 5.0));
+  pcs.Add(PredicateConstraint(p, v, {0, 10}));
+  PcEstimator est(pcs, {}, "Test-PC");
+  EXPECT_EQ(est.name(), "Test-PC");
+  const auto r = est.Estimate(AggQuery::Sum(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->hi, 50.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pcx

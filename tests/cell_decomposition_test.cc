@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "pc/cell_decomposition.h"
+
+namespace pcx {
+namespace {
+
+PredicateConstraint MakePc1D(double lo, double hi, double k_hi = 10.0) {
+  Predicate pred(1);
+  pred.AddRange(0, lo, hi);
+  Box values(1);
+  return PredicateConstraint(pred, values, {0.0, k_hi});
+}
+
+PredicateConstraint MakePc2D(double x_lo, double x_hi, double y_lo,
+                             double y_hi) {
+  Predicate pred(2);
+  pred.AddRange(0, x_lo, x_hi);
+  pred.AddRange(1, y_lo, y_hi);
+  Box values(2);
+  return PredicateConstraint(pred, values, {0.0, 10.0});
+}
+
+/// Canonical form of a decomposition for cross-strategy comparison:
+/// the sorted set of covering index lists.
+std::set<std::vector<size_t>> CoveringSets(const DecompositionResult& r) {
+  std::set<std::vector<size_t>> out;
+  for (const Cell& c : r.cells) {
+    std::vector<size_t> cov = c.covering;
+    std::sort(cov.begin(), cov.end());
+    out.insert(cov);
+  }
+  return out;
+}
+
+TEST(CellDecompositionTest, DisjointPredicatesOneCellEach) {
+  PredicateConstraintSet pcs;
+  pcs.Add(MakePc1D(0, 10));
+  pcs.Add(MakePc1D(20, 30));
+  const auto result = DecomposeCells(pcs);
+  EXPECT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(CoveringSets(result),
+            (std::set<std::vector<size_t>>{{0}, {1}}));
+}
+
+TEST(CellDecompositionTest, PaperSection44Overlap) {
+  // t1: [0, 24), t2: [0, 48): cells are t1∧t2 and ¬t1∧t2; t1∧¬t2 is
+  // unsatisfiable (paper §4.4's c3).
+  PredicateConstraintSet pcs;
+  pcs.Add(MakePc1D(0, 23.999));
+  pcs.Add(MakePc1D(0, 47.999));
+  const auto result = DecomposeCells(pcs);
+  EXPECT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(CoveringSets(result),
+            (std::set<std::vector<size_t>>{{0, 1}, {1}}));
+}
+
+TEST(CellDecompositionTest, Figure2StyleOverlap) {
+  // Two overlapping intervals produce 3 satisfiable cells.
+  PredicateConstraintSet pcs;
+  pcs.Add(MakePc1D(0, 20));
+  pcs.Add(MakePc1D(10, 30));
+  const auto result = DecomposeCells(pcs);
+  EXPECT_EQ(result.cells.size(), 3u);
+  EXPECT_EQ(CoveringSets(result),
+            (std::set<std::vector<size_t>>{{0}, {0, 1}, {1}}));
+}
+
+TEST(CellDecompositionTest, ThreeWayOverlapSatisfiableCells) {
+  // Three mutually overlapping 2-D boxes around a common core. Of the 7
+  // covered sign assignments, ¬A∧B∧C is unsatisfiable (B∧C lies inside
+  // A), leaving 6 cells — mirroring the paper's Fig. 2 where only 5 of
+  // 7 subsets are satisfiable.
+  PredicateConstraintSet pcs;
+  pcs.Add(MakePc2D(0, 10, 0, 10));   // A
+  pcs.Add(MakePc2D(5, 15, 0, 10));   // B
+  pcs.Add(MakePc2D(0, 10, 5, 15));   // C
+  const auto result = DecomposeCells(pcs);
+  EXPECT_EQ(result.cells.size(), 6u);
+  EXPECT_FALSE(CoveringSets(result).count({1, 2}));  // ¬A∧B∧C pruned
+}
+
+TEST(CellDecompositionTest, NaiveAndDfsAgree) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    PredicateConstraintSet pcs;
+    const size_t n = 2 + static_cast<size_t>(rng.UniformInt(0, 3));
+    for (size_t i = 0; i < n; ++i) {
+      double lo = std::floor(rng.Uniform(0.0, 20.0));
+      double hi = std::floor(rng.Uniform(0.0, 20.0));
+      if (lo > hi) std::swap(lo, hi);
+      pcs.Add(MakePc1D(lo, hi + 1.0));
+    }
+    DecompositionOptions naive;
+    naive.use_dfs = false;
+    DecompositionOptions dfs;  // defaults: DFS + rewriting
+    const auto a = DecomposeCells(pcs, std::nullopt, naive);
+    const auto b = DecomposeCells(pcs, std::nullopt, dfs);
+    EXPECT_EQ(CoveringSets(a), CoveringSets(b)) << "trial " << trial;
+  }
+}
+
+TEST(CellDecompositionTest, DfsWithAndWithoutRewritingAgree) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 10; ++trial) {
+    PredicateConstraintSet pcs;
+    for (int i = 0; i < 5; ++i) {
+      double lo = std::floor(rng.Uniform(0.0, 30.0));
+      pcs.Add(MakePc1D(lo, lo + rng.Uniform(3.0, 15.0)));
+    }
+    DecompositionOptions plain;
+    plain.use_rewriting = false;
+    DecompositionOptions rewrite;
+    rewrite.use_rewriting = true;
+    const auto a = DecomposeCells(pcs, std::nullopt, plain);
+    const auto b = DecomposeCells(pcs, std::nullopt, rewrite);
+    EXPECT_EQ(CoveringSets(a), CoveringSets(b));
+    // Rewriting must never use more solver calls.
+    EXPECT_LE(b.sat_calls, a.sat_calls + 1);
+  }
+}
+
+TEST(CellDecompositionTest, DfsPrunesVersusNaive) {
+  // Heavily overlapping PCs: DFS + rewriting should evaluate far fewer
+  // expressions than the naive 2^n enumeration (the Fig. 7 claim).
+  Rng rng(7);
+  PredicateConstraintSet pcs;
+  const size_t n = 10;
+  for (size_t i = 0; i < n; ++i) {
+    const double lo = rng.Uniform(0.0, 10.0);
+    pcs.Add(MakePc1D(lo, lo + rng.Uniform(1.0, 4.0)));
+  }
+  DecompositionOptions naive;
+  naive.use_dfs = false;
+  const auto a = DecomposeCells(pcs, std::nullopt, naive);
+  const auto b = DecomposeCells(pcs);
+  EXPECT_EQ(a.nodes_visited, (uint64_t{1} << n) - 1);
+  EXPECT_LT(b.sat_calls, a.nodes_visited / 4);
+  EXPECT_EQ(CoveringSets(a), CoveringSets(b));
+}
+
+TEST(CellDecompositionTest, PushdownRestrictsCells) {
+  PredicateConstraintSet pcs;
+  pcs.Add(MakePc1D(0, 10));
+  pcs.Add(MakePc1D(20, 30));
+  Predicate query(1);
+  query.AddRange(0, 0.0, 5.0);
+  const auto result = DecomposeCells(pcs, query);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells[0].covering, (std::vector<size_t>{0}));
+  // The emitted positive region is clipped to the query.
+  EXPECT_LE(result.cells[0].positive.dim(0).hi, 5.0);
+}
+
+TEST(CellDecompositionTest, EarlyStoppingAdmitsSupersetOfCells) {
+  Rng rng(42);
+  PredicateConstraintSet pcs;
+  for (int i = 0; i < 6; ++i) {
+    const double lo = rng.Uniform(0.0, 10.0);
+    pcs.Add(MakePc1D(lo, lo + 3.0));
+  }
+  DecompositionOptions exact;
+  DecompositionOptions approx;
+  approx.early_stop_depth = 2;
+  const auto a = DecomposeCells(pcs, std::nullopt, exact);
+  const auto b = DecomposeCells(pcs, std::nullopt, approx);
+  // Early stopping may only add (unverified) cells, never remove one.
+  const auto exact_sets = CoveringSets(a);
+  const auto approx_sets = CoveringSets(b);
+  for (const auto& cell : exact_sets) {
+    EXPECT_TRUE(approx_sets.count(cell))
+        << "early stopping lost a real cell";
+  }
+  EXPECT_GE(approx_sets.size(), exact_sets.size());
+  EXPECT_LE(b.sat_calls, a.sat_calls);
+  // Unverified cells are flagged.
+  bool any_unverified = false;
+  for (const Cell& c : b.cells) any_unverified |= !c.verified;
+  EXPECT_TRUE(any_unverified);
+}
+
+TEST(CellDecompositionTest, UniversalCatchAllCoversEveryCell) {
+  PredicateConstraintSet pcs;
+  pcs.Add(MakePc1D(0, 10));
+  Predicate everything(1);
+  Box values(1);
+  pcs.Add(PredicateConstraint(everything, values, {0.0, 100.0}));
+  const auto result = DecomposeCells(pcs);
+  // Cells: inside [0,10] covered by {0, 1}; outside covered by {1}.
+  ASSERT_EQ(result.cells.size(), 2u);
+  for (const Cell& c : result.cells) {
+    EXPECT_TRUE(std::find(c.covering.begin(), c.covering.end(), 1u) !=
+                c.covering.end());
+  }
+}
+
+TEST(CellDecompositionTest, ManyIrrelevantPcsStayCheap) {
+  // 40 disjoint PCs + pushdown to a region touching only one of them:
+  // the geometric fast path must keep solver calls near-linear.
+  PredicateConstraintSet pcs;
+  for (int i = 0; i < 40; ++i) {
+    pcs.Add(MakePc1D(10.0 * i, 10.0 * i + 9.0));
+  }
+  Predicate query(1);
+  query.AddRange(0, 12.0, 15.0);
+  const auto result = DecomposeCells(pcs, query);
+  EXPECT_EQ(result.cells.size(), 1u);
+  EXPECT_LE(result.sat_calls, 10u);
+}
+
+TEST(CellDecompositionTest, EmptySetYieldsNothing) {
+  PredicateConstraintSet pcs;
+  const auto result = DecomposeCells(pcs);
+  EXPECT_TRUE(result.cells.empty());
+}
+
+TEST(CellDecompositionTest, IntegerDomainsPruneFractionalCells) {
+  // Over integers, the region between [0,3] and [4,10] predicates: the
+  // cell ¬A ∧ B with B=[0,10], A=[0,3] leaves [4,10] etc. Check a gap
+  // cell (3, 4) is pruned under integer domains.
+  PredicateConstraintSet pcs;
+  pcs.Add(MakePc1D(0, 3));
+  pcs.Add(MakePc1D(0, 10));
+  const auto cont = DecomposeCells(pcs);
+  const auto integral =
+      DecomposeCells(pcs, std::nullopt, {}, {AttrDomain::kInteger});
+  // Both have cells {0,1} and {1}; no difference in count here, but the
+  // integral decomposition must not have more.
+  EXPECT_LE(integral.cells.size(), cont.cells.size());
+}
+
+}  // namespace
+}  // namespace pcx

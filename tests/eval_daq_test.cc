@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "baselines/daq.h"
+#include "baselines/pc_estimator.h"
+#include "eval/harness.h"
+#include "relation/aggregate.h"
+#include "workload/datasets.h"
+#include "workload/missing.h"
+#include "workload/pc_gen.h"
+#include "workload/query_gen.h"
+
+namespace pcx {
+namespace {
+
+Table SmallMissing(uint64_t seed) {
+  workload::IntelWirelessOptions opts;
+  opts.num_devices = 6;
+  opts.num_epochs = 40;
+  opts.seed = seed;
+  const Table full = workload::MakeIntelWireless(opts);
+  return workload::SplitTopValueCorrelated(full, 2, 0.3).missing;
+}
+
+TEST(DaqStyleTest, HardBoundsNeverFail) {
+  const Table missing = SmallMissing(3);
+  DaqStyleEstimator daq(missing, 2);
+  workload::QueryGenOptions qopts;
+  qopts.count = 60;
+  const auto queries =
+      workload::MakeRandomRangeQueries(missing, {0, 1}, AggFunc::kSum, 2,
+                                       qopts);
+  const auto report = eval::EvaluateEstimator(daq, queries, missing);
+  EXPECT_EQ(report.failures, 0u);
+}
+
+TEST(DaqStyleTest, LooserThanPredicateLevelPcs) {
+  // The point of predicate-level constraints (paper §7 vs DAQ):
+  // relation-level ranges cannot exploit selective WHERE clauses.
+  const Table missing = SmallMissing(5);
+  DaqStyleEstimator daq(missing, 2);
+  PcEstimator pc(workload::MakeCorrPCs(missing, {0, 1}, 2, 16), {},
+                 "Corr-PC");
+  workload::QueryGenOptions qopts;
+  qopts.count = 40;
+  const auto queries =
+      workload::MakeRandomRangeQueries(missing, {0, 1}, AggFunc::kSum, 2,
+                                       qopts);
+  const auto daq_report = eval::EvaluateEstimator(daq, queries, missing);
+  const auto pc_report = eval::EvaluateEstimator(pc, queries, missing);
+  EXPECT_EQ(daq_report.failures, 0u);
+  EXPECT_EQ(pc_report.failures, 0u);
+  EXPECT_GT(daq_report.median_over_rate(),
+            2.0 * pc_report.median_over_rate());
+}
+
+TEST(DaqStyleTest, CountAndExtremes) {
+  Table t{Schema({{"k", ColumnType::kDouble}, {"v", ColumnType::kDouble}})};
+  t.AppendRow({0, -3.0});
+  t.AppendRow({1, 7.0});
+  DaqStyleEstimator daq(t, 1);
+  const auto count = daq.Estimate(AggQuery::Count());
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->lo, 0.0);
+  EXPECT_EQ(count->hi, 2.0);
+  const auto sum = daq.Estimate(AggQuery::Sum(1));
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->lo, -6.0);  // both rows at -3
+  EXPECT_EQ(sum->hi, 14.0);  // both rows at 7
+  const auto mx = daq.Estimate(AggQuery::Max(1));
+  ASSERT_TRUE(mx.ok());
+  EXPECT_EQ(mx->lo, -3.0);
+  EXPECT_EQ(mx->hi, 7.0);
+}
+
+TEST(DaqStyleTest, EmptyMissingSet) {
+  Table t{Schema({{"k", ColumnType::kDouble}, {"v", ColumnType::kDouble}})};
+  DaqStyleEstimator daq(t, 1);
+  const auto sum = daq.Estimate(AggQuery::Sum(1));
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->lo, 0.0);
+  EXPECT_EQ(sum->hi, 0.0);
+  const auto avg = daq.Estimate(AggQuery::Avg(1));
+  ASSERT_TRUE(avg.ok());
+  EXPECT_FALSE(avg->defined);
+}
+
+TEST(EvalMetricsTest, FailureRateComputation) {
+  eval::EstimatorReport r;
+  r.total = 10;
+  r.failures = 2;
+  r.skipped = 2;
+  EXPECT_DOUBLE_EQ(r.failure_rate_percent(), 25.0);  // 2 of 8 counted
+  r.skipped = 10;
+  EXPECT_DOUBLE_EQ(r.failure_rate_percent(), 0.0);  // nothing counted
+}
+
+TEST(EvalMetricsTest, MedianOverRate) {
+  eval::EstimatorReport r;
+  r.over_rates = {1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(r.median_over_rate(), 2.0);
+  r.over_rates.clear();
+  EXPECT_DOUBLE_EQ(r.median_over_rate(), 0.0);
+}
+
+TEST(EvalMetricsTest, SkipsUndefinedTruth) {
+  // AVG queries whose true matching set is empty are skipped, not
+  // counted as failures.
+  Table missing{Schema({{"k", ColumnType::kDouble},
+                        {"v", ColumnType::kDouble}})};
+  missing.AppendRow({0.0, 1.0});
+  DaqStyleEstimator daq(missing, 1);
+  Predicate nothing(2);
+  nothing.AddRange(0, 100.0, 200.0);
+  std::vector<AggQuery> queries = {AggQuery::Avg(1, nothing)};
+  const auto report = eval::EvaluateEstimator(daq, queries, missing);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(report.failures, 0u);
+}
+
+TEST(EvalMetricsTest, UndefinedEstimateOnNonEmptyTruthIsFailure) {
+  class AlwaysUndefined : public MissingDataEstimator {
+   public:
+    StatusOr<ResultRange> Estimate(const AggQuery&) const override {
+      ResultRange r;
+      r.defined = false;
+      return r;
+    }
+    std::string name() const override { return "Undefined"; }
+  };
+  Table missing{Schema({{"k", ColumnType::kDouble},
+                        {"v", ColumnType::kDouble}})};
+  missing.AppendRow({0.0, 1.0});
+  AlwaysUndefined est;
+  std::vector<AggQuery> queries = {AggQuery::Sum(1)};
+  const auto report = eval::EvaluateEstimator(est, queries, missing);
+  EXPECT_EQ(report.failures, 1u);
+}
+
+}  // namespace
+}  // namespace pcx

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pc/group_by.h"
+#include "relation/aggregate.h"
+#include "relation/csv.h"
+#include "workload/datasets.h"
+#include "workload/missing.h"
+#include "workload/pc_gen.h"
+
+namespace pcx {
+namespace {
+
+// ---------- GROUP BY ----------
+
+TEST(GroupByTest, HistogramExample) {
+  // The §3.1 tautology-histogram example: per-branch counts become
+  // per-group COUNT ranges.
+  constexpr size_t kBranch = 0, kPrice = 1;
+  PredicateConstraintSet pcs;
+  const double counts[3] = {100, 20, 10};
+  for (int b = 0; b < 3; ++b) {
+    Predicate pred(2);
+    pred.AddEquals(kBranch, static_cast<double>(b));
+    Box values(2);
+    values.Constrain(kPrice, Interval::Closed(0.0, 149.99));
+    pcs.Add(PredicateConstraint(pred, values,
+                                FrequencyConstraint::Exactly(counts[b])));
+  }
+  PcBoundSolver solver(pcs,
+                       {AttrDomain::kInteger, AttrDomain::kContinuous});
+  const auto groups =
+      BoundGroupBy(solver, AggQuery::Count(), kBranch, {0.0, 1.0, 2.0});
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->size(), 3u);
+  for (int b = 0; b < 3; ++b) {
+    EXPECT_NEAR((*groups)[b].range.lo, counts[b], 1e-9);
+    EXPECT_NEAR((*groups)[b].range.hi, counts[b], 1e-9);
+  }
+}
+
+TEST(GroupByTest, GroupsRespectExistingWhere) {
+  constexpr size_t kKey = 0, kValue = 1;
+  PredicateConstraintSet pcs;
+  for (int g = 0; g < 2; ++g) {
+    for (int t = 0; t < 2; ++t) {
+      Predicate pred(2);
+      pred.AddEquals(kKey, static_cast<double>(g));
+      pred.AddInterval(kValue, Interval{t * 10.0, (t + 1) * 10.0, false, true});
+      Box values(2);
+      values.Constrain(kValue, Interval{t * 10.0, (t + 1) * 10.0, false, true});
+      pcs.Add(PredicateConstraint(pred, values, {0, 5}));
+    }
+  }
+  PcBoundSolver solver(pcs,
+                       {AttrDomain::kInteger, AttrDomain::kContinuous});
+  Predicate low_values(2);
+  low_values.AddAtMost(kValue, 9.0);
+  const auto groups = BoundGroupBy(solver, AggQuery::Count(low_values),
+                                   kKey, {0.0, 1.0});
+  ASSERT_TRUE(groups.ok());
+  for (const auto& g : *groups) {
+    EXPECT_NEAR(g.range.hi, 5.0, 1e-9);  // only the low bucket counts
+  }
+}
+
+TEST(GroupByTest, CategoricalConvenience) {
+  workload::SalesOptions opts;
+  opts.num_rows = 800;
+  const Table sales = workload::MakeSales(opts);
+  auto split = workload::SplitRange(sales, 0, 100.0, 200.0);
+  const auto pcs =
+      workload::MakeCorrPCs(split.missing, {0, 1}, 2, 9);
+  PcBoundSolver solver(pcs, DomainsFromSchema(sales.schema()));
+  const auto groups = BoundGroupByCategorical(
+      solver, AggQuery::Sum(2), sales.schema(), "branch");
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->size(), 3u);
+  // Every group's truth lies within its range.
+  for (const auto& g : *groups) {
+    const double truth =
+        Aggregate(split.missing, AggFunc::kSum, 2, [&](size_t r) {
+          return split.missing.At(r, 1) == g.group_value;
+        }).value;
+    EXPECT_GE(truth, g.range.lo - 1e-6);
+    EXPECT_LE(truth, g.range.hi + 1e-6);
+  }
+}
+
+TEST(GroupByTest, RejectsBadInput) {
+  PredicateConstraintSet pcs;
+  Predicate pred(2);
+  Box values(2);
+  pcs.Add(PredicateConstraint(pred, values, {0, 5}));
+  PcBoundSolver solver(pcs);
+  EXPECT_FALSE(BoundGroupBy(solver, AggQuery::Count(), 7, {0.0}).ok());
+  Schema schema({{"x", ColumnType::kDouble}});
+  EXPECT_FALSE(
+      BoundGroupByCategorical(solver, AggQuery::Count(), schema, "x").ok());
+}
+
+// ---------- CSV ----------
+
+TEST(CsvTest, RoundTrip) {
+  Schema schema({{"utc", ColumnType::kDouble},
+                 {"branch", ColumnType::kCategorical},
+                 {"price", ColumnType::kDouble}});
+  Table t(std::move(schema));
+  const double ny = t.mutable_schema()->InternLabel(1, "New York");
+  const double chi = t.mutable_schema()->InternLabel(1, "Chicago");
+  t.AppendRow({10.25, ny, 3.02});
+  t.AppendRow({10.35, chi, 6.71});
+
+  std::ostringstream os;
+  ASSERT_TRUE(WriteCsv(t, os).ok());
+  std::istringstream is(os.str());
+  Schema schema2({{"utc", ColumnType::kDouble},
+                  {"branch", ColumnType::kCategorical},
+                  {"price", ColumnType::kDouble}});
+  const auto back = ReadCsv(is, std::move(schema2));
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(back->At(0, 0), 10.25);
+  EXPECT_DOUBLE_EQ(back->At(1, 2), 6.71);
+  EXPECT_EQ(*back->schema().LabelForCode(1, back->At(0, 1)), "New York");
+}
+
+TEST(CsvTest, ColumnReorderAndExtras) {
+  // CSV has extra columns and different order.
+  std::istringstream is(
+      "ignored,price,utc\n"
+      "x,3.5,1.0\n"
+      "y,4.5,2.0\n");
+  Schema schema({{"utc", ColumnType::kDouble},
+                 {"price", ColumnType::kDouble}});
+  const auto t = ReadCsv(is, std::move(schema));
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t->At(0, 1), 3.5);
+}
+
+TEST(CsvTest, QuotedFields) {
+  std::istringstream is(
+      "name,v\n"
+      "\"Doe, John\",1\n"
+      "\"say \"\"hi\"\"\",2\n");
+  Schema schema({{"name", ColumnType::kCategorical},
+                 {"v", ColumnType::kDouble}});
+  const auto t = ReadCsv(is, std::move(schema));
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(*t->schema().LabelForCode(0, t->At(0, 0)), "Doe, John");
+  EXPECT_EQ(*t->schema().LabelForCode(0, t->At(1, 0)), "say \"hi\"");
+}
+
+TEST(CsvTest, QuotedLabelRoundTrip) {
+  Schema schema({{"name", ColumnType::kCategorical}});
+  Table t(std::move(schema));
+  const double code = t.mutable_schema()->InternLabel(0, "Doe, \"JD\" John");
+  t.AppendRow({code});
+  std::ostringstream os;
+  ASSERT_TRUE(WriteCsv(t, os).ok());
+  std::istringstream is(os.str());
+  const auto back = ReadCsv(is, Schema({{"name", ColumnType::kCategorical}}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back->schema().LabelForCode(0, back->At(0, 0)),
+            "Doe, \"JD\" John");
+}
+
+TEST(CsvTest, Errors) {
+  Schema schema({{"a", ColumnType::kDouble}});
+  {
+    std::istringstream is("");
+    EXPECT_FALSE(ReadCsv(is, schema).ok());
+  }
+  {
+    std::istringstream is("b\n1\n");  // missing column 'a'
+    EXPECT_FALSE(ReadCsv(is, schema).ok());
+  }
+  {
+    std::istringstream is("a\nnot_a_number\n");
+    const auto r = ReadCsv(is, schema);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+  }
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/file.csv", schema).ok());
+}
+
+TEST(CsvTest, LargeTableRoundTripThroughFile) {
+  workload::SalesOptions opts;
+  opts.num_rows = 500;
+  const Table sales = workload::MakeSales(opts);
+  std::ostringstream os;
+  ASSERT_TRUE(WriteCsv(sales, os).ok());
+  std::istringstream is(os.str());
+  const auto back = ReadCsv(is, Schema({{"utc", ColumnType::kDouble},
+                                        {"branch", ColumnType::kCategorical},
+                                        {"price", ColumnType::kDouble}}));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_rows(), sales.num_rows());
+  // Aggregates agree exactly.
+  EXPECT_DOUBLE_EQ(Aggregate(*back, AggFunc::kSum, 2).value,
+                   Aggregate(sales, AggFunc::kSum, 2).value);
+}
+
+}  // namespace
+}  // namespace pcx

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "pc/bound_solver.h"
+#include "pc/instance_builder.h"
+#include "relation/aggregate.h"
+
+namespace pcx {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"utc", ColumnType::kDouble},
+                 {"price", ColumnType::kDouble}});
+}
+
+PredicateConstraint SalesPc(double utc_lo, double utc_hi, double price_lo,
+                            double price_hi, double k_lo, double k_hi) {
+  Predicate pred(2);
+  pred.AddInterval(0, Interval{utc_lo, utc_hi, false, true});
+  Box values(2);
+  values.Constrain(1, Interval::Closed(price_lo, price_hi));
+  return PredicateConstraint(pred, values, {k_lo, k_hi});
+}
+
+TEST(InstanceBuilderTest, RealizesPaperExampleMaximum) {
+  // The §4.4 overlapping example: max SUM = 17748.75.
+  PredicateConstraintSet pcs;
+  pcs.Add(SalesPc(0, 24, 0.99, 129.99, 50, 100));
+  pcs.Add(SalesPc(0, 48, 0.99, 149.99, 75, 125));
+  const auto instance = BuildExtremalInstance(
+      pcs, {}, AggQuery::Sum(1), /*maximize=*/true, TwoColSchema());
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  // It is a valid instance...
+  EXPECT_TRUE(pcs.SatisfiedBy(*instance));
+  // ...and it attains the bound.
+  EXPECT_NEAR(Aggregate(*instance, AggFunc::kSum, 1).value, 17748.75, 1e-6);
+}
+
+TEST(InstanceBuilderTest, RealizesMinimum) {
+  PredicateConstraintSet pcs;
+  pcs.Add(SalesPc(0, 24, 0.99, 129.99, 50, 100));
+  pcs.Add(SalesPc(0, 48, 0.99, 149.99, 75, 125));
+  const auto instance = BuildExtremalInstance(
+      pcs, {}, AggQuery::Sum(1), /*maximize=*/false, TwoColSchema());
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_TRUE(pcs.SatisfiedBy(*instance));
+  EXPECT_NEAR(Aggregate(*instance, AggFunc::kSum, 1).value, 74.25, 1e-6);
+}
+
+TEST(InstanceBuilderTest, CountInstances) {
+  PredicateConstraintSet pcs;
+  pcs.Add(SalesPc(0, 24, 0.0, 10.0, 7, 20));
+  const auto max_inst = BuildExtremalInstance(
+      pcs, {}, AggQuery::Count(), /*maximize=*/true, TwoColSchema());
+  ASSERT_TRUE(max_inst.ok());
+  EXPECT_EQ(max_inst->num_rows(), 20u);
+  EXPECT_TRUE(pcs.SatisfiedBy(*max_inst));
+  const auto min_inst = BuildExtremalInstance(
+      pcs, {}, AggQuery::Count(), /*maximize=*/false, TwoColSchema());
+  ASSERT_TRUE(min_inst.ok());
+  EXPECT_EQ(min_inst->num_rows(), 7u);
+  EXPECT_TRUE(pcs.SatisfiedBy(*min_inst));
+}
+
+TEST(InstanceBuilderTest, AgreesWithSolverOnRandomSets) {
+  // The realized instance's aggregate must equal the solver's bound —
+  // constructive tightness on randomized constraint systems.
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    PredicateConstraintSet pcs;
+    const size_t n = 2 + static_cast<size_t>(rng.UniformInt(0, 2));
+    for (size_t i = 0; i < n; ++i) {
+      const double lo = std::floor(rng.Uniform(0.0, 20.0));
+      const double len = std::floor(rng.Uniform(2.0, 10.0));
+      const double cap = std::floor(rng.Uniform(1.0, 30.0));
+      const double k = std::floor(rng.Uniform(1.0, 6.0));
+      pcs.Add(SalesPc(lo, lo + len, 0.0, cap, 0, k));
+    }
+    PcBoundSolver solver(pcs);
+    const auto range = solver.Bound(AggQuery::Sum(1));
+    ASSERT_TRUE(range.ok());
+    const auto instance = BuildExtremalInstance(
+        pcs, {}, AggQuery::Sum(1), /*maximize=*/true, TwoColSchema());
+    ASSERT_TRUE(instance.ok()) << instance.status();
+    EXPECT_TRUE(pcs.SatisfiedBy(*instance)) << pcs.ToString();
+    EXPECT_NEAR(Aggregate(*instance, AggFunc::kSum, 1).value, range->hi,
+                1e-6)
+        << pcs.ToString();
+  }
+}
+
+TEST(InstanceBuilderTest, RespectsIntegerDomains) {
+  PredicateConstraintSet pcs;
+  Predicate pred(2);
+  pred.AddRange(0, 1.0, 3.0);
+  Box values(2);
+  values.Constrain(1, Interval::Closed(0.0, 5.0));
+  pcs.Add(PredicateConstraint(pred, values, {2, 2}));
+  const auto instance = BuildExtremalInstance(
+      pcs, {AttrDomain::kInteger, AttrDomain::kContinuous},
+      AggQuery::Sum(1), true, TwoColSchema());
+  ASSERT_TRUE(instance.ok());
+  for (size_t r = 0; r < instance->num_rows(); ++r) {
+    EXPECT_EQ(instance->At(r, 0), std::floor(instance->At(r, 0)));
+  }
+}
+
+TEST(InstanceBuilderTest, RejectsUnsupportedInput) {
+  PredicateConstraintSet pcs;
+  pcs.Add(SalesPc(0, 24, 0.0, 10.0, 0, 5));
+  EXPECT_FALSE(BuildExtremalInstance(pcs, {}, AggQuery::Avg(1), true,
+                                     TwoColSchema())
+                   .ok());
+  EXPECT_FALSE(BuildExtremalInstance(pcs, {}, AggQuery::Sum(1), true,
+                                     Schema({{"one", ColumnType::kDouble}}))
+                   .ok());
+}
+
+TEST(InstanceBuilderTest, InfeasibleSetReported) {
+  PredicateConstraintSet pcs;
+  pcs.Add(SalesPc(0, 10, 0.0, 5.0, 5, 5));
+  pcs.Add(SalesPc(0, 48, 0.0, 100.0, 0, 2));
+  const auto instance = BuildExtremalInstance(pcs, {}, AggQuery::Sum(1),
+                                              true, TwoColSchema());
+  EXPECT_FALSE(instance.ok());
+  EXPECT_EQ(instance.status().code(), StatusCode::kInfeasible);
+}
+
+}  // namespace
+}  // namespace pcx

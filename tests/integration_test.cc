@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/histogram.h"
+#include "baselines/pc_estimator.h"
+#include "eval/harness.h"
+#include "pc/bound_solver.h"
+#include "pc/combine.h"
+#include "relation/aggregate.h"
+#include "workload/datasets.h"
+#include "workload/missing.h"
+#include "workload/pc_gen.h"
+#include "workload/query_gen.h"
+
+namespace pcx {
+namespace {
+
+/// End-to-end soundness: for PCs generated truthfully from the missing
+/// rows, the computed result range must contain the true aggregate for
+/// every query — the paper's central guarantee ("0 failure rate").
+class EndToEndSoundness
+    : public ::testing::TestWithParam<std::tuple<uint64_t, AggFunc>> {};
+
+TEST_P(EndToEndSoundness, PcBoundsContainTruth) {
+  const auto [seed, agg] = GetParam();
+  workload::IntelWirelessOptions data_opts;
+  data_opts.num_devices = 10;
+  data_opts.num_epochs = 60;
+  data_opts.seed = seed;
+  const Table full = workload::MakeIntelWireless(data_opts);
+  const size_t device = 0, time = 1, light = 2;
+  auto split = workload::SplitTopValueCorrelated(full, light, 0.3);
+  const Table& missing = split.missing;
+
+  const auto pcs = workload::MakeCorrPCs(missing, {device, time}, light, 25);
+  ASSERT_TRUE(pcs.SatisfiedBy(missing));
+  PcBoundSolver solver(pcs, DomainsFromSchema(full.schema()));
+
+  workload::QueryGenOptions qopts;
+  qopts.count = 25;
+  qopts.seed = seed * 7 + 1;
+  const auto queries = workload::MakeRandomRangeQueries(
+      full, {device, time}, agg, light, qopts);
+
+  for (const AggQuery& q : queries) {
+    std::function<bool(size_t)> filter = nullptr;
+    if (q.where.has_value()) {
+      const Predicate& where = *q.where;
+      filter = [&](size_t r) { return where.MatchesRow(missing, r); };
+    }
+    const AggregateResult truth = Aggregate(missing, q.agg, q.attr, filter);
+    const auto range = solver.Bound(q);
+    ASSERT_TRUE(range.ok()) << range.status();
+    if (truth.empty_input) continue;  // AVG/MIN/MAX undefined on truth
+    if (!range->defined) {
+      ADD_FAILURE() << "solver claims no rows possible but truth has "
+                    << truth.num_rows;
+      continue;
+    }
+    const double tol = 1e-6 * std::max(1.0, std::fabs(truth.value));
+    EXPECT_GE(truth.value, range->lo - tol)
+        << AggFuncToString(q.agg) << " truth below lower bound";
+    EXPECT_LE(truth.value, range->hi + tol)
+        << AggFuncToString(q.agg) << " truth above upper bound";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndAggregates, EndToEndSoundness,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(AggFunc::kCount, AggFunc::kSum,
+                                         AggFunc::kAvg, AggFunc::kMin,
+                                         AggFunc::kMax)));
+
+/// Same guarantee with overlapping Rand-PCs (catch-all + random boxes).
+class RandPcSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandPcSoundness, BoundsContainTruth) {
+  workload::IntelWirelessOptions data_opts;
+  data_opts.num_devices = 8;
+  data_opts.num_epochs = 40;
+  data_opts.seed = GetParam();
+  const Table full = workload::MakeIntelWireless(data_opts);
+  auto split = workload::SplitTopValueCorrelated(full, 2, 0.3);
+  const Table& missing = split.missing;
+
+  Rng rng(GetParam() * 13);
+  const auto pcs = workload::MakeRandPCs(missing, {0, 1}, 2, 12, &rng);
+  ASSERT_TRUE(pcs.SatisfiedBy(missing));
+  PcBoundSolver solver(pcs, DomainsFromSchema(full.schema()));
+
+  workload::QueryGenOptions qopts;
+  qopts.count = 15;
+  qopts.seed = GetParam() + 99;
+  for (AggFunc agg : {AggFunc::kCount, AggFunc::kSum}) {
+    const auto queries =
+        workload::MakeRandomRangeQueries(full, {0, 1}, agg, 2, qopts);
+    for (const AggQuery& q : queries) {
+      const Predicate& where = *q.where;
+      const AggregateResult truth =
+          Aggregate(missing, q.agg, q.attr, [&](size_t r) {
+            return where.MatchesRow(missing, r);
+          });
+      const auto range = solver.Bound(q);
+      ASSERT_TRUE(range.ok()) << range.status();
+      const double tol = 1e-6 * std::max(1.0, std::fabs(truth.value));
+      EXPECT_GE(truth.value, range->lo - tol);
+      EXPECT_LE(truth.value, range->hi + tol);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandPcSoundness,
+                         ::testing::Values(5, 6, 7, 8));
+
+TEST(EvalHarnessTest, PcReportHasZeroFailures) {
+  workload::IntelWirelessOptions data_opts;
+  data_opts.num_devices = 8;
+  data_opts.num_epochs = 40;
+  const Table full = workload::MakeIntelWireless(data_opts);
+  auto split = workload::SplitTopValueCorrelated(full, 2, 0.4);
+
+  const auto pcs = workload::MakeCorrPCs(split.missing, {0, 1}, 2, 16);
+  PcEstimator pc_est(pcs, DomainsFromSchema(full.schema()), "Corr-PC");
+  HistogramEstimator hist(split.missing, {0, 1}, 2, 16);
+
+  workload::QueryGenOptions qopts;
+  qopts.count = 40;
+  const auto queries =
+      workload::MakeRandomRangeQueries(full, {0, 1}, AggFunc::kSum, 2, qopts);
+
+  const auto reports =
+      eval::CompareEstimators({&pc_est, &hist}, queries, split.missing);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].failures, 0u);  // the paper's hard guarantee
+  EXPECT_EQ(reports[1].failures, 0u);  // histograms are hard bounds too
+  EXPECT_GE(reports[0].median_over_rate(), 1.0 - 1e-9);
+}
+
+TEST(EvalHarnessTest, DetectsFailuresOfBrokenEstimator) {
+  // An estimator that always answers [0, 0] must fail on non-zero
+  // truths.
+  class ZeroEstimator : public MissingDataEstimator {
+   public:
+    StatusOr<ResultRange> Estimate(const AggQuery&) const override {
+      return ResultRange{};
+    }
+    std::string name() const override { return "Zero"; }
+  };
+  Table missing{Schema({{"x", ColumnType::kDouble},
+                        {"v", ColumnType::kDouble}})};
+  for (int i = 0; i < 50; ++i) missing.AppendRow({double(i % 10), 5.0});
+  workload::QueryGenOptions qopts;
+  qopts.count = 20;
+  const auto queries = workload::MakeRandomRangeQueries(
+      missing, {0}, AggFunc::kSum, 1, qopts);
+  ZeroEstimator zero;
+  const auto report = eval::EvaluateEstimator(zero, queries, missing);
+  EXPECT_GT(report.failures, 0u);
+}
+
+TEST(IntegrationTest, SalesScenarioFromPaperSection2) {
+  // The running example: a network outage loses Nov-10..Nov-13 rows
+  // from New York and Chicago; bound SUM(price) over the outage window.
+  workload::SalesOptions opts;
+  opts.num_rows = 3000;
+  const Table sales = workload::MakeSales(opts);
+  const size_t utc = 0, branch = 1, price = 2;
+
+  // Outage window: day 9 to day 12 (hours 216..312).
+  auto split = workload::SplitRange(sales, utc, 216.0, 312.0);
+  const Table& missing = split.missing;
+  ASSERT_GT(missing.num_rows(), 0u);
+
+  const auto pcs =
+      workload::MakeCorrPCs(missing, {utc, branch}, price, 12);
+  ASSERT_TRUE(pcs.SatisfiedBy(missing));
+
+  PcBoundSolver solver(pcs, DomainsFromSchema(sales.schema()));
+  const auto range = solver.Bound(AggQuery::Sum(price));
+  ASSERT_TRUE(range.ok());
+  const double truth = Aggregate(missing, AggFunc::kSum, price).value;
+  EXPECT_GE(truth, range->lo - 1e-6);
+  EXPECT_LE(truth, range->hi + 1e-6);
+  EXPECT_GT(range->hi, 0.0);
+}
+
+TEST(IntegrationTest, CombinedObservedPlusMissing) {
+  workload::IntelWirelessOptions data_opts;
+  data_opts.num_devices = 6;
+  data_opts.num_epochs = 30;
+  const Table full = workload::MakeIntelWireless(data_opts);
+  auto split = workload::SplitTopValueCorrelated(full, 2, 0.25);
+
+  const auto pcs = workload::MakeCorrPCs(split.missing, {0, 1}, 2, 9);
+  PcBoundSolver solver(pcs, DomainsFromSchema(full.schema()));
+  const auto missing_range = solver.Bound(AggQuery::Sum(2));
+  ASSERT_TRUE(missing_range.ok());
+
+  const AggregateResult observed =
+      Aggregate(split.observed, AggFunc::kSum, 2);
+  const ResultRange total =
+      CombineWithObserved(AggFunc::kSum, observed, *missing_range);
+  const double truth = Aggregate(full, AggFunc::kSum, 2).value;
+  EXPECT_GE(truth, total.lo - 1e-6);
+  EXPECT_LE(truth, total.hi + 1e-6);
+}
+
+}  // namespace
+}  // namespace pcx

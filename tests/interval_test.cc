@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "predicate/box.h"
+#include "predicate/interval.h"
+
+namespace pcx {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(IntervalTest, DefaultUnbounded) {
+  Interval iv;
+  EXPECT_TRUE(iv.is_unbounded());
+  EXPECT_FALSE(iv.IsEmpty());
+  EXPECT_TRUE(iv.Contains(0.0));
+  EXPECT_TRUE(iv.Contains(-1e308));
+}
+
+TEST(IntervalTest, ClosedContainsEndpoints) {
+  const Interval iv = Interval::Closed(1.0, 2.0);
+  EXPECT_TRUE(iv.Contains(1.0));
+  EXPECT_TRUE(iv.Contains(2.0));
+  EXPECT_TRUE(iv.Contains(1.5));
+  EXPECT_FALSE(iv.Contains(0.999));
+  EXPECT_FALSE(iv.Contains(2.001));
+}
+
+TEST(IntervalTest, StrictBoundsExcludeEndpoints) {
+  const Interval iv{1.0, 2.0, true, true};
+  EXPECT_FALSE(iv.Contains(1.0));
+  EXPECT_FALSE(iv.Contains(2.0));
+  EXPECT_TRUE(iv.Contains(1.5));
+}
+
+TEST(IntervalTest, PointInterval) {
+  const Interval iv = Interval::Point(3.0);
+  EXPECT_TRUE(iv.Contains(3.0));
+  EXPECT_FALSE(iv.Contains(3.0001));
+  EXPECT_FALSE(iv.IsEmpty());
+}
+
+TEST(IntervalTest, EmptyWhenInverted) {
+  const Interval iv = Interval::Closed(2.0, 2.0).Intersect(
+      Interval::Closed(3.0, 4.0));
+  EXPECT_TRUE(iv.IsEmpty());
+}
+
+TEST(IntervalTest, HalfOpenPointIsEmpty) {
+  // [2, 2) contains nothing.
+  const Interval iv{2.0, 2.0, false, true};
+  EXPECT_TRUE(iv.IsEmpty());
+}
+
+TEST(IntervalTest, OpenIntervalEmptyOverIntegers) {
+  // (2, 3) has no integer point but is non-empty over the reals.
+  const Interval iv{2.0, 3.0, true, true};
+  EXPECT_FALSE(iv.IsEmpty(AttrDomain::kContinuous));
+  EXPECT_TRUE(iv.IsEmpty(AttrDomain::kInteger));
+}
+
+TEST(IntervalTest, HalfOpenIntegerInterval) {
+  // [2, 3) over integers contains exactly {2}.
+  const Interval iv{2.0, 3.0, false, true};
+  EXPECT_FALSE(iv.IsEmpty(AttrDomain::kInteger));
+  EXPECT_EQ(iv.Witness(AttrDomain::kInteger), 2.0);
+}
+
+TEST(IntervalTest, FractionalIntegerIntervalEmpty) {
+  // [2.2, 2.8] has no integers.
+  const Interval iv = Interval::Closed(2.2, 2.8);
+  EXPECT_TRUE(iv.IsEmpty(AttrDomain::kInteger));
+  EXPECT_FALSE(iv.IsEmpty(AttrDomain::kContinuous));
+}
+
+TEST(IntervalTest, IntersectTakesTighterBounds) {
+  const Interval a = Interval::Closed(0.0, 10.0);
+  const Interval b = Interval::Closed(5.0, 20.0);
+  const Interval c = a.Intersect(b);
+  EXPECT_EQ(c.lo, 5.0);
+  EXPECT_EQ(c.hi, 10.0);
+}
+
+TEST(IntervalTest, IntersectPrefersStrictness) {
+  const Interval a = Interval::Closed(0.0, 10.0);
+  const Interval b = Interval::LessThan(10.0);
+  const Interval c = a.Intersect(b);
+  EXPECT_EQ(c.hi, 10.0);
+  EXPECT_TRUE(c.hi_strict);
+  const Interval d = Interval::GreaterThan(0.0).Intersect(a);
+  EXPECT_TRUE(d.lo_strict);
+}
+
+TEST(IntervalTest, WitnessInsideInterval) {
+  for (const Interval& iv :
+       {Interval::Closed(1.0, 2.0), Interval::GreaterThan(5.0),
+        Interval::LessThan(-3.0), Interval{1.0, 2.0, true, true},
+        Interval::Point(7.0), Interval::All()}) {
+    EXPECT_TRUE(iv.Contains(iv.Witness())) << iv.ToString();
+  }
+}
+
+TEST(IntervalTest, IntegerWitnessIsInteger) {
+  const Interval iv{1.5, 10.0, false, false};
+  const double w = iv.Witness(AttrDomain::kInteger);
+  EXPECT_EQ(w, 2.0);
+  EXPECT_TRUE(iv.Contains(w));
+}
+
+TEST(IntervalTest, ToStringFormats) {
+  EXPECT_EQ(Interval::Closed(0.0, 5.0).ToString(), "[0, 5]");
+  EXPECT_EQ((Interval{0.0, 5.0, true, true}).ToString(), "(0, 5)");
+  EXPECT_EQ(Interval::AtLeast(2.0).ToString(), "[2, inf)");
+  EXPECT_EQ(Interval::LessThan(2.0).ToString(), "(-inf, 2)");
+}
+
+TEST(BoxTest, DefaultUniverse) {
+  Box b(3);
+  EXPECT_TRUE(b.IsUniverse());
+  EXPECT_FALSE(b.IsEmpty());
+  EXPECT_TRUE(b.Contains({0.0, 1e9, -1e9}));
+}
+
+TEST(BoxTest, ConstrainNarrows) {
+  Box b(2);
+  b.Constrain(0, Interval::Closed(0.0, 1.0));
+  EXPECT_FALSE(b.IsUniverse());
+  EXPECT_TRUE(b.Contains({0.5, 100.0}));
+  EXPECT_FALSE(b.Contains({2.0, 0.0}));
+}
+
+TEST(BoxTest, IntersectPerDimension) {
+  Box a(2), b(2);
+  a.Constrain(0, Interval::Closed(0.0, 10.0));
+  b.Constrain(0, Interval::Closed(5.0, 20.0));
+  b.Constrain(1, Interval::Closed(-1.0, 1.0));
+  const Box c = a.Intersect(b);
+  EXPECT_TRUE(c.Contains({7.0, 0.0}));
+  EXPECT_FALSE(c.Contains({3.0, 0.0}));
+  EXPECT_FALSE(c.Contains({7.0, 2.0}));
+}
+
+TEST(BoxTest, EmptyWhenAnyDimEmpty) {
+  Box b(2);
+  b.Constrain(0, Interval::Closed(0.0, 1.0));
+  b.Constrain(0, Interval::Closed(2.0, 3.0));
+  EXPECT_TRUE(b.IsEmpty());
+}
+
+TEST(BoxTest, EmptyRespectsIntegerDomains) {
+  Box b(2);
+  b.Constrain(1, Interval{2.0, 3.0, true, true});
+  EXPECT_FALSE(b.IsEmpty());
+  EXPECT_TRUE(b.IsEmpty({AttrDomain::kContinuous, AttrDomain::kInteger}));
+}
+
+TEST(BoxTest, CoversSubBox) {
+  Box outer(2), inner(2);
+  outer.Constrain(0, Interval::Closed(0.0, 10.0));
+  inner.Constrain(0, Interval::Closed(2.0, 5.0));
+  inner.Constrain(1, Interval::Closed(0.0, 1.0));
+  EXPECT_TRUE(outer.Covers(inner));
+  EXPECT_FALSE(inner.Covers(outer));
+  EXPECT_TRUE(outer.Covers(outer));
+}
+
+TEST(BoxTest, WitnessInsideBox) {
+  Box b(3);
+  b.Constrain(0, Interval::Closed(1.0, 2.0));
+  b.Constrain(2, Interval::GreaterThan(10.0));
+  const auto w = b.Witness();
+  EXPECT_TRUE(b.Contains(w));
+}
+
+TEST(BoxTest, EqualityOperator) {
+  Box a(2), b(2);
+  a.Constrain(0, Interval::Closed(0.0, 1.0));
+  b.Constrain(0, Interval::Closed(0.0, 1.0));
+  EXPECT_TRUE(a == b);
+  b.Constrain(1, Interval::AtMost(5.0));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BoxTest, InfinityEdgeCases) {
+  Box b(1);
+  b.Constrain(0, Interval::AtLeast(kInf));
+  // [inf, inf] contains no finite value but is formally "non-empty" at
+  // infinity; Contains on finite points must still say no.
+  EXPECT_FALSE(b.Contains({1e308}));
+}
+
+}  // namespace
+}  // namespace pcx

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "join/edge_cover.h"
+#include "join/elastic_sensitivity.h"
+#include "join/hypergraph.h"
+#include "join/join_bound.h"
+#include "relation/join.h"
+#include "workload/datasets.h"
+
+namespace pcx {
+namespace {
+
+TEST(HypergraphTest, TriangleShape) {
+  const JoinHypergraph g = JoinHypergraph::Triangle();
+  EXPECT_EQ(g.num_relations(), 3u);
+  EXPECT_EQ(g.attributes().size(), 3u);
+  EXPECT_TRUE(g.RelationHasAttr(0, "a"));
+  EXPECT_TRUE(g.RelationHasAttr(0, "b"));
+  EXPECT_FALSE(g.RelationHasAttr(0, "c"));
+}
+
+TEST(HypergraphTest, ChainShape) {
+  const JoinHypergraph g = JoinHypergraph::Chain(5);
+  EXPECT_EQ(g.num_relations(), 5u);
+  EXPECT_EQ(g.attributes().size(), 6u);
+  EXPECT_TRUE(g.RelationHasAttr(0, "x1"));
+  EXPECT_TRUE(g.RelationHasAttr(4, "x6"));
+}
+
+TEST(HypergraphTest, CliqueShape) {
+  const JoinHypergraph g = JoinHypergraph::Clique(4);
+  EXPECT_EQ(g.num_relations(), 6u);  // C(4,2) edges
+  EXPECT_EQ(g.attributes().size(), 4u);
+}
+
+TEST(EdgeCoverTest, TriangleOptimalIsHalfEach) {
+  // Equal relation sizes N: min fractional edge cover weight is 1/2 per
+  // edge, giving the AGM bound N^{3/2}.
+  const JoinHypergraph g = JoinHypergraph::Triangle();
+  const double log_n = std::log(100.0);
+  auto cover = MinimizeFractionalEdgeCover(g, {log_n, log_n, log_n});
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover->log_bound, 1.5 * log_n, 1e-6);
+  for (double w : cover->weights) EXPECT_NEAR(w, 0.5, 1e-6);
+}
+
+TEST(EdgeCoverTest, ChainOptimalPicksAlternatingRelations) {
+  // Chain of 5: x1 forces c1 = 1, x6 forces c5 = 1, x3/x4 need one of
+  // the middle relations: optimum = 3 log N (relations 1, 3, 5).
+  const JoinHypergraph g = JoinHypergraph::Chain(5);
+  const double log_n = std::log(100.0);
+  auto cover =
+      MinimizeFractionalEdgeCover(g, std::vector<double>(5, log_n));
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover->log_bound, 3.0 * log_n, 1e-6);
+}
+
+TEST(EdgeCoverTest, FixedRelationWeightRespected) {
+  const JoinHypergraph g = JoinHypergraph::Triangle();
+  const double log_n = std::log(100.0);
+  auto cover = MinimizeFractionalEdgeCover(g, {log_n, log_n, log_n},
+                                           /*fixed_relation=*/0);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover->weights[0], 1.0, 1e-8);
+  // With c0 = 1, attributes a and b are covered; c needs c1 + c2 >= 1:
+  // optimum = 2 log N.
+  EXPECT_NEAR(cover->log_bound, 2.0 * log_n, 1e-6);
+}
+
+TEST(EdgeCoverTest, RejectsBadInput) {
+  const JoinHypergraph g = JoinHypergraph::Triangle();
+  EXPECT_FALSE(MinimizeFractionalEdgeCover(g, {1.0}).ok());
+  EXPECT_FALSE(
+      MinimizeFractionalEdgeCover(JoinHypergraph(), {}).ok());
+}
+
+JoinBoundInput TriangleInput(double n) {
+  JoinBoundInput input;
+  input.graph = JoinHypergraph::Triangle();
+  input.count_upper = {n, n, n};
+  return input;
+}
+
+TEST(JoinBoundTest, TriangleCountN15VsNaiveN3) {
+  const double n = 10000.0;
+  auto naive = NaiveJoinBound(TriangleInput(n));
+  auto cover = EdgeCoverJoinBound(TriangleInput(n));
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(*naive, n * n * n, 1.0);
+  EXPECT_NEAR(*cover, std::pow(n, 1.5), std::pow(n, 1.5) * 1e-6);
+  EXPECT_LT(*cover, *naive / 1e5);  // orders of magnitude tighter
+}
+
+TEST(JoinBoundTest, SumBoundFixesAggregateRelation) {
+  JoinBoundInput input = TriangleInput(100.0);
+  input.agg_relation = 0;
+  input.sum_upper = 500.0;
+  auto bound = EdgeCoverJoinBound(input);
+  ASSERT_TRUE(bound.ok());
+  // SUM_R * N^{c2+c3} with c2+c3 = 1 (attribute c): 500 * 100.
+  EXPECT_NEAR(*bound, 500.0 * 100.0, 1.0);
+}
+
+TEST(JoinBoundTest, EmptyRelationAnnihilates) {
+  JoinBoundInput input = TriangleInput(100.0);
+  input.count_upper[1] = 0.0;
+  auto bound = EdgeCoverJoinBound(input);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(*bound, 0.0);
+}
+
+TEST(JoinBoundTest, BoundContainsTrueTriangleCount) {
+  // Soundness on actual data: bound the triangle count of random edge
+  // tables via PCs and compare with the exact count.
+  const size_t num_edges = 300;
+  const size_t num_vertices = 40;
+  Table r = workload::MakeRandomEdges(num_edges, num_vertices, 1);
+  Table s = workload::MakeRandomEdges(num_edges, num_vertices, 2);
+  Table t = workload::MakeRandomEdges(num_edges, num_vertices, 3);
+  auto truth = TriangleCount(r, s, t);
+  ASSERT_TRUE(truth.ok());
+
+  // One TRUE PC per relation: count <= |R|.
+  auto pcs_for = [&](const Table& table) {
+    Predicate everything(2);
+    Box values(2);
+    PredicateConstraintSet set;
+    set.Add(PredicateConstraint(
+        everything, values,
+        {0.0, static_cast<double>(table.num_rows())}));
+    return set;
+  };
+  const auto pr = pcs_for(r), ps = pcs_for(s), pt = pcs_for(t);
+  auto bound = BoundNaturalJoin(JoinHypergraph::Triangle(), {&pr, &ps, &pt});
+  ASSERT_TRUE(bound.ok());
+  EXPECT_GE(*bound, *truth);
+  EXPECT_NEAR(*bound, std::pow(300.0, 1.5), 1.0);
+}
+
+TEST(JoinBoundTest, BoundContainsTrueChainCount) {
+  std::vector<Table> tables;
+  for (int i = 0; i < 5; ++i) {
+    tables.push_back(workload::MakeChainRelation(200, 30, 10 + i));
+  }
+  std::vector<const Table*> ptrs;
+  for (const auto& t : tables) ptrs.push_back(&t);
+  auto truth = ChainJoinCount(ptrs);
+  ASSERT_TRUE(truth.ok());
+
+  auto pcs_for = [&](const Table& table) {
+    Predicate everything(2);
+    Box values(2);
+    PredicateConstraintSet set;
+    set.Add(PredicateConstraint(
+        everything, values,
+        {0.0, static_cast<double>(table.num_rows())}));
+    return set;
+  };
+  std::vector<PredicateConstraintSet> pcs;
+  for (const auto& t : tables) pcs.push_back(pcs_for(t));
+  std::vector<const PredicateConstraintSet*> pcs_ptrs;
+  for (const auto& p : pcs) pcs_ptrs.push_back(&p);
+  auto bound = BoundNaturalJoin(JoinHypergraph::Chain(5), pcs_ptrs);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_GE(*bound, *truth);
+  // Chain bound = N^3, far below the Cartesian N^5.
+  EXPECT_NEAR(*bound, std::pow(200.0, 3.0), 1.0);
+}
+
+TEST(ElasticSensitivityTest, DefaultsToCartesianProduct) {
+  const JoinHypergraph g = JoinHypergraph::Chain(5);
+  std::vector<EsRelation> rels(5, EsRelation{100.0, -1.0});
+  auto bound = ElasticSensitivityCountBound(g, rels);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_NEAR(*bound, std::pow(100.0, 5.0), 1.0);
+}
+
+TEST(ElasticSensitivityTest, UsesProvidedMaxFrequencies) {
+  const JoinHypergraph g = JoinHypergraph::Triangle();
+  std::vector<EsRelation> rels = {{100.0, -1.0}, {100.0, 5.0}, {100.0, 5.0}};
+  auto bound = ElasticSensitivityCountBound(g, rels);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_NEAR(*bound, 100.0 * 5.0 * 5.0, 1e-9);
+}
+
+TEST(ElasticSensitivityTest, LooserThanEdgeCoverOnTriangles) {
+  const double n = 1000.0;
+  auto es = ElasticSensitivityCountBound(JoinHypergraph::Triangle(),
+                                         {{n}, {n}, {n}});
+  auto ec = EdgeCoverJoinBound(TriangleInput(n));
+  ASSERT_TRUE(es.ok());
+  ASSERT_TRUE(ec.ok());
+  EXPECT_GT(*es / *ec, 100.0);  // multiple orders of magnitude (Fig. 12)
+}
+
+}  // namespace
+}  // namespace pcx

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "predicate/predicate.h"
+#include "relation/table.h"
+
+namespace pcx {
+namespace {
+
+Schema SalesSchema() {
+  Schema s({{"utc", ColumnType::kDouble},
+            {"branch", ColumnType::kCategorical},
+            {"price", ColumnType::kDouble}});
+  s.InternLabel(1, "New York");
+  s.InternLabel(1, "Chicago");
+  s.InternLabel(1, "Trenton");
+  return s;
+}
+
+TEST(PredicateTest, TrueMatchesEverything) {
+  Predicate p(3);
+  EXPECT_TRUE(p.IsTrue());
+  EXPECT_TRUE(p.Matches({0.0, 1.0, -5.0}));
+}
+
+TEST(PredicateTest, RangeAndEquality) {
+  Predicate p(3);
+  p.AddRange(0, 10.0, 20.0).AddEquals(1, 1.0);
+  EXPECT_TRUE(p.Matches({15.0, 1.0, 0.0}));
+  EXPECT_FALSE(p.Matches({15.0, 2.0, 0.0}));
+  EXPECT_FALSE(p.Matches({25.0, 1.0, 0.0}));
+}
+
+TEST(PredicateTest, InequalityBuilders) {
+  Predicate p(1);
+  p.AddAtLeast(0, 5.0);
+  EXPECT_TRUE(p.Matches({5.0}));
+  EXPECT_FALSE(p.Matches({4.999}));
+  Predicate q(1);
+  q.AddLessThan(0, 5.0);
+  EXPECT_TRUE(q.Matches({4.999}));
+  EXPECT_FALSE(q.Matches({5.0}));
+}
+
+TEST(PredicateTest, ConjunctionNarrowsToEmpty) {
+  Predicate p(1);
+  p.AddRange(0, 0.0, 1.0).AddRange(0, 2.0, 3.0);
+  EXPECT_TRUE(p.box().IsEmpty());
+}
+
+TEST(PredicateTest, RangeOnByName) {
+  const Schema schema = SalesSchema();
+  auto p = Predicate::RangeOn(schema, "price", 1.0, 9.99);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Matches({0.0, 0.0, 5.0}));
+  EXPECT_FALSE(p->Matches({0.0, 0.0, 10.0}));
+  EXPECT_FALSE(Predicate::RangeOn(schema, "nope", 0.0, 1.0).ok());
+}
+
+TEST(PredicateTest, LabelEqualsResolvesDictionary) {
+  const Schema schema = SalesSchema();
+  auto p = Predicate::LabelEquals(schema, "branch", "Chicago");
+  ASSERT_TRUE(p.ok());
+  const double chicago = *schema.LabelCode(1, "Chicago");
+  EXPECT_TRUE(p->Matches({0.0, chicago, 0.0}));
+  const double nyc = *schema.LabelCode(1, "New York");
+  EXPECT_FALSE(p->Matches({0.0, nyc, 0.0}));
+  EXPECT_FALSE(Predicate::LabelEquals(schema, "branch", "Boston").ok());
+}
+
+TEST(PredicateTest, MatchesRowOnTable) {
+  Table t{SalesSchema()};
+  const double chicago = *t.schema().LabelCode(1, "Chicago");
+  t.AppendRow({5.0, chicago, 100.0});
+  t.AppendRow({50.0, chicago, 100.0});
+  Predicate p(3);
+  p.AddAtMost(0, 10.0);
+  EXPECT_TRUE(p.MatchesRow(t, 0));
+  EXPECT_FALSE(p.MatchesRow(t, 1));
+}
+
+TEST(PredicateTest, DomainsFromSchemaMapsTypes) {
+  const auto domains = DomainsFromSchema(SalesSchema());
+  ASSERT_EQ(domains.size(), 3u);
+  EXPECT_EQ(domains[0], AttrDomain::kContinuous);
+  EXPECT_EQ(domains[1], AttrDomain::kInteger);
+  EXPECT_EQ(domains[2], AttrDomain::kContinuous);
+}
+
+}  // namespace
+}  // namespace pcx

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "relation/aggregate.h"
+#include "relation/join.h"
+#include "relation/schema.h"
+#include "relation/table.h"
+
+namespace pcx {
+namespace {
+
+Table MakeSensorTable() {
+  Schema schema({{"device", ColumnType::kDouble},
+                 {"light", ColumnType::kDouble}});
+  Table t(std::move(schema));
+  t.AppendRow({0, 10.0});
+  t.AppendRow({0, 20.0});
+  t.AppendRow({1, 30.0});
+  t.AppendRow({1, 40.0});
+  t.AppendRow({2, 50.0});
+  return t;
+}
+
+TEST(SchemaTest, ColumnIndexByName) {
+  Schema s({{"a", ColumnType::kDouble}, {"b", ColumnType::kCategorical}});
+  EXPECT_EQ(*s.ColumnIndex("a"), 0u);
+  EXPECT_EQ(*s.ColumnIndex("b"), 1u);
+  EXPECT_FALSE(s.ColumnIndex("c").ok());
+}
+
+TEST(SchemaTest, DictionaryRoundTrip) {
+  Schema s({{"branch", ColumnType::kCategorical}});
+  const double chi = s.InternLabel(0, "Chicago");
+  const double nyc = s.InternLabel(0, "New York");
+  EXPECT_NE(chi, nyc);
+  EXPECT_EQ(s.InternLabel(0, "Chicago"), chi);  // idempotent
+  EXPECT_EQ(*s.LabelCode(0, "Chicago"), chi);
+  EXPECT_EQ(*s.LabelForCode(0, nyc), "New York");
+  EXPECT_EQ(s.DictionarySize(0), 2u);
+  EXPECT_FALSE(s.LabelCode(0, "Trenton").ok());
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table t = MakeSensorTable();
+  EXPECT_EQ(t.num_rows(), 5u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.At(2, 1), 30.0);
+  EXPECT_EQ(t.Row(4), (std::vector<double>{2, 50.0}));
+}
+
+TEST(TableTest, ColumnSpan) {
+  Table t = MakeSensorTable();
+  auto col = t.Column(1);
+  ASSERT_EQ(col.size(), 5u);
+  EXPECT_EQ(col[0], 10.0);
+  EXPECT_EQ(col[4], 50.0);
+}
+
+TEST(TableTest, FilterKeepsMatching) {
+  Table t = MakeSensorTable();
+  Table f = t.Filter([&](size_t r) { return t.At(r, 1) >= 30.0; });
+  EXPECT_EQ(f.num_rows(), 3u);
+  EXPECT_EQ(f.At(0, 1), 30.0);
+}
+
+TEST(TableTest, SelectReordersAndDuplicates) {
+  Table t = MakeSensorTable();
+  Table s = t.Select({4, 0, 0});
+  EXPECT_EQ(s.num_rows(), 3u);
+  EXPECT_EQ(s.At(0, 1), 50.0);
+  EXPECT_EQ(s.At(1, 1), 10.0);
+  EXPECT_EQ(s.At(2, 1), 10.0);
+}
+
+TEST(TableTest, PartitionSplitsAllRows) {
+  Table t = MakeSensorTable();
+  auto [a, b] = t.Partition([&](size_t r) { return t.At(r, 0) == 1.0; });
+  EXPECT_EQ(a.num_rows(), 2u);
+  EXPECT_EQ(b.num_rows(), 3u);
+}
+
+TEST(TableTest, ColumnRange) {
+  Table t = MakeSensorTable();
+  auto range = t.ColumnRange(1);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->first, 10.0);
+  EXPECT_EQ(range->second, 50.0);
+  Table empty{Schema({{"x", ColumnType::kDouble}})};
+  EXPECT_FALSE(empty.ColumnRange(0).ok());
+}
+
+TEST(AggregateTest, CountSumAvgMinMax) {
+  Table t = MakeSensorTable();
+  EXPECT_EQ(Aggregate(t, AggFunc::kCount, 0).value, 5.0);
+  EXPECT_EQ(Aggregate(t, AggFunc::kSum, 1).value, 150.0);
+  EXPECT_EQ(Aggregate(t, AggFunc::kAvg, 1).value, 30.0);
+  EXPECT_EQ(Aggregate(t, AggFunc::kMin, 1).value, 10.0);
+  EXPECT_EQ(Aggregate(t, AggFunc::kMax, 1).value, 50.0);
+}
+
+TEST(AggregateTest, FilterApplies) {
+  Table t = MakeSensorTable();
+  auto dev1 = [&](size_t r) { return t.At(r, 0) == 1.0; };
+  EXPECT_EQ(Aggregate(t, AggFunc::kSum, 1, dev1).value, 70.0);
+  EXPECT_EQ(Aggregate(t, AggFunc::kCount, 0, dev1).value, 2.0);
+}
+
+TEST(AggregateTest, EmptyInputFlags) {
+  Table t = MakeSensorTable();
+  auto none = [](size_t) { return false; };
+  EXPECT_FALSE(Aggregate(t, AggFunc::kSum, 1, none).empty_input);
+  EXPECT_EQ(Aggregate(t, AggFunc::kSum, 1, none).value, 0.0);
+  EXPECT_TRUE(Aggregate(t, AggFunc::kAvg, 1, none).empty_input);
+  EXPECT_TRUE(Aggregate(t, AggFunc::kMin, 1, none).empty_input);
+  EXPECT_TRUE(Aggregate(t, AggFunc::kMax, 1, none).empty_input);
+}
+
+TEST(AggregateTest, ByName) {
+  Table t = MakeSensorTable();
+  auto res = Aggregate(t, AggFunc::kMax, "light");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->value, 50.0);
+  EXPECT_FALSE(Aggregate(t, AggFunc::kMax, "nope").ok());
+}
+
+TEST(AggFuncTest, Names) {
+  EXPECT_STREQ(AggFuncToString(AggFunc::kCount), "COUNT");
+  EXPECT_STREQ(AggFuncToString(AggFunc::kAvg), "AVG");
+}
+
+Table MakeEdgeTable(std::initializer_list<std::pair<double, double>> edges) {
+  Table t{Schema({{"src", ColumnType::kDouble}, {"dst", ColumnType::kDouble}})};
+  for (const auto& [s, d] : edges) t.AppendRow({s, d});
+  return t;
+}
+
+TEST(JoinTest, HashJoinBasic) {
+  Table left = MakeEdgeTable({{1, 2}, {2, 3}, {3, 4}});
+  Table right = MakeEdgeTable({{2, 9}, {2, 8}, {4, 7}});
+  auto joined = HashJoin(left, 1, right, 0);
+  ASSERT_TRUE(joined.ok());
+  // left rows with dst=2 join twice; dst=4 joins once.
+  EXPECT_EQ(joined->num_rows(), 3u);
+  EXPECT_EQ(joined->num_columns(), 4u);
+}
+
+TEST(JoinTest, HashJoinEmptyResult) {
+  Table left = MakeEdgeTable({{1, 2}});
+  Table right = MakeEdgeTable({{3, 4}});
+  auto joined = HashJoin(left, 1, right, 0);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 0u);
+}
+
+TEST(JoinTest, HashJoinRenamesCollidingColumns) {
+  Table left = MakeEdgeTable({{1, 2}});
+  Table right = MakeEdgeTable({{2, 3}});
+  auto joined = HashJoin(left, 1, right, 0);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined->schema().ColumnIndex("src_r").ok());
+}
+
+TEST(JoinTest, ChainJoinCountMatchesPairwise) {
+  Table r1 = MakeEdgeTable({{0, 1}, {0, 2}, {1, 2}});
+  Table r2 = MakeEdgeTable({{1, 5}, {2, 5}, {2, 6}});
+  Table r3 = MakeEdgeTable({{5, 0}, {6, 0}, {6, 1}});
+  auto fast = ChainJoinCount({&r1, &r2, &r3});
+  ASSERT_TRUE(fast.ok());
+  // Ground truth by materializing.
+  auto j12 = HashJoin(r1, 1, r2, 0);
+  ASSERT_TRUE(j12.ok());
+  auto j123 = HashJoin(*j12, 3, r3, 0);
+  ASSERT_TRUE(j123.ok());
+  EXPECT_EQ(*fast, static_cast<double>(j123->num_rows()));
+}
+
+TEST(JoinTest, TriangleCountSimple) {
+  // Triangle 1->2->3->1 plus a non-triangle edge.
+  Table r = MakeEdgeTable({{1, 2}, {9, 9}});
+  Table s = MakeEdgeTable({{2, 3}});
+  Table t = MakeEdgeTable({{3, 1}});
+  auto count = TriangleCount(r, s, t);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1.0);
+}
+
+TEST(JoinTest, TriangleCountMultiplicity) {
+  Table r = MakeEdgeTable({{1, 2}, {1, 2}});
+  Table s = MakeEdgeTable({{2, 3}});
+  Table t = MakeEdgeTable({{3, 1}, {3, 1}});
+  auto count = TriangleCount(r, s, t);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 4.0);  // 2 copies in R x 2 copies in T
+}
+
+TEST(JoinTest, ChainEmptyInputRejected) {
+  EXPECT_FALSE(ChainJoinCount({}).ok());
+}
+
+}  // namespace
+}  // namespace pcx

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "predicate/sat.h"
+#include "predicate/z3_sat.h"
+
+namespace pcx {
+namespace {
+
+Box MakeBox(std::initializer_list<std::pair<size_t, Interval>> dims,
+            size_t num_attrs = 2) {
+  Box b(num_attrs);
+  for (const auto& [attr, iv] : dims) b.Constrain(attr, iv);
+  return b;
+}
+
+/// True if `point` satisfies positive ∧ ¬neg_1 ∧ ... ∧ ¬neg_k.
+bool PointSatisfies(const CellExpr& cell, const std::vector<double>& point) {
+  if (!cell.positive.Contains(point)) return false;
+  for (const Box& n : cell.negated) {
+    if (n.Contains(point)) return false;
+  }
+  return true;
+}
+
+TEST(IntervalSatTest, EmptyExpressionIsSat) {
+  IntervalSatChecker checker;
+  CellExpr cell;
+  cell.positive = Box(2);
+  EXPECT_TRUE(checker.IsSatisfiable(cell));
+}
+
+TEST(IntervalSatTest, EmptyPositiveIsUnsat) {
+  IntervalSatChecker checker;
+  CellExpr cell;
+  cell.positive = MakeBox({{0, Interval::Closed(2.0, 1.0)}});
+  EXPECT_FALSE(checker.IsSatisfiable(cell));
+}
+
+TEST(IntervalSatTest, NegationCarvesHole) {
+  IntervalSatChecker checker;
+  CellExpr cell;
+  cell.positive = MakeBox({{0, Interval::Closed(0.0, 10.0)}});
+  cell.negated.push_back(MakeBox({{0, Interval::Closed(2.0, 3.0)}}));
+  EXPECT_TRUE(checker.IsSatisfiable(cell));
+  const auto w = checker.FindWitness(cell);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(PointSatisfies(cell, *w));
+}
+
+TEST(IntervalSatTest, FullCoverIsUnsat) {
+  IntervalSatChecker checker;
+  CellExpr cell;
+  cell.positive = MakeBox({{0, Interval::Closed(0.0, 10.0)}});
+  cell.negated.push_back(MakeBox({{0, Interval::Closed(-1.0, 5.0)}}));
+  cell.negated.push_back(MakeBox({{0, Interval::Closed(5.0, 11.0)}}));
+  EXPECT_FALSE(checker.IsSatisfiable(cell));
+}
+
+TEST(IntervalSatTest, CoverWithGapIsSat) {
+  IntervalSatChecker checker;
+  CellExpr cell;
+  cell.positive = MakeBox({{0, Interval::Closed(0.0, 10.0)}});
+  // Gap at (4, 5).
+  cell.negated.push_back(MakeBox({{0, Interval::Closed(-1.0, 4.0)}}));
+  cell.negated.push_back(MakeBox({{0, Interval::Closed(5.0, 11.0)}}));
+  const auto w = checker.FindWitness(cell);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_GT((*w)[0], 4.0);
+  EXPECT_LT((*w)[0], 5.0);
+}
+
+TEST(IntervalSatTest, GapClosedOverIntegers) {
+  // Same gap (4, 5): satisfiable over reals, not over integers.
+  IntervalSatChecker real_checker;
+  IntervalSatChecker int_checker({AttrDomain::kInteger});
+  CellExpr cell;
+  cell.positive = MakeBox({{0, Interval::Closed(0.0, 10.0)}}, 1);
+  cell.negated.push_back(MakeBox({{0, Interval::Closed(-1.0, 4.0)}}, 1));
+  cell.negated.push_back(MakeBox({{0, Interval::Closed(5.0, 11.0)}}, 1));
+  EXPECT_TRUE(real_checker.IsSatisfiable(cell));
+  EXPECT_FALSE(int_checker.IsSatisfiable(cell));
+}
+
+TEST(IntervalSatTest, TwoDimensionalLShape) {
+  // [0,10]^2 minus [0,10]x[0,5] minus [0,5]x[0,10] leaves (5,10]x(5,10].
+  IntervalSatChecker checker;
+  CellExpr cell;
+  cell.positive = MakeBox({{0, Interval::Closed(0.0, 10.0)},
+                           {1, Interval::Closed(0.0, 10.0)}});
+  cell.negated.push_back(MakeBox({{1, Interval::Closed(0.0, 5.0)}}));
+  cell.negated.push_back(MakeBox({{0, Interval::Closed(0.0, 5.0)}}));
+  const auto w = checker.FindWitness(cell);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_GT((*w)[0], 5.0);
+  EXPECT_GT((*w)[1], 5.0);
+}
+
+TEST(IntervalSatTest, CornerCoverageUnsat) {
+  // Four quadrant boxes cover the full plane region.
+  IntervalSatChecker checker;
+  CellExpr cell;
+  cell.positive = MakeBox({{0, Interval::Closed(-1.0, 1.0)},
+                           {1, Interval::Closed(-1.0, 1.0)}});
+  cell.negated.push_back(MakeBox({{0, Interval::AtMost(0.0)}}));
+  cell.negated.push_back(MakeBox({{0, Interval::AtLeast(0.0)}}));
+  EXPECT_FALSE(checker.IsSatisfiable(cell));
+}
+
+TEST(IntervalSatTest, CallCounterIncrements) {
+  IntervalSatChecker checker;
+  CellExpr cell;
+  cell.positive = Box(1);
+  EXPECT_EQ(checker.num_calls(), 0u);
+  checker.IsSatisfiable(cell);
+  checker.IsSatisfiable(cell);
+  EXPECT_EQ(checker.num_calls(), 2u);
+  checker.ResetStats();
+  EXPECT_EQ(checker.num_calls(), 0u);
+}
+
+TEST(IntervalSatTest, PointHoleDoesNotKillContinuousRegion) {
+  IntervalSatChecker checker;
+  CellExpr cell;
+  cell.positive = MakeBox({{0, Interval::Point(5.0)}});
+  cell.negated.push_back(MakeBox({{0, Interval::Point(5.0)}}));
+  EXPECT_FALSE(checker.IsSatisfiable(cell));
+}
+
+/// Property suite: randomized cell expressions cross-checked against
+/// random point sampling (completeness) and witness verification
+/// (soundness) across dimensions and domain mixes.
+class SatPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SatPropertyTest, AgreesWithPointSampling) {
+  Rng rng(GetParam());
+  const size_t dims = 1 + static_cast<size_t>(rng.UniformInt(0, 2));
+  std::vector<AttrDomain> domains(dims);
+  for (auto& d : domains) {
+    d = rng.Bernoulli(0.3) ? AttrDomain::kInteger : AttrDomain::kContinuous;
+  }
+  IntervalSatChecker checker(domains);
+
+  auto random_box = [&]() {
+    Box b(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      if (rng.Bernoulli(0.3)) continue;  // leave unbounded
+      double lo = std::floor(rng.Uniform(-5.0, 5.0));
+      double hi = std::floor(rng.Uniform(-5.0, 5.0));
+      if (lo > hi) std::swap(lo, hi);
+      b.Constrain(d, Interval{lo, hi, rng.Bernoulli(0.3), rng.Bernoulli(0.3)});
+    }
+    return b;
+  };
+
+  for (int trial = 0; trial < 40; ++trial) {
+    CellExpr cell;
+    cell.positive = random_box();
+    const size_t k = static_cast<size_t>(rng.UniformInt(0, 4));
+    for (size_t i = 0; i < k; ++i) cell.negated.push_back(random_box());
+
+    const auto witness = checker.FindWitness(cell);
+    if (witness.has_value()) {
+      // Soundness: the witness must really satisfy the expression and
+      // respect integer domains.
+      EXPECT_TRUE(PointSatisfies(cell, *witness));
+      for (size_t d = 0; d < dims; ++d) {
+        if (domains[d] == AttrDomain::kInteger) {
+          EXPECT_EQ((*witness)[d], std::floor((*witness)[d]));
+        }
+      }
+    } else {
+      // Completeness (probabilistic): no sampled point may satisfy it.
+      for (int s = 0; s < 300; ++s) {
+        std::vector<double> point(dims);
+        for (size_t d = 0; d < dims; ++d) {
+          point[d] = domains[d] == AttrDomain::kInteger
+                         ? static_cast<double>(rng.UniformInt(-6, 6))
+                         : rng.Uniform(-6.0, 6.0);
+        }
+        EXPECT_FALSE(PointSatisfies(cell, point))
+            << "checker said UNSAT but a satisfying point exists";
+      }
+    }
+  }
+}
+
+TEST_P(SatPropertyTest, MatchesZ3WhenAvailable) {
+  if (!Z3BackendAvailable()) GTEST_SKIP() << "built without libz3";
+  Rng rng(GetParam() * 31 + 5);
+  const size_t dims = 2;
+  IntervalSatChecker ours;
+  auto z3 = MakeZ3SatChecker({});
+  ASSERT_NE(z3, nullptr);
+
+  auto random_box = [&]() {
+    Box b(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      if (rng.Bernoulli(0.25)) continue;
+      double lo = std::floor(rng.Uniform(-4.0, 4.0));
+      double hi = std::floor(rng.Uniform(-4.0, 4.0));
+      if (lo > hi) std::swap(lo, hi);
+      b.Constrain(d, Interval::Closed(lo, hi));
+    }
+    return b;
+  };
+
+  for (int trial = 0; trial < 10; ++trial) {
+    CellExpr cell;
+    cell.positive = random_box();
+    const size_t k = static_cast<size_t>(rng.UniformInt(0, 3));
+    for (size_t i = 0; i < k; ++i) cell.negated.push_back(random_box());
+    EXPECT_EQ(ours.IsSatisfiable(cell), z3->IsSatisfiable(cell))
+        << "disagreement with Z3 on trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace pcx

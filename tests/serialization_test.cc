@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "pc/bound_solver.h"
+#include "pc/serialization.h"
+#include "workload/datasets.h"
+#include "workload/missing.h"
+#include "workload/pc_gen.h"
+
+namespace pcx {
+namespace {
+
+PredicateConstraintSet SampleSet() {
+  PredicateConstraintSet pcs;
+  {
+    Predicate pred(2);
+    pred.AddInterval(0, Interval{0.0, 24.0, false, true});
+    Box values(2);
+    values.Constrain(1, Interval::Closed(0.99, 129.99));
+    pcs.Add(PredicateConstraint(pred, values, {50, 100}));
+  }
+  {
+    Predicate pred(2);  // TRUE
+    Box values(2);
+    values.Constrain(1, Interval::Closed(0.0, 149.99));
+    pcs.Add(PredicateConstraint(pred, values, {0, 1200}));
+  }
+  return pcs;
+}
+
+TEST(IntervalSerializationTest, RoundTrip) {
+  for (const Interval& iv :
+       {Interval::Closed(0.0, 5.0), Interval{0.0, 5.0, true, true},
+        Interval{-3.5, 7.25, false, true}, Interval::AtLeast(2.0),
+        Interval::LessThan(-1.0), Interval::Point(42.0)}) {
+    const auto parsed = ParseInterval(SerializeInterval(iv));
+    ASSERT_TRUE(parsed.ok()) << SerializeInterval(iv);
+    EXPECT_TRUE(*parsed == iv) << SerializeInterval(iv);
+  }
+}
+
+TEST(IntervalSerializationTest, ParsesInfinity) {
+  auto iv = ParseInterval("[-inf, 3)");
+  ASSERT_TRUE(iv.ok());
+  EXPECT_EQ(iv->lo, -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(iv->hi, 3.0);
+  EXPECT_TRUE(iv->hi_strict);
+}
+
+TEST(IntervalSerializationTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseInterval("0, 5").ok());
+  EXPECT_FALSE(ParseInterval("[5, 0]").ok());     // inverted
+  EXPECT_FALSE(ParseInterval("[a, b]").ok());
+  EXPECT_FALSE(ParseInterval("[1]").ok());
+}
+
+TEST(PcSetSerializationTest, RoundTripPreservesSemantics) {
+  const PredicateConstraintSet original = SampleSet();
+  const std::string text = SerializePcSet(original);
+  const auto parsed = ParsePcSet(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_TRUE(parsed->at(i).predicate().box() ==
+                original.at(i).predicate().box());
+    EXPECT_TRUE(parsed->at(i).values() == original.at(i).values());
+    EXPECT_EQ(parsed->at(i).frequency().lo, original.at(i).frequency().lo);
+    EXPECT_EQ(parsed->at(i).frequency().hi, original.at(i).frequency().hi);
+  }
+}
+
+TEST(PcSetSerializationTest, RoundTripPreservesBounds) {
+  // Ultimate check: the deserialized set produces identical result
+  // ranges.
+  const PredicateConstraintSet original = SampleSet();
+  const auto parsed = ParsePcSet(SerializePcSet(original));
+  ASSERT_TRUE(parsed.ok());
+  PcBoundSolver a(original), b(*parsed);
+  for (const AggQuery& q : {AggQuery::Sum(1), AggQuery::Count()}) {
+    const auto ra = a.Bound(q);
+    const auto rb = b.Bound(q);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_DOUBLE_EQ(ra->lo, rb->lo);
+    EXPECT_DOUBLE_EQ(ra->hi, rb->hi);
+  }
+}
+
+TEST(PcSetSerializationTest, GeneratedSetsRoundTrip) {
+  workload::IntelWirelessOptions opts;
+  opts.num_devices = 6;
+  opts.num_epochs = 30;
+  const Table full = workload::MakeIntelWireless(opts);
+  auto split = workload::SplitTopValueCorrelated(full, 2, 0.3);
+  const auto pcs = workload::MakeCorrPCs(split.missing, {0, 1}, 2, 9);
+  const auto parsed = ParsePcSet(SerializePcSet(pcs));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->size(), pcs.size());
+  // Testability survives the round trip.
+  EXPECT_TRUE(parsed->SatisfiedBy(split.missing));
+}
+
+TEST(PcSetSerializationTest, CommentsAndBlankLines) {
+  const std::string text =
+      "pcset v1 attrs=2\n"
+      "# analyst notes: outage between Nov 10 and 13\n"
+      "\n"
+      "pc pred={} values={1:[0,10]} freq=[0,5]\n";
+  const auto parsed = ParsePcSet(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->size(), 1u);
+  EXPECT_TRUE(parsed->at(0).predicate().IsTrue());
+}
+
+TEST(PcSetSerializationTest, ErrorsCarryLineNumbers) {
+  const auto missing_header = ParsePcSet("pc pred={} values={} freq=[0,1]\n");
+  EXPECT_FALSE(missing_header.ok());
+  const auto bad_record = ParsePcSet(
+      "pcset v1 attrs=2\n"
+      "pc pred={9:[0,1]} values={} freq=[0,1]\n");
+  ASSERT_FALSE(bad_record.ok());
+  EXPECT_NE(bad_record.status().message().find("line 2"), std::string::npos);
+  EXPECT_FALSE(ParsePcSet("").ok());
+  EXPECT_FALSE(ParsePcSet("pcset v1 attrs=2\npc pred={0:[0,1]}\n").ok());
+  EXPECT_FALSE(
+      ParsePcSet("pcset v1 attrs=2\npc pred={} values={} freq=[-2,1]\n").ok());
+}
+
+}  // namespace
+}  // namespace pcx

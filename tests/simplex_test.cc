@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "solver/lp_model.h"
+#include "solver/simplex.h"
+
+namespace pcx {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(SimplexTest, SingleVariableBound) {
+  LpModel m;
+  m.AddVariable(1.0, 0.0, 5.0);
+  const Solution s = SimplexSolver().Solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 5.0, 1e-9);
+}
+
+TEST(SimplexTest, ClassicTwoVariableLp) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> x=2, y=6, z=36.
+  LpModel m;
+  const size_t x = m.AddVariable(3.0);
+  const size_t y = m.AddVariable(5.0);
+  m.AddConstraint({{{x, 1.0}}, -kInf, 4.0});
+  m.AddConstraint({{{y, 2.0}}, -kInf, 12.0});
+  m.AddConstraint({{{x, 3.0}, {y, 2.0}}, -kInf, 18.0});
+  const Solution s = SimplexSolver().Solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-8);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-8);
+  EXPECT_NEAR(s.x[y], 6.0, 1e-8);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max x + y s.t. x + y = 3, x <= 2 -> 3.
+  LpModel m;
+  const size_t x = m.AddVariable(1.0, 0.0, 2.0);
+  const size_t y = m.AddVariable(1.0);
+  m.AddConstraint({{{x, 1.0}, {y, 1.0}}, 3.0, 3.0});
+  const Solution s = SimplexSolver().Solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+}
+
+TEST(SimplexTest, GreaterEqualConstraint) {
+  // min 2x + 3y s.t. x + y >= 10, x <= 6 -> x=6, y=4, z=24.
+  LpModel m;
+  m.set_sense(OptSense::kMinimize);
+  const size_t x = m.AddVariable(2.0, 0.0, 6.0);
+  const size_t y = m.AddVariable(3.0);
+  m.AddConstraint({{{x, 1.0}, {y, 1.0}}, 10.0, kInf});
+  const Solution s = SimplexSolver().Solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 24.0, 1e-8);
+  EXPECT_NEAR(s.x[x], 6.0, 1e-8);
+}
+
+TEST(SimplexTest, RangedConstraint) {
+  // max x subject to 2 <= x <= 7 expressed as a ranged row.
+  LpModel m;
+  const size_t x = m.AddVariable(1.0);
+  m.AddConstraint({{{x, 1.0}}, 2.0, 7.0});
+  const Solution s = SimplexSolver().Solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 7.0, 1e-9);
+  // And the minimize direction hits the lower end.
+  m.set_sense(OptSense::kMinimize);
+  const Solution s2 = SimplexSolver().Solve(m);
+  ASSERT_EQ(s2.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s2.objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  LpModel m;
+  const size_t x = m.AddVariable(1.0, 0.0, 1.0);
+  m.AddConstraint({{{x, 1.0}}, 2.0, kInf});  // x >= 2 vs x <= 1
+  EXPECT_EQ(SimplexSolver().Solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  LpModel m;
+  m.AddVariable(1.0);  // max x, x >= 0, no upper bound
+  EXPECT_EQ(SimplexSolver().Solve(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexTest, MinimizeUnboundedBelowIsFineWhenBounded) {
+  // min x with x in [0, inf) is 0, not unbounded.
+  LpModel m;
+  m.set_sense(OptSense::kMinimize);
+  m.AddVariable(1.0);
+  const Solution s = SimplexSolver().Solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-9);
+}
+
+TEST(SimplexTest, ShiftedLowerBounds) {
+  // max x + y with x in [2, 5], y in [1, 3] -> 8.
+  LpModel m;
+  m.AddVariable(1.0, 2.0, 5.0);
+  m.AddVariable(1.0, 1.0, 3.0);
+  const Solution s = SimplexSolver().Solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 8.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 5.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, NegativeObjectiveCoefficients) {
+  // max -x - y s.t. x + y >= 2 -> -2.
+  LpModel m;
+  const size_t x = m.AddVariable(-1.0);
+  const size_t y = m.AddVariable(-1.0);
+  m.AddConstraint({{{x, 1.0}, {y, 1.0}}, 2.0, kInf});
+  const Solution s = SimplexSolver().Solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -2.0, 1e-8);
+}
+
+TEST(SimplexTest, DegenerateLpTerminates) {
+  // Multiple redundant constraints through one vertex.
+  LpModel m;
+  const size_t x = m.AddVariable(1.0);
+  const size_t y = m.AddVariable(1.0);
+  m.AddConstraint({{{x, 1.0}, {y, 1.0}}, -kInf, 1.0});
+  m.AddConstraint({{{x, 2.0}, {y, 2.0}}, -kInf, 2.0});
+  m.AddConstraint({{{x, 1.0}}, -kInf, 1.0});
+  m.AddConstraint({{{y, 1.0}}, -kInf, 1.0});
+  const Solution s = SimplexSolver().Solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-8);
+}
+
+TEST(SimplexTest, RedundantEqualityRows) {
+  // x + y = 2 stated twice (redundant artificial stays basic at 0).
+  LpModel m;
+  const size_t x = m.AddVariable(1.0);
+  const size_t y = m.AddVariable(0.0);
+  m.AddConstraint({{{x, 1.0}, {y, 1.0}}, 2.0, 2.0});
+  m.AddConstraint({{{x, 1.0}, {y, 1.0}}, 2.0, 2.0});
+  const Solution s = SimplexSolver().Solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-8);
+}
+
+TEST(SimplexTest, FractionalEdgeCoverTriangleLp) {
+  // The triangle-query FEC LP: min c1+c2+c3 (equal log sizes) s.t. each
+  // attribute covered: c1+c3 >= 1, c1+c2 >= 1, c2+c3 >= 1.
+  // Optimum: all c = 1/2, total 1.5 — the AGM N^{3/2} exponent.
+  LpModel m;
+  m.set_sense(OptSense::kMinimize);
+  const size_t c1 = m.AddVariable(1.0);
+  const size_t c2 = m.AddVariable(1.0);
+  const size_t c3 = m.AddVariable(1.0);
+  m.AddConstraint({{{c1, 1.0}, {c3, 1.0}}, 1.0, kInf});
+  m.AddConstraint({{{c1, 1.0}, {c2, 1.0}}, 1.0, kInf});
+  m.AddConstraint({{{c2, 1.0}, {c3, 1.0}}, 1.0, kInf});
+  const Solution s = SimplexSolver().Solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.5, 1e-8);
+}
+
+/// Feasibility- and optimality-audited random LPs: the solver's answer
+/// is checked for primal feasibility, and optimality is sanity-checked
+/// against random feasible points.
+class SimplexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexPropertyTest, RandomLpsAreFeasibleAndUndominated) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + static_cast<size_t>(rng.UniformInt(0, 2));
+    LpModel m;
+    for (size_t i = 0; i < n; ++i) {
+      m.AddVariable(rng.Uniform(-2.0, 3.0), 0.0, rng.Uniform(1.0, 10.0));
+    }
+    const size_t rows = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+    for (size_t rix = 0; rix < rows; ++rix) {
+      LinearConstraint c;
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.Bernoulli(0.7)) c.terms.push_back({i, rng.Uniform(0.1, 2.0)});
+      }
+      if (c.terms.empty()) c.terms.push_back({0, 1.0});
+      c.hi = rng.Uniform(5.0, 20.0);  // generous: x = 0 stays feasible
+      m.AddConstraint(std::move(c));
+    }
+    const Solution s = SimplexSolver().Solve(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    // Primal feasibility.
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_GE(s.x[i], m.var_lo()[i] - 1e-7);
+      EXPECT_LE(s.x[i], m.var_hi()[i] + 1e-7);
+    }
+    for (const auto& c : m.constraints()) {
+      double lhs = 0.0;
+      for (const auto& [v, coef] : c.terms) lhs += coef * s.x[v];
+      EXPECT_GE(lhs, c.lo - 1e-6);
+      EXPECT_LE(lhs, c.hi + 1e-6);
+    }
+    // Objective consistency.
+    double z = 0.0;
+    for (size_t i = 0; i < n; ++i) z += m.objective()[i] * s.x[i];
+    EXPECT_NEAR(z, s.objective, 1e-6);
+    // No random feasible point may beat the reported optimum.
+    for (int probe = 0; probe < 200; ++probe) {
+      std::vector<double> p(n);
+      for (size_t i = 0; i < n; ++i) {
+        p[i] = rng.Uniform(m.var_lo()[i], m.var_hi()[i]);
+      }
+      bool feasible = true;
+      for (const auto& c : m.constraints()) {
+        double lhs = 0.0;
+        for (const auto& [v, coef] : c.terms) lhs += coef * p[v];
+        if (lhs < c.lo - 1e-9 || lhs > c.hi + 1e-9) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      double pz = 0.0;
+      for (size_t i = 0; i < n; ++i) pz += m.objective()[i] * p[i];
+      EXPECT_LE(pz, s.objective + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace pcx

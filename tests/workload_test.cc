@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "relation/aggregate.h"
+#include "workload/datasets.h"
+#include "workload/missing.h"
+#include "workload/pc_gen.h"
+#include "workload/query_gen.h"
+
+namespace pcx {
+namespace workload {
+namespace {
+
+TEST(DatasetsTest, IntelWirelessShape) {
+  IntelWirelessOptions opts;
+  opts.num_devices = 10;
+  opts.num_epochs = 50;
+  const Table t = MakeIntelWireless(opts);
+  EXPECT_EQ(t.num_rows(), 500u);
+  EXPECT_EQ(t.num_columns(), 6u);
+  EXPECT_TRUE(t.schema().ColumnIndex("light").ok());
+  // Light is non-negative by construction.
+  auto range = t.ColumnRange(*t.schema().ColumnIndex("light"));
+  ASSERT_TRUE(range.ok());
+  EXPECT_GE(range->first, 0.0);
+}
+
+TEST(DatasetsTest, IntelWirelessIsDeterministic) {
+  IntelWirelessOptions opts;
+  opts.num_devices = 5;
+  opts.num_epochs = 20;
+  const Table a = MakeIntelWireless(opts);
+  const Table b = MakeIntelWireless(opts);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.At(r, 2), b.At(r, 2));
+  }
+}
+
+TEST(DatasetsTest, AirbnbSkewedPrices) {
+  AirbnbOptions opts;
+  opts.num_rows = 5000;
+  const Table t = MakeAirbnb(opts);
+  EXPECT_EQ(t.num_rows(), 5000u);
+  const size_t price = *t.schema().ColumnIndex("price");
+  std::vector<double> prices;
+  for (size_t r = 0; r < t.num_rows(); ++r) prices.push_back(t.At(r, price));
+  const double med = Median(prices);
+  const double p99 = Quantile(prices, 0.99);
+  EXPECT_GT(p99 / med, 4.0);  // heavy skew
+}
+
+TEST(DatasetsTest, AirbnbDictionary) {
+  AirbnbOptions opts;
+  opts.num_rows = 100;
+  const Table t = MakeAirbnb(opts);
+  EXPECT_EQ(t.schema().DictionarySize(4), 3u);
+  EXPECT_TRUE(t.schema().LabelCode(4, "Private room").ok());
+}
+
+TEST(DatasetsTest, BorderCrossingHeavyPorts) {
+  BorderCrossingOptions opts;
+  opts.num_ports = 30;
+  opts.num_days = 100;
+  const Table t = MakeBorderCrossing(opts);
+  EXPECT_GT(t.num_rows(), 100u);
+  const size_t value = *t.schema().ColumnIndex("value");
+  std::vector<double> values;
+  for (size_t r = 0; r < t.num_rows(); ++r) values.push_back(t.At(r, value));
+  EXPECT_GT(Quantile(values, 0.99) / std::max(1.0, Median(values)), 5.0);
+}
+
+TEST(DatasetsTest, SalesBranches) {
+  SalesOptions opts;
+  opts.num_rows = 500;
+  const Table t = MakeSales(opts);
+  EXPECT_EQ(t.schema().DictionarySize(1), 3u);
+  auto price_range = t.ColumnRange(2);
+  ASSERT_TRUE(price_range.ok());
+  EXPECT_LE(price_range->second, 149.99);
+}
+
+TEST(DatasetsTest, EdgeAndChainTables) {
+  const Table e = MakeRandomEdges(100, 10, 1);
+  EXPECT_EQ(e.num_rows(), 100u);
+  auto r = e.ColumnRange(0);
+  EXPECT_LT(r->second, 10.0);
+  const Table c = MakeChainRelation(50, 5, 2);
+  EXPECT_EQ(c.num_rows(), 50u);
+}
+
+TEST(MissingTest, TopValueCorrelatedSplitsExtremes) {
+  Table t{Schema({{"v", ColumnType::kDouble}})};
+  for (int i = 0; i < 100; ++i) t.AppendRow({static_cast<double>(i)});
+  auto split = SplitTopValueCorrelated(t, 0, 0.3);
+  EXPECT_EQ(split.missing.num_rows(), 30u);
+  EXPECT_EQ(split.observed.num_rows(), 70u);
+  // Missing rows are exactly the top 30 values.
+  auto missing_range = split.missing.ColumnRange(0);
+  EXPECT_EQ(missing_range->first, 70.0);
+  auto observed_range = split.observed.ColumnRange(0);
+  EXPECT_EQ(observed_range->second, 69.0);
+}
+
+TEST(MissingTest, RandomSplitPreservesTotal) {
+  Table t{Schema({{"v", ColumnType::kDouble}})};
+  for (int i = 0; i < 100; ++i) t.AppendRow({static_cast<double>(i)});
+  Rng rng(3);
+  auto split = SplitRandom(t, 0.25, &rng);
+  EXPECT_EQ(split.missing.num_rows(), 25u);
+  EXPECT_EQ(split.observed.num_rows() + split.missing.num_rows(), 100u);
+}
+
+TEST(MissingTest, RangeSplit) {
+  Table t{Schema({{"time", ColumnType::kDouble}})};
+  for (int i = 0; i < 48; ++i) t.AppendRow({static_cast<double>(i)});
+  auto split = SplitRange(t, 0, 10.0, 13.0);
+  EXPECT_EQ(split.missing.num_rows(), 4u);  // 10, 11, 12, 13
+}
+
+class PcGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    IntelWirelessOptions opts;
+    opts.num_devices = 12;
+    opts.num_epochs = 80;
+    full_ = MakeIntelWireless(opts);
+    auto split = SplitTopValueCorrelated(full_, 2, 0.3);
+    missing_ = std::move(split.missing);
+  }
+  Table full_;
+  Table missing_;
+};
+
+TEST_F(PcGenTest, CorrPcSatisfiedByMissingRows) {
+  // The generated constraints must hold on the data they describe —
+  // the "testable constraints" property.
+  const auto pcs = MakeCorrPCs(missing_, {0, 1}, 2, 36);
+  EXPECT_TRUE(pcs.SatisfiedBy(missing_));
+}
+
+TEST_F(PcGenTest, CorrPcIsDisjointAndClosed) {
+  const auto pcs = MakeCorrPCs(missing_, {0, 1}, 2, 36);
+  EXPECT_TRUE(pcs.PredicatesDisjoint());
+  Box domain(missing_.num_columns());  // full space
+  EXPECT_TRUE(pcs.IsClosedOver(domain));
+}
+
+TEST_F(PcGenTest, CorrPcTargetCountRespected) {
+  const auto pcs = MakeCorrPCs(missing_, {0, 1}, 2, 36);
+  EXPECT_NEAR(static_cast<double>(pcs.size()), 36.0, 13.0);
+}
+
+TEST_F(PcGenTest, RandPcSatisfiedAndClosed) {
+  Rng rng(41);
+  const auto pcs = MakeRandPCs(missing_, {0, 1}, 2, 30, &rng);
+  EXPECT_TRUE(pcs.SatisfiedBy(missing_));
+  Box domain(missing_.num_columns());
+  EXPECT_TRUE(pcs.IsClosedOver(domain));  // catch-all guarantees closure
+  EXPECT_FALSE(pcs.PredicatesDisjoint());
+}
+
+TEST_F(PcGenTest, OverlappingPcSatisfiedByMissingRows) {
+  const auto pcs = MakeOverlappingPCs(missing_, {0, 1}, 2, 9, 1.5);
+  EXPECT_TRUE(pcs.SatisfiedBy(missing_));
+  EXPECT_FALSE(pcs.PredicatesDisjoint());
+}
+
+TEST_F(PcGenTest, NoiseBreaksExactness) {
+  const auto pcs = MakeCorrPCs(missing_, {0, 1}, 2, 25);
+  Rng rng(43);
+  const auto noisy = AddValueNoise(pcs, missing_, 2, 3.0, &rng);
+  EXPECT_EQ(noisy.size(), pcs.size());
+  // Heavy noise should break at least one value constraint on the data.
+  EXPECT_FALSE(noisy.SatisfiedBy(missing_));
+  // Predicates and frequencies are untouched.
+  for (size_t i = 0; i < pcs.size(); ++i) {
+    EXPECT_EQ(noisy.at(i).frequency().hi, pcs.at(i).frequency().hi);
+  }
+}
+
+TEST(QueryGenTest, GeneratesRequestedCount) {
+  Table t{Schema({{"x", ColumnType::kDouble},
+                  {"v", ColumnType::kDouble}})};
+  Rng rng(45);
+  for (int i = 0; i < 100; ++i) {
+    t.AppendRow({rng.Uniform(0, 10), rng.Uniform(0, 5)});
+  }
+  QueryGenOptions opts;
+  opts.count = 50;
+  const auto queries = MakeRandomRangeQueries(t, {0}, AggFunc::kSum, 1, opts);
+  EXPECT_EQ(queries.size(), 50u);
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.agg, AggFunc::kSum);
+    ASSERT_TRUE(q.where.has_value());
+    EXPECT_FALSE(q.where->box().dim(0).is_unbounded());
+  }
+}
+
+TEST(QueryGenTest, DeterministicGivenSeed) {
+  Table t{Schema({{"x", ColumnType::kDouble},
+                  {"v", ColumnType::kDouble}})};
+  Rng rng(47);
+  for (int i = 0; i < 100; ++i) {
+    t.AppendRow({rng.Uniform(0, 10), rng.Uniform(0, 5)});
+  }
+  QueryGenOptions opts;
+  opts.count = 10;
+  const auto a = MakeRandomRangeQueries(t, {0}, AggFunc::kCount, 0, opts);
+  const auto b = MakeRandomRangeQueries(t, {0}, AggFunc::kCount, 0, opts);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].where->box() == b[i].where->box());
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace pcx
