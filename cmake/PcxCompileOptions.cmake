@@ -1,0 +1,56 @@
+# Compile-option presets shared by every pcx target.
+#
+# Usage: include() this module from the root CMakeLists.txt, then call
+# pcx_set_target_options(<target>) on each library/executable.
+#
+# Knobs (all cache options, settable with -D on the configure line):
+#   PCX_WARNINGS        extra warnings (default ON)
+#   PCX_WERROR          promote warnings to errors (default OFF; CI turns it on
+#                       once the codebase is warning-clean)
+#   PCX_SANITIZE        "address", "undefined", "address;undefined", "thread",
+#                       or "" (default). Applied to compile AND link flags.
+#   PCX_NATIVE_ARCH     add -march=native for local perf runs (default OFF)
+
+option(PCX_WARNINGS "Enable the pcx warning set" ON)
+option(PCX_WERROR "Treat warnings as errors" OFF)
+option(PCX_NATIVE_ARCH "Build with -march=native" OFF)
+set(PCX_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers: address;undefined;thread (empty = none)")
+
+# Default to a Release build so `cmake -B build -S .` with no extra flags
+# produces -O3 -DNDEBUG binaries — bench targets are meaningless otherwise.
+# Multi-config generators (ninja-multi, VS) manage this themselves.
+get_property(_pcx_multi_config GLOBAL PROPERTY GENERATOR_IS_MULTI_CONFIG)
+if(NOT _pcx_multi_config AND NOT CMAKE_BUILD_TYPE)
+  set(CMAKE_BUILD_TYPE Release CACHE STRING "Build type" FORCE)
+  set_property(CACHE CMAKE_BUILD_TYPE PROPERTY STRINGS
+               Release Debug RelWithDebInfo MinSizeRel)
+  message(STATUS "pcx: defaulting CMAKE_BUILD_TYPE to Release")
+endif()
+
+function(pcx_set_target_options target)
+  target_compile_features(${target} PUBLIC cxx_std_20)
+  set_target_properties(${target} PROPERTIES CXX_EXTENSIONS OFF)
+
+  if(PCX_WARNINGS)
+    target_compile_options(${target} PRIVATE
+      $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall -Wextra>)
+  endif()
+  if(PCX_WERROR)
+    target_compile_options(${target} PRIVATE
+      $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Werror>)
+  endif()
+  if(PCX_NATIVE_ARCH)
+    target_compile_options(${target} PRIVATE
+      $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-march=native>)
+  endif()
+
+  if(PCX_SANITIZE)
+    foreach(_san IN LISTS PCX_SANITIZE)
+      target_compile_options(${target} PRIVATE
+        $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-fsanitize=${_san};-fno-omit-frame-pointer>)
+      target_link_options(${target} PRIVATE
+        $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-fsanitize=${_san}>)
+    endforeach()
+  endif()
+endfunction()

@@ -4,6 +4,24 @@
 // Scenario (paper §4.4): a sales table lost all rows between Nov-11 and
 // Nov-13. Two constraints describe the missing days; we bound SUM, COUNT
 // and AVG of the missing `price` values.
+//
+// The walkthrough below exercises the three core concepts:
+//
+//  1. A PredicateConstraint is a triple (predicate, value box,
+//     frequency range): "between lo and hi missing rows satisfy the
+//     predicate, and their attribute values lie inside the box". It is
+//     knowledge *about* the missing data — no actual rows are needed.
+//  2. A PredicateConstraintSet collects the constraints known to hold
+//     simultaneously; PcBoundSolver turns the set into an optimization
+//     problem (cell decomposition + MILP) per query.
+//  3. Bound(AggQuery) returns a StatusOr<ResultRange>: a hard
+//     [lo, hi] interval that the true aggregate of the missing rows
+//     cannot escape as long as the constraints are correct — unlike a
+//     sampling confidence interval, it cannot "fail".
+//
+// Build and run:
+//   cmake -B build -S . && cmake --build build -j --target example_quickstart
+//   ./build/examples/quickstart
 
 #include <cstdio>
 
@@ -27,9 +45,12 @@ int main() {
 
   // "Between 50 and 100 items were sold on Nov-11, each priced within
   // [0.99, 129.99]" — and the analogous statement for Nov-12, where the
-  // most expensive product costs 149.99.
+  // most expensive product costs 149.99. Such statements typically come
+  // from business knowledge, SLAs, or historical minima/maxima.
   PredicateConstraintSet constraints;
   {
+    // The predicate selects *which* missing rows the statement covers
+    // (here: a time range); the box bounds their attribute values.
     Predicate day1(kNumAttrs);
     day1.AddInterval(kUtc, Interval{0.0, 24.0, false, true});  // [0, 24)
     Box values(kNumAttrs);
@@ -46,6 +67,9 @@ int main() {
         day2, values, FrequencyConstraint::Between(50, 100)));
   }
 
+  // The solver analyzes the constraint set once (here the two
+  // predicates are disjoint, so it will use the greedy partition fast
+  // path — no MILP needed) and then answers any number of queries.
   PcBoundSolver solver(constraints);
 
   std::printf("Contingency analysis for the Nov-11..Nov-13 outage:\n\n");
@@ -68,7 +92,10 @@ int main() {
     std::printf("%s in [%10.2f, %10.2f]\n", label, range->lo, range->hi);
   }
 
-  // A query restricted to Nov-11 only (predicate pushdown).
+  // Queries can carry their own WHERE predicate; the solver pushes it
+  // into the decomposition (paper Optimization 1), so only constraints
+  // overlapping the query region contribute. Restricting to Nov-11
+  // drops the Nov-12 constraint from the bound entirely.
   Predicate day1_only(kNumAttrs);
   day1_only.AddInterval(kUtc, Interval{0.0, 24.0, false, true});
   const auto day1_sum = solver.Bound(AggQuery::Sum(kPrice, day1_only));

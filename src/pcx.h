@@ -1,8 +1,44 @@
 #ifndef PCX_PCX_H_
 #define PCX_PCX_H_
 
+/// \file pcx.h
 /// Umbrella header: the public API of the pcx library.
-/// Fine-grained headers remain available for targeted includes.
+///
+/// pcx reproduces the SIGMOD'20 predicate-constraints system: given
+/// declarative constraints on *missing* rows ("between lo and hi rows
+/// match predicate ψ, with values inside box B"), it computes hard
+/// deterministic ranges for aggregate queries over those rows.
+///
+/// Typical entry points, in the order a new reader should meet them:
+///
+///   - pcx::PredicateConstraint / pcx::PredicateConstraintSet
+///     (pc/predicate_constraint.h, pc/pc_set.h) — declare what is
+///     known about the missing rows.
+///   - pcx::AggQuery (pc/query.h) — SUM/COUNT/AVG/MIN/MAX with an
+///     optional conjunctive-range WHERE predicate.
+///   - pcx::PcBoundSolver (pc/bound_solver.h) — the main solver:
+///     Bound(query) -> StatusOr<ResultRange>. Internally runs cell
+///     decomposition (pc/cell_decomposition.h) and the MILP engine
+///     (solver/milp.h); callers never touch those directly unless they
+///     want the Fig. 7 counters or a custom SatChecker.
+///   - pcx::EdgeCoverJoinBound / pcx::NaiveJoinBound
+///     (join/join_bound.h) — combine per-relation single-table bounds
+///     into a multi-relation join bound, via a minimum fractional edge
+///     cover or the Cartesian product.
+///   - pcx::Estimator implementations (baselines/) and the evaluation
+///     harness (eval/harness.h) — the paper's §6 comparison machinery:
+///     failure rate and median over-estimation over a query workload.
+///   - pcx::workload generators (workload/) — synthetic datasets,
+///     missingness patterns, and PC/query generators used by the
+///     bench/ figure reproductions.
+///
+/// Everything returns pcx::Status / pcx::StatusOr<T> (common/status.h,
+/// common/statusor.h) rather than throwing.
+///
+/// Fine-grained headers remain available for targeted includes;
+/// including this header pulls in the whole library surface.
+/// See examples/quickstart.cpp for a complete commented walkthrough and
+/// docs/ARCHITECTURE.md for the module graph.
 
 #include "baselines/daq.h"
 #include "baselines/estimator.h"
