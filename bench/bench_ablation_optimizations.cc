@@ -8,13 +8,17 @@
 //      cells are feasible" simplification);
 //  (d) the k-clique generalization of the edge-cover bound (paper §5.1:
 //      "we can perpetuate this logic to the 4-clique counting query,
-//      5-clique, and so on").
+//      5-clique, and so on");
+//  (e) warm-started dual simplex across the branch-and-bound tree:
+//      lp_pivots / wall-clock with and without carrying the parent
+//      basis (the PR 2 solver overhaul; feeds BENCH_pr*.json).
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/random.h"
 #include "join/edge_cover.h"
@@ -153,14 +157,58 @@ void CliqueBounds() {
               "exactly the §5.1 observation about clique queries.\n");
 }
 
+void WarmStartAblation(bench::JsonEmitter& json) {
+  std::printf("\n--- (e) warm-started simplex across branch-and-bound ---\n");
+  std::printf("%-12s %-12s %-12s %-14s %-12s\n", "warm-start", "lp-solves",
+              "lp-pivots", "milp-nodes", "time-ms");
+  // MIN/MAX/AVG over overlapping PCs: the MILP-heavy path (occupancy
+  // checks + AVG binary search), dozens of LP relaxations per query.
+  const auto pcs = OverlappingPcs(12, 9);
+  std::vector<AggQuery> queries;
+  for (int q = 0; q < 6; ++q) {
+    Predicate where(2);
+    where.AddRange(0, 0.5 * q, 0.5 * q + 6.0);
+    queries.push_back(AggQuery::Max(1, where));
+    queries.push_back(AggQuery::Min(1, where));
+    queries.push_back(AggQuery::Avg(1, where));
+  }
+  for (const bool warm : {false, true}) {
+    PcBoundSolver::Options options;
+    options.milp.use_warm_start = warm;
+    PcBoundSolver solver(pcs, {}, options);
+    bench::Stopwatch sw;
+    const auto results = solver.BoundBatch(queries, /*num_threads=*/1);
+    const double ms = sw.ElapsedMs();
+    size_t ok = 0;
+    for (const auto& r : results) {
+      if (r.ok()) ++ok;
+    }
+    const PcBoundSolver::SolveStats& stats = solver.last_stats();
+    std::printf("%-12s %-12zu %-12zu %-14zu %-12.1f\n", warm ? "on" : "off",
+                stats.lp_solves, stats.lp_pivots, stats.milp_nodes, ms);
+    json.Add()
+        .Str("section", "warm_start")
+        .Str("warm_start", warm ? "on" : "off")
+        .Num("queries_ok", static_cast<double>(ok))
+        .Num("lp_solves", static_cast<double>(stats.lp_solves))
+        .Num("lp_pivots", static_cast<double>(stats.lp_pivots))
+        .Num("milp_nodes", static_cast<double>(stats.milp_nodes))
+        .Num("time_ms", ms);
+  }
+  std::printf("Expected: identical bounds with a substantially smaller\n"
+              "lp_pivots total when children start from the parent basis.\n");
+}
+
 }  // namespace
 }  // namespace pcx
 
 int main() {
+  auto json = pcx::bench::JsonEmitter::FromEnv("ablation_optimizations");
   std::printf("=== Ablation studies ===\n\n");
   pcx::EarlyStoppingAblation();
   pcx::PushdownAblation();
   pcx::OccupancyAblation();
   pcx::CliqueBounds();
+  pcx::WarmStartAblation(json);
   return 0;
 }

@@ -3,10 +3,14 @@
 // with no optimization, DFS pruning, and DFS + expression re-writing.
 // Expected shape: DFS (+ rewriting) prunes the overwhelming majority of
 // the 2^n cells (the paper reports >99.9% / >1000x on 20 PCs).
+//
+// Set PCX_BENCH_JSON=<path> to also write the sweep as JSON (see
+// bench/bench_json.h); BENCH_pr*.json files are produced this way.
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/random.h"
 #include "pc/cell_decomposition.h"
@@ -30,7 +34,21 @@ PredicateConstraintSet MakeOverlappingRandomPcs(size_t n, uint64_t seed) {
   return pcs;
 }
 
-void RunOne(size_t n, bool run_naive) {
+void ReportRow(bench::JsonEmitter& json, size_t n, const char* strategy,
+               const DecompositionResult& r, double elapsed_ms) {
+  std::printf("%-6zu %-18s %14zu %12zu %12.1f\n", n, strategy, r.sat_calls,
+              r.cells.size(), elapsed_ms);
+  json.Add()
+      .Num("n", static_cast<double>(n))
+      .Str("strategy", strategy)
+      .Num("sat_calls", static_cast<double>(r.sat_calls))
+      .Num("sat_cache_hits", static_cast<double>(r.sat_cache_hits))
+      .Num("cells", static_cast<double>(r.cells.size()))
+      .Num("cells_pruned", static_cast<double>(r.cells_pruned))
+      .Num("time_ms", elapsed_ms);
+}
+
+void RunOne(bench::JsonEmitter& json, size_t n, bool run_naive) {
   const auto pcs = MakeOverlappingRandomPcs(n, 17);
 
   if (run_naive) {
@@ -38,8 +56,7 @@ void RunOne(size_t n, bool run_naive) {
     naive.use_dfs = false;
     bench::Stopwatch sw;
     const auto r = DecomposeCells(pcs, std::nullopt, naive);
-    std::printf("%-6zu %-18s %14zu %12zu %12.1f\n", n, "No Optimization",
-                r.sat_calls, r.cells.size(), sw.ElapsedMs());
+    ReportRow(json, n, "No Optimization", r, sw.ElapsedMs());
   } else {
     std::printf("%-6zu %-18s %14s %12s %12s\n", n, "No Optimization",
                 "(2^n, skipped)", "-", "-");
@@ -49,19 +66,18 @@ void RunOne(size_t n, bool run_naive) {
     dfs.use_rewriting = false;
     bench::Stopwatch sw;
     const auto r = DecomposeCells(pcs, std::nullopt, dfs);
-    std::printf("%-6zu %-18s %14zu %12zu %12.1f\n", n, "DFS", r.sat_calls,
-                r.cells.size(), sw.ElapsedMs());
+    ReportRow(json, n, "DFS", r, sw.ElapsedMs());
   }
   {
     DecompositionOptions rewrite;  // defaults: DFS + rewriting
     bench::Stopwatch sw;
     const auto r = DecomposeCells(pcs, std::nullopt, rewrite);
-    std::printf("%-6zu %-18s %14zu %12zu %12.1f\n", n, "DFS + Re-writing",
-                r.sat_calls, r.cells.size(), sw.ElapsedMs());
+    ReportRow(json, n, "DFS + Re-writing", r, sw.ElapsedMs());
   }
 }
 
 void Run(size_t max_n) {
+  auto json = bench::JsonEmitter::FromEnv("fig7_decomposition");
   std::printf("=== Figure 7: cells evaluated during decomposition of "
               "heavily overlapping PCs ===\n");
   std::printf("%-6s %-18s %14s %12s %12s\n", "n", "strategy", "sat-calls",
@@ -69,7 +85,7 @@ void Run(size_t max_n) {
   for (size_t n : {10, 14, 16, 20}) {
     if (n > max_n) break;
     // The naive path enumerates 2^n cells; cap it where that is cheap.
-    RunOne(n, /*run_naive=*/n <= 16);
+    RunOne(json, n, /*run_naive=*/n <= 16);
   }
   std::printf("\nShape check (paper Fig. 7): DFS+rewriting evaluates "
               "orders of magnitude fewer cells than 2^n.\n");

@@ -1,0 +1,99 @@
+#include "bench/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pcx {
+namespace bench {
+namespace {
+
+/// JSON string escaping for the small label/key vocabulary used here.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string EncodeNumber(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+JsonRecord& JsonRecord::Num(const std::string& key, double value) {
+  fields_.emplace_back(key, EncodeNumber(value));
+  return *this;
+}
+
+JsonRecord& JsonRecord::Str(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + Escape(value) + "\"");
+  return *this;
+}
+
+JsonEmitter JsonEmitter::FromEnv(std::string bench_name) {
+  const char* path = std::getenv("PCX_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return JsonEmitter();
+  return JsonEmitter(std::move(bench_name), path);
+}
+
+JsonRecord& JsonEmitter::Add() {
+  if (!enabled()) {
+    discard_.fields_.clear();
+    return discard_;
+  }
+  records_.emplace_back();
+  return records_.back();
+}
+
+bool JsonEmitter::Flush() {
+  if (!enabled()) return true;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s\n", path_.c_str());
+    path_.clear();
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n",
+               Escape(bench_name_).c_str());
+  for (size_t i = 0; i < records_.size(); ++i) {
+    std::fprintf(f, "    {");
+    const auto& fields = records_[i].fields_;
+    for (size_t k = 0; k < fields.size(); ++k) {
+      std::fprintf(f, "%s\"%s\": %s", k == 0 ? "" : ", ",
+                   Escape(fields[k].first).c_str(), fields[k].second.c_str());
+    }
+    std::fprintf(f, "}%s\n", i + 1 == records_.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  path_.clear();  // written once
+  return true;
+}
+
+}  // namespace bench
+}  // namespace pcx

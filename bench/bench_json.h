@@ -1,0 +1,84 @@
+#ifndef PCX_BENCH_BENCH_JSON_H_
+#define PCX_BENCH_BENCH_JSON_H_
+
+// Machine-readable timing records for the bench binaries. Every bench
+// prints its human table as before; when PCX_BENCH_JSON names a file
+// (or the bench main passes an explicit path), the same numbers are
+// also written as JSON so perf trajectories (BENCH_pr*.json) can be
+// diffed across commits instead of eyeballed from stdout.
+//
+// Format: one object per file —
+//   {
+//     "bench": "<bench name>",
+//     "records": [ {"config": ..., "metric": value, ...}, ... ]
+//   }
+// Values are strings or finite doubles (integers emitted without a
+// fractional part).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pcx {
+namespace bench {
+
+/// One row of a sweep: flat key -> string-or-number fields.
+class JsonRecord {
+ public:
+  JsonRecord& Num(const std::string& key, double value);
+  JsonRecord& Str(const std::string& key, const std::string& value);
+
+ private:
+  friend class JsonEmitter;
+  std::vector<std::pair<std::string, std::string>> fields_;  // key, encoded
+};
+
+/// Collects records and writes them on Flush (or destruction). A
+/// default-constructed emitter is disabled and ignores every call, so
+/// benches can emit unconditionally:
+///
+///   auto json = bench::JsonEmitter::FromEnv("fig7_decomposition");
+///   json.Add().Num("n", n).Num("time_ms", ms);
+class JsonEmitter {
+ public:
+  JsonEmitter() = default;  // disabled
+  JsonEmitter(std::string bench_name, std::string path)
+      : bench_name_(std::move(bench_name)), path_(std::move(path)) {}
+  ~JsonEmitter() { Flush(); }
+
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+
+  /// Reads the output path from $PCX_BENCH_JSON ("" = disabled).
+  static JsonEmitter FromEnv(std::string bench_name);
+
+  JsonEmitter(JsonEmitter&& other) noexcept { *this = std::move(other); }
+  JsonEmitter& operator=(JsonEmitter&& other) noexcept {
+    bench_name_ = std::move(other.bench_name_);
+    path_ = std::move(other.path_);
+    records_ = std::move(other.records_);
+    other.path_.clear();
+    other.records_.clear();
+    return *this;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Appends and returns a new record (a no-op sink when disabled).
+  JsonRecord& Add();
+
+  /// Writes the collected records; returns false on I/O failure (also
+  /// reported on stderr). Idempotent: the file is written once.
+  bool Flush();
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<JsonRecord> records_;
+  JsonRecord discard_;  ///< sink returned while disabled
+};
+
+}  // namespace bench
+}  // namespace pcx
+
+#endif  // PCX_BENCH_BENCH_JSON_H_

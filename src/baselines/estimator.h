@@ -1,7 +1,9 @@
 #ifndef PCX_BASELINES_ESTIMATOR_H_
 #define PCX_BASELINES_ESTIMATOR_H_
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/statusor.h"
 #include "pc/query.h"
@@ -20,6 +22,18 @@ class MissingDataEstimator {
 
   /// Interval estimate for `query` over the missing rows.
   virtual StatusOr<ResultRange> Estimate(const AggQuery& query) const = 0;
+
+  /// Estimates a whole workload at once, in input order. The default
+  /// loops over Estimate; estimators whose queries are independent and
+  /// thread-safe (PcEstimator) override this to fan the batch across a
+  /// worker pool with results identical to the sequential loop.
+  virtual std::vector<StatusOr<ResultRange>> EstimateBatch(
+      std::span<const AggQuery> queries) const {
+    std::vector<StatusOr<ResultRange>> out;
+    out.reserve(queries.size());
+    for (const AggQuery& q : queries) out.push_back(Estimate(q));
+    return out;
+  }
 
   /// Display name used in experiment tables ("US-1p", "Corr-PC", ...).
   virtual std::string name() const = 0;

@@ -27,6 +27,10 @@ class PcEstimator : public MissingDataEstimator {
   StatusOr<ResultRange> Estimate(const AggQuery& query) const override {
     return solver_.Bound(query);
   }
+  std::vector<StatusOr<ResultRange>> EstimateBatch(
+      std::span<const AggQuery> queries) const override {
+    return solver_.BoundBatch(queries);
+  }
   std::string name() const override { return name_; }
 
   const PcBoundSolver& solver() const { return solver_; }

@@ -1,0 +1,216 @@
+#ifndef PCX_COMMON_COVERING_SET_H_
+#define PCX_COMMON_COVERING_SET_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iterator>
+#include <string>
+#include <vector>
+
+namespace pcx {
+
+/// A set of predicate-constraint indices stored as 64-bit blocks.
+///
+/// Decomposition cells, allocation-model rows and instance building all
+/// track "which PCs cover this cell"; with vector<size_t> bookkeeping
+/// every membership test was a linear scan and every copy an allocation
+/// proportional to the covering size. A bitset makes membership O(1),
+/// union/intersection O(n/64), and keeps per-cell state to a few words
+/// for the typical tens-to-thousands of constraints.
+///
+/// Invariant: blocks_ never ends in a zero block, so equality and
+/// hashing are plain block-vector comparisons regardless of the largest
+/// index ever set.
+class CoveringSet {
+ public:
+  CoveringSet() = default;
+
+  static CoveringSet FromIndices(std::initializer_list<size_t> indices) {
+    CoveringSet s;
+    for (size_t i : indices) s.Set(i);
+    return s;
+  }
+  template <typename Container>
+  static CoveringSet FromRange(const Container& indices) {
+    CoveringSet s;
+    for (size_t i : indices) s.Set(i);
+    return s;
+  }
+
+  void Set(size_t i) {
+    const size_t block = i / 64;
+    if (block >= blocks_.size()) blocks_.resize(block + 1, 0);
+    blocks_[block] |= uint64_t{1} << (i % 64);
+  }
+
+  void Reset(size_t i) {
+    const size_t block = i / 64;
+    if (block >= blocks_.size()) return;
+    blocks_[block] &= ~(uint64_t{1} << (i % 64));
+    Trim();
+  }
+
+  bool Test(size_t i) const {
+    const size_t block = i / 64;
+    if (block >= blocks_.size()) return false;
+    return (blocks_[block] >> (i % 64)) & 1;
+  }
+
+  bool Empty() const { return blocks_.empty(); }
+
+  /// Number of elements (popcount over all blocks).
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t b : blocks_) n += static_cast<size_t>(std::popcount(b));
+    return n;
+  }
+
+  CoveringSet& operator|=(const CoveringSet& other) {
+    if (other.blocks_.size() > blocks_.size()) {
+      blocks_.resize(other.blocks_.size(), 0);
+    }
+    for (size_t i = 0; i < other.blocks_.size(); ++i) {
+      blocks_[i] |= other.blocks_[i];
+    }
+    return *this;
+  }
+
+  CoveringSet& operator&=(const CoveringSet& other) {
+    if (other.blocks_.size() < blocks_.size()) {
+      blocks_.resize(other.blocks_.size());
+    }
+    for (size_t i = 0; i < blocks_.size(); ++i) blocks_[i] &= other.blocks_[i];
+    Trim();
+    return *this;
+  }
+
+  friend CoveringSet operator|(CoveringSet a, const CoveringSet& b) {
+    a |= b;
+    return a;
+  }
+  friend CoveringSet operator&(CoveringSet a, const CoveringSet& b) {
+    a &= b;
+    return a;
+  }
+
+  bool Intersects(const CoveringSet& other) const {
+    const size_t n = std::min(blocks_.size(), other.blocks_.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (blocks_[i] & other.blocks_[i]) return true;
+    }
+    return false;
+  }
+
+  /// True if every element of `other` is in this set.
+  bool ContainsAll(const CoveringSet& other) const {
+    if (other.blocks_.size() > blocks_.size()) return false;
+    for (size_t i = 0; i < other.blocks_.size(); ++i) {
+      if ((other.blocks_[i] & ~blocks_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const CoveringSet& a, const CoveringSet& b) {
+    return a.blocks_ == b.blocks_;
+  }
+  friend bool operator!=(const CoveringSet& a, const CoveringSet& b) {
+    return !(a == b);
+  }
+
+  /// Forward iteration over the set indices in increasing order, so
+  /// `for (size_t j : covering)` works at every former vector call site.
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = size_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const size_t*;
+    using reference = size_t;
+
+    Iterator(const std::vector<uint64_t>* blocks, size_t block)
+        : blocks_(blocks), block_(block) {
+      if (block_ < blocks_->size()) {
+        current_ = (*blocks_)[block_];
+        SkipDrainedBlocks();
+      }
+    }
+    size_t operator*() const {
+      return block_ * 64 +
+             static_cast<size_t>(std::countr_zero(current_));
+    }
+    Iterator& operator++() {
+      current_ &= current_ - 1;  // clear lowest set bit
+      SkipDrainedBlocks();
+      return *this;
+    }
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+      return a.block_ == b.block_ && a.current_ == b.current_;
+    }
+    friend bool operator!=(const Iterator& a, const Iterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    /// Moves to the next non-empty block once `current_` (the unread
+    /// remainder of block `block_`) is exhausted; never re-reads a
+    /// block it already handed out bits from.
+    void SkipDrainedBlocks() {
+      while (current_ == 0) {
+        ++block_;
+        if (block_ >= blocks_->size()) {
+          block_ = blocks_->size();
+          return;
+        }
+        current_ = (*blocks_)[block_];
+      }
+    }
+    const std::vector<uint64_t>* blocks_;
+    size_t block_;
+    uint64_t current_ = 0;
+  };
+
+  Iterator begin() const { return Iterator(&blocks_, 0); }
+  Iterator end() const { return Iterator(&blocks_, blocks_.size()); }
+
+  std::vector<size_t> ToIndices() const {
+    std::vector<size_t> out;
+    out.reserve(Count());
+    for (size_t i : *this) out.push_back(i);
+    return out;
+  }
+
+  size_t Hash() const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (uint64_t b : blocks_) {
+      h ^= static_cast<size_t>(b);
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (size_t i : *this) {
+      if (!first) out += ", ";
+      out += std::to_string(i);
+      first = false;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  void Trim() {
+    while (!blocks_.empty() && blocks_.back() == 0) blocks_.pop_back();
+  }
+
+  std::vector<uint64_t> blocks_;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_COMMON_COVERING_SET_H_

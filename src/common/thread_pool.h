@@ -1,0 +1,58 @@
+#ifndef PCX_COMMON_THREAD_POOL_H_
+#define PCX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcx {
+
+/// Fixed-size worker pool for fanning independent tasks (one bound
+/// query, one bench configuration...) across cores. Tasks must not
+/// throw; error handling is by value (StatusOr) like everywhere else in
+/// pcx. Determinism is the caller's job and is easy to get: write each
+/// task's result into a slot indexed by the task's position, as
+/// ParallelFor does.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` uses std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues one task for any worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Runs fn(0) ... fn(n - 1), spread over the workers, and returns when
+  /// all calls are done. Results are deterministic as long as fn(i)
+  /// writes only to per-index state. The calling thread participates, so
+  /// ParallelFor(n, fn) with a single-threaded pool degenerates to a
+  /// plain loop.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  ///< queued + currently executing tasks
+  bool shutdown_ = false;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_COMMON_THREAD_POOL_H_

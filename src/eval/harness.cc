@@ -25,7 +25,13 @@ EstimatorReport EvaluateEstimator(const MissingDataEstimator& estimator,
                                   const Table& missing) {
   EstimatorReport report;
   report.name = estimator.name();
-  for (const AggQuery& q : queries) {
+  // One batched call: estimators with independent queries (the PC bound
+  // solver) fan the workload across a thread pool; results are identical
+  // to per-query Estimate calls and arrive in input order.
+  const std::vector<StatusOr<ResultRange>> estimates =
+      estimator.EstimateBatch(queries);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const AggQuery& q = queries[qi];
     ++report.total;
     std::function<bool(size_t)> filter = nullptr;
     if (q.where.has_value()) {
@@ -33,7 +39,7 @@ EstimatorReport EvaluateEstimator(const MissingDataEstimator& estimator,
       filter = [&](size_t r) { return where.MatchesRow(missing, r); };
     }
     const AggregateResult truth = Aggregate(missing, q.agg, q.attr, filter);
-    const auto est = estimator.Estimate(q);
+    const auto& est = estimates[qi];
     if (!est.ok()) {
       ++report.skipped;
       continue;

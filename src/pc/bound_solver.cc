@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace pcx {
 namespace {
@@ -33,30 +35,46 @@ PcBoundSolver::PcBoundSolver(PredicateConstraintSet pcs,
       options_(options) {
   predicates_disjoint_ =
       options_.auto_disjoint_fast_path && pcs_.PredicatesDisjoint(domains_);
+  // Value negation keeps every predicate box intact, so the sibling
+  // inherits the disjointness verdict instead of re-running the O(n^2)
+  // detection; the tag ctor also stops the recursion (the sibling of
+  // the sibling would be *this again).
+  negated_solver_ = std::unique_ptr<const PcBoundSolver>(
+      new PcBoundSolver(InheritDisjointTag{}, pcs_.NegatedValues(), domains_,
+                        options_, predicates_disjoint_));
 }
 
+PcBoundSolver::PcBoundSolver(InheritDisjointTag, PredicateConstraintSet pcs,
+                             const std::vector<AttrDomain>& domains,
+                             const Options& options, bool predicates_disjoint)
+    : pcs_(std::move(pcs)),
+      domains_(domains),
+      options_(options),
+      predicates_disjoint_(predicates_disjoint) {}
+
 StatusOr<std::vector<PcBoundSolver::CellBound>> PcBoundSolver::BuildCells(
-    const AggQuery& query, size_t attr) const {
+    const AggQuery& query, size_t attr, SolveStats& stats) const {
   DecompositionResult decomp = DecomposeCells(
       pcs_, query.where, options_.decomposition, domains_);
-  stats_.num_cells = decomp.cells.size();
-  stats_.sat_calls = decomp.sat_calls;
+  stats.num_cells += decomp.cells.size();
+  stats.sat_calls += decomp.sat_calls;
+  stats.sat_cache_hits += decomp.sat_cache_hits;
 
   std::vector<CellBound> out;
   out.reserve(decomp.cells.size());
-  for (const Cell& cell : decomp.cells) {
+  for (Cell& cell : decomp.cells) {
     // The attribute values of a row in this cell are constrained by the
     // value boxes of every covering PC and by the cell's own region
     // (its positive box already includes the query pushdown).
     Box combined = cell.positive;
     for (size_t j : cell.covering) {
-      combined = combined.Intersect(pcs_.at(j).values());
+      combined.IntersectWith(pcs_.at(j).values());
     }
     if (combined.IsEmpty(domains_)) continue;  // no row can live here
     CellBound cb;
     cb.val_lo = combined.dim(attr).lo;
     cb.val_hi = combined.dim(attr).hi;
-    cb.covering = cell.covering;
+    cb.covering = std::move(cell.covering);
     out.push_back(std::move(cb));
   }
   return out;
@@ -76,8 +94,7 @@ LpModel PcBoundSolver::BuildAllocationModel(
   for (size_t j = 0; j < pcs_.size(); ++j) {
     LinearConstraint row;
     for (size_t i = 0; i < cells.size(); ++i) {
-      if (std::find(cells[i].covering.begin(), cells[i].covering.end(), j) !=
-          cells[i].covering.end()) {
+      if (cells[i].covering.Test(j)) {
         row.terms.push_back({i, 1.0});
       }
     }
@@ -111,7 +128,8 @@ LpModel PcBoundSolver::BuildAllocationModel(
 
 StatusOr<double> PcBoundSolver::MaximizeAllocation(
     const std::vector<CellBound>& cells, const std::vector<double>& objective,
-    const std::optional<Predicate>& where, double extra_min_rows) const {
+    const std::optional<Predicate>& where, SolveStats& stats,
+    double extra_min_rows, SimplexSolver::WarmStart* warm) const {
   if (cells.empty()) {
     return extra_min_rows > 0.0
                ? StatusOr<double>(Status::Infeasible("no cells"))
@@ -125,9 +143,10 @@ StatusOr<double> PcBoundSolver::MaximizeAllocation(
     model.AddConstraint(std::move(row));
   }
   BranchAndBoundSolver solver(options_.milp);
-  const Solution sol = solver.Solve(model);
-  stats_.milp_nodes += solver.last_num_nodes();
-  ++stats_.lp_solves;
+  const Solution sol = solver.Solve(model, warm);
+  stats.milp_nodes += solver.last_num_nodes();
+  stats.lp_pivots += solver.last_lp_pivots();
+  ++stats.lp_solves;
   switch (sol.status) {
     case SolveStatus::kOptimal:
       return sol.objective;
@@ -143,9 +162,10 @@ StatusOr<double> PcBoundSolver::MaximizeAllocation(
   return Status::Internal("unreachable");
 }
 
-StatusOr<double> PcBoundSolver::UpperSum(const AggQuery& query) const {
+StatusOr<double> PcBoundSolver::UpperSum(const AggQuery& query,
+                                         SolveStats& stats) const {
   PCX_ASSIGN_OR_RETURN(std::vector<CellBound> cells,
-                       BuildCells(query, query.attr));
+                       BuildCells(query, query.attr, stats));
   std::vector<double> obj(cells.size());
   for (size_t i = 0; i < cells.size(); ++i) {
     if (cells[i].val_hi == kInf) {
@@ -155,14 +175,15 @@ StatusOr<double> PcBoundSolver::UpperSum(const AggQuery& query) const {
     }
     obj[i] = cells[i].val_hi;
   }
-  return MaximizeAllocation(cells, obj, query.where);
+  return MaximizeAllocation(cells, obj, query.where, stats);
 }
 
-StatusOr<double> PcBoundSolver::UpperCount(const AggQuery& query) const {
+StatusOr<double> PcBoundSolver::UpperCount(const AggQuery& query,
+                                           SolveStats& stats) const {
   PCX_ASSIGN_OR_RETURN(std::vector<CellBound> cells,
-                       BuildCells(query, query.attr));
+                       BuildCells(query, query.attr, stats));
   std::vector<double> obj(cells.size(), 1.0);
-  return MaximizeAllocation(cells, obj, query.where);
+  return MaximizeAllocation(cells, obj, query.where, stats);
 }
 
 StatusOr<bool> PcBoundSolver::EmptyInstancePossible(
@@ -178,9 +199,10 @@ StatusOr<bool> PcBoundSolver::EmptyInstancePossible(
   return true;
 }
 
-StatusOr<ResultRange> PcBoundSolver::BoundAvg(const AggQuery& query) const {
+StatusOr<ResultRange> PcBoundSolver::BoundAvg(const AggQuery& query,
+                                              SolveStats& stats) const {
   PCX_ASSIGN_OR_RETURN(std::vector<CellBound> cells,
-                       BuildCells(query, query.attr));
+                       BuildCells(query, query.attr, stats));
   ResultRange out;
   PCX_ASSIGN_OR_RETURN(out.empty_instance_possible,
                        EmptyInstancePossible(query));
@@ -191,6 +213,10 @@ StatusOr<ResultRange> PcBoundSolver::BoundAvg(const AggQuery& query) const {
 
   // feasible(r): some valid allocation with >= 1 row attains AVG >= r,
   // i.e. max over allocations of sum (val_hi - r) * x >= 0 (paper §4.2).
+  // Every probe solves the same rows under a shifted objective, so the
+  // whole binary search (and the negated lower pass) chains through one
+  // warm-start context.
+  SimplexSolver::WarmStart warm;
   auto upper_avg = [&](auto value_of) -> StatusOr<double> {
     double r_lo = kInf, r_hi = -kInf;
     for (const CellBound& c : cells) {
@@ -204,8 +230,8 @@ StatusOr<ResultRange> PcBoundSolver::BoundAvg(const AggQuery& query) const {
       for (size_t i = 0; i < cells.size(); ++i) {
         obj[i] = value_of(cells[i]) - r;
       }
-      auto opt = MaximizeAllocation(cells, obj, query.where,
-                                    /*extra_min_rows=*/1.0);
+      auto opt = MaximizeAllocation(cells, obj, query.where, stats,
+                                    /*extra_min_rows=*/1.0, &warm);
       if (!opt.ok()) return opt.status();
       return *opt >= -1e-9;
     };
@@ -251,9 +277,10 @@ StatusOr<ResultRange> PcBoundSolver::BoundAvg(const AggQuery& query) const {
   return out;
 }
 
-StatusOr<ResultRange> PcBoundSolver::BoundMax(const AggQuery& query) const {
+StatusOr<ResultRange> PcBoundSolver::BoundMax(const AggQuery& query,
+                                              SolveStats& stats) const {
   PCX_ASSIGN_OR_RETURN(std::vector<CellBound> cells,
-                       BuildCells(query, query.attr));
+                       BuildCells(query, query.attr, stats));
   ResultRange out;
   PCX_ASSIGN_OR_RETURN(out.empty_instance_possible,
                        EmptyInstancePossible(query));
@@ -262,12 +289,16 @@ StatusOr<ResultRange> PcBoundSolver::BoundMax(const AggQuery& query) const {
     return out;
   }
 
-  // Can cell i receive at least one row in a valid allocation?
+  // Can cell i receive at least one row in a valid allocation? The scan
+  // re-solves the same rows with a moving unit objective — chained
+  // through one warm-start context.
+  SimplexSolver::WarmStart warm;
   auto occupiable = [&](size_t i) -> StatusOr<bool> {
     if (!options_.check_cell_occupancy) return true;
     std::vector<double> obj(cells.size(), 0.0);
     obj[i] = 1.0;
-    auto opt = MaximizeAllocation(cells, obj, query.where);
+    auto opt = MaximizeAllocation(cells, obj, query.where, stats,
+                                  /*extra_min_rows=*/0.0, &warm);
     if (!opt.ok()) {
       if (opt.status().code() == StatusCode::kInfeasible) return false;
       return opt.status();
@@ -310,7 +341,7 @@ StatusOr<ResultRange> PcBoundSolver::BoundMax(const AggQuery& query) const {
       if (c.val_lo <= t) allowed.push_back(c);
     }
     std::vector<double> obj(allowed.size(), 0.0);
-    auto feas = MaximizeAllocation(allowed, obj, query.where,
+    auto feas = MaximizeAllocation(allowed, obj, query.where, stats,
                                    /*extra_min_rows=*/1.0);
     if (feas.ok()) {
       out.lo = t;
@@ -336,10 +367,11 @@ StatusOr<double> PcBoundSolver::DisjointUpperOn(
     const PredicateConstraint& pc = pcs.at(j);
     Box region = pc.predicate().box();
     if (query.where.has_value()) {
-      region = region.Intersect(query.where->box());
+      region.IntersectWith(query.where->box());
     }
     if (region.IsEmpty(domains_)) continue;
-    Box combined = region.Intersect(pc.values());
+    region.IntersectWith(pc.values());
+    const Box& combined = region;
     const double k_hi = pc.frequency().hi;
     const double k_lo =
         QueryCoversConstraint(query.where, pc) ? pc.frequency().lo : 0.0;
@@ -362,8 +394,8 @@ StatusOr<double> PcBoundSolver::DisjointUpperOn(
   return total;
 }
 
-StatusOr<ResultRange> PcBoundSolver::Bound(const AggQuery& query) const {
-  stats_ = SolveStats{};
+StatusOr<ResultRange> PcBoundSolver::BoundImpl(const AggQuery& query,
+                                               SolveStats& stats) const {
   if (query.agg != AggFunc::kCount) {
     if (!pcs_.empty() && query.attr >= pcs_.num_attrs()) {
       return Status::InvalidArgument("aggregate attribute out of range");
@@ -380,13 +412,14 @@ StatusOr<ResultRange> PcBoundSolver::Bound(const AggQuery& query) const {
   switch (query.agg) {
     case AggFunc::kSum: {
       if (predicates_disjoint_) {
-        stats_.used_disjoint_fast_path = true;
+        stats.used_disjoint_fast_path = true;
         PCX_ASSIGN_OR_RETURN(const double hi,
                              DisjointUpper(query, /*count=*/false));
         // min SUM(v) = -max SUM(-v) on the value-negated set.
         PCX_ASSIGN_OR_RETURN(
             const double neg_hi,
-            DisjointUpperOn(pcs_.NegatedValues(), query, /*count=*/false));
+            DisjointUpperOn(negated_solver_->constraints(), query,
+                            /*count=*/false));
         ResultRange r;
         r.hi = hi;
         r.lo = -neg_hi;
@@ -395,7 +428,7 @@ StatusOr<ResultRange> PcBoundSolver::Bound(const AggQuery& query) const {
         return r;
       }
       PCX_ASSIGN_OR_RETURN(std::vector<CellBound> cells,
-                           BuildCells(query, query.attr));
+                           BuildCells(query, query.attr, stats));
       ResultRange r;
       PCX_ASSIGN_OR_RETURN(r.empty_instance_possible,
                            EmptyInstancePossible(query));
@@ -411,23 +444,28 @@ StatusOr<ResultRange> PcBoundSolver::Bound(const AggQuery& query) const {
         obj_hi[i] = std::min(cells[i].val_hi, 1e300);
         obj_lo[i] = std::max(cells[i].val_lo, -1e300);
       }
+      // The upper and lower solves share rows; chain them warm.
+      SimplexSolver::WarmStart warm;
       if (r.hi != kInf) {
-        PCX_ASSIGN_OR_RETURN(r.hi,
-                             MaximizeAllocation(cells, obj_hi, query.where));
+        PCX_ASSIGN_OR_RETURN(
+            r.hi, MaximizeAllocation(cells, obj_hi, query.where, stats,
+                                     /*extra_min_rows=*/0.0, &warm));
       }
       if (r.lo != -kInf) {
         // min sum(val_lo * x) = -max sum(-val_lo * x).
         std::vector<double> neg(obj_lo.size());
         for (size_t i = 0; i < neg.size(); ++i) neg[i] = -obj_lo[i];
-        PCX_ASSIGN_OR_RETURN(const double m,
-                             MaximizeAllocation(cells, neg, query.where));
+        PCX_ASSIGN_OR_RETURN(
+            const double m,
+            MaximizeAllocation(cells, neg, query.where, stats,
+                               /*extra_min_rows=*/0.0, &warm));
         r.lo = -m;
       }
       return r;
     }
     case AggFunc::kCount: {
       if (predicates_disjoint_) {
-        stats_.used_disjoint_fast_path = true;
+        stats.used_disjoint_fast_path = true;
         PCX_ASSIGN_OR_RETURN(const double hi,
                              DisjointUpper(query, /*count=*/true));
         double lo = 0.0;
@@ -444,28 +482,33 @@ StatusOr<ResultRange> PcBoundSolver::Bound(const AggQuery& query) const {
         return r;
       }
       PCX_ASSIGN_OR_RETURN(std::vector<CellBound> cells,
-                           BuildCells(query, query.attr));
+                           BuildCells(query, query.attr, stats));
       ResultRange r;
       PCX_ASSIGN_OR_RETURN(r.empty_instance_possible,
                            EmptyInstancePossible(query));
       if (cells.empty()) return r;
+      SimplexSolver::WarmStart warm;
       std::vector<double> ones(cells.size(), 1.0);
-      PCX_ASSIGN_OR_RETURN(r.hi, MaximizeAllocation(cells, ones, query.where));
+      PCX_ASSIGN_OR_RETURN(
+          r.hi, MaximizeAllocation(cells, ones, query.where, stats,
+                                   /*extra_min_rows=*/0.0, &warm));
       std::vector<double> neg(cells.size(), -1.0);
-      PCX_ASSIGN_OR_RETURN(const double m,
-                           MaximizeAllocation(cells, neg, query.where));
+      PCX_ASSIGN_OR_RETURN(
+          const double m, MaximizeAllocation(cells, neg, query.where, stats,
+                                             /*extra_min_rows=*/0.0, &warm));
       r.lo = -m;
       return r;
     }
     case AggFunc::kAvg:
-      return BoundAvg(query);
+      return BoundAvg(query, stats);
     case AggFunc::kMax:
-      return BoundMax(query);
+      return BoundMax(query, stats);
     case AggFunc::kMin: {
-      // MIN over v is -MAX over -v.
-      PcBoundSolver negated(pcs_.NegatedValues(), domains_, options_);
-      PCX_ASSIGN_OR_RETURN(ResultRange m, negated.BoundMax(query));
-      stats_ = negated.last_stats();
+      // MIN over v is -MAX over -v, answered by the precomputed sibling
+      // solver over the value-negated set.
+      PCX_CHECK(negated_solver_ != nullptr);
+      PCX_ASSIGN_OR_RETURN(ResultRange m,
+                           negated_solver_->BoundMax(query, stats));
       ResultRange r = m;
       r.lo = -m.hi;
       r.hi = -m.lo;
@@ -473,6 +516,43 @@ StatusOr<ResultRange> PcBoundSolver::Bound(const AggQuery& query) const {
     }
   }
   return Status::Internal("unreachable aggregate");
+}
+
+StatusOr<ResultRange> PcBoundSolver::Bound(const AggQuery& query) const {
+  SolveStats stats;
+  auto result = BoundImpl(query, stats);
+  stats_ = stats;
+  return result;
+}
+
+std::vector<StatusOr<ResultRange>> PcBoundSolver::BoundBatch(
+    std::span<const AggQuery> queries, size_t num_threads,
+    std::vector<SolveStats>* per_query_stats) const {
+  std::vector<std::optional<StatusOr<ResultRange>>> slots(queries.size());
+  std::vector<SolveStats> stats(queries.size());
+
+  // Each worker touches only its own slot; the solver itself is read
+  // shared but never written (BoundImpl threads stats explicitly), so
+  // any schedule produces the same bytes as a sequential loop.
+  auto run_one = [&](size_t i) {
+    slots[i].emplace(BoundImpl(queries[i], stats[i]));
+  };
+  if (num_threads == 1 || queries.size() <= 1) {
+    for (size_t i = 0; i < queries.size(); ++i) run_one(i);
+  } else {
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(queries.size(), run_one);
+  }
+
+  SolveStats total;
+  for (const SolveStats& s : stats) total += s;
+  stats_ = total;
+  if (per_query_stats != nullptr) *per_query_stats = std::move(stats);
+
+  std::vector<StatusOr<ResultRange>> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(*std::move(slot));
+  return out;
 }
 
 StatusOr<double> PcBoundSolver::UpperBound(const AggQuery& query) const {

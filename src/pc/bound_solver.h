@@ -1,9 +1,12 @@
 #ifndef PCX_PC_BOUND_SOLVER_H_
 #define PCX_PC_BOUND_SOLVER_H_
 
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "common/covering_set.h"
 #include "common/statusor.h"
 #include "pc/cell_decomposition.h"
 #include "pc/pc_set.h"
@@ -39,13 +42,27 @@ class PcBoundSolver {
     int avg_search_iterations = 60;
   };
 
-  /// Per-query diagnostics of the last Bound call.
+  /// Per-query diagnostics of the last Bound call (summed over the batch
+  /// after BoundBatch).
   struct SolveStats {
     size_t num_cells = 0;
     size_t sat_calls = 0;
+    size_t sat_cache_hits = 0;
     size_t milp_nodes = 0;
     size_t lp_solves = 0;
+    size_t lp_pivots = 0;
     bool used_disjoint_fast_path = false;
+
+    SolveStats& operator+=(const SolveStats& other) {
+      num_cells += other.num_cells;
+      sat_calls += other.sat_calls;
+      sat_cache_hits += other.sat_cache_hits;
+      milp_nodes += other.milp_nodes;
+      lp_solves += other.lp_solves;
+      lp_pivots += other.lp_pivots;
+      used_disjoint_fast_path |= other.used_disjoint_fast_path;
+      return *this;
+    }
   };
 
   /// `domains` declares integer-valued attributes (see
@@ -58,6 +75,16 @@ class PcBoundSolver {
   /// Computes the result range of `query` over the missing rows.
   StatusOr<ResultRange> Bound(const AggQuery& query) const;
 
+  /// Bounds every query of `queries`, fanning them across `num_threads`
+  /// worker threads (0 = hardware concurrency, 1 = inline sequential).
+  /// Queries are independent, so results are *bit-identical* to calling
+  /// Bound in a loop, in input order, at every thread count; only the
+  /// wall-clock differs. When `per_query_stats` is non-null it receives
+  /// one SolveStats per query; last_stats() holds the batch total.
+  std::vector<StatusOr<ResultRange>> BoundBatch(
+      std::span<const AggQuery> queries, size_t num_threads = 0,
+      std::vector<SolveStats>* per_query_stats = nullptr) const;
+
   /// Upper (max) end only; equals Bound(query)->hi.
   StatusOr<double> UpperBound(const AggQuery& query) const;
   /// Lower (min) end only; equals Bound(query)->lo.
@@ -68,18 +95,31 @@ class PcBoundSolver {
   const Options& options() const { return options_; }
 
  private:
+  /// Tag constructor used for the internal value-negated solver: value
+  /// negation leaves every predicate box untouched, so the disjointness
+  /// verdict is inherited instead of re-running the O(n^2) detection.
+  struct InheritDisjointTag {};
+  PcBoundSolver(InheritDisjointTag, PredicateConstraintSet pcs,
+                const std::vector<AttrDomain>& domains, const Options& options,
+                bool predicates_disjoint);
+
   /// A decomposition cell reduced to what the MILP needs: the feasible
   /// value interval of the aggregate attribute and the covering PCs.
   struct CellBound {
     double val_lo = 0.0;
     double val_hi = 0.0;
-    std::vector<size_t> covering;
+    CoveringSet covering;
   };
+
+  /// All query-scoped methods write their diagnostics into an explicit
+  /// stats object so BoundBatch can run them concurrently from many
+  /// threads against one (const) solver.
 
   /// Decomposes against the query predicate and computes per-cell value
   /// intervals on `attr`. Cells that cannot host any row are dropped.
   StatusOr<std::vector<CellBound>> BuildCells(const AggQuery& query,
-                                              size_t attr) const;
+                                              size_t attr,
+                                              SolveStats& stats) const;
 
   /// Builds the allocation MILP (paper Eq. 2) over `cells`:
   /// one integer variable per cell, ranged frequency row per PC.
@@ -90,16 +130,27 @@ class PcBoundSolver {
                                const std::vector<double>& objective,
                                const std::optional<Predicate>& where) const;
 
-  /// Max of Σ objective_i · x_i; infinity-aware.
+  /// Max of Σ objective_i · x_i; infinity-aware. `warm` (optional)
+  /// chains consecutive solves over the same cell set — the MILP's root
+  /// basis is carried from call to call, replacing phase-1 with a few
+  /// warm pivots when only the objective changed (occupancy scans, the
+  /// AVG binary search, the SUM lower/upper pair).
   StatusOr<double> MaximizeAllocation(const std::vector<CellBound>& cells,
                                       const std::vector<double>& objective,
                                       const std::optional<Predicate>& where,
-                                      double extra_min_rows = 0.0) const;
+                                      SolveStats& stats,
+                                      double extra_min_rows = 0.0,
+                                      SimplexSolver::WarmStart* warm =
+                                          nullptr) const;
 
-  StatusOr<double> UpperSum(const AggQuery& query) const;
-  StatusOr<double> UpperCount(const AggQuery& query) const;
-  StatusOr<ResultRange> BoundAvg(const AggQuery& query) const;
-  StatusOr<ResultRange> BoundMax(const AggQuery& query) const;
+  StatusOr<ResultRange> BoundImpl(const AggQuery& query,
+                                  SolveStats& stats) const;
+  StatusOr<double> UpperSum(const AggQuery& query, SolveStats& stats) const;
+  StatusOr<double> UpperCount(const AggQuery& query, SolveStats& stats) const;
+  StatusOr<ResultRange> BoundAvg(const AggQuery& query,
+                                 SolveStats& stats) const;
+  StatusOr<ResultRange> BoundMax(const AggQuery& query,
+                                 SolveStats& stats) const;
 
   /// Greedy closed form when all predicates are pairwise disjoint.
   StatusOr<double> DisjointUpper(const AggQuery& query, bool count) const;
@@ -115,6 +166,11 @@ class PcBoundSolver {
   StatusOr<bool> EmptyInstancePossible(const AggQuery& query) const;
 
   PredicateConstraintSet pcs_;
+  /// Sibling solver over pcs_.NegatedValues(), built once: the SUM
+  /// lower bound reads its constraint set and the whole MIN path runs
+  /// on it for every query (MIN(v) = -MAX(-v)). Null only inside that
+  /// sibling itself (tag constructor), which never serves MIN queries.
+  std::unique_ptr<const PcBoundSolver> negated_solver_;
   std::vector<AttrDomain> domains_;
   Options options_;
   bool predicates_disjoint_ = false;

@@ -18,18 +18,20 @@ struct DfsContext {
   /// cell and its negation is empty, so these never enter the sign
   /// enumeration; they are appended to every emitted cell instead. This
   /// keeps catch-all closure constraints (e.g. Rand-PC's) free.
-  const std::vector<size_t>* universal = nullptr;
+  const CoveringSet* universal = nullptr;
+  /// Local tally of checker invocations, cross-checked against the
+  /// checker's own num_calls() after the search. The checker count is
+  /// the single source of truth reported in DecompositionResult; this
+  /// only guards against a call site bypassing the checker.
+  size_t manual_sat_calls = 0;
 };
 
 /// Emits one satisfiable cell, attaching the universal constraints.
 void EmitCell(DfsContext& ctx, const Box& positive,
-              const std::vector<Box>& negated,
-              const std::vector<size_t>& covering, bool verified) {
-  std::vector<size_t> full_covering = covering;
-  full_covering.insert(full_covering.end(), ctx.universal->begin(),
-                       ctx.universal->end());
-  if (full_covering.empty()) return;  // closure: no PC covers this region
-  std::sort(full_covering.begin(), full_covering.end());
+              const std::vector<Box>& negated, const CoveringSet& covering,
+              bool verified) {
+  CoveringSet full_covering = covering | *ctx.universal;
+  if (full_covering.Empty()) return;  // closure: no PC covers this region
   ctx.result->cells.push_back(
       Cell{std::move(full_covering), positive, negated, verified});
 }
@@ -39,13 +41,13 @@ void EmitCell(DfsContext& ctx, const Box& positive,
 /// been proven satisfiable (by the parent's check or by the rewrite
 /// rule), so no solver call is needed at this node.
 void Dfs(DfsContext& ctx, size_t depth, const Box& positive,
-         std::vector<Box>& negated, std::vector<size_t>& covering,
-         bool known_sat, bool verified) {
+         std::vector<Box>& negated, CoveringSet& covering, bool known_sat,
+         bool verified) {
   ++ctx.result->nodes_visited;
 
   const bool checks_enabled = depth < ctx.options->early_stop_depth;
   if (!known_sat && checks_enabled) {
-    ++ctx.result->sat_calls;
+    ++ctx.manual_sat_calls;
     if (!ctx.checker->IsSatisfiable({positive, negated})) {
       ++ctx.result->cells_pruned;
       return;
@@ -67,7 +69,7 @@ void Dfs(DfsContext& ctx, size_t depth, const Box& positive,
   // negation ¬ψ is implied, so neither child needs a solver call nor a
   // growing negation list. This is what keeps decompositions over many
   // query-irrelevant PCs cheap under predicate pushdown.
-  if (positive.Intersect(pred_box).IsEmpty(ctx.checker->domains())) {
+  if (positive.IntersectionEmpty(pred_box, ctx.checker->domains())) {
     Dfs(ctx, depth + 1, positive, negated, covering, known_sat, verified);
     return;
   }
@@ -76,13 +78,13 @@ void Dfs(DfsContext& ctx, size_t depth, const Box& positive,
     // Check the positive child here; if it is UNSAT the rewrite rule
     // proves the negative child satisfiable with no extra call.
     const Box pos_child = positive.Intersect(pred_box);
-    ++ctx.result->sat_calls;
+    ++ctx.manual_sat_calls;
     const bool pos_sat = ctx.checker->IsSatisfiable({pos_child, negated});
     if (pos_sat) {
-      covering.push_back(pc_index);
+      covering.Set(pc_index);
       Dfs(ctx, depth + 1, pos_child, negated, covering, /*known_sat=*/true,
           verified);
-      covering.pop_back();
+      covering.Reset(pc_index);
       negated.push_back(pred_box);
       Dfs(ctx, depth + 1, positive, negated, covering, /*known_sat=*/false,
           verified);
@@ -100,15 +102,45 @@ void Dfs(DfsContext& ctx, size_t depth, const Box& positive,
 
   // Plain DFS (or unverified enumeration below the early-stop depth):
   // children test themselves on entry.
-  covering.push_back(pc_index);
+  covering.Set(pc_index);
   const Box pos_child = positive.Intersect(pred_box);
   Dfs(ctx, depth + 1, pos_child, negated, covering, /*known_sat=*/false,
       verified);
-  covering.pop_back();
+  covering.Reset(pc_index);
   negated.push_back(pred_box);
   Dfs(ctx, depth + 1, positive, negated, covering, /*known_sat=*/false,
       verified);
   negated.pop_back();
+}
+
+/// "No Optimization" enumeration (the Fig. 7 baseline bar): every sign
+/// assignment is visited and every complete conjunction gets its own
+/// satisfiability decision — no pruning, no rewriting, 2^n - 1 checker
+/// calls. Only the *bookkeeping* is shared: the recursion reuses prefix
+/// intersections instead of rebuilding each cell's positive box from its
+/// n predicates, turning the enumeration side from O(n 2^n) box
+/// operations into O(2^n).
+void NaiveEnum(const PredicateConstraintSet& pcs, IntervalSatChecker& checker,
+               DecompositionResult& result, size_t depth, const Box& positive,
+               std::vector<Box>& negated, CoveringSet& covering) {
+  if (depth == pcs.size()) {
+    if (covering.Empty()) return;  // all-negated cell: covered by no PC
+    ++result.nodes_visited;
+    if (checker.IsSatisfiable({positive, negated})) {
+      result.cells.push_back(Cell{covering, positive, negated, true});
+    } else {
+      ++result.cells_pruned;
+    }
+    return;
+  }
+  const Box& pred_box = pcs.at(depth).predicate().box();
+  negated.push_back(pred_box);
+  NaiveEnum(pcs, checker, result, depth + 1, positive, negated, covering);
+  negated.pop_back();
+  covering.Set(depth);
+  NaiveEnum(pcs, checker, result, depth + 1, positive.Intersect(pred_box),
+            negated, covering);
+  covering.Reset(depth);
 }
 
 }  // namespace
@@ -134,51 +166,39 @@ DecompositionResult DecomposeCells(const PredicateConstraintSet& pcs,
     // Split off TRUE predicates: they cover every cell and cannot be
     // negated, so there is nothing to enumerate for them.
     std::vector<size_t> order;
-    std::vector<size_t> universal;
+    CoveringSet universal;
     for (size_t i = 0; i < n; ++i) {
       if (pcs.at(i).predicate().box().IsUniverse()) {
-        universal.push_back(i);
+        universal.Set(i);
       } else {
         order.push_back(i);
       }
     }
-    DfsContext ctx{&pcs,   &options, &checker,  &result,
+    DfsContext ctx{&pcs,         &options, &checker,  &result,
                    order.size(), &order,   &universal};
     std::vector<Box> negated;
-    std::vector<size_t> covering;
+    CoveringSet covering;
     negated.reserve(order.size());
-    covering.reserve(order.size());
     Dfs(ctx, 0, root, negated, covering, /*known_sat=*/false,
         /*verified=*/true);
-    result.sat_calls = checker.num_calls();
-    return result;
+    // One source of truth for the Fig. 7 counter (the checker), with the
+    // DFS's own tally asserted against it instead of overwriting it.
+    PCX_CHECK_EQ(ctx.manual_sat_calls, checker.num_calls());
+  } else {
+    // Naive path: enumerate every sign assignment and test the complete
+    // conjunction independently.
+    PCX_CHECK(n < 63) << "too many predicate constraints for the naive path";
+    std::vector<Box> negated;
+    CoveringSet covering;
+    negated.reserve(n);
+    NaiveEnum(pcs, checker, result, 0, root, negated, covering);
+    PCX_CHECK_EQ(result.nodes_visited, (uint64_t{1} << n) - 1);
   }
 
-  // Naive path: enumerate every sign assignment and test the complete
-  // conjunction independently.
-  PCX_CHECK(n < 63) << "too many predicate constraints for the naive path";
-  const uint64_t num_assignments = uint64_t{1} << n;
-  for (uint64_t mask = 0; mask < num_assignments; ++mask) {
-    if (mask == 0) continue;  // all-negated cell: covered by no PC
-    ++result.nodes_visited;
-    Cell cell;
-    cell.positive = root;
-    for (size_t i = 0; i < n; ++i) {
-      const Box& b = pcs.at(i).predicate().box();
-      if (mask & (uint64_t{1} << i)) {
-        cell.covering.push_back(i);
-        cell.positive = cell.positive.Intersect(b);
-      } else {
-        cell.negated.push_back(b);
-      }
-    }
-    if (checker.IsSatisfiable({cell.positive, cell.negated})) {
-      result.cells.push_back(std::move(cell));
-    } else {
-      ++result.cells_pruned;
-    }
-  }
+  // The checker counts every decision requested (cache hits included,
+  // so memoization keeps the Fig. 7 metric comparable across runs).
   result.sat_calls = checker.num_calls();
+  result.sat_cache_hits = checker.num_cache_hits();
   return result;
 }
 

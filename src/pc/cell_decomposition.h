@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/covering_set.h"
 #include "pc/pc_set.h"
 #include "predicate/predicate.h"
 #include "predicate/sat.h"
@@ -15,7 +16,7 @@ namespace pcx {
 /// tuple space inside the predicates of `covering` and outside all
 /// other predicates.
 struct Cell {
-  std::vector<size_t> covering;   ///< indices of non-negated PCs (never empty)
+  CoveringSet covering;           ///< non-negated PC indices (never empty)
   Box positive;                   ///< intersection of covering boxes (+ pushdown)
   std::vector<Box> negated;       ///< boxes of the negated PCs
   bool verified = true;           ///< false when admitted by early stopping
@@ -40,7 +41,8 @@ struct DecompositionOptions {
 /// Decomposition result plus the counters reported in Fig. 7.
 struct DecompositionResult {
   std::vector<Cell> cells;
-  size_t sat_calls = 0;        ///< satisfiability decisions actually made
+  size_t sat_calls = 0;        ///< satisfiability decisions requested
+  size_t sat_cache_hits = 0;   ///< decisions served from the memo cache
   size_t nodes_visited = 0;    ///< DFS nodes (or cells, for the naive path)
   size_t cells_pruned = 0;     ///< subtrees/cells eliminated as UNSAT
   size_t rewrites_used = 0;    ///< solver calls saved by Optimization 3

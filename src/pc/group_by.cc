@@ -4,30 +4,38 @@ namespace pcx {
 
 StatusOr<std::vector<GroupRange>> BoundGroupBy(
     const PcBoundSolver& solver, const AggQuery& query, size_t group_attr,
-    const std::vector<double>& group_values) {
+    const std::vector<double>& group_values, size_t num_threads) {
   if (!solver.constraints().empty() &&
       group_attr >= solver.constraints().num_attrs()) {
     return Status::InvalidArgument("group attribute out of range");
   }
-  std::vector<GroupRange> out;
-  out.reserve(group_values.size());
+  std::vector<AggQuery> per_group;
+  per_group.reserve(group_values.size());
   for (double value : group_values) {
-    AggQuery per_group = query;
+    AggQuery q = query;
     Predicate where =
         query.where.has_value()
             ? *query.where
             : Predicate(solver.constraints().num_attrs());
     where.AddEquals(group_attr, value);
-    per_group.where = std::move(where);
-    PCX_ASSIGN_OR_RETURN(ResultRange range, solver.Bound(per_group));
-    out.push_back(GroupRange{value, range});
+    q.where = std::move(where);
+    per_group.push_back(std::move(q));
+  }
+
+  const auto ranges = solver.BoundBatch(per_group, num_threads);
+  std::vector<GroupRange> out;
+  out.reserve(group_values.size());
+  for (size_t g = 0; g < group_values.size(); ++g) {
+    // First failure (in group order) wins, matching the sequential loop.
+    if (!ranges[g].ok()) return ranges[g].status();
+    out.push_back(GroupRange{group_values[g], *ranges[g]});
   }
   return out;
 }
 
 StatusOr<std::vector<GroupRange>> BoundGroupByCategorical(
     const PcBoundSolver& solver, const AggQuery& query, const Schema& schema,
-    const std::string& group_column) {
+    const std::string& group_column, size_t num_threads) {
   PCX_ASSIGN_OR_RETURN(const size_t col, schema.ColumnIndex(group_column));
   if (schema.column(col).type != ColumnType::kCategorical) {
     return Status::InvalidArgument("group column must be categorical");
@@ -36,7 +44,7 @@ StatusOr<std::vector<GroupRange>> BoundGroupByCategorical(
   for (size_t code = 0; code < schema.DictionarySize(col); ++code) {
     values.push_back(static_cast<double>(code));
   }
-  return BoundGroupBy(solver, query, col, values);
+  return BoundGroupBy(solver, query, col, values, num_threads);
 }
 
 }  // namespace pcx

@@ -19,15 +19,20 @@ struct GroupRange {
 /// group value becomes an extra equality predicate conjoined onto the
 /// query's WHERE clause. `group_values` enumerates the groups of
 /// interest (e.g. the dictionary codes of a categorical column).
+///
+/// The per-group queries are independent, so they are fanned across
+/// `num_threads` workers via PcBoundSolver::BoundBatch (0 = hardware
+/// concurrency, 1 = sequential); results are deterministic and in
+/// `group_values` order either way.
 StatusOr<std::vector<GroupRange>> BoundGroupBy(
     const PcBoundSolver& solver, const AggQuery& query, size_t group_attr,
-    const std::vector<double>& group_values);
+    const std::vector<double>& group_values, size_t num_threads = 0);
 
 /// Convenience: groups over every interned label of a categorical
 /// column of `schema`.
 StatusOr<std::vector<GroupRange>> BoundGroupByCategorical(
     const PcBoundSolver& solver, const AggQuery& query, const Schema& schema,
-    const std::string& group_column);
+    const std::string& group_column, size_t num_threads = 0);
 
 }  // namespace pcx
 

@@ -16,7 +16,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 struct BuiltCell {
   Box combined;  ///< positive region ∩ covering value boxes
   std::vector<Box> negated;
-  std::vector<size_t> covering;
+  CoveringSet covering;
   double val_lo = 0.0, val_hi = 0.0;
 };
 
@@ -45,7 +45,7 @@ StatusOr<Table> BuildExtremalInstance(const PredicateConstraintSet& pcs,
     }
     if (bc.combined.IsEmpty(domains)) continue;
     bc.negated = cell.negated;
-    bc.covering = cell.covering;
+    bc.covering = cell.covering;  // bitset copy: a few words
     bc.val_lo = bc.combined.dim(query.attr).lo;
     bc.val_hi = bc.combined.dim(query.attr).hi;
     cells.push_back(std::move(bc));
@@ -71,8 +71,7 @@ StatusOr<Table> BuildExtremalInstance(const PredicateConstraintSet& pcs,
   for (size_t j = 0; j < pcs.size(); ++j) {
     LinearConstraint row;
     for (size_t i = 0; i < cells.size(); ++i) {
-      if (std::find(cells[i].covering.begin(), cells[i].covering.end(), j) !=
-          cells[i].covering.end()) {
+      if (cells[i].covering.Test(j)) {
         row.terms.push_back({i, 1.0});
       }
     }

@@ -48,9 +48,10 @@ bool PredicateConstraintSet::PredicatesDisjoint(
     const std::vector<AttrDomain>& domains) const {
   for (size_t i = 0; i < pcs_.size(); ++i) {
     for (size_t j = i + 1; j < pcs_.size(); ++j) {
-      const Box overlap =
-          pcs_[i].predicate().box().Intersect(pcs_[j].predicate().box());
-      if (!overlap.IsEmpty(domains)) return false;
+      if (!pcs_[i].predicate().box().IntersectionEmpty(
+              pcs_[j].predicate().box(), domains)) {
+        return false;
+      }
     }
   }
   return true;

@@ -20,6 +20,24 @@ Box Box::Intersect(const Box& other) const {
   return out;
 }
 
+void Box::IntersectWith(const Box& other) {
+  PCX_CHECK_EQ(dims_.size(), other.dims_.size());
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    dims_[i] = dims_[i].Intersect(other.dims_[i]);
+  }
+}
+
+bool Box::IntersectionEmpty(const Box& other,
+                            const std::vector<AttrDomain>& domains) const {
+  PCX_CHECK_EQ(dims_.size(), other.dims_.size());
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].Intersect(other.dims_[i]).IsEmpty(DomainOf(domains, i))) {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool Box::IsEmpty(const std::vector<AttrDomain>& domains) const {
   for (size_t i = 0; i < dims_.size(); ++i) {
     if (dims_[i].IsEmpty(DomainOf(domains, i))) return true;

@@ -24,8 +24,23 @@ class Box {
   /// Intersects attribute `attr` with `iv` (conjunction of an atom).
   void Constrain(size_t attr, const Interval& iv);
 
+  /// Overwrites attribute `attr` (no intersection) — for callers that
+  /// mutate and restore a shared box instead of copying it.
+  void SetDim(size_t attr, const Interval& iv) { dims_[attr] = iv; }
+
   /// Componentwise intersection of two boxes over the same attributes.
   Box Intersect(const Box& other) const;
+
+  /// In-place componentwise intersection: *this ∩= other, without the
+  /// temporary Intersect allocates.
+  void IntersectWith(const Box& other);
+
+  /// True iff this ∩ other is empty under `domains`. Equivalent to
+  /// Intersect(other).IsEmpty(domains) but allocation-free — the hot
+  /// paths of the SAT checker and the decomposition DFS test millions of
+  /// candidate intersections and keep almost none of them.
+  bool IntersectionEmpty(const Box& other,
+                         const std::vector<AttrDomain>& domains = {}) const;
 
   /// True if some attribute's interval is empty under `domains`.
   /// `domains` may be shorter than num_attrs; missing entries default to

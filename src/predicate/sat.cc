@@ -1,69 +1,200 @@
 #include "predicate/sat.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/check.h"
 
 namespace pcx {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Byte-encodes one interval (bit patterns of the endpoints plus the
+/// strictness flags) into a memoization key.
+void AppendIntervalKey(const Interval& iv, std::string* out) {
+  char buf[18];
+  std::memcpy(buf, &iv.lo, 8);
+  std::memcpy(buf + 8, &iv.hi, 8);
+  buf[16] = iv.lo_strict ? 1 : 0;
+  buf[17] = iv.hi_strict ? 1 : 0;
+  out->append(buf, sizeof(buf));
+}
+
+/// Any total order over intervals, used only to canonicalize the order
+/// of the negated list (equal sets must sort identically).
+bool IntervalLess(const Interval& a, const Interval& b) {
+  if (a.lo != b.lo) return a.lo < b.lo;
+  if (a.hi != b.hi) return a.hi < b.hi;
+  if (a.lo_strict != b.lo_strict) return a.lo_strict < b.lo_strict;
+  return a.hi_strict < b.hi_strict;
+}
+
+/// Three-way compare of two boxes *as clipped to `positive`*, computing
+/// the clipped intervals on the fly instead of materializing boxes.
+int CompareClipped(const Box& a, const Box& b, const Box& positive) {
+  for (size_t d = 0; d < positive.num_attrs(); ++d) {
+    const Interval ia = a.dim(d).Intersect(positive.dim(d));
+    const Interval ib = b.dim(d).Intersect(positive.dim(d));
+    if (ia == ib) continue;
+    return IntervalLess(ia, ib) ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<bool> SatChecker::IsSatisfiableMany(
+    std::span<const CellExpr> cells) {
+  std::vector<bool> out;
+  out.reserve(cells.size());
+  for (const CellExpr& cell : cells) out.push_back(IsSatisfiable(cell));
+  return out;
+}
+
+bool IntervalSatChecker::CanonicalizeInto(const CellExpr& cell) {
+  if (cell.positive.IsEmpty(domains_)) return false;
+  filtered_.clear();
+  for (const Box& n : cell.negated) {
+    if (cell.positive.IntersectionEmpty(n, domains_)) continue;
+    if (n.Covers(cell.positive)) return false;  // swallows the region
+    filtered_.push_back(&n);
+  }
+  // Sorting by the clip to the positive region makes equal negation
+  // *sets* key-identical no matter the order the DFS accumulated them
+  // in; duplicates (distinct predicates clipping to the same region)
+  // collapse. Clips are compared lazily — nothing is materialized.
+  const Box& positive = cell.positive;
+  std::sort(filtered_.begin(), filtered_.end(),
+            [&positive](const Box* a, const Box* b) {
+              return CompareClipped(*a, *b, positive) < 0;
+            });
+  filtered_.erase(std::unique(filtered_.begin(), filtered_.end(),
+                              [&positive](const Box* a, const Box* b) {
+                                return CompareClipped(*a, *b, positive) == 0;
+                              }),
+                  filtered_.end());
+  return true;
+}
+
+void IntervalSatChecker::BuildKey(const Box& positive) {
+  scratch_key_.clear();
+  const uint64_t num_neg = filtered_.size();
+  scratch_key_.append(reinterpret_cast<const char*>(&num_neg), 8);
+  for (size_t d = 0; d < positive.num_attrs(); ++d) {
+    AppendIntervalKey(positive.dim(d), &scratch_key_);
+  }
+  for (const Box* n : filtered_) {
+    for (size_t d = 0; d < positive.num_attrs(); ++d) {
+      AppendIntervalKey(n->dim(d).Intersect(positive.dim(d)), &scratch_key_);
+    }
+  }
+}
 
 bool IntervalSatChecker::IsSatisfiable(const CellExpr& cell) {
   ++num_calls_;
-  return SubtractNonEmpty(cell.positive, cell.negated, 0, nullptr);
+  if (!CanonicalizeInto(cell)) return false;
+  if (filtered_.empty()) return true;  // non-empty positive box
+  BuildKey(cell.positive);
+  if (const auto it = cache_.find(scratch_key_); it != cache_.end()) {
+    ++num_cache_hits_;
+    return it->second;
+  }
+  Box box = cell.positive;
+  const bool sat = SubtractRec(box, 0, nullptr);
+  if (cache_.size() < kMaxCacheEntries) cache_.emplace(scratch_key_, sat);
+  return sat;
 }
 
 std::optional<std::vector<double>> IntervalSatChecker::FindWitness(
     const CellExpr& cell) {
   ++num_calls_;
-  std::vector<double> witness;
-  if (SubtractNonEmpty(cell.positive, cell.negated, 0, &witness)) {
-    return witness;
+  if (!CanonicalizeInto(cell)) return std::nullopt;
+  if (filtered_.empty()) return cell.positive.Witness(domains_);
+  // The cache can short-circuit UNSAT; a SAT verdict still needs the
+  // subtraction re-run to produce the actual point.
+  BuildKey(cell.positive);
+  const auto it = cache_.find(scratch_key_);
+  if (it != cache_.end() && !it->second) {
+    ++num_cache_hits_;
+    return std::nullopt;
   }
+  std::vector<double> witness;
+  Box box = cell.positive;
+  const bool sat = SubtractRec(box, 0, &witness);
+  if (it == cache_.end() && cache_.size() < kMaxCacheEntries) {
+    cache_.emplace(scratch_key_, sat);
+  }
+  if (sat) return witness;
   return std::nullopt;
 }
 
-bool IntervalSatChecker::SubtractNonEmpty(const Box& box,
-                                          const std::vector<Box>& negated,
-                                          size_t from,
-                                          std::vector<double>* witness) {
-  if (box.IsEmpty(domains_)) return false;
-  // Skip negated boxes that do not intersect the current box at all.
+bool IntervalSatChecker::SubtractRec(Box& box, size_t from,
+                                     std::vector<double>* witness) {
+  // Invariant: no dimension of `box` is empty. Skip negated boxes that
+  // do not intersect the current box at all.
   size_t i = from;
-  while (i < negated.size() && box.Intersect(negated[i]).IsEmpty(domains_)) {
+  while (i < filtered_.size() &&
+         box.IntersectionEmpty(*filtered_[i], domains_)) {
     ++i;
   }
-  if (i == negated.size()) {
+  if (i == filtered_.size()) {
     if (witness != nullptr) *witness = box.Witness(domains_);
     return true;
   }
-  const Box& n = negated[i];
+  const Box& n = *filtered_[i];
   // Split `box` against `n` dimension by dimension. For each dimension d
   // constrained by n, the part of the current region strictly below or
   // strictly above n's interval cannot intersect n, so it only needs the
   // remaining negated boxes. The residue fully inside n on all
-  // dimensions is swallowed by n and contributes nothing.
-  Box current = box;
-  for (size_t d = 0; d < n.num_attrs(); ++d) {
+  // dimensions is swallowed by n and contributes nothing. The splits
+  // mutate `box` in place (one interval at a time) and restore it on
+  // exit; the slab restorations are tracked on undo_.
+  const size_t undo_mark = undo_.size();
+  bool found = false;
+  for (size_t d = 0; d < n.num_attrs() && !found; ++d) {
     const Interval& nd = n.dim(d);
     if (nd.is_unbounded()) continue;
+    const Interval saved = box.dim(d);
     // Part below nd: x < nd.lo (or <= if nd.lo is strict).
-    {
-      Box below = current;
-      below.Constrain(d, Interval{-std::numeric_limits<double>::infinity(),
-                                  nd.lo, false, !nd.lo_strict});
-      if (SubtractNonEmpty(below, negated, i + 1, witness)) return true;
+    const Interval below =
+        saved.Intersect(Interval{-kInf, nd.lo, false, !nd.lo_strict});
+    if (!below.IsEmpty(DomainOf(domains_, d))) {
+      box.SetDim(d, below);
+      if (SubtractRec(box, i + 1, witness)) {
+        found = true;
+      }
+      box.SetDim(d, saved);
+      if (found) break;
     }
     // Part above nd: x > nd.hi (or >= if nd.hi is strict).
-    {
-      Box above = current;
-      above.Constrain(d, Interval{nd.hi,
-                                  std::numeric_limits<double>::infinity(),
-                                  !nd.hi_strict, false});
-      if (SubtractNonEmpty(above, negated, i + 1, witness)) return true;
+    const Interval above =
+        saved.Intersect(Interval{nd.hi, kInf, !nd.hi_strict, false});
+    if (!above.IsEmpty(DomainOf(domains_, d))) {
+      box.SetDim(d, above);
+      if (SubtractRec(box, i + 1, witness)) {
+        found = true;
+      }
+      box.SetDim(d, saved);
+      if (found) break;
     }
     // Continue with the slab inside nd on dimension d.
-    current.Constrain(d, nd);
-    if (current.IsEmpty(domains_)) return false;
+    const Interval slab = saved.Intersect(nd);
+    if (slab.IsEmpty(DomainOf(domains_, d))) {
+      // The remaining region misses n entirely on dimension d — but the
+      // below/above parts already covered all of it, so nothing is left.
+      found = false;
+      break;
+    }
+    undo_.push_back({d, saved});
+    box.SetDim(d, slab);
   }
-  // `current` is now contained in n, hence removed entirely.
-  return false;
+  // `box` (fully slabbed) is contained in n unless a split succeeded.
+  for (size_t k = undo_.size(); k > undo_mark; --k) {
+    box.SetDim(undo_[k - 1].first, undo_[k - 1].second);
+  }
+  undo_.resize(undo_mark);
+  return found;
 }
 
 std::unique_ptr<SatChecker> MakeDefaultSatChecker(

@@ -4,6 +4,9 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "predicate/box.h"
@@ -31,16 +34,29 @@ class SatChecker {
   /// True iff some point over the attribute domains satisfies the cell.
   virtual bool IsSatisfiable(const CellExpr& cell) = 0;
 
+  /// Batch entry point: one satisfiability verdict per input cell, in
+  /// input order. The default implementation loops over IsSatisfiable;
+  /// memoizing checkers make repeated (or canonically equal) cells in
+  /// one batch cost a single decision.
+  virtual std::vector<bool> IsSatisfiableMany(std::span<const CellExpr> cells);
+
   /// Like IsSatisfiable but also produces a witness point when SAT.
   virtual std::optional<std::vector<double>> FindWitness(
       const CellExpr& cell) = 0;
 
   /// Number of satisfiability decisions made so far (Fig. 7 metric).
   size_t num_calls() const { return num_calls_; }
-  void ResetStats() { num_calls_ = 0; }
+  /// Decisions answered from a memoization cache (zero for checkers
+  /// without one); always <= num_calls().
+  size_t num_cache_hits() const { return num_cache_hits_; }
+  void ResetStats() {
+    num_calls_ = 0;
+    num_cache_hits_ = 0;
+  }
 
  protected:
   size_t num_calls_ = 0;
+  size_t num_cache_hits_ = 0;
 };
 
 /// Exact decision procedure for the paper's conjunctive range language:
@@ -48,6 +64,14 @@ class SatChecker {
 /// recursive box subtraction, respecting integer attribute domains.
 /// Sound and complete for conjunctions of ranges/inequalities — the
 /// fragment the paper feeds to Z3 — without an SMT dependency.
+///
+/// Every query is first *canonicalized* — negated boxes are clipped to
+/// the positive region, empty clips dropped, the remainder sorted — and
+/// the verdict is memoized under the canonical key. DFS decomposition
+/// re-derives the same region along many branches (amortization in the
+/// spirit of Skeena's epoch batching), so repeated subtree checks are
+/// answered from the table without re-running the subtraction.
+/// Not thread-safe: use one checker per thread.
 class IntervalSatChecker : public SatChecker {
  public:
   /// `domains[attr]` declares integer-valued attributes; attributes past
@@ -60,12 +84,37 @@ class IntervalSatChecker : public SatChecker {
 
   const std::vector<AttrDomain>& domains() const { return domains_; }
 
+  /// Memoized verdicts currently stored.
+  size_t cache_size() const { return cache_.size(); }
+  void ClearCache() { cache_.clear(); }
+
  private:
-  /// Core recursion: is box \ union(negated[from..]) non-empty?
-  bool SubtractNonEmpty(const Box& box, const std::vector<Box>& negated,
-                        size_t from, std::vector<double>* witness);
+  /// Semantics-preserving canonicalization, allocation-free: fills
+  /// `filtered_` with pointers to the negated boxes that intersect
+  /// `positive`, sorted and deduplicated by their clip to the positive
+  /// region (the clip is compared lazily, never materialized). Returns
+  /// false (trivially UNSAT) when the positive region is empty or one
+  /// negated box covers it whole.
+  bool CanonicalizeInto(const CellExpr& cell);
+
+  /// Builds the memoization key of the canonical form (positive +
+  /// lazily clipped filtered boxes) into scratch_key_.
+  void BuildKey(const Box& positive);
+
+  /// Core recursion: is box \ union(filtered_[from..]) non-empty?
+  /// Mutates `box` in place and restores it before returning; `box`
+  /// must have no empty dimension on entry.
+  bool SubtractRec(Box& box, size_t from, std::vector<double>* witness);
+
+  /// Stop inserting (but keep looking up) past this many entries.
+  static constexpr size_t kMaxCacheEntries = 1 << 20;
 
   std::vector<AttrDomain> domains_;
+  std::unordered_map<std::string, bool> cache_;
+  // Reused scratch state (one checker per thread; see class comment).
+  std::vector<const Box*> filtered_;
+  std::vector<std::pair<size_t, Interval>> undo_;
+  std::string scratch_key_;
 };
 
 /// Creates the default checker for a given attribute-domain vector.

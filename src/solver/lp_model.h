@@ -80,6 +80,11 @@ struct Solution {
   SolveStatus status = SolveStatus::kInfeasible;
   double objective = 0.0;
   std::vector<double> x;
+  /// Simplex pivots spent (both phases; summed over the tree for MILP).
+  size_t pivots = 0;
+  /// True when the solve started from a caller-supplied basis instead of
+  /// a cold phase-1.
+  bool warm_used = false;
 };
 
 }  // namespace pcx

@@ -13,6 +13,8 @@ struct Node {
   // Variable bound overrides relative to the root model.
   std::vector<std::pair<size_t, std::pair<double, double>>> bounds;
   double lp_bound = 0.0;  // objective of the parent relaxation
+  // Parent's optimal basis; the child dual-pivots from it.
+  SimplexSolver::WarmStart warm;
 };
 
 /// Priority: explore the most promising bound first.
@@ -43,8 +45,24 @@ size_t PickBranchVariable(const LpModel& model, const std::vector<double>& x,
 }  // namespace
 
 Solution BranchAndBoundSolver::Solve(const LpModel& model) const {
+  return Solve(model, nullptr);
+}
+
+Solution BranchAndBoundSolver::Solve(
+    const LpModel& model, SimplexSolver::WarmStart* root_warm) const {
   last_num_nodes_ = 0;
-  if (!model.has_integers()) return lp_solver_.Solve(model);
+  last_lp_solves_ = 0;
+  last_lp_pivots_ = 0;
+  last_warm_solves_ = 0;
+  if (!model.has_integers()) {
+    Solution sol = options_.use_warm_start && root_warm != nullptr
+                       ? lp_solver_.Solve(model, root_warm)
+                       : lp_solver_.Solve(model);
+    ++last_lp_solves_;
+    last_lp_pivots_ += sol.pivots;
+    if (sol.warm_used) ++last_warm_solves_;
+    return sol;
+  }
 
   const bool maximize = model.sense() == OptSense::kMaximize;
   LpModel work = model;
@@ -60,9 +78,14 @@ Solution BranchAndBoundSolver::Solve(const LpModel& model) const {
 
   std::priority_queue<Node, std::vector<Node>, NodeOrder> open(
       NodeOrder{maximize});
-  open.push(Node{{},
-                 maximize ? std::numeric_limits<double>::infinity()
-                          : -std::numeric_limits<double>::infinity()});
+  Node root{{},
+            maximize ? std::numeric_limits<double>::infinity()
+                     : -std::numeric_limits<double>::infinity(),
+            {}};
+  if (options_.use_warm_start && root_warm != nullptr) {
+    root.warm = *root_warm;  // seed the root from the previous solve
+  }
+  open.push(std::move(root));
 
   bool hit_limit = false;
   while (!open.empty()) {
@@ -98,7 +121,20 @@ Solution BranchAndBoundSolver::Solve(const LpModel& model) const {
     }
     if (!bounds_ok) continue;
 
-    const Solution relax = lp_solver_.Solve(work);
+    SimplexSolver::WarmStart warm;
+    if (options_.use_warm_start) warm = std::move(node.warm);
+    // With warm starts disabled, pass no basis slot at all so the cold
+    // path skips basis extraction (the pre-overhaul cost profile).
+    const Solution relax = options_.use_warm_start
+                               ? lp_solver_.Solve(work, &warm)
+                               : lp_solver_.Solve(work);
+    ++last_lp_solves_;
+    last_lp_pivots_ += relax.pivots;
+    if (relax.warm_used) ++last_warm_solves_;
+    if (node.bounds.empty() && root_warm != nullptr &&
+        options_.use_warm_start) {
+      *root_warm = warm;  // hand the root basis to the caller's next solve
+    }
     if (relax.status == SolveStatus::kInfeasible) continue;
     if (relax.status == SolveStatus::kUnbounded) {
       // An unbounded relaxation at the root means the MILP is unbounded
@@ -143,6 +179,10 @@ Solution BranchAndBoundSolver::Solve(const LpModel& model) const {
     up.bounds.push_back(
         {branch_var,
          {std::ceil(v), std::numeric_limits<double>::infinity()}});
+    if (options_.use_warm_start) {
+      down.warm = warm;  // this node's optimal basis, not the parent's
+      up.warm = std::move(warm);
+    }
     open.push(std::move(down));
     open.push(std::move(up));
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -18,7 +20,50 @@ struct Row {
   std::vector<double> a;  // dense coefficients over the shifted variables
   double b = 0.0;
   RowType type = RowType::kLe;
+  uint32_t id = 0;  // semantic row id (see SimplexSolver::WarmStart)
 };
+
+/// Materializes the model's rows over the shifted variables y = x - lo.
+/// Row ids follow the WarmStart convention so a basis extracted from one
+/// model can be re-installed on a bound-edited sibling.
+std::vector<Row> BuildRows(const LpModel& model,
+                           const std::vector<double>& shift) {
+  const size_t n = model.num_variables();
+  std::vector<Row> rows;
+  const auto& constraints = model.constraints();
+  for (size_t j = 0; j < constraints.size(); ++j) {
+    const auto& cons = constraints[j];
+    std::vector<double> a(n, 0.0);
+    double base = 0.0;
+    for (const auto& [v, coef] : cons.terms) {
+      a[v] += coef;
+      base += coef * shift[v];
+    }
+    if (cons.lo == cons.hi) {
+      rows.push_back({std::move(a), cons.lo - base, RowType::kEq,
+                      static_cast<uint32_t>(2 * j)});
+      continue;
+    }
+    if (cons.hi < kInf) {
+      rows.push_back(
+          {a, cons.hi - base, RowType::kLe, static_cast<uint32_t>(2 * j)});
+    }
+    if (cons.lo > -kInf) {
+      rows.push_back({std::move(a), cons.lo - base, RowType::kGe,
+                      static_cast<uint32_t>(2 * j + 1)});
+    }
+  }
+  // Finite upper bounds become rows (lower bounds are the shift).
+  for (size_t i = 0; i < n; ++i) {
+    if (model.var_hi()[i] < kInf) {
+      std::vector<double> a(n, 0.0);
+      a[i] = 1.0;
+      rows.push_back({std::move(a), model.var_hi()[i] - shift[i], RowType::kLe,
+                      static_cast<uint32_t>(2 * constraints.size() + i)});
+    }
+  }
+  return rows;
+}
 
 /// Full-tableau simplex working state.
 struct Tableau {
@@ -59,9 +104,10 @@ void Pivot(Tableau* t, size_t row, size_t col) {
 }
 
 /// Runs simplex iterations maximizing the current objective row.
-/// `allow_col` masks columns that may enter the basis.
+/// `allow_col` masks columns that may enter the basis. Each pivot taken
+/// is added to `*pivots`.
 SolveStatus Iterate(Tableau* t, const std::vector<bool>& allow_col,
-                    const SimplexSolver::Options& opts) {
+                    const SimplexSolver::Options& opts, size_t* pivots) {
   const size_t bland_threshold =
       static_cast<size_t>(opts.max_iterations) / 2;
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
@@ -98,58 +144,241 @@ SolveStatus Iterate(Tableau* t, const std::vector<bool>& allow_col,
     }
     if (leave == t->a.size()) return SolveStatus::kUnbounded;
     Pivot(t, leave, enter);
+    ++*pivots;
   }
   return SolveStatus::kIterationLimit;
 }
 
-}  // namespace
+/// Writes the tableau's final basis into `warm` using semantic ids.
+/// `slack_owner[k]` is the row id owning slack column num_structural + k.
+/// A basis still containing an artificial is not portable; the warm
+/// start is cleared instead.
+void ExtractWarmStart(const Tableau& t, const std::vector<uint32_t>& row_ids,
+                      const std::vector<uint32_t>& slack_owner,
+                      SimplexSolver::WarmStart* warm) {
+  warm->Clear();
+  for (size_t r = 0; r < t.a.size(); ++r) {
+    const size_t bcol = t.basis[r];
+    uint32_t semantic;
+    if (bcol < t.num_structural) {
+      semantic = static_cast<uint32_t>(bcol);
+    } else if (bcol < t.first_artificial) {
+      semantic = static_cast<uint32_t>(t.num_structural) +
+                 slack_owner[bcol - t.num_structural];
+    } else {
+      warm->Clear();
+      return;
+    }
+    warm->basis.push_back({row_ids[r], semantic});
+  }
+}
 
-Solution SimplexSolver::Solve(const LpModel& model) const {
+/// Attempts the warm-started path: install the carried basis with
+/// Gauss-Jordan pivots, restore primal feasibility with dual simplex,
+/// then polish with the primal. Returns nullopt whenever anything —
+/// basis mismatch, numerical drift, a failed verification — suggests
+/// the cold path should decide instead. kInfeasible/kUnbounded returns
+/// are exact conclusions, not fallbacks.
+std::optional<Solution> TryWarmSolve(const LpModel& model,
+                                     const std::vector<Row>& rows,
+                                     const std::vector<double>& shift,
+                                     const std::vector<double>& c,
+                                     const SimplexSolver::Options& options,
+                                     SimplexSolver::WarmStart* warm) {
+  const size_t n = model.num_variables();
+  const size_t m = rows.size();
+
+  Tableau t;
+  t.num_structural = n;
+  size_t num_slack = 0;
+  for (const Row& r : rows) {
+    if (r.type != RowType::kEq) ++num_slack;
+  }
+  t.first_artificial = n + num_slack;  // no artificials on the warm path
+  t.num_cols = t.first_artificial;
+  t.a.assign(m, std::vector<double>(t.num_cols, 0.0));
+  t.b.assign(m, 0.0);
+  t.basis.assign(m, SIZE_MAX);
+
+  std::vector<uint32_t> row_ids(m);
+  std::vector<uint32_t> slack_owner(num_slack);
+  std::vector<size_t> slack_col(m, SIZE_MAX);
+  std::unordered_map<uint32_t, size_t> row_by_id;
+  size_t next_slack = n;
+  for (size_t r = 0; r < m; ++r) {
+    const Row& row = rows[r];
+    row_ids[r] = row.id;
+    row_by_id.emplace(row.id, r);
+    for (size_t i = 0; i < n; ++i) t.a[r][i] = row.a[i];
+    t.b[r] = row.b;
+    if (row.type != RowType::kEq) {
+      t.a[r][next_slack] = row.type == RowType::kLe ? 1.0 : -1.0;
+      slack_owner[next_slack - n] = row.id;
+      slack_col[r] = next_slack;
+      ++next_slack;
+    }
+  }
+
+  // Resolve the carried basis to concrete columns. Rows the warm start
+  // does not know (a variable bound that just became finite) default to
+  // their own slack — exactly the "extend the basis block-diagonally"
+  // step that keeps the parent's reduced costs dual feasible.
+  std::unordered_map<uint32_t, uint32_t> warm_by_row;
+  for (const auto& [row_id, col] : warm->basis) warm_by_row.emplace(row_id, col);
+  std::vector<size_t> desired(m, SIZE_MAX);
+  std::vector<bool> claimed(t.num_cols, false);
+  for (size_t r = 0; r < m; ++r) {
+    size_t col;
+    const auto it = warm_by_row.find(row_ids[r]);
+    if (it != warm_by_row.end()) {
+      const uint32_t semantic = it->second;
+      if (semantic < n) {
+        col = semantic;
+      } else {
+        const auto owner = row_by_id.find(semantic - static_cast<uint32_t>(n));
+        if (owner == row_by_id.end()) return std::nullopt;
+        col = slack_col[owner->second];
+        if (col == SIZE_MAX) return std::nullopt;
+      }
+    } else {
+      col = slack_col[r];  // new row: its slack joins the basis
+      if (col == SIZE_MAX) return std::nullopt;
+    }
+    if (claimed[col]) return std::nullopt;
+    claimed[col] = true;
+    desired[r] = col;
+  }
+
+  // Phase-2 objective first, so the install pivots canonicalize the
+  // reduced costs as they go.
+  t.obj.assign(t.num_cols, 0.0);
+  for (size_t i = 0; i < n; ++i) t.obj[i] = c[i];
+  t.obj_value = 0.0;
+
+  Solution out;
+  out.warm_used = true;
+
+  // Gauss-Jordan basis install: pivot each desired column into its row,
+  // in whatever order keeps the pivot elements well-conditioned. Each
+  // install is a full-tableau elimination — the same work as a simplex
+  // pivot — so it counts toward Solution::pivots to keep the
+  // warm-vs-cold lp_pivots comparison honest.
+  std::vector<bool> installed(m, false);
+  for (size_t remaining = m; remaining > 0;) {
+    size_t progress = 0;
+    for (size_t r = 0; r < m; ++r) {
+      if (installed[r]) continue;
+      if (std::fabs(t.a[r][desired[r]]) > 1e-7) {
+        Pivot(&t, r, desired[r]);
+        ++out.pivots;
+        installed[r] = true;
+        ++progress;
+      }
+    }
+    if (progress == 0) return std::nullopt;  // singular / drifted basis
+    remaining -= progress;
+  }
+
+  bool primal_infeasible = false;
+  for (size_t r = 0; r < m; ++r) {
+    if (t.b[r] < -options.feas_tol) {
+      primal_infeasible = true;
+      break;
+    }
+  }
+  if (primal_infeasible) {
+    // The dual simplex needs dual-feasible reduced costs to preserve.
+    for (size_t col = 0; col < t.num_cols; ++col) {
+      if (t.obj[col] > 1e-7) return std::nullopt;
+    }
+    for (int iter = 0;; ++iter) {
+      if (iter >= options.max_iterations) return std::nullopt;
+      // Leaving row: most negative rhs.
+      size_t leave = m;
+      double most_negative = -options.feas_tol;
+      for (size_t r = 0; r < m; ++r) {
+        if (t.b[r] < most_negative) {
+          most_negative = t.b[r];
+          leave = r;
+        }
+      }
+      if (leave == m) break;  // primal feasible again
+      // Entering column: dual ratio test over negative row entries.
+      // Only a strictly better ratio replaces the incumbent, so ties
+      // keep the lowest column index (Bland-style) by construction.
+      size_t enter = t.num_cols;
+      double best_ratio = kInf;
+      for (size_t col = 0; col < t.num_cols; ++col) {
+        const double coef = t.a[leave][col];
+        if (coef < -options.eps) {
+          const double ratio = t.obj[col] / coef;  // >= 0: both <= 0
+          if (ratio < best_ratio - options.eps) {
+            best_ratio = ratio;
+            enter = col;
+          }
+        }
+      }
+      if (enter == t.num_cols) {
+        // b[leave] < 0 with an all-nonnegative row: no feasible point.
+        out.status = SolveStatus::kInfeasible;
+        return out;
+      }
+      Pivot(&t, leave, enter);
+      ++out.pivots;
+    }
+    for (size_t r = 0; r < m; ++r) {
+      if (t.b[r] < 0.0) t.b[r] = 0.0;  // clamp feas_tol-sized residue
+    }
+  }
+
+  const std::vector<bool> allow(t.num_cols, true);
+  const SolveStatus p2 = Iterate(&t, allow, options, &out.pivots);
+  if (p2 == SolveStatus::kUnbounded) {
+    out.status = SolveStatus::kUnbounded;
+    return out;
+  }
+  if (p2 == SolveStatus::kIterationLimit) return std::nullopt;
+
+  out.status = SolveStatus::kOptimal;
+  out.x.assign(n, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    if (t.basis[r] < n) out.x[t.basis[r]] = t.b[r];
+  }
+
+  // Cheap certificate against numerical drift: the recovered point must
+  // satisfy the original rows; otherwise discard the warm attempt.
+  for (const Row& row : rows) {
+    double lhs = 0.0;
+    for (size_t i = 0; i < n; ++i) lhs += row.a[i] * out.x[i];
+    const double tol = 1e-6 * std::max(1.0, std::fabs(row.b));
+    const bool ok = row.type == RowType::kLe   ? lhs <= row.b + tol
+                    : row.type == RowType::kGe ? lhs >= row.b - tol
+                                               : std::fabs(lhs - row.b) <= tol;
+    if (!ok) return std::nullopt;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (out.x[i] < -1e-9) return std::nullopt;
+    out.x[i] += shift[i];
+  }
+  double z = 0.0;
+  for (size_t i = 0; i < n; ++i) z += model.objective()[i] * out.x[i];
+  out.objective = z;
+
+  ExtractWarmStart(t, row_ids, slack_owner, warm);
+  return out;
+}
+
+/// Cold two-phase solve over prebuilt rows; fills `warm` (when given)
+/// with the final basis.
+Solution ColdSolve(const LpModel& model, std::vector<Row> rows,
+                   const std::vector<double>& shift,
+                   const std::vector<double>& c, double c0,
+                   const SimplexSolver::Options& options,
+                   SimplexSolver::WarmStart* warm) {
   const size_t n = model.num_variables();
   const bool maximize = model.sense() == OptSense::kMaximize;
-
-  // Shift variables so that y_i = x_i - lo_i >= 0.
-  std::vector<double> shift(n);
-  for (size_t i = 0; i < n; ++i) {
-    PCX_CHECK(model.var_lo()[i] > -kInf)
-        << "SimplexSolver requires finite variable lower bounds";
-    shift[i] = model.var_lo()[i];
-  }
-
-  // Objective over shifted variables (constant folded back at the end).
-  std::vector<double> c(n);
-  double c0 = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    c[i] = maximize ? model.objective()[i] : -model.objective()[i];
-    c0 += c[i] * shift[i];
-  }
-
-  // Collect normalized rows.
-  std::vector<Row> rows;
-  for (const auto& cons : model.constraints()) {
-    std::vector<double> a(n, 0.0);
-    double base = 0.0;
-    for (const auto& [v, coef] : cons.terms) {
-      a[v] += coef;
-      base += coef * shift[v];
-    }
-    if (cons.lo == cons.hi) {
-      rows.push_back({a, cons.lo - base, RowType::kEq});
-      continue;
-    }
-    if (cons.hi < kInf) rows.push_back({a, cons.hi - base, RowType::kLe});
-    if (cons.lo > -kInf) rows.push_back({a, cons.lo - base, RowType::kGe});
-  }
-  // Finite upper bounds become rows (lower bounds are the shift).
-  for (size_t i = 0; i < n; ++i) {
-    if (model.var_hi()[i] < kInf) {
-      std::vector<double> a(n, 0.0);
-      a[i] = 1.0;
-      rows.push_back({a, model.var_hi()[i] - shift[i], RowType::kLe});
-    }
-  }
-
   const size_t m = rows.size();
+
   // Column layout: n structural + m slack/surplus (at most one per row)
   // + up to m artificials.
   Tableau t;
@@ -164,13 +393,14 @@ Solution SimplexSolver::Solve(const LpModel& model) const {
   t.b.assign(m, 0.0);
   t.basis.assign(m, SIZE_MAX);
 
+  std::vector<uint32_t> row_ids(m);
+  std::vector<uint32_t> slack_owner(num_slack);
   size_t slack_idx = n;
   std::vector<size_t> needs_artificial;
   for (size_t r = 0; r < m; ++r) {
     Row row = rows[r];
-    double sign = 1.0;
+    row_ids[r] = row.id;
     if (row.b < 0.0) {  // normalize rhs >= 0
-      sign = -1.0;
       row.b = -row.b;
       for (double& v : row.a) v = -v;
       if (row.type == RowType::kLe) {
@@ -179,15 +409,16 @@ Solution SimplexSolver::Solve(const LpModel& model) const {
         row.type = RowType::kLe;
       }
     }
-    (void)sign;
     for (size_t ccol = 0; ccol < n; ++ccol) t.a[r][ccol] = row.a[ccol];
     t.b[r] = row.b;
     if (row.type == RowType::kLe) {
       t.a[r][slack_idx] = 1.0;
       t.basis[r] = slack_idx;  // slack starts basic
+      slack_owner[slack_idx - n] = row.id;
       ++slack_idx;
     } else if (row.type == RowType::kGe) {
       t.a[r][slack_idx] = -1.0;  // surplus
+      slack_owner[slack_idx - n] = row.id;
       ++slack_idx;
       needs_artificial.push_back(r);
     } else {
@@ -225,14 +456,14 @@ Solution SimplexSolver::Solve(const LpModel& model) const {
         t.obj_value -= f * t.b[r];
       }
     }
-    const SolveStatus p1 = Iterate(&t, allow, options_);
+    const SolveStatus p1 = Iterate(&t, allow, options, &out.pivots);
     if (p1 == SolveStatus::kIterationLimit) {
       out.status = SolveStatus::kIterationLimit;
       return out;
     }
     // Current phase-1 objective (max of -sum(artificials)) is
     // -obj_value; it must be ~0 for feasibility.
-    if (t.obj_value > options_.feas_tol) {
+    if (t.obj_value > options.feas_tol) {
       out.status = SolveStatus::kInfeasible;
       return out;
     }
@@ -241,7 +472,7 @@ Solution SimplexSolver::Solve(const LpModel& model) const {
       if (t.basis[r] >= t.first_artificial) {
         size_t enter = t.num_cols;
         for (size_t cc = 0; cc < t.first_artificial; ++cc) {
-          if (std::fabs(t.a[r][cc]) > options_.eps) {
+          if (std::fabs(t.a[r][cc]) > options.eps) {
             enter = cc;
             break;
           }
@@ -269,7 +500,7 @@ Solution SimplexSolver::Solve(const LpModel& model) const {
       t.obj_value -= f * t.b[r];
     }
   }
-  const SolveStatus p2 = Iterate(&t, allow, options_);
+  const SolveStatus p2 = Iterate(&t, allow, options, &out.pivots);
   if (p2 == SolveStatus::kUnbounded) {
     out.status = SolveStatus::kUnbounded;
     return out;
@@ -290,7 +521,47 @@ Solution SimplexSolver::Solve(const LpModel& model) const {
   // is -obj_value; undo the shift constant and the minimize negation.
   double z = -t.obj_value + c0;
   out.objective = maximize ? z : -z;
+  if (warm != nullptr) ExtractWarmStart(t, row_ids, slack_owner, warm);
   return out;
+}
+
+}  // namespace
+
+Solution SimplexSolver::Solve(const LpModel& model) const {
+  return Solve(model, nullptr);
+}
+
+Solution SimplexSolver::Solve(const LpModel& model, WarmStart* warm) const {
+  const size_t n = model.num_variables();
+  const bool maximize = model.sense() == OptSense::kMaximize;
+
+  // Shift variables so that y_i = x_i - lo_i >= 0.
+  std::vector<double> shift(n);
+  for (size_t i = 0; i < n; ++i) {
+    PCX_CHECK(model.var_lo()[i] > -kInf)
+        << "SimplexSolver requires finite variable lower bounds";
+    shift[i] = model.var_lo()[i];
+  }
+
+  // Objective over shifted variables (constant folded back at the end).
+  std::vector<double> c(n);
+  double c0 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    c[i] = maximize ? model.objective()[i] : -model.objective()[i];
+    c0 += c[i] * shift[i];
+  }
+
+  std::vector<Row> rows = BuildRows(model, shift);
+
+  if (warm != nullptr && warm->valid()) {
+    auto result = TryWarmSolve(model, rows, shift, c, options_, warm);
+    if (result.has_value()) {
+      if (result->status != SolveStatus::kOptimal) warm->Clear();
+      return *std::move(result);
+    }
+  }
+  if (warm != nullptr) warm->Clear();
+  return ColdSolve(model, std::move(rows), shift, c, c0, options_, warm);
 }
 
 }  // namespace pcx

@@ -1,6 +1,10 @@
 #ifndef PCX_SOLVER_SIMPLEX_H_
 #define PCX_SOLVER_SIMPLEX_H_
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "solver/lp_model.h"
 
 namespace pcx {
@@ -25,11 +29,37 @@ class SimplexSolver {
     double feas_tol = 1e-7;    ///< phase-1 feasibility tolerance
   };
 
+  /// An optimal basis carried from one solve to the next. Rows and
+  /// columns are identified *semantically* so the basis survives the
+  /// variable-bound edits branch-and-bound performs: constraint j's
+  /// upper/lower row has id 2j / 2j+1, variable i's upper-bound row has
+  /// id 2 * num_constraints + i; column n + row_id is that row's
+  /// slack/surplus. Only meaningful for models with the same constraint
+  /// rows and objective (variable bounds may differ) — exactly the
+  /// parent/child relation inside a branch-and-bound tree, where §4.2's
+  /// 0/1-interval structure makes the re-optimization a handful of dual
+  /// pivots instead of a full two-phase solve.
+  struct WarmStart {
+    /// (row id, semantic column id) per basic variable.
+    std::vector<std::pair<uint32_t, uint32_t>> basis;
+    bool valid() const { return !basis.empty(); }
+    void Clear() { basis.clear(); }
+  };
+
   SimplexSolver() : options_(Options{}) {}
   explicit SimplexSolver(Options options) : options_(options) {}
 
-  /// Solves the continuous relaxation of `model`.
+  /// Solves the continuous relaxation of `model` from a cold phase-1
+  /// start.
   Solution Solve(const LpModel& model) const;
+
+  /// Like Solve, but when `*warm` holds a valid basis the solver
+  /// installs it and dual-pivots back to feasibility instead of running
+  /// phase 1; any numerical trouble silently falls back to the cold
+  /// path, so the result is always as trustworthy as Solve(model). On
+  /// return `*warm` holds the final optimal basis (cleared when none is
+  /// available, e.g. non-optimal outcomes).
+  Solution Solve(const LpModel& model, WarmStart* warm) const;
 
   const Options& options() const { return options_; }
 

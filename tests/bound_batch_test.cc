@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "pc/bound_solver.h"
+#include "pc/group_by.h"
+
+namespace pcx {
+namespace {
+
+PredicateConstraint MakePc(double p_lo, double p_hi, double v_lo, double v_hi,
+                           double k_lo, double k_hi) {
+  Predicate pred(2);
+  pred.AddRange(0, p_lo, p_hi);
+  Box values(2);
+  values.Constrain(1, Interval::Closed(v_lo, v_hi));
+  return PredicateConstraint(pred, values, {k_lo, k_hi});
+}
+
+/// Overlapping PC set: exercises decomposition + MILP, not the greedy
+/// fast path.
+PredicateConstraintSet OverlappingPcs() {
+  PredicateConstraintSet pcs;
+  pcs.Add(MakePc(0, 10, 1, 5, 0, 7));
+  pcs.Add(MakePc(5, 15, 2, 8, 1, 6));
+  pcs.Add(MakePc(8, 25, 0, 3, 0, 9));
+  pcs.Add(MakePc(-5, 6, 1, 2, 0, 4));
+  return pcs;
+}
+
+/// Pairwise-disjoint set: exercises the greedy path.
+PredicateConstraintSet DisjointPcs() {
+  PredicateConstraintSet pcs;
+  for (int i = 0; i < 12; ++i) {
+    pcs.Add(MakePc(10.0 * i, 10.0 * i + 9.0, 0.0, 2.0 + i, i % 3 == 0 ? 1 : 0,
+                   5 + i));
+  }
+  return pcs;
+}
+
+std::vector<AggQuery> AllAggQueries() {
+  std::vector<AggQuery> queries;
+  Rng rng(7);
+  for (int rep = 0; rep < 4; ++rep) {
+    const double lo = rng.Uniform(-5.0, 60.0);
+    Predicate where(2);
+    where.AddRange(0, lo, lo + rng.Uniform(5.0, 40.0));
+    for (AggFunc agg : {AggFunc::kCount, AggFunc::kSum, AggFunc::kAvg,
+                        AggFunc::kMin, AggFunc::kMax}) {
+      queries.push_back(AggQuery{agg, 1, where});
+      queries.push_back(AggQuery{agg, 1, std::nullopt});
+    }
+  }
+  return queries;
+}
+
+/// Bitwise equality — NaN-free here, but inf and signed zero must match
+/// exactly, hence memcmp instead of ==.
+bool BitIdentical(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void ExpectBatchMatchesSequential(const PcBoundSolver& solver,
+                                  const std::vector<AggQuery>& queries) {
+  std::vector<StatusOr<ResultRange>> sequential;
+  sequential.reserve(queries.size());
+  for (const AggQuery& q : queries) sequential.push_back(solver.Bound(q));
+
+  for (size_t threads : {1, 4, 8}) {
+    std::vector<PcBoundSolver::SolveStats> stats;
+    const auto batch = solver.BoundBatch(queries, threads, &stats);
+    ASSERT_EQ(batch.size(), queries.size());
+    ASSERT_EQ(stats.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(batch[i].ok(), sequential[i].ok())
+          << "threads " << threads << " query " << i;
+      if (!batch[i].ok()) {
+        EXPECT_EQ(batch[i].status().code(), sequential[i].status().code());
+        continue;
+      }
+      EXPECT_TRUE(BitIdentical(batch[i]->lo, sequential[i]->lo))
+          << "threads " << threads << " query " << i << ": " << batch[i]->lo
+          << " vs " << sequential[i]->lo;
+      EXPECT_TRUE(BitIdentical(batch[i]->hi, sequential[i]->hi))
+          << "threads " << threads << " query " << i << ": " << batch[i]->hi
+          << " vs " << sequential[i]->hi;
+      EXPECT_EQ(batch[i]->defined, sequential[i]->defined);
+      EXPECT_EQ(batch[i]->empty_instance_possible,
+                sequential[i]->empty_instance_possible);
+    }
+  }
+}
+
+TEST(BoundBatchTest, BitIdenticalToSequentialOnOverlappingSet) {
+  PcBoundSolver solver(OverlappingPcs());
+  ExpectBatchMatchesSequential(solver, AllAggQueries());
+}
+
+TEST(BoundBatchTest, BitIdenticalToSequentialOnDisjointSet) {
+  PcBoundSolver solver(DisjointPcs());
+  ExpectBatchMatchesSequential(solver, AllAggQueries());
+}
+
+TEST(BoundBatchTest, EmptyBatch) {
+  PcBoundSolver solver(OverlappingPcs());
+  EXPECT_TRUE(solver.BoundBatch({}).empty());
+}
+
+TEST(BoundBatchTest, AggregateStatsSumPerQueryStats) {
+  PcBoundSolver solver(OverlappingPcs());
+  const auto queries = AllAggQueries();
+  std::vector<PcBoundSolver::SolveStats> stats;
+  solver.BoundBatch(queries, 4, &stats);
+  PcBoundSolver::SolveStats total;
+  for (const auto& s : stats) total += s;
+  EXPECT_EQ(solver.last_stats().sat_calls, total.sat_calls);
+  EXPECT_EQ(solver.last_stats().lp_solves, total.lp_solves);
+  EXPECT_EQ(solver.last_stats().lp_pivots, total.lp_pivots);
+  EXPECT_EQ(solver.last_stats().milp_nodes, total.milp_nodes);
+  EXPECT_GT(total.lp_solves, 0u);
+}
+
+TEST(BoundBatchTest, GroupByMatchesPerGroupBound) {
+  PcBoundSolver solver(OverlappingPcs());
+  const AggQuery query = AggQuery::Sum(1);
+  const std::vector<double> groups = {1.0, 3.0, 7.0, 12.0};
+  const auto batched = BoundGroupBy(solver, query, 0, groups, /*num_threads=*/4);
+  ASSERT_TRUE(batched.ok());
+  ASSERT_EQ(batched->size(), groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    AggQuery per_group = query;
+    Predicate where(2);
+    where.AddEquals(0, groups[g]);
+    per_group.where = where;
+    const auto single = solver.Bound(per_group);
+    ASSERT_TRUE(single.ok());
+    EXPECT_TRUE(BitIdentical((*batched)[g].range.lo, single->lo));
+    EXPECT_TRUE(BitIdentical((*batched)[g].range.hi, single->hi));
+  }
+}
+
+}  // namespace
+}  // namespace pcx

@@ -27,13 +27,12 @@ PredicateConstraint MakePc2D(double x_lo, double x_hi, double y_lo,
 }
 
 /// Canonical form of a decomposition for cross-strategy comparison:
-/// the sorted set of covering index lists.
+/// the sorted set of covering index lists (CoveringSet iterates in
+/// increasing index order).
 std::set<std::vector<size_t>> CoveringSets(const DecompositionResult& r) {
   std::set<std::vector<size_t>> out;
   for (const Cell& c : r.cells) {
-    std::vector<size_t> cov = c.covering;
-    std::sort(cov.begin(), cov.end());
-    out.insert(cov);
+    out.insert(c.covering.ToIndices());
   }
   return out;
 }
@@ -152,7 +151,7 @@ TEST(CellDecompositionTest, PushdownRestrictsCells) {
   query.AddRange(0, 0.0, 5.0);
   const auto result = DecomposeCells(pcs, query);
   ASSERT_EQ(result.cells.size(), 1u);
-  EXPECT_EQ(result.cells[0].covering, (std::vector<size_t>{0}));
+  EXPECT_EQ(result.cells[0].covering.ToIndices(), (std::vector<size_t>{0}));
   // The emitted positive region is clipped to the query.
   EXPECT_LE(result.cells[0].positive.dim(0).hi, 5.0);
 }
@@ -194,8 +193,7 @@ TEST(CellDecompositionTest, UniversalCatchAllCoversEveryCell) {
   // Cells: inside [0,10] covered by {0, 1}; outside covered by {1}.
   ASSERT_EQ(result.cells.size(), 2u);
   for (const Cell& c : result.cells) {
-    EXPECT_TRUE(std::find(c.covering.begin(), c.covering.end(), 1u) !=
-                c.covering.end());
+    EXPECT_TRUE(c.covering.Test(1));
   }
 }
 

@@ -1,0 +1,118 @@
+#include "common/covering_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace pcx {
+namespace {
+
+TEST(CoveringSetTest, DefaultIsEmpty) {
+  CoveringSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_FALSE(s.Test(0));
+  EXPECT_FALSE(s.Test(1000));
+  EXPECT_TRUE(s.ToIndices().empty());
+  EXPECT_EQ(s.begin(), s.end());
+}
+
+TEST(CoveringSetTest, SetTestReset) {
+  CoveringSet s;
+  s.Set(3);
+  s.Set(64);  // second block
+  s.Set(129);  // third block
+  EXPECT_TRUE(s.Test(3));
+  EXPECT_TRUE(s.Test(64));
+  EXPECT_TRUE(s.Test(129));
+  EXPECT_FALSE(s.Test(2));
+  EXPECT_FALSE(s.Test(63));
+  EXPECT_FALSE(s.Test(65));
+  EXPECT_EQ(s.Count(), 3u);
+  s.Reset(64);
+  EXPECT_FALSE(s.Test(64));
+  EXPECT_EQ(s.Count(), 2u);
+  s.Reset(64);  // idempotent
+  EXPECT_EQ(s.Count(), 2u);
+  s.Reset(100000);  // resetting a never-set bit is a no-op
+  EXPECT_EQ(s.Count(), 2u);
+}
+
+TEST(CoveringSetTest, EqualityIgnoresHowTheSetWasBuilt) {
+  // Setting then resetting a high bit must not leave a trace (trailing
+  // zero blocks are trimmed), so equality is purely set equality.
+  CoveringSet a = CoveringSet::FromIndices({1, 5});
+  CoveringSet b;
+  b.Set(700);
+  b.Set(5);
+  b.Set(1);
+  b.Reset(700);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Set(6);
+  EXPECT_NE(a, b);
+}
+
+TEST(CoveringSetTest, IterationIsInIncreasingOrderAcrossBlocks) {
+  const std::vector<size_t> indices = {0, 1, 63, 64, 65, 127, 128, 200, 777};
+  CoveringSet s = CoveringSet::FromRange(indices);
+  EXPECT_EQ(s.ToIndices(), indices);
+  // Range-for visits the same sequence.
+  std::vector<size_t> seen;
+  for (size_t i : s) seen.push_back(i);
+  EXPECT_EQ(seen, indices);
+}
+
+TEST(CoveringSetTest, UnionAndIntersection) {
+  const CoveringSet a = CoveringSet::FromIndices({0, 2, 100});
+  const CoveringSet b = CoveringSet::FromIndices({2, 3, 200});
+  EXPECT_EQ((a | b).ToIndices(), (std::vector<size_t>{0, 2, 3, 100, 200}));
+  EXPECT_EQ((a & b).ToIndices(), (std::vector<size_t>{2}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(CoveringSet::FromIndices({1, 99, 101})));
+  EXPECT_TRUE(a.ContainsAll(CoveringSet::FromIndices({0, 100})));
+  EXPECT_FALSE(a.ContainsAll(b));
+  EXPECT_TRUE(a.ContainsAll(CoveringSet()));  // empty subset of anything
+}
+
+TEST(CoveringSetTest, IntersectionTrimsTrailingBlocks) {
+  CoveringSet a = CoveringSet::FromIndices({1, 500});
+  const CoveringSet b = CoveringSet::FromIndices({1, 2});
+  a &= b;
+  EXPECT_EQ(a, CoveringSet::FromIndices({1}));
+  EXPECT_EQ(a.Hash(), CoveringSet::FromIndices({1}).Hash());
+}
+
+TEST(CoveringSetTest, ToString) {
+  EXPECT_EQ(CoveringSet().ToString(), "{}");
+  EXPECT_EQ(CoveringSet::FromIndices({2, 65}).ToString(), "{2, 65}");
+}
+
+TEST(CoveringSetTest, RandomizedAgainstStdSet) {
+  // Exercises >64-constraint universes: mirror every operation against
+  // std::set and compare the full contents.
+  Rng rng(2024);
+  CoveringSet s;
+  std::set<size_t> ref;
+  for (int step = 0; step < 4000; ++step) {
+    const size_t i = static_cast<size_t>(rng.UniformInt(0, 499));
+    if (rng.UniformInt(0, 2) == 0) {
+      s.Reset(i);
+      ref.erase(i);
+    } else {
+      s.Set(i);
+      ref.insert(i);
+    }
+  }
+  EXPECT_EQ(s.Count(), ref.size());
+  EXPECT_EQ(s.ToIndices(), std::vector<size_t>(ref.begin(), ref.end()));
+  for (size_t i = 0; i < 520; ++i) {
+    EXPECT_EQ(s.Test(i), ref.count(i) > 0) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pcx

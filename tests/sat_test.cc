@@ -220,5 +220,131 @@ TEST_P(SatPropertyTest, MatchesZ3WhenAvailable) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SatPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// ---------------------------------------------------------------------------
+// Memoization cache (the Fig. 7 "repeated subtree checks are free" path).
+
+TEST(SatCacheTest, RepeatedQueryHitsTheCache) {
+  IntervalSatChecker checker;
+  CellExpr cell;
+  cell.positive = MakeBox({{0, Interval::Closed(0.0, 10.0)}});
+  cell.negated.push_back(MakeBox({{0, Interval::Closed(2.0, 3.0)}}));
+  EXPECT_TRUE(checker.IsSatisfiable(cell));
+  EXPECT_EQ(checker.num_cache_hits(), 0u);
+  EXPECT_TRUE(checker.IsSatisfiable(cell));
+  EXPECT_EQ(checker.num_calls(), 2u);
+  EXPECT_EQ(checker.num_cache_hits(), 1u);
+}
+
+TEST(SatCacheTest, NegationOrderIsCanonicalized) {
+  IntervalSatChecker checker;
+  const Box a = MakeBox({{0, Interval::Closed(1.0, 2.0)}});
+  const Box b = MakeBox({{0, Interval::Closed(4.0, 5.0)}});
+  CellExpr ab{MakeBox({{0, Interval::Closed(0.0, 10.0)}}), {a, b}};
+  CellExpr ba{MakeBox({{0, Interval::Closed(0.0, 10.0)}}), {b, a}};
+  EXPECT_TRUE(checker.IsSatisfiable(ab));
+  EXPECT_TRUE(checker.IsSatisfiable(ba));  // same set, different order
+  EXPECT_EQ(checker.num_cache_hits(), 1u);
+}
+
+TEST(SatCacheTest, IrrelevantNegationsCollapseToTheSameEntry) {
+  // A negated box outside the positive region removes nothing, so the
+  // canonical form (and the cached verdict) is the same with or without
+  // it.
+  IntervalSatChecker checker;
+  const Box hole = MakeBox({{0, Interval::Closed(2.0, 3.0)}});
+  const Box far_away = MakeBox({{0, Interval::Closed(100.0, 200.0)}});
+  CellExpr plain{MakeBox({{0, Interval::Closed(0.0, 10.0)}}), {hole}};
+  CellExpr padded{MakeBox({{0, Interval::Closed(0.0, 10.0)}}),
+                  {far_away, hole}};
+  EXPECT_TRUE(checker.IsSatisfiable(plain));
+  EXPECT_TRUE(checker.IsSatisfiable(padded));
+  EXPECT_EQ(checker.num_cache_hits(), 1u);
+}
+
+TEST(SatCacheTest, ClearCacheResetsHits) {
+  IntervalSatChecker checker;
+  CellExpr cell{MakeBox({{0, Interval::Closed(0.0, 4.0)}}),
+                {MakeBox({{0, Interval::Closed(1.0, 2.0)}})}};
+  checker.IsSatisfiable(cell);
+  EXPECT_EQ(checker.cache_size(), 1u);
+  checker.ClearCache();
+  EXPECT_EQ(checker.cache_size(), 0u);
+  checker.IsSatisfiable(cell);
+  EXPECT_EQ(checker.num_cache_hits(), 0u);  // repopulated, not hit
+}
+
+TEST(SatCacheTest, CachedVerdictsMatchAFreshChecker) {
+  // Randomized cross-check: a long-lived (cache-warm) checker must
+  // agree with a fresh checker on every query, including re-asked ones.
+  Rng rng(321);
+  IntervalSatChecker warm({AttrDomain::kInteger});
+  auto random_box = [&rng]() {
+    Box b(2);
+    for (size_t d = 0; d < 2; ++d) {
+      if (rng.Bernoulli(0.3)) continue;
+      double lo = std::floor(rng.Uniform(-3.0, 3.0));
+      double hi = std::floor(rng.Uniform(-3.0, 3.0));
+      if (lo > hi) std::swap(lo, hi);
+      b.Constrain(d, Interval::Closed(lo, hi));
+    }
+    return b;
+  };
+  std::vector<CellExpr> history;
+  for (int trial = 0; trial < 300; ++trial) {
+    CellExpr cell;
+    if (!history.empty() && rng.Bernoulli(0.3)) {
+      cell = history[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int>(history.size()) - 1))];
+    } else {
+      cell.positive = random_box();
+      const size_t k = static_cast<size_t>(rng.UniformInt(0, 4));
+      for (size_t i = 0; i < k; ++i) cell.negated.push_back(random_box());
+      history.push_back(cell);
+    }
+    IntervalSatChecker fresh({AttrDomain::kInteger});
+    EXPECT_EQ(warm.IsSatisfiable(cell), fresh.IsSatisfiable(cell))
+        << "trial " << trial;
+  }
+  EXPECT_GT(warm.num_cache_hits(), 0u);
+}
+
+TEST(SatCacheTest, FindWitnessUsesAndFeedsTheCache) {
+  IntervalSatChecker checker;
+  CellExpr unsat{MakeBox({{0, Interval::Closed(0.0, 1.0)}}),
+                 {MakeBox({{0, Interval::Closed(-1.0, 2.0)}})}};
+  // Covers-check short-circuits; use a genuine two-box cover instead.
+  CellExpr covered{MakeBox({{0, Interval::Closed(0.0, 10.0)}}),
+                   {MakeBox({{0, Interval::Closed(-1.0, 6.0)}}),
+                    MakeBox({{0, Interval::Closed(6.0, 11.0)}})}};
+  EXPECT_FALSE(checker.IsSatisfiable(covered));
+  const size_t hits_before = checker.num_cache_hits();
+  EXPECT_FALSE(checker.FindWitness(covered).has_value());
+  EXPECT_EQ(checker.num_cache_hits(), hits_before + 1);
+  (void)unsat;
+}
+
+TEST(SatCacheTest, IsSatisfiableManyMatchesScalarCalls) {
+  Rng rng(99);
+  std::vector<CellExpr> cells;
+  for (int i = 0; i < 40; ++i) {
+    CellExpr cell;
+    cell.positive = Box(2);
+    Box b(2);
+    const double lo = std::floor(rng.Uniform(-3.0, 3.0));
+    cell.positive.Constrain(0, Interval::Closed(lo, lo + 2.0));
+    b.Constrain(0, Interval::Closed(lo - 1.0, lo + (i % 2 ? 1.0 : 3.0)));
+    cell.negated.push_back(b);
+    cells.push_back(cell);
+  }
+  IntervalSatChecker batch_checker;
+  const std::vector<bool> batch = batch_checker.IsSatisfiableMany(cells);
+  ASSERT_EQ(batch.size(), cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    IntervalSatChecker scalar;
+    EXPECT_EQ(batch[i], scalar.IsSatisfiable(cells[i])) << "cell " << i;
+  }
+  EXPECT_EQ(batch_checker.num_calls(), cells.size());
+}
+
 }  // namespace
 }  // namespace pcx

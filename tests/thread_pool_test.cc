@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace pcx {
+namespace {
+
+TEST(ThreadPoolTest, ReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  ThreadPool defaulted(0);
+  EXPECT_GE(defaulted.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing queued
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(257);
+    pool.ParallelFor(hits.size(),
+                     [&hits](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+  int calls = 0;
+  pool.ParallelFor(1, [&calls](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForIsDeterministicPerIndex) {
+  // Each index writes a pure function of itself; any schedule must
+  // produce identical output.
+  ThreadPool pool(8);
+  std::vector<long> out(1000, -1);
+  pool.ParallelFor(out.size(), [&out](size_t i) {
+    out[i] = static_cast<long>(i) * static_cast<long>(i);
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<long>(i) * static_cast<long>(i));
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.ParallelFor(50, [&sum](size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(sum.load(), 10 * (49 * 50 / 2));
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithPendingWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    // Destructor must drain the queue before joining.
+  }
+  EXPECT_EQ(done.load(), 20);
+}
+
+}  // namespace
+}  // namespace pcx
