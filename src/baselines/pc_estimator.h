@@ -7,6 +7,7 @@
 
 #include "baselines/estimator.h"
 #include "pc/bound_solver.h"
+#include "serve/sharded_solver.h"
 
 namespace pcx {
 
@@ -37,6 +38,36 @@ class PcEstimator : public MissingDataEstimator {
 
  private:
   PcBoundSolver solver_;
+  std::string name_;
+};
+
+/// The sharded-serving counterpart: same estimator interface, answers
+/// routed through a ShardedBoundSolver. Since sharded answers are
+/// bit-identical to the unsharded solver's, its eval-harness report
+/// (failure rate, tightness) must match PcEstimator's exactly — running
+/// both is a whole-workload consistency check, and the sharded mode of
+/// the Fig. 8 sweep measures what partitioning buys per query.
+class ShardedPcEstimator : public MissingDataEstimator {
+ public:
+  ShardedPcEstimator(PredicateConstraintSet pcs,
+                     std::vector<AttrDomain> domains,
+                     ShardedBoundSolver::Options options, std::string name)
+      : solver_(std::move(pcs), std::move(domains), options),
+        name_(std::move(name)) {}
+
+  StatusOr<ResultRange> Estimate(const AggQuery& query) const override {
+    return solver_.Bound(query);
+  }
+  std::vector<StatusOr<ResultRange>> EstimateBatch(
+      std::span<const AggQuery> queries) const override {
+    return solver_.BoundBatch(queries);
+  }
+  std::string name() const override { return name_; }
+
+  const ShardedBoundSolver& solver() const { return solver_; }
+
+ private:
+  ShardedBoundSolver solver_;
   std::string name_;
 };
 

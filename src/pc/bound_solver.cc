@@ -34,7 +34,9 @@ PcBoundSolver::PcBoundSolver(PredicateConstraintSet pcs,
       domains_(std::move(domains)),
       options_(options) {
   predicates_disjoint_ =
-      options_.auto_disjoint_fast_path && pcs_.PredicatesDisjoint(domains_);
+      options_.auto_disjoint_fast_path &&
+      (options_.assume_predicates_disjoint ||
+       pcs_.PredicatesDisjoint(domains_));
   // Value negation keeps every predicate box intact, so the sibling
   // inherits the disjointness verdict instead of re-running the O(n^2)
   // detection; the tag ctor also stops the recursion (the sibling of
@@ -42,6 +44,9 @@ PcBoundSolver::PcBoundSolver(PredicateConstraintSet pcs,
   negated_solver_ = std::unique_ptr<const PcBoundSolver>(
       new PcBoundSolver(InheritDisjointTag{}, pcs_.NegatedValues(), domains_,
                         options_, predicates_disjoint_));
+  if (options_.persistent_sat_cache) {
+    persistent_checker_ = std::make_unique<IntervalSatChecker>(domains_);
+  }
 }
 
 PcBoundSolver::PcBoundSolver(InheritDisjointTag, PredicateConstraintSet pcs,
@@ -50,12 +55,26 @@ PcBoundSolver::PcBoundSolver(InheritDisjointTag, PredicateConstraintSet pcs,
     : pcs_(std::move(pcs)),
       domains_(domains),
       options_(options),
-      predicates_disjoint_(predicates_disjoint) {}
+      predicates_disjoint_(predicates_disjoint) {
+  if (options_.persistent_sat_cache) {
+    persistent_checker_ = std::make_unique<IntervalSatChecker>(domains_);
+  }
+}
 
 StatusOr<std::vector<PcBoundSolver::CellBound>> PcBoundSolver::BuildCells(
     const AggQuery& query, size_t attr, SolveStats& stats) const {
-  DecompositionResult decomp = DecomposeCells(
-      pcs_, query.where, options_.decomposition, domains_);
+  DecompositionResult decomp;
+  if (persistent_checker_ != nullptr) {
+    // Serialized: the memoizing checker is single-threaded scratch
+    // state. Verdicts are canonical, so sharing it across queries only
+    // changes sat_cache_hits, never a bound.
+    std::lock_guard<std::mutex> lock(sat_mu_);
+    decomp = DecomposeCellsWith(*persistent_checker_, pcs_, query.where,
+                                options_.decomposition);
+  } else {
+    decomp =
+        DecomposeCells(pcs_, query.where, options_.decomposition, domains_);
+  }
   stats.num_cells += decomp.cells.size();
   stats.sat_calls += decomp.sat_calls;
   stats.sat_cache_hits += decomp.sat_cache_hits;
@@ -523,6 +542,11 @@ StatusOr<ResultRange> PcBoundSolver::Bound(const AggQuery& query) const {
   auto result = BoundImpl(query, stats);
   stats_ = stats;
   return result;
+}
+
+StatusOr<ResultRange> PcBoundSolver::BoundWithStats(const AggQuery& query,
+                                                    SolveStats& stats) const {
+  return BoundImpl(query, stats);
 }
 
 std::vector<StatusOr<ResultRange>> PcBoundSolver::BoundBatch(

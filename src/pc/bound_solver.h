@@ -2,6 +2,7 @@
 #define PCX_PC_BOUND_SOLVER_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -40,6 +41,23 @@ class PcBoundSolver {
     bool check_cell_occupancy = true;
     /// Iterations of the AVG binary search.
     int avg_search_iterations = 60;
+    /// Caller-supplied guarantee that the predicates are pairwise
+    /// disjoint, skipping the O(n^2) detection that would otherwise run
+    /// at construction (with auto_disjoint_fast_path on). Used by
+    /// ShardedBoundSolver, which detects disjointness once on the full
+    /// set and constructs many subset solvers: a subset of a disjoint
+    /// set is disjoint. Asserting this for an overlapping set produces
+    /// unsound bounds — leave it off unless the invariant is structural.
+    bool assume_predicates_disjoint = false;
+    /// Keep one SAT memo cache alive for the solver's whole lifetime
+    /// instead of one per decomposition, so repeated queries against the
+    /// same (e.g. snapshot-loaded) constraint set amortize their cell
+    /// verification across decompositions. Verdicts are memoized by
+    /// canonical cell expression, so results are unchanged — only
+    /// sat_cache_hits grows. The shared checker is mutex-protected,
+    /// which serializes the decomposition step (not the MILP) across
+    /// BoundBatch workers; leave this off for one-shot batch workloads.
+    bool persistent_sat_cache = false;
   };
 
   /// Per-query diagnostics of the last Bound call (summed over the batch
@@ -74,6 +92,15 @@ class PcBoundSolver {
 
   /// Computes the result range of `query` over the missing rows.
   StatusOr<ResultRange> Bound(const AggQuery& query) const;
+
+  /// Like Bound, but writing the per-query diagnostics into `stats`
+  /// instead of last_stats(). Unlike Bound (whose last_stats() update is
+  /// a benign-looking but real write), this entry point mutates no
+  /// solver state, so concurrent callers — e.g. a ShardedBoundSolver
+  /// fanning different queries at the same shard — need no external
+  /// locking.
+  StatusOr<ResultRange> BoundWithStats(const AggQuery& query,
+                                       SolveStats& stats) const;
 
   /// Bounds every query of `queries`, fanning them across `num_threads`
   /// worker threads (0 = hardware concurrency, 1 = inline sequential).
@@ -175,6 +202,11 @@ class PcBoundSolver {
   Options options_;
   bool predicates_disjoint_ = false;
   mutable SolveStats stats_;
+  /// Non-null iff options_.persistent_sat_cache: the cross-decomposition
+  /// memo cache, serialized by sat_mu_ (IntervalSatChecker is not
+  /// thread-safe). The negated sibling owns its own.
+  mutable std::unique_ptr<IntervalSatChecker> persistent_checker_;
+  mutable std::mutex sat_mu_;
 };
 
 }  // namespace pcx

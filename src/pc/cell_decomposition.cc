@@ -149,18 +149,29 @@ DecompositionResult DecomposeCells(const PredicateConstraintSet& pcs,
                                    const std::optional<Predicate>& pushdown,
                                    const DecompositionOptions& options,
                                    const std::vector<AttrDomain>& domains) {
+  IntervalSatChecker checker(domains);
+  return DecomposeCellsWith(checker, pcs, pushdown, options);
+}
+
+DecompositionResult DecomposeCellsWith(IntervalSatChecker& checker,
+                                       const PredicateConstraintSet& pcs,
+                                       const std::optional<Predicate>& pushdown,
+                                       const DecompositionOptions& options) {
   DecompositionResult result;
   const size_t n = pcs.size();
   if (n == 0) return result;
   const size_t num_attrs = pcs.num_attrs();
+
+  // A persistent checker arrives with history; report this call's
+  // decisions as deltas from it.
+  const size_t base_calls = checker.num_calls();
+  const size_t base_hits = checker.num_cache_hits();
 
   Box root(num_attrs);
   if (pushdown.has_value()) {
     PCX_CHECK_EQ(pushdown->num_attrs(), num_attrs);
     root = root.Intersect(pushdown->box());  // Optimization 1
   }
-
-  IntervalSatChecker checker(domains);
 
   if (options.use_dfs) {
     // Split off TRUE predicates: they cover every cell and cannot be
@@ -183,7 +194,7 @@ DecompositionResult DecomposeCells(const PredicateConstraintSet& pcs,
         /*verified=*/true);
     // One source of truth for the Fig. 7 counter (the checker), with the
     // DFS's own tally asserted against it instead of overwriting it.
-    PCX_CHECK_EQ(ctx.manual_sat_calls, checker.num_calls());
+    PCX_CHECK_EQ(ctx.manual_sat_calls, checker.num_calls() - base_calls);
   } else {
     // Naive path: enumerate every sign assignment and test the complete
     // conjunction independently.
@@ -197,8 +208,8 @@ DecompositionResult DecomposeCells(const PredicateConstraintSet& pcs,
 
   // The checker counts every decision requested (cache hits included,
   // so memoization keeps the Fig. 7 metric comparable across runs).
-  result.sat_calls = checker.num_calls();
-  result.sat_cache_hits = checker.num_cache_hits();
+  result.sat_calls = checker.num_calls() - base_calls;
+  result.sat_cache_hits = checker.num_cache_hits() - base_hits;
   return result;
 }
 

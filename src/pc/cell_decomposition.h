@@ -61,6 +61,19 @@ DecompositionResult DecomposeCells(
     const DecompositionOptions& options = {},
     const std::vector<AttrDomain>& domains = {});
 
+/// Like DecomposeCells, but running against a caller-owned checker whose
+/// memo cache survives the call. Repeated queries over one loaded PC set
+/// re-derive mostly the same cell expressions, so a persistent checker
+/// turns the second and later decompositions into cache lookups (see
+/// PcBoundSolver::Options::persistent_sat_cache). Attribute domains come
+/// from the checker. The result's sat_calls / sat_cache_hits are the
+/// *deltas* of this call, keeping them comparable with the one-shot
+/// overload. The checker is not thread-safe; the caller serializes.
+DecompositionResult DecomposeCellsWith(
+    IntervalSatChecker& checker, const PredicateConstraintSet& pcs,
+    const std::optional<Predicate>& pushdown = std::nullopt,
+    const DecompositionOptions& options = {});
+
 }  // namespace pcx
 
 #endif  // PCX_PC_CELL_DECOMPOSITION_H_

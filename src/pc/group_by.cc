@@ -2,6 +2,22 @@
 
 namespace pcx {
 
+std::vector<AggQuery> MakeGroupByQueries(
+    const AggQuery& query, size_t group_attr,
+    const std::vector<double>& group_values, size_t num_attrs) {
+  std::vector<AggQuery> per_group;
+  per_group.reserve(group_values.size());
+  for (double value : group_values) {
+    AggQuery q = query;
+    Predicate where =
+        query.where.has_value() ? *query.where : Predicate(num_attrs);
+    where.AddEquals(group_attr, value);
+    q.where = std::move(where);
+    per_group.push_back(std::move(q));
+  }
+  return per_group;
+}
+
 StatusOr<std::vector<GroupRange>> BoundGroupBy(
     const PcBoundSolver& solver, const AggQuery& query, size_t group_attr,
     const std::vector<double>& group_values, size_t num_threads) {
@@ -9,18 +25,8 @@ StatusOr<std::vector<GroupRange>> BoundGroupBy(
       group_attr >= solver.constraints().num_attrs()) {
     return Status::InvalidArgument("group attribute out of range");
   }
-  std::vector<AggQuery> per_group;
-  per_group.reserve(group_values.size());
-  for (double value : group_values) {
-    AggQuery q = query;
-    Predicate where =
-        query.where.has_value()
-            ? *query.where
-            : Predicate(solver.constraints().num_attrs());
-    where.AddEquals(group_attr, value);
-    q.where = std::move(where);
-    per_group.push_back(std::move(q));
-  }
+  const std::vector<AggQuery> per_group = MakeGroupByQueries(
+      query, group_attr, group_values, solver.constraints().num_attrs());
 
   const auto ranges = solver.BoundBatch(per_group, num_threads);
   std::vector<GroupRange> out;

@@ -14,6 +14,17 @@ struct GroupRange {
   ResultRange range;
 };
 
+/// Expands a GROUP BY into its per-group queries: one copy of `query`
+/// per group value, with `group_attr == value` conjoined onto the WHERE
+/// clause. Both BoundGroupBy and ShardedBoundSolver::BoundGroupBy build
+/// their batches here, so the sharded path bounds byte-for-byte the same
+/// queries as the in-process one. `num_attrs` sizes the predicate when
+/// `query` has no WHERE clause.
+std::vector<AggQuery> MakeGroupByQueries(const AggQuery& query,
+                                         size_t group_attr,
+                                         const std::vector<double>& group_values,
+                                         size_t num_attrs);
+
 /// Bounds a GROUP BY query: per paper §2, "the GROUP-BY clause can be
 /// considered as a union of such queries without GROUP-BY", so each
 /// group value becomes an extra equality predicate conjoined onto the

@@ -4,10 +4,37 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/text.h"
+
 namespace pcx {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Extracts the value of `key=` from a pc line; the value runs until the
+/// next top-level whitespace.
+StatusOr<std::string> ExtractField(const std::string& line,
+                                   const std::string& key) {
+  const std::string needle = key + "=";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) {
+    return Status::InvalidArgument("missing field '" + key + "'");
+  }
+  size_t start = at + needle.size();
+  // Value ends at whitespace that is not inside {} or [] / ().
+  int depth = 0;
+  size_t end = start;
+  while (end < line.size()) {
+    const char c = line[end];
+    if (c == '{' || c == '[' || c == '(') ++depth;
+    if (c == '}' || c == ']' || c == ')') --depth;
+    if ((c == ' ' || c == '\t') && depth <= 0) break;
+    ++end;
+  }
+  return line.substr(start, end - start);
+}
+
+}  // namespace
 
 std::string FormatNumber(double v) {
   if (v == kInf) return "inf";
@@ -29,14 +56,6 @@ StatusOr<double> ParseNumber(const std::string& s) {
   return v;
 }
 
-std::string Trim(const std::string& s) {
-  size_t b = s.find_first_not_of(" \t\r\n");
-  if (b == std::string::npos) return "";
-  size_t e = s.find_last_not_of(" \t\r\n");
-  return s.substr(b, e - b + 1);
-}
-
-/// Serializes a box as {attr:[lo,hi], ...} keeping only bounded dims.
 std::string SerializeBox(const Box& box) {
   std::ostringstream os;
   os << "{";
@@ -52,7 +71,7 @@ std::string SerializeBox(const Box& box) {
 }
 
 StatusOr<Box> ParseBox(const std::string& text, size_t num_attrs) {
-  std::string body = Trim(text);
+  std::string body = TrimWhitespace(text);
   if (body.size() < 2 || body.front() != '{' || body.back() != '}') {
     return Status::InvalidArgument("box must be wrapped in {}: " + text);
   }
@@ -66,7 +85,7 @@ StatusOr<Box> ParseBox(const std::string& text, size_t num_attrs) {
     if (colon == std::string::npos) {
       return Status::InvalidArgument("missing ':' in box entry");
     }
-    const std::string attr_str = Trim(body.substr(pos, colon - pos));
+    const std::string attr_str = TrimWhitespace(body.substr(pos, colon - pos));
     char* end = nullptr;
     const unsigned long attr = std::strtoul(attr_str.c_str(), &end, 10);
     if (end == attr_str.c_str() || *end != '\0') {
@@ -89,31 +108,6 @@ StatusOr<Box> ParseBox(const std::string& text, size_t num_attrs) {
   return box;
 }
 
-/// Extracts the value of `key=` from a pc line; the value runs until the
-/// next top-level space.
-StatusOr<std::string> ExtractField(const std::string& line,
-                                   const std::string& key) {
-  const std::string needle = key + "=";
-  const size_t at = line.find(needle);
-  if (at == std::string::npos) {
-    return Status::InvalidArgument("missing field '" + key + "'");
-  }
-  size_t start = at + needle.size();
-  // Value ends at a space that is not inside {} or [] / ().
-  int depth = 0;
-  size_t end = start;
-  while (end < line.size()) {
-    const char c = line[end];
-    if (c == '{' || c == '[' || c == '(') ++depth;
-    if (c == '}' || c == ']' || c == ')') --depth;
-    if (c == ' ' && depth <= 0) break;
-    ++end;
-  }
-  return line.substr(start, end - start);
-}
-
-}  // namespace
-
 std::string SerializeInterval(const Interval& iv) {
   std::ostringstream os;
   os << (iv.lo_strict ? "(" : "[") << FormatNumber(iv.lo) << ","
@@ -122,7 +116,7 @@ std::string SerializeInterval(const Interval& iv) {
 }
 
 StatusOr<Interval> ParseInterval(const std::string& text) {
-  const std::string s = Trim(text);
+  const std::string s = TrimWhitespace(text);
   if (s.size() < 3) return Status::InvalidArgument("interval too short");
   const char open = s.front();
   const char close = s.back();
@@ -134,8 +128,8 @@ StatusOr<Interval> ParseInterval(const std::string& text) {
   if (comma == std::string::npos) {
     return Status::InvalidArgument("interval needs two endpoints");
   }
-  PCX_ASSIGN_OR_RETURN(const double lo, ParseNumber(Trim(body.substr(0, comma))));
-  PCX_ASSIGN_OR_RETURN(const double hi, ParseNumber(Trim(body.substr(comma + 1))));
+  PCX_ASSIGN_OR_RETURN(const double lo, ParseNumber(TrimWhitespace(body.substr(0, comma))));
+  PCX_ASSIGN_OR_RETURN(const double hi, ParseNumber(TrimWhitespace(body.substr(comma + 1))));
   if (lo > hi) return Status::InvalidArgument("inverted interval");
   return Interval{lo, hi, open == '(', close == ')'};
 }
@@ -160,14 +154,20 @@ StatusOr<PredicateConstraintSet> ParsePcSet(const std::string& text) {
   bool header_seen = false;
   PredicateConstraintSet out;
 
+  // Errors carry both the line number and the offending text: snapshot
+  // files get hand-edited (and re-saved by editors that add CRLF or
+  // trailing blanks), and "line 17" alone is useless once the file has
+  // been touched.
   auto error = [&](const std::string& msg) {
     return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
-                                   msg);
+                                   msg + " in '" + line + "'");
   };
 
   while (std::getline(is, line)) {
     ++line_no;
-    line = Trim(line);
+    // Trim tolerates trailing whitespace and CRLF line endings, so
+    // documents edited on other platforms still parse.
+    line = TrimWhitespace(line);
     if (line.empty() || line[0] == '#') continue;
     if (!header_seen) {
       if (line.rfind("pcset v1 attrs=", 0) != 0) {

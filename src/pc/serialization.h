@@ -32,6 +32,20 @@ std::string SerializeInterval(const Interval& iv);
 /// Parses one interval.
 StatusOr<Interval> ParseInterval(const std::string& text);
 
+/// Serializes a box as "{attr:interval,...}" keeping only bounded
+/// dimensions ("{}" is the universe). The format is whitespace-free, so
+/// a box travels as one token of the pcx_serve line protocol.
+std::string SerializeBox(const Box& box);
+
+/// Parses the SerializeBox format against a fixed attribute count.
+StatusOr<Box> ParseBox(const std::string& text, size_t num_attrs);
+
+/// Round-trippable double formatting ("inf"/"-inf" for the infinities).
+std::string FormatNumber(double v);
+
+/// Parses FormatNumber output (also accepts "+inf").
+StatusOr<double> ParseNumber(const std::string& s);
+
 }  // namespace pcx
 
 #endif  // PCX_PC_SERIALIZATION_H_

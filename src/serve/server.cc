@@ -1,0 +1,303 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "common/text.h"
+#include "pc/serialization.h"
+
+namespace pcx {
+namespace {
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  return s;
+}
+
+/// Error text must stay a single protocol line.
+std::string OneLine(std::string s) {
+  std::replace(s.begin(), s.end(), '\n', ' ');
+  std::replace(s.begin(), s.end(), '\r', ' ');
+  return s;
+}
+
+StatusOr<AggFunc> ParseAgg(const std::string& token) {
+  const std::string up = ToUpper(token);
+  if (up == "COUNT") return AggFunc::kCount;
+  if (up == "SUM") return AggFunc::kSum;
+  if (up == "AVG") return AggFunc::kAvg;
+  if (up == "MIN") return AggFunc::kMin;
+  if (up == "MAX") return AggFunc::kMax;
+  return Status::InvalidArgument("unknown aggregate '" + token +
+                                 "' (want COUNT/SUM/AVG/MIN/MAX)");
+}
+
+StatusOr<size_t> ParseIndex(const std::string& token,
+                            const std::string& what) {
+  const auto v = ParseU64(token);
+  if (!v.ok()) {
+    return Status::InvalidArgument("bad " + what + " '" + token + "'");
+  }
+  return static_cast<size_t>(*v);
+}
+
+/// Conjoins the box literals in tokens[from..] into a WHERE predicate
+/// (nullopt when there are none).
+StatusOr<std::optional<Predicate>> ParseWhere(
+    const std::vector<std::string>& tokens, size_t from, size_t num_attrs) {
+  if (from >= tokens.size()) return std::optional<Predicate>{};
+  Box where(num_attrs);
+  for (size_t t = from; t < tokens.size(); ++t) {
+    PCX_ASSIGN_OR_RETURN(const Box box, ParseBox(tokens[t], num_attrs));
+    where.IntersectWith(box);
+  }
+  return std::optional<Predicate>(Predicate(std::move(where)));
+}
+
+void PrintRange(std::ostream& out, const char* label, const ResultRange& r) {
+  out << label << "lo=" << FormatNumber(r.lo) << " hi=" << FormatNumber(r.hi)
+      << " defined=" << (r.defined ? 1 : 0)
+      << " empty_possible=" << (r.empty_instance_possible ? 1 : 0) << "\n";
+}
+
+}  // namespace
+
+BoundServer::BoundServer() : BoundServer(Options{}) {}
+BoundServer::BoundServer(Options options) : options_(std::move(options)) {}
+BoundServer::~BoundServer() = default;
+
+Status BoundServer::LoadSnapshotFile(const std::string& path) {
+  PCX_ASSIGN_OR_RETURN(const Snapshot snap, LoadSnapshot(path));
+  solver_ =
+      std::make_unique<ShardedBoundSolver>(snap, options_.solver);
+  snapshot_path_ = path;
+  return Status::OK();
+}
+
+Status BoundServer::HandleBound(const std::vector<std::string>& tokens,
+                                std::ostream& out) {
+  if (solver_ == nullptr) {
+    return Status::FailedPrecondition("no snapshot loaded (use LOAD <path>)");
+  }
+  if (tokens.size() < 3) {
+    return Status::InvalidArgument(
+        "usage: BOUND <COUNT|SUM|AVG|MIN|MAX> <attr> [{a:[lo,hi],...}...]");
+  }
+  AggQuery query;
+  PCX_ASSIGN_OR_RETURN(query.agg, ParseAgg(tokens[1]));
+  PCX_ASSIGN_OR_RETURN(query.attr, ParseIndex(tokens[2], "attribute index"));
+  PCX_ASSIGN_OR_RETURN(
+      query.where,
+      ParseWhere(tokens, 3, solver_->constraints().num_attrs()));
+  PCX_ASSIGN_OR_RETURN(const ResultRange range, solver_->Bound(query));
+  PrintRange(out, "RANGE ", range);
+  return Status::OK();
+}
+
+Status BoundServer::HandleGroupBy(const std::vector<std::string>& tokens,
+                                  std::ostream& out) {
+  if (solver_ == nullptr) {
+    return Status::FailedPrecondition("no snapshot loaded (use LOAD <path>)");
+  }
+  if (tokens.size() < 5) {
+    return Status::InvalidArgument(
+        "usage: GROUPBY <AGG> <attr> <group_attr> <v1,v2,...> [{box}...]");
+  }
+  AggQuery query;
+  PCX_ASSIGN_OR_RETURN(query.agg, ParseAgg(tokens[1]));
+  PCX_ASSIGN_OR_RETURN(query.attr, ParseIndex(tokens[2], "attribute index"));
+  PCX_ASSIGN_OR_RETURN(const size_t group_attr,
+                       ParseIndex(tokens[3], "group attribute"));
+  std::vector<double> values;
+  {
+    std::istringstream is(tokens[4]);
+    std::string part;
+    while (std::getline(is, part, ',')) {
+      if (part.empty()) continue;
+      PCX_ASSIGN_OR_RETURN(const double v, ParseNumber(part));
+      values.push_back(v);
+    }
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("empty group value list '" + tokens[4] +
+                                   "'");
+  }
+  PCX_ASSIGN_OR_RETURN(
+      query.where,
+      ParseWhere(tokens, 5, solver_->constraints().num_attrs()));
+  PCX_ASSIGN_OR_RETURN(const std::vector<GroupRange> groups,
+                       solver_->BoundGroupBy(query, group_attr, values));
+  out << "GROUPS " << groups.size() << "\n";
+  for (const GroupRange& g : groups) {
+    out << "GROUP " << FormatNumber(g.group_value) << " ";
+    PrintRange(out, "", g.range);
+  }
+  return Status::OK();
+}
+
+Status BoundServer::HandleStats(std::ostream& out) {
+  if (solver_ == nullptr) {
+    return Status::FailedPrecondition("no snapshot loaded (use LOAD <path>)");
+  }
+  const ShardedBoundSolver::ServeStats s = solver_->stats();
+  char imbalance[32];
+  std::snprintf(imbalance, sizeof(imbalance), "%.3f",
+                solver_->partition().ImbalanceRatio());
+  out << "STATS epoch=" << solver_->epoch()
+      << " shards=" << solver_->num_shards()
+      << " pcs=" << solver_->constraints().size()
+      << " attrs=" << solver_->constraints().num_attrs()
+      << " components=" << solver_->partition().num_components
+      << " largest_component=" << solver_->partition().largest_component
+      << " imbalance=" << imbalance << " queries=" << s.queries
+      << " single_shard=" << s.single_shard_queries
+      << " multi_shard=" << s.multi_shard_queries
+      << " no_shard=" << s.no_shard_queries
+      << " scatter=" << s.scatter_queries
+      << " union_solvers=" << s.union_solvers_built
+      << " num_cells=" << s.solve.num_cells
+      << " sat_calls=" << s.solve.sat_calls
+      << " sat_cache_hits=" << s.solve.sat_cache_hits
+      << " milp_nodes=" << s.solve.milp_nodes
+      << " lp_solves=" << s.solve.lp_solves
+      << " lp_pivots=" << s.solve.lp_pivots << "\n";
+  return Status::OK();
+}
+
+bool BoundServer::HandleLine(const std::string& line, std::ostream& out) {
+  const std::vector<std::string> tokens = SplitWhitespace(line);
+  if (tokens.empty() || tokens[0][0] == '#') return true;  // comment/blank
+  const std::string cmd = ToUpper(tokens[0]);
+
+  if (cmd == "QUIT" || cmd == "EXIT") {
+    out << "BYE\n";
+    return false;
+  }
+
+  Status status = Status::OK();
+  if (cmd == "LOAD") {
+    if (tokens.size() != 2) {
+      status = Status::InvalidArgument("usage: LOAD <snapshot-path>");
+    } else {
+      status = LoadSnapshotFile(tokens[1]);
+      if (status.ok()) {
+        out << "OK epoch=" << solver_->epoch()
+            << " shards=" << solver_->num_shards()
+            << " pcs=" << solver_->constraints().size()
+            << " attrs=" << solver_->constraints().num_attrs() << "\n";
+      }
+    }
+  } else if (cmd == "BOUND") {
+    status = HandleBound(tokens, out);
+  } else if (cmd == "GROUPBY") {
+    status = HandleGroupBy(tokens, out);
+  } else if (cmd == "STATS") {
+    status = HandleStats(out);
+  } else {
+    status = Status::InvalidArgument(
+        "unknown command '" + tokens[0] +
+        "' (want LOAD/BOUND/GROUPBY/STATS/QUIT)");
+  }
+  if (!status.ok()) {
+    out << "ERR " << OneLine(status.message()) << "\n";
+  }
+  return true;
+}
+
+void BoundServer::ServeStream(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const bool keep_going = HandleLine(line, out);
+    out.flush();
+    if (!keep_going) return;
+  }
+}
+
+#ifndef _WIN32
+
+Status ServeTcp(BoundServer& server, uint16_t port, size_t max_clients) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) return Status::Internal("socket() failed");
+  const int enable = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listener);
+    return Status::InvalidArgument("bind() failed on port " +
+                                   std::to_string(port));
+  }
+  if (::listen(listener, 4) < 0) {
+    ::close(listener);
+    return Status::Internal("listen() failed");
+  }
+
+  size_t served = 0;
+  while (max_clients == 0 || served < max_clients) {
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) {
+      ::close(listener);
+      return Status::Internal("accept() failed");
+    }
+    ++served;
+    std::string buffer;
+    char chunk[4096];
+    bool open = true;
+    while (open) {
+      const ssize_t n = ::read(client, chunk, sizeof(chunk));
+      if (n <= 0) break;  // client closed (or error): end the session
+      buffer.append(chunk, static_cast<size_t>(n));
+      size_t at;
+      while (open && (at = buffer.find('\n')) != std::string::npos) {
+        std::string line = buffer.substr(0, at);
+        buffer.erase(0, at + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        std::ostringstream reply;
+        open = server.HandleLine(line, reply);
+        const std::string text = reply.str();
+        size_t written = 0;
+        while (written < text.size()) {
+          const ssize_t w =
+              ::write(client, text.data() + written, text.size() - written);
+          if (w <= 0) {
+            open = false;
+            break;
+          }
+          written += static_cast<size_t>(w);
+        }
+      }
+    }
+    ::close(client);
+  }
+  ::close(listener);
+  return Status::OK();
+}
+
+#else  // _WIN32
+
+Status ServeTcp(BoundServer&, uint16_t, size_t) {
+  return Status::Unimplemented("ServeTcp: POSIX sockets only");
+}
+
+#endif
+
+}  // namespace pcx

@@ -1,0 +1,85 @@
+#ifndef PCX_SERVE_SERVER_H_
+#define PCX_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "serve/sharded_solver.h"
+
+namespace pcx {
+
+/// Blocking line-protocol front end over a ShardedBoundSolver — the
+/// "aha" loop of the serving subsystem: load a versioned snapshot,
+/// answer aggregate-bound queries, report serving counters. One request
+/// per line, one reply per line (GROUPBY replies with a counted block),
+/// so the server is drivable from a pipe, a socket, CI, or a human:
+///
+///   LOAD examples/snapshots/sensors.pcxsnap
+///   OK epoch=1 shards=2 pcs=6 attrs=3
+///   BOUND SUM 2 {0:[0,24)}
+///   RANGE lo=0 hi=1250 defined=1 empty_possible=1
+///   GROUPBY COUNT 0 0 0,1,2
+///   GROUPS 3
+///   GROUP 0 lo=0 hi=40 defined=1 empty_possible=1
+///   ...
+///   STATS
+///   STATS epoch=1 shards=2 ... sat_cache_hits=12 ...
+///   QUIT
+///   BYE
+///
+/// Predicates travel as whitespace-free box literals in the
+/// pc/serialization syntax ("{attr:[lo,hi),...}"); several boxes on one
+/// line are conjoined. Errors come back as a single "ERR <reason>" line
+/// and never kill the session. The server object itself is
+/// single-threaded (one protocol stream); parallelism lives inside the
+/// solver's shard fan-out.
+class BoundServer {
+ public:
+  struct Options {
+    /// Forwarded to every solver a LOAD constructs.
+    ShardedBoundSolver::Options solver;
+  };
+
+  BoundServer();
+  explicit BoundServer(Options options);
+  ~BoundServer();
+
+  /// Loads a snapshot from disk and swaps it in (LOAD command body).
+  Status LoadSnapshotFile(const std::string& path);
+
+  /// Handles one protocol line, writing the reply to `out`. Returns
+  /// false iff the line was QUIT (the stream should end).
+  bool HandleLine(const std::string& line, std::ostream& out);
+
+  /// Runs the protocol until EOF or QUIT, flushing after every reply.
+  void ServeStream(std::istream& in, std::ostream& out);
+
+  /// Non-null after a successful LOAD.
+  const ShardedBoundSolver* solver() const { return solver_.get(); }
+
+ private:
+  Status HandleBound(const std::vector<std::string>& tokens,
+                     std::ostream& out);
+  Status HandleGroupBy(const std::vector<std::string>& tokens,
+                       std::ostream& out);
+  Status HandleStats(std::ostream& out);
+
+  Options options_;
+  std::unique_ptr<ShardedBoundSolver> solver_;
+  std::string snapshot_path_;
+};
+
+/// Serves the protocol on a blocking localhost TCP socket: accepts
+/// clients one at a time, each getting the same BoundServer (and thus
+/// the same loaded snapshot and cumulative STATS). `max_clients` == 0
+/// accepts forever; a positive value returns OK after that many client
+/// sessions (used by tests and --serve-once). Returns InvalidArgument /
+/// Internal on socket setup failures.
+Status ServeTcp(BoundServer& server, uint16_t port, size_t max_clients = 0);
+
+}  // namespace pcx
+
+#endif  // PCX_SERVE_SERVER_H_

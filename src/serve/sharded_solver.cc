@@ -1,0 +1,436 @@
+#include "serve/sharded_solver.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace pcx {
+namespace {
+
+/// Exact combine of per-shard ranges for a decomposable aggregate.
+/// Sound because shard regions are disjoint and shard constraints are
+/// independent: any tuple of per-shard instances composes into one
+/// valid instance of the whole set, and vice versa.
+ResultRange CombineShardRanges(AggFunc agg,
+                               const std::vector<ResultRange>& ranges) {
+  ResultRange out;
+  switch (agg) {
+    case AggFunc::kCount:
+    case AggFunc::kSum: {
+      // Totals add across disjoint shard regions.
+      out.defined = true;
+      out.empty_instance_possible = true;
+      for (const ResultRange& r : ranges) {
+        out.lo += r.lo;
+        out.hi += r.hi;
+        out.empty_instance_possible &= r.empty_instance_possible;
+      }
+      return out;
+    }
+    case AggFunc::kMax:
+    case AggFunc::kMin: {
+      // A shard that must host matching rows (empty impossible) but
+      // cannot (undefined) poisons the whole set: no valid instance has
+      // a matching row configuration at all.
+      bool poison = false, any_defined = false, any_mandatory = false;
+      bool empty_all = true;
+      for (const ResultRange& r : ranges) {
+        poison |= !r.defined && !r.empty_instance_possible;
+        any_defined |= r.defined;
+        any_mandatory |= !r.empty_instance_possible;
+        empty_all &= r.empty_instance_possible;
+      }
+      out.empty_instance_possible = empty_all;
+      if (poison || !any_defined) {
+        out.defined = false;
+        return out;
+      }
+      out.defined = true;
+      const bool is_max = agg == AggFunc::kMax;
+      // Extreme end: best achievable extreme over any single shard.
+      double best_extreme = 0.0;
+      bool have = false;
+      for (const ResultRange& r : ranges) {
+        if (!r.defined) continue;
+        const double v = is_max ? r.hi : r.lo;
+        if (!have || (is_max ? v > best_extreme : v < best_extreme)) {
+          best_extreme = v;
+          have = true;
+        }
+      }
+      // Conservative end (the least the MAX / the most the MIN can be,
+      // over instances with >= 1 matching row): mandatory shards each
+      // force their own extreme, and the binding one wins; if every
+      // shard may be empty, the single cheapest shard hosts the row.
+      double other_end = 0.0;
+      bool have_other = false;
+      if (any_mandatory) {
+        for (const ResultRange& r : ranges) {
+          if (r.empty_instance_possible) continue;
+          const double v = is_max ? r.lo : r.hi;
+          if (!have_other || (is_max ? v > other_end : v < other_end)) {
+            other_end = v;
+            have_other = true;
+          }
+        }
+      } else {
+        for (const ResultRange& r : ranges) {
+          if (!r.defined) continue;
+          const double v = is_max ? r.lo : r.hi;
+          if (!have_other || (is_max ? v < other_end : v > other_end)) {
+            other_end = v;
+            have_other = true;
+          }
+        }
+      }
+      PCX_CHECK(have && have_other);
+      if (is_max) {
+        out.hi = best_extreme;
+        out.lo = other_end;
+      } else {
+        out.lo = best_extreme;
+        out.hi = other_end;
+      }
+      return out;
+    }
+    case AggFunc::kAvg:
+      break;
+  }
+  PCX_CHECK(false) << "CombineShardRanges: non-decomposable aggregate";
+  return out;
+}
+
+}  // namespace
+
+ShardedBoundSolver::ShardedBoundSolver(PredicateConstraintSet pcs,
+                                       std::vector<AttrDomain> domains)
+    : ShardedBoundSolver(std::move(pcs), std::move(domains), Options{}) {}
+
+ShardedBoundSolver::ShardedBoundSolver(const Snapshot& snapshot)
+    : ShardedBoundSolver(snapshot, Options{}) {}
+
+ShardedBoundSolver::ShardedBoundSolver(PredicateConstraintSet pcs,
+                                       std::vector<AttrDomain> domains,
+                                       Options options)
+    : flat_(std::move(pcs)),
+      domains_(std::move(domains)),
+      options_(options) {
+  partition_ = PartitionPcSet(flat_, domains_, options_.partition);
+  BuildShards();
+}
+
+ShardedBoundSolver::ShardedBoundSolver(const Snapshot& snapshot,
+                                       Options options)
+    : flat_(snapshot.Flatten()),
+      domains_(snapshot.domains),
+      options_(options),
+      epoch_(snapshot.epoch) {
+  // Adopt the stored shard layout verbatim; re-derive the balance
+  // metadata from the component structure (a property of the set, not
+  // of the file) so STATS reports the same numbers the snapshot
+  // builder printed. One O(n^2) scan serves components, costs, and the
+  // disjointness verdict in BuildShards.
+  partition_.shards.clear();
+  for (const SnapshotShard& s : snapshot.shards) {
+    partition_.shards.push_back(s.indices);
+  }
+  if (partition_.shards.empty()) partition_.shards.push_back({});
+  partition_.estimated_cost.assign(partition_.shards.size(), 0.0);
+
+  std::vector<size_t> shard_of(flat_.size(), 0);
+  for (size_t s = 0; s < partition_.shards.size(); ++s) {
+    for (size_t i : partition_.shards[s]) shard_of[i] = s;
+  }
+  for (const std::vector<size_t>& comp :
+       OverlapComponents(flat_, domains_)) {
+    ++partition_.num_components;
+    partition_.largest_component =
+        std::max(partition_.largest_component, comp.size());
+    // Components are whole on one shard in well-formed snapshots; a
+    // hand-built file that splits one gets its cost attributed to the
+    // first member's shard (a metric, not a correctness input).
+    partition_.estimated_cost[shard_of[comp.front()]] +=
+        EstimateComponentCost(comp.size());
+  }
+  BuildShards();
+}
+
+void ShardedBoundSolver::BuildShards() {
+  PCX_CHECK(partition_.shards.size() <= kMaxShards)
+      << "ShardedBoundSolver routes with a 64-bit shard mask";
+  // Every overlap component a singleton <=> pairwise disjoint: the
+  // component scan uses the same IntersectionEmpty criterion as
+  // PredicatesDisjoint, so the verdict (already paid for by both
+  // constructors) matches the unsharded solver's bit for bit.
+  flat_disjoint_ = options_.solver.auto_disjoint_fast_path &&
+                   partition_.num_components == flat_.size();
+  // A shard's subset can be pairwise disjoint even when the full set is
+  // not; taking the greedy fast path there would change the arithmetic
+  // relative to the unsharded solver, so the verdict of the *full* set
+  // is imposed on every shard and union solver. In the disjoint case
+  // the verdict transfers to every subset, so shard/union construction
+  // skips the O(m^2) re-detection — without this, building a memoized
+  // union solver would cost more than the queries it serves.
+  if (flat_disjoint_) {
+    options_.solver.assume_predicates_disjoint = true;
+  } else {
+    options_.solver.auto_disjoint_fast_path = false;
+  }
+
+  always_relevant_.assign(flat_.size(), 0);
+  for (size_t i = 0; i < flat_.size(); ++i) {
+    // A degenerate empty predicate box intersects nothing, yet
+    // Box::Covers can still report the query region covering it (the
+    // frequency lower bound then applies). Keep such constraints in
+    // every union rather than reasoning about that corner per query.
+    if (flat_.at(i).predicate().box().IsEmpty(domains_)) {
+      always_relevant_[i] = 1;
+    }
+  }
+
+  shards_.clear();
+  const size_t num_attrs = flat_.num_attrs();
+  for (const std::vector<size_t>& indices : partition_.shards) {
+    Shard shard;
+    shard.indices = indices;
+    PredicateConstraintSet subset;
+    shard.bbox = Box(num_attrs);
+    for (size_t d = 0; d < num_attrs; ++d) {
+      shard.bbox.SetDim(d, Interval::Closed(
+                               std::numeric_limits<double>::infinity(),
+                               -std::numeric_limits<double>::infinity()));
+    }
+    for (size_t i : indices) {
+      subset.Add(flat_.at(i));
+      shard.always_relevant |= always_relevant_[i] != 0;
+      const Box& pred = flat_.at(i).predicate().box();
+      for (size_t d = 0; d < num_attrs; ++d) {
+        // Closed-bound hull: a superset of every member box, so a miss
+        // of the hull is a miss of all members.
+        const Interval& cur = shard.bbox.dim(d);
+        shard.bbox.SetDim(
+            d, Interval{std::min(cur.lo, pred.dim(d).lo),
+                        std::max(cur.hi, pred.dim(d).hi), false, false});
+      }
+    }
+    shard.solver = std::make_unique<const PcBoundSolver>(
+        std::move(subset), domains_, options_.solver);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+uint64_t ShardedBoundSolver::RouteMask(const AggQuery& query) const {
+  uint64_t mask = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    if (shard.indices.empty()) continue;
+    if (shard.always_relevant || !query.where.has_value()) {
+      mask |= uint64_t{1} << s;
+      continue;
+    }
+    const Box& w = query.where->box();
+    // Hull miss => every member misses; shard-local queries route in
+    // O(K) instead of O(n).
+    if (shard.bbox.IntersectionEmpty(w, domains_)) continue;
+    for (size_t i : shard.indices) {
+      if (!flat_.at(i).predicate().box().IntersectionEmpty(w, domains_)) {
+        mask |= uint64_t{1} << s;
+        break;
+      }
+    }
+  }
+  return mask;
+}
+
+std::shared_ptr<const PcBoundSolver> ShardedBoundSolver::SolverFor(
+    uint64_t mask) const {
+  if (std::popcount(mask) == 1) {
+    // Alias the prebuilt shard solver (owned by shards_, which outlives
+    // every query) without registering ownership.
+    return std::shared_ptr<const PcBoundSolver>(
+        std::shared_ptr<void>(),
+        shards_[static_cast<size_t>(std::countr_zero(mask))].solver.get());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = union_cache_.find(mask);
+  if (it != union_cache_.end()) return it->second;
+
+  // Assemble the union in ascending global order — the order the
+  // unsharded solver sees — so decomposition, MILP rows and greedy sums
+  // run through the identical sequence of operations.
+  std::vector<size_t> indices;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if ((mask >> s) & 1) {
+      indices.insert(indices.end(), shards_[s].indices.begin(),
+                     shards_[s].indices.end());
+    }
+  }
+  std::sort(indices.begin(), indices.end());
+  PredicateConstraintSet subset;
+  for (size_t i : indices) subset.Add(flat_.at(i));
+  auto solver = std::make_shared<const PcBoundSolver>(
+      std::move(subset), domains_, options_.solver);
+  ++serve_stats_.union_solvers_built;
+  // Bounded memo: flush wholesale at the cap (rare; shard-spanning mask
+  // diversity is usually tiny). Shared ownership keeps solvers already
+  // handed out alive until their queries finish.
+  if (union_cache_.size() >= kMaxUnionSolvers) union_cache_.clear();
+  union_cache_.emplace(mask, solver);
+  return solver;
+}
+
+StatusOr<ResultRange> ShardedBoundSolver::BoundOne(
+    const AggQuery& query, PcBoundSolver::SolveStats& stats,
+    ServeStats& local, bool parallel) const {
+  ++local.queries;
+  // Mirrors the unsharded solver's up-front validation so a misrouted
+  // query (e.g. one whose WHERE touches no shard) still fails the same
+  // way instead of silently answering over an empty set.
+  if (query.agg != AggFunc::kCount && !flat_.empty() &&
+      query.attr >= flat_.num_attrs()) {
+    return Status::InvalidArgument("aggregate attribute out of range");
+  }
+
+  uint64_t mask = RouteMask(query);
+  const int bits = std::popcount(mask);
+  if (bits == 0) {
+    ++local.no_shard_queries;
+    // No predicate can intersect the region, but the answer is still
+    // defined over a non-empty set (e.g. MIN negation yields -0.0, and
+    // an empty-set solver would answer +0.0). Any one shard performs
+    // the identical zero-cell computation the unsharded solver would.
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!shards_[s].indices.empty()) {
+        mask = uint64_t{1} << s;
+        break;
+      }
+    }
+  } else if (bits == 1) {
+    ++local.single_shard_queries;
+  } else {
+    ++local.multi_shard_queries;
+  }
+
+  if (options_.scatter_gather && bits >= 2 && query.agg != AggFunc::kAvg) {
+    ++local.scatter_queries;
+    return ScatterGather(query, mask, stats, parallel);
+  }
+  return SolverFor(mask)->BoundWithStats(query, stats);
+}
+
+StatusOr<ResultRange> ShardedBoundSolver::ScatterGather(
+    const AggQuery& query, uint64_t mask, PcBoundSolver::SolveStats& stats,
+    bool parallel) const {
+  std::vector<size_t> targets;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if ((mask >> s) & 1) targets.push_back(s);
+  }
+  std::vector<StatusOr<ResultRange>> results(
+      targets.size(), StatusOr<ResultRange>(Status::Internal("unset")));
+  std::vector<PcBoundSolver::SolveStats> shard_stats(targets.size());
+
+  auto run_one = [&](size_t t) {
+    results[t] = shards_[targets[t]].solver->BoundWithStats(query,
+                                                            shard_stats[t]);
+  };
+  if (parallel && options_.num_threads != 1 && targets.size() > 1) {
+    // The pool lives for one query; never spin up more workers than
+    // there are shard solves to hand them.
+    const size_t width = options_.num_threads == 0
+                             ? targets.size()
+                             : std::min(options_.num_threads, targets.size());
+    ThreadPool pool(width);
+    pool.ParallelFor(targets.size(), run_one);
+  } else {
+    for (size_t t = 0; t < targets.size(); ++t) run_one(t);
+  }
+
+  // All shards ran; account for all of their work before surfacing the
+  // first failure (in shard order, deterministically) — operators read
+  // the counters precisely when something went wrong.
+  for (const PcBoundSolver::SolveStats& s : shard_stats) stats += s;
+  std::vector<ResultRange> ranges;
+  ranges.reserve(targets.size());
+  for (size_t t = 0; t < targets.size(); ++t) {
+    if (!results[t].ok()) return results[t].status();
+    ranges.push_back(*results[t]);
+  }
+  return CombineShardRanges(query.agg, ranges);
+}
+
+StatusOr<ResultRange> ShardedBoundSolver::Bound(const AggQuery& query) const {
+  PcBoundSolver::SolveStats stats;
+  ServeStats local;
+  auto result = BoundOne(query, stats, local, /*parallel=*/true);
+  local.solve += stats;
+  MergeServeStats(local);
+  return result;
+}
+
+std::vector<StatusOr<ResultRange>> ShardedBoundSolver::BoundBatch(
+    std::span<const AggQuery> queries,
+    std::vector<PcBoundSolver::SolveStats>* per_query_stats) const {
+  std::vector<std::optional<StatusOr<ResultRange>>> slots(queries.size());
+  std::vector<PcBoundSolver::SolveStats> stats(queries.size());
+  std::vector<ServeStats> locals(queries.size());
+
+  // Per-query scatter fan-out stays sequential inside a batch worker —
+  // the batch itself is the parallel axis (no nested pools).
+  auto run_one = [&](size_t i) {
+    slots[i].emplace(
+        BoundOne(queries[i], stats[i], locals[i], /*parallel=*/false));
+  };
+  if (options_.num_threads == 1 || queries.size() <= 1) {
+    for (size_t i = 0; i < queries.size(); ++i) run_one(i);
+  } else {
+    ThreadPool pool(options_.num_threads);
+    pool.ParallelFor(queries.size(), run_one);
+  }
+
+  ServeStats total;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    total += locals[i];
+    total.solve += stats[i];
+  }
+  MergeServeStats(total);
+  if (per_query_stats != nullptr) *per_query_stats = std::move(stats);
+
+  std::vector<StatusOr<ResultRange>> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(*std::move(slot));
+  return out;
+}
+
+StatusOr<std::vector<GroupRange>> ShardedBoundSolver::BoundGroupBy(
+    const AggQuery& query, size_t group_attr,
+    const std::vector<double>& group_values) const {
+  if (!flat_.empty() && group_attr >= flat_.num_attrs()) {
+    return Status::InvalidArgument("group attribute out of range");
+  }
+  const std::vector<AggQuery> per_group =
+      MakeGroupByQueries(query, group_attr, group_values, flat_.num_attrs());
+  const auto ranges = BoundBatch(per_group);
+  std::vector<GroupRange> out;
+  out.reserve(group_values.size());
+  for (size_t g = 0; g < group_values.size(); ++g) {
+    // First failure (in group order) wins, matching BoundGroupBy.
+    if (!ranges[g].ok()) return ranges[g].status();
+    out.push_back(GroupRange{group_values[g], *ranges[g]});
+  }
+  return out;
+}
+
+ShardedBoundSolver::ServeStats ShardedBoundSolver::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return serve_stats_;
+}
+
+void ShardedBoundSolver::MergeServeStats(const ServeStats& local) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  serve_stats_ += local;
+}
+
+}  // namespace pcx

@@ -1,0 +1,201 @@
+#ifndef PCX_SERVE_SHARDED_SOLVER_H_
+#define PCX_SERVE_SHARDED_SOLVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "pc/bound_solver.h"
+#include "pc/group_by.h"
+#include "serve/partitioner.h"
+#include "serve/snapshot.h"
+
+namespace pcx {
+
+/// Serves aggregate bounds from a predicate-constraint set partitioned
+/// across up to 64 shards, each owned by its own PcBoundSolver.
+///
+/// Guarantee: every answer is *bit-identical* to the unsharded
+/// PcBoundSolver over the same set (same constraint order, same
+/// options), for Bound, BoundBatch, and the group-by path. This follows
+/// from two invariants rather than from floating-point luck:
+///
+///  1. The partitioner assigns whole predicate-overlap components, so
+///     predicates of different shards never intersect.
+///  2. A query is answered by the solver over the *union of relevant
+///     shards* (those owning a predicate that can intersect the WHERE
+///     region), assembled in global constraint order. Constraints
+///     outside that union cannot intersect the query region, and the
+///     unsharded pipeline provably ignores them: the decomposition DFS
+///     prunes them geometrically before any SAT call, their MILP rows
+///     are empty and dropped, and the greedy fast path skips them — so
+///     the union solver performs literally the same arithmetic as the
+///     unsharded one.
+///
+/// Under a partitioned workload (the paper's Fig. 8 setting) almost
+/// every query routes to a single shard, turning the per-query O(n)
+/// constraint scan into O(n/K); union solvers for shard-spanning
+/// queries are built once and memoized. Batches and group-bys fan the
+/// per-query routing across a ThreadPool.
+///
+/// An optional scatter-gather mode instead fans one COUNT/SUM/MIN/MAX
+/// query to every relevant shard and combines the per-shard ranges
+/// (sums for COUNT/SUM, envelope logic for MIN/MAX — exact because
+/// shards are constraint-independent and their regions disjoint). That
+/// skips union-solver construction and is how a multi-machine
+/// deployment would answer spanning queries, but the combine re-orders
+/// floating-point accumulation, so it is bit-identical only when the
+/// per-shard arithmetic is exact (e.g. integer-valued endpoints);
+/// otherwise it agrees to rounding. AVG does not decompose per shard
+/// and always takes the exact union route.
+class ShardedBoundSolver {
+ public:
+  struct Options {
+    /// How to cut the set; used by the (pcs, domains) constructor. The
+    /// snapshot constructor takes the shards as stored.
+    PartitionOptions partition;
+    /// Per-shard solver configuration. auto_disjoint_fast_path is
+    /// force-disabled on the shard solvers when the *whole* set is not
+    /// disjoint, so a shard whose subset happens to be disjoint still
+    /// runs the exact same code path as the unsharded solver.
+    PcBoundSolver::Options solver;
+    /// Fan-out width for BoundBatch / BoundGroupBy / scatter-gather
+    /// (0 = hardware concurrency, 1 = sequential).
+    size_t num_threads = 0;
+    /// Answer multi-shard COUNT/SUM/MIN/MAX queries by per-shard
+    /// fan-out + combine instead of a memoized union solve.
+    bool scatter_gather = false;
+  };
+
+  /// Cumulative serving counters (since construction; mutex-guarded).
+  struct ServeStats {
+    size_t queries = 0;
+    size_t single_shard_queries = 0;  ///< routed to exactly one shard
+    size_t multi_shard_queries = 0;   ///< needed a union of >= 2 shards
+    size_t no_shard_queries = 0;      ///< WHERE intersects no predicate
+    size_t scatter_queries = 0;       ///< answered by per-shard combine
+    size_t union_solvers_built = 0;   ///< distinct shard unions memoized
+    PcBoundSolver::SolveStats solve;  ///< summed over all queries
+
+    /// Counter merge (union_solvers_built included: only the global
+    /// accumulator ever has it non-zero).
+    ServeStats& operator+=(const ServeStats& other) {
+      queries += other.queries;
+      single_shard_queries += other.single_shard_queries;
+      multi_shard_queries += other.multi_shard_queries;
+      no_shard_queries += other.no_shard_queries;
+      scatter_queries += other.scatter_queries;
+      union_solvers_built += other.union_solvers_built;
+      solve += other.solve;
+      return *this;
+    }
+  };
+
+  ShardedBoundSolver(PredicateConstraintSet pcs,
+                     std::vector<AttrDomain> domains);
+  ShardedBoundSolver(PredicateConstraintSet pcs,
+                     std::vector<AttrDomain> domains, Options options);
+  /// Adopts a snapshot's shards (and epoch) as the partition.
+  explicit ShardedBoundSolver(const Snapshot& snapshot);
+  ShardedBoundSolver(const Snapshot& snapshot, Options options);
+
+  StatusOr<ResultRange> Bound(const AggQuery& query) const;
+
+  /// Routes and solves every query, fanned across the thread pool;
+  /// results are in input order and bit-identical to calling Bound in a
+  /// loop. `per_query_stats` mirrors PcBoundSolver::BoundBatch.
+  std::vector<StatusOr<ResultRange>> BoundBatch(
+      std::span<const AggQuery> queries,
+      std::vector<PcBoundSolver::SolveStats>* per_query_stats = nullptr) const;
+
+  /// GROUP BY fan-out: one routed sub-query per group value (built by
+  /// MakeGroupByQueries, byte-identical to pc/group_by's). Under a
+  /// range-partitioned set the groups land on different shards — the
+  /// classic scatter of a distributed aggregate.
+  StatusOr<std::vector<GroupRange>> BoundGroupBy(
+      const AggQuery& query, size_t group_attr,
+      const std::vector<double>& group_values) const;
+
+  size_t num_shards() const { return shards_.size(); }
+  /// The full set in global order (what the answers are defined over).
+  const PredicateConstraintSet& constraints() const { return flat_; }
+  const std::vector<AttrDomain>& domains() const { return domains_; }
+  const Partition& partition() const { return partition_; }
+  uint64_t epoch() const { return epoch_; }
+  const Options& options() const { return options_; }
+
+  ServeStats stats() const;
+
+ private:
+  struct Shard {
+    std::vector<size_t> indices;  ///< global PC ids, ascending
+    std::unique_ptr<const PcBoundSolver> solver;
+    /// Conservative hull of the shard's predicate boxes (closed
+    /// bounds): if the query region misses it, it misses every member —
+    /// the routing fast path that keeps RouteMask O(K) for shard-local
+    /// queries instead of O(n).
+    Box bbox;
+    bool always_relevant = false;  ///< owns a degenerate empty-box PC
+  };
+
+  void BuildShards();
+
+  /// Bitmask of shards owning a predicate that can intersect the query
+  /// region (all non-empty shards when there is no WHERE). Degenerate
+  /// empty-box predicates are treated as always relevant so the union
+  /// keeps every constraint the unsharded solver would act on.
+  uint64_t RouteMask(const AggQuery& query) const;
+
+  /// Solver over the union of the masked shards, memoized up to
+  /// kMaxUnionSolvers entries (then the memo is flushed — shared
+  /// ownership keeps solvers handed to in-flight queries alive across
+  /// a flush). Mask 0 maps to an (empty-set) solver; the all-shards
+  /// mask is the full set. Single-shard masks alias the prebuilt shard
+  /// solver without touching the cache.
+  std::shared_ptr<const PcBoundSolver> SolverFor(uint64_t mask) const;
+
+  /// Cap on memoized union solvers: each entry owns a constraint-set
+  /// copy, a negated sibling, and (if enabled) persistent SAT caches,
+  /// so a long-lived server must not accumulate one per distinct mask
+  /// forever.
+  static constexpr size_t kMaxUnionSolvers = 256;
+
+  /// Routing + solving of one query; thread-safe, stats via out-params.
+  /// `parallel` allows a scatter fan-out to spin its own pool (false
+  /// when already running inside a batch worker).
+  StatusOr<ResultRange> BoundOne(const AggQuery& query,
+                                 PcBoundSolver::SolveStats& stats,
+                                 ServeStats& local, bool parallel) const;
+
+  /// Per-shard fan-out + combine (COUNT/SUM/MIN/MAX, >= 2 shards).
+  /// `parallel` is false when already running inside a batch worker.
+  StatusOr<ResultRange> ScatterGather(const AggQuery& query, uint64_t mask,
+                                      PcBoundSolver::SolveStats& stats,
+                                      bool parallel) const;
+
+  void MergeServeStats(const ServeStats& local) const;
+
+  PredicateConstraintSet flat_;
+  std::vector<AttrDomain> domains_;
+  Options options_;
+  Partition partition_;
+  uint64_t epoch_ = 0;
+  /// Disjointness of the *full* set; inherited by every shard/union
+  /// solver so their code paths match the unsharded solver's.
+  bool flat_disjoint_ = false;
+  std::vector<Shard> shards_;
+  std::vector<char> always_relevant_;  ///< per global PC: empty pred box
+
+  mutable std::mutex mu_;  ///< guards union_cache_ and serve_stats_
+  mutable std::unordered_map<uint64_t, std::shared_ptr<const PcBoundSolver>>
+      union_cache_;
+  mutable ServeStats serve_stats_;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_SERVE_SHARDED_SOLVER_H_

@@ -1,0 +1,176 @@
+#include "serve/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pcx {
+namespace {
+
+PredicateConstraint MakePc(double p_lo, double p_hi, double v_lo = 0.0,
+                           double v_hi = 10.0, double k_lo = 0.0,
+                           double k_hi = 5.0) {
+  Predicate pred(2);
+  pred.AddRange(0, p_lo, p_hi);
+  Box values(2);
+  values.Constrain(1, Interval::Closed(v_lo, v_hi));
+  return PredicateConstraint(pred, values, {k_lo, k_hi});
+}
+
+/// Overlap chain starting at `at`: `size` boxes, consecutive ones
+/// overlapping, the whole chain within [at, at + size * 8).
+void AddChain(PredicateConstraintSet& pcs, double at, size_t size) {
+  for (size_t i = 0; i < size; ++i) {
+    const double lo = at + 8.0 * static_cast<double>(i);
+    pcs.Add(MakePc(lo, lo + 10.0));  // width 10 > stride 8: overlaps next
+  }
+}
+
+size_t ShardOf(const Partition& p, size_t pc) {
+  for (size_t s = 0; s < p.shards.size(); ++s) {
+    for (size_t i : p.shards[s]) {
+      if (i == pc) return s;
+    }
+  }
+  return SIZE_MAX;
+}
+
+TEST(PartitionerTest, ComponentsAreDetected) {
+  PredicateConstraintSet pcs;
+  AddChain(pcs, 0.0, 3);     // component {0,1,2}
+  AddChain(pcs, 1000.0, 2);  // component {3,4}
+  pcs.Add(MakePc(5000.0, 5001.0));  // singleton {5}
+
+  const Partition p =
+      PartitionPcSet(pcs, {}, {4, PartitionStrategy::kRoundRobin});
+  EXPECT_EQ(p.num_components, 3u);
+  EXPECT_EQ(p.largest_component, 3u);
+  EXPECT_EQ(p.shards.size(), 4u);
+
+  // Overlapping PCs always land on the same shard.
+  EXPECT_EQ(ShardOf(p, 0), ShardOf(p, 1));
+  EXPECT_EQ(ShardOf(p, 1), ShardOf(p, 2));
+  EXPECT_EQ(ShardOf(p, 3), ShardOf(p, 4));
+}
+
+TEST(PartitionerTest, EveryPcAssignedExactlyOnceAndOrdered) {
+  PredicateConstraintSet pcs;
+  AddChain(pcs, 0.0, 4);
+  AddChain(pcs, 500.0, 3);
+  AddChain(pcs, 900.0, 1);
+  for (PartitionStrategy strategy :
+       {PartitionStrategy::kRoundRobin, PartitionStrategy::kAttributeRange}) {
+    for (size_t k : {1u, 2u, 3u, 7u}) {
+      const Partition p = PartitionPcSet(pcs, {}, {k, strategy});
+      ASSERT_EQ(p.shards.size(), k);
+      ASSERT_EQ(p.estimated_cost.size(), k);
+      std::set<size_t> seen;
+      for (const auto& shard : p.shards) {
+        for (size_t i = 0; i + 1 < shard.size(); ++i) {
+          EXPECT_LT(shard[i], shard[i + 1]) << "shard order must be global";
+        }
+        for (size_t i : shard) {
+          EXPECT_TRUE(seen.insert(i).second) << "pc " << i << " twice";
+        }
+      }
+      EXPECT_EQ(seen.size(), pcs.size());
+    }
+  }
+}
+
+TEST(PartitionerTest, UniversalPredicateMergesEverything) {
+  PredicateConstraintSet pcs;
+  AddChain(pcs, 0.0, 2);
+  AddChain(pcs, 1000.0, 2);
+  Box values(2);
+  values.Constrain(1, Interval::Closed(0, 1));
+  pcs.Add(PredicateConstraint(Predicate(2), values, {0, 100}));  // TRUE pred
+
+  const Partition p =
+      PartitionPcSet(pcs, {}, {4, PartitionStrategy::kAttributeRange});
+  EXPECT_EQ(p.num_components, 1u);
+  EXPECT_EQ(p.largest_component, pcs.size());
+  // Unshardable: one shard holds everything.
+  size_t non_empty = 0;
+  for (const auto& shard : p.shards) non_empty += shard.empty() ? 0 : 1;
+  EXPECT_EQ(non_empty, 1u);
+}
+
+TEST(PartitionerTest, AttributeRangeBalancesSkewBetterThanRoundRobin) {
+  // Component sizes 5, 1, 5, 1 in attribute order. Round-robin deals
+  // components 0,2 (the two heavy ones) to shard 0 — maximum skew. The
+  // range strategy packs by estimated cost and splits the heavy
+  // components across shards.
+  PredicateConstraintSet pcs;
+  AddChain(pcs, 0.0, 5);
+  AddChain(pcs, 200.0, 1);
+  AddChain(pcs, 400.0, 5);
+  AddChain(pcs, 600.0, 1);
+
+  const Partition rr =
+      PartitionPcSet(pcs, {}, {2, PartitionStrategy::kRoundRobin});
+  const Partition range =
+      PartitionPcSet(pcs, {}, {2, PartitionStrategy::kAttributeRange});
+  ASSERT_EQ(rr.num_components, 4u);
+  ASSERT_EQ(range.num_components, 4u);
+
+  EXPECT_GT(rr.ImbalanceRatio(), 1.5);
+  EXPECT_LT(range.ImbalanceRatio(), rr.ImbalanceRatio());
+  // The two heavy components end up on different shards.
+  EXPECT_NE(ShardOf(range, 0), ShardOf(range, 6));
+}
+
+TEST(PartitionerTest, CostEstimateIsMonotonic) {
+  EXPECT_EQ(EstimateComponentCost(0), 0.0);
+  EXPECT_EQ(EstimateComponentCost(1), 1.0);
+  EXPECT_EQ(EstimateComponentCost(2), 3.0);
+  EXPECT_EQ(EstimateComponentCost(3), 7.0);
+  EXPECT_GT(EstimateComponentCost(30), EstimateComponentCost(20));
+  // Capped: huge components do not overflow the balancing arithmetic.
+  EXPECT_LE(EstimateComponentCost(4000), 1e12);
+}
+
+TEST(PartitionerTest, EmptySetAndSingleShard) {
+  PredicateConstraintSet empty;
+  const Partition p =
+      PartitionPcSet(empty, {}, {3, PartitionStrategy::kAttributeRange});
+  EXPECT_EQ(p.shards.size(), 3u);
+  EXPECT_EQ(p.num_components, 0u);
+  EXPECT_EQ(p.ImbalanceRatio(), 0.0);
+
+  PredicateConstraintSet one;
+  one.Add(MakePc(0, 1));
+  const Partition q =
+      PartitionPcSet(one, {}, {1, PartitionStrategy::kRoundRobin});
+  ASSERT_EQ(q.shards.size(), 1u);
+  EXPECT_EQ(q.shards[0].size(), 1u);
+}
+
+TEST(PartitionerTest, IntegerDomainsAffectOverlap) {
+  // (0, 1) gaps on an integer attribute: the open interval between the
+  // boxes is integer-empty, so [0,5] and (5,10] do NOT overlap on the
+  // reals-with-strict-bounds but touching closed ends do. Use two boxes
+  // separated by an open gap that only the continuous domain can fill.
+  PredicateConstraintSet pcs;
+  Predicate a(2), b(2);
+  a.AddInterval(0, Interval{0, 5, false, true});   // [0, 5)
+  b.AddInterval(0, Interval{4, 9, true, false});   // (4, 9]
+  Box values(2);
+  values.Constrain(1, Interval::Closed(0, 1));
+  pcs.Add(PredicateConstraint(a, values, {0, 5}));
+  pcs.Add(PredicateConstraint(b, values, {0, 5}));
+
+  // Continuous: (4, 5) is non-empty -> one component.
+  const Partition cont =
+      PartitionPcSet(pcs, {}, {2, PartitionStrategy::kRoundRobin});
+  EXPECT_EQ(cont.num_components, 1u);
+
+  // Integer domain: (4, 5) holds no integer -> two components.
+  const Partition integer = PartitionPcSet(
+      pcs, {AttrDomain::kInteger, AttrDomain::kContinuous},
+      {2, PartitionStrategy::kRoundRobin});
+  EXPECT_EQ(integer.num_components, 2u);
+}
+
+}  // namespace
+}  // namespace pcx

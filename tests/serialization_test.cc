@@ -112,6 +112,58 @@ TEST(PcSetSerializationTest, CommentsAndBlankLines) {
   EXPECT_TRUE(parsed->at(0).predicate().IsTrue());
 }
 
+TEST(PcSetSerializationTest, ErrorsQuoteTheOffendingLine) {
+  // Hand-edited snapshots need more than a line number: the message
+  // quotes the text that failed to parse.
+  const auto bad = ParsePcSet(
+      "pcset v1 attrs=2\n"
+      "pc pred=<0:[0,1]> values={} freq=[0,1]\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("pc pred=<0:[0,1]>"),
+            std::string::npos)
+      << bad.status().ToString();
+
+  const auto bad_header = ParsePcSet("pcsett v1\n");
+  ASSERT_FALSE(bad_header.ok());
+  EXPECT_NE(bad_header.status().message().find("'pcsett v1'"),
+            std::string::npos)
+      << bad_header.status().ToString();
+}
+
+TEST(PcSetSerializationTest, ToleratesCrlfAndTrailingWhitespace) {
+  const std::string text =
+      "pcset v1 attrs=2  \r\n"
+      "pc pred={0:[0,24)} values={1:[0,10]} freq=[1,5]\t \r\n"
+      "pc pred={}\tvalues={1:[-2,2]}\tfreq=[0,3]\r\n";
+  const auto parsed = ParsePcSet(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->at(0).frequency().lo, 1.0);
+  EXPECT_EQ(parsed->at(1).values().dim(1).hi, 2.0);
+  // CRLF round-trips to the same semantics as LF.
+  const std::string lf_text =
+      "pcset v1 attrs=2\n"
+      "pc pred={0:[0,24)} values={1:[0,10]} freq=[1,5]\n"
+      "pc pred={} values={1:[-2,2]} freq=[0,3]\n";
+  const auto lf = ParsePcSet(lf_text);
+  ASSERT_TRUE(lf.ok());
+  EXPECT_EQ(SerializePcSet(*parsed), SerializePcSet(*lf));
+}
+
+TEST(BoxSerializationTest, PublicBoxRoundTrip) {
+  Box box(3);
+  box.Constrain(0, Interval{0, 24, false, true});
+  box.Constrain(2, Interval::Closed(-1.5, 7));
+  const std::string text = SerializeBox(box);
+  EXPECT_EQ(text, "{0:[0,24),2:[-1.5,7]}");
+  const auto parsed = ParseBox(text, 3);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(*parsed == box);
+  EXPECT_FALSE(ParseBox("{0:[0,24)", 3).ok());       // unterminated
+  EXPECT_FALSE(ParseBox("{7:[0,1]}", 3).ok());       // attr out of range
+  EXPECT_FALSE(ParseBox("0:[0,1]", 3).ok());         // missing braces
+}
+
 TEST(PcSetSerializationTest, ErrorsCarryLineNumbers) {
   const auto missing_header = ParsePcSet("pc pred={} values={} freq=[0,1]\n");
   EXPECT_FALSE(missing_header.ok());

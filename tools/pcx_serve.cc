@@ -1,0 +1,224 @@
+// pcx_serve — the serving front end of the predicate-constraint engine.
+//
+// Serve mode (default): load a snapshot and answer the line protocol on
+// stdin/stdout or a localhost TCP port:
+//
+//   pcx_serve --snapshot=examples/snapshots/sensors.pcxsnap
+//   pcx_serve --snapshot=... --port=7070
+//
+// Build mode: partition a plain pcset text file (pc/serialization
+// format) into a versioned sharded snapshot:
+//
+//   pcx_serve --build-snapshot --pcset=sensors.pcset --shards=2
+//             --strategy=range --int-attrs=0,1 --epoch=1
+//             --out=sensors.pcxsnap        (one command line)
+//
+// See docs/ARCHITECTURE.md ("Serving") for the protocol and the
+// snapshot format specification.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/text.h"
+#include "pc/serialization.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+struct Flags {
+  std::string snapshot;
+  int port = -1;
+  size_t threads = 0;
+  bool scatter_gather = false;
+  bool persistent_sat_cache = true;  // serving wants the cross-query cache
+  bool serve_once = false;           // exit after one TCP client (tests)
+
+  bool build_snapshot = false;
+  std::string pcset;
+  size_t shards = 1;
+  std::string strategy = "range";
+  std::string int_attrs;
+  unsigned long long epoch = 0;
+  std::string out;
+
+  bool help = false;
+};
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
+  const std::string needle = std::string("--") + name + "=";
+  if (arg.rfind(needle, 0) != 0) return false;
+  *value = arg.substr(needle.size());
+  return true;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "pcx_serve — sharded predicate-constraint bound server\n\n"
+      "Serve mode:\n"
+      "  pcx_serve [--snapshot=PATH] [--port=N] [--threads=N]\n"
+      "            [--scatter-gather] [--no-sat-cache] [--serve-once]\n"
+      "    Without --port, speaks the protocol on stdin/stdout.\n"
+      "    Without --snapshot, waits for a LOAD command.\n\n"
+      "Build mode:\n"
+      "  pcx_serve --build-snapshot --pcset=PATH --out=PATH [--shards=K]\n"
+      "            [--strategy=range|roundrobin] [--int-attrs=0,1,...]\n"
+      "            [--epoch=N]\n\n"
+      "Protocol: LOAD <path> | BOUND <AGG> <attr> [{a:[lo,hi],...}...] |\n"
+      "          GROUPBY <AGG> <attr> <group_attr> <v1,v2,...> [{box}...] |\n"
+      "          STATS | QUIT\n");
+}
+
+int BuildSnapshot(const Flags& flags) {
+  if (flags.pcset.empty() || flags.out.empty()) {
+    std::fprintf(stderr, "--build-snapshot needs --pcset= and --out=\n");
+    return 2;
+  }
+  std::ifstream in(flags.pcset);
+  if (!in) {
+    std::fprintf(stderr, "cannot open pcset '%s'\n", flags.pcset.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto pcs = pcx::ParsePcSet(buf.str());
+  if (!pcs.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 pcs.status().message().c_str());
+    return 1;
+  }
+
+  std::vector<pcx::AttrDomain> domains(pcs->num_attrs(),
+                                       pcx::AttrDomain::kContinuous);
+  if (!flags.int_attrs.empty()) {
+    for (const std::string& part : pcx::SplitOn(flags.int_attrs, ',')) {
+      const auto attr = pcx::ParseU64(pcx::TrimWhitespace(part));
+      if (!attr.ok() || *attr >= domains.size()) {
+        std::fprintf(stderr,
+                     "--int-attrs entry '%s' is not a valid attribute index "
+                     "(want 0..%zu)\n",
+                     part.c_str(), domains.size() - 1);
+        return 2;
+      }
+      domains[static_cast<size_t>(*attr)] = pcx::AttrDomain::kInteger;
+    }
+  }
+
+  pcx::PartitionOptions popts;
+  popts.num_shards = flags.shards;
+  if (flags.strategy == "range") {
+    popts.strategy = pcx::PartitionStrategy::kAttributeRange;
+  } else if (flags.strategy == "roundrobin") {
+    popts.strategy = pcx::PartitionStrategy::kRoundRobin;
+  } else {
+    std::fprintf(stderr, "unknown --strategy=%s\n", flags.strategy.c_str());
+    return 2;
+  }
+
+  const pcx::Partition partition =
+      pcx::PartitionPcSet(*pcs, domains, popts);
+  const pcx::Snapshot snap =
+      pcx::MakeSnapshot(*pcs, domains, partition, flags.epoch);
+  const pcx::Status status = pcx::WriteSnapshot(snap, flags.out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "write error: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "wrote %s: epoch=%llu shards=%zu pcs=%zu components=%zu "
+               "largest=%zu imbalance=%.3f\n",
+               flags.out.c_str(),
+               static_cast<unsigned long long>(snap.epoch),
+               snap.shards.size(), snap.total_pcs(),
+               partition.num_components, partition.largest_component,
+               partition.ImbalanceRatio());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      flags.help = true;
+    } else if (ParseFlag(arg, "snapshot", &value)) {
+      flags.snapshot = value;
+    } else if (ParseFlag(arg, "port", &value)) {
+      flags.port = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "threads", &value)) {
+      flags.threads = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (arg == "--scatter-gather") {
+      flags.scatter_gather = true;
+    } else if (arg == "--no-sat-cache") {
+      flags.persistent_sat_cache = false;
+    } else if (arg == "--serve-once") {
+      flags.serve_once = true;
+    } else if (arg == "--build-snapshot") {
+      flags.build_snapshot = true;
+    } else if (ParseFlag(arg, "pcset", &value)) {
+      flags.pcset = value;
+    } else if (ParseFlag(arg, "shards", &value)) {
+      flags.shards = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "strategy", &value)) {
+      flags.strategy = value;
+    } else if (ParseFlag(arg, "int-attrs", &value)) {
+      flags.int_attrs = value;
+    } else if (ParseFlag(arg, "epoch", &value)) {
+      flags.epoch = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "out", &value)) {
+      flags.out = value;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+  if (flags.help) {
+    Usage();
+    return 0;
+  }
+  if (flags.build_snapshot) return BuildSnapshot(flags);
+
+  pcx::BoundServer::Options options;
+  options.solver.num_threads = flags.threads;
+  options.solver.scatter_gather = flags.scatter_gather;
+  options.solver.solver.persistent_sat_cache = flags.persistent_sat_cache;
+  pcx::BoundServer server(options);
+
+  if (!flags.snapshot.empty()) {
+    const pcx::Status status = server.LoadSnapshotFile(flags.snapshot);
+    if (!status.ok()) {
+      std::fprintf(stderr, "LOAD failed: %s\n", status.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded %s: epoch=%llu shards=%zu pcs=%zu\n",
+                 flags.snapshot.c_str(),
+                 static_cast<unsigned long long>(server.solver()->epoch()),
+                 server.solver()->num_shards(),
+                 server.solver()->constraints().size());
+  }
+
+  if (flags.port >= 0) {
+    std::fprintf(stderr, "serving on localhost:%d\n", flags.port);
+    const pcx::Status status =
+        pcx::ServeTcp(server, static_cast<uint16_t>(flags.port),
+                      flags.serve_once ? 1 : 0);
+    if (!status.ok()) {
+      std::fprintf(stderr, "server error: %s\n", status.message().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  server.ServeStream(std::cin, std::cout);
+  return 0;
+}
