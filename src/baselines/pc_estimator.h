@@ -6,43 +6,52 @@
 #include <utility>
 
 #include "baselines/estimator.h"
-#include "pc/bound_solver.h"
-#include "serve/sharded_solver.h"
+#include "engine/engine.h"
+#include "engine/local_backend.h"
+#include "engine/sharded_backend.h"
 
 namespace pcx {
 
-/// Adapts PcBoundSolver to the MissingDataEstimator interface so the
-/// experiment harness can run PCs (Corr-PC, Rand-PC, Overlapping-PC...)
-/// side by side with the statistical baselines.
+/// Adapts the engine's LocalBackend to the MissingDataEstimator
+/// interface so the experiment harness can run PCs (Corr-PC, Rand-PC,
+/// Overlapping-PC...) side by side with the statistical baselines.
+/// Estimates go through the same BoundBackend API that serves every
+/// other execution substrate, so harness numbers measured here are the
+/// numbers a sharded or remote deployment would report.
 class PcEstimator : public MissingDataEstimator {
  public:
   PcEstimator(PredicateConstraintSet pcs, std::vector<AttrDomain> domains,
               std::string name)
-      : solver_(std::move(pcs), std::move(domains)), name_(std::move(name)) {}
+      : backend_(std::make_shared<LocalBackend>(std::move(pcs),
+                                                std::move(domains))),
+        name_(std::move(name)) {}
 
   PcEstimator(PredicateConstraintSet pcs, std::vector<AttrDomain> domains,
               PcBoundSolver::Options options, std::string name)
-      : solver_(std::move(pcs), std::move(domains), options),
+      : backend_(std::make_shared<LocalBackend>(
+            std::move(pcs), std::move(domains),
+            LocalBackend::Options{options, 0, 0})),
         name_(std::move(name)) {}
 
   StatusOr<ResultRange> Estimate(const AggQuery& query) const override {
-    return solver_.Bound(query);
+    return backend_->Bound(query);
   }
   std::vector<StatusOr<ResultRange>> EstimateBatch(
       std::span<const AggQuery> queries) const override {
-    return solver_.BoundBatch(queries);
+    return backend_->BoundBatch(queries);
   }
   std::string name() const override { return name_; }
 
-  const PcBoundSolver& solver() const { return solver_; }
+  const PcBoundSolver& solver() const { return backend_->solver(); }
+  const std::shared_ptr<LocalBackend>& backend() const { return backend_; }
 
  private:
-  PcBoundSolver solver_;
+  std::shared_ptr<LocalBackend> backend_;
   std::string name_;
 };
 
 /// The sharded-serving counterpart: same estimator interface, answers
-/// routed through a ShardedBoundSolver. Since sharded answers are
+/// routed through a ShardedBackend. Since sharded answers are
 /// bit-identical to the unsharded solver's, its eval-harness report
 /// (failure rate, tightness) must match PcEstimator's exactly — running
 /// both is a whole-workload consistency check, and the sharded mode of
@@ -52,22 +61,51 @@ class ShardedPcEstimator : public MissingDataEstimator {
   ShardedPcEstimator(PredicateConstraintSet pcs,
                      std::vector<AttrDomain> domains,
                      ShardedBoundSolver::Options options, std::string name)
-      : solver_(std::move(pcs), std::move(domains), options),
+      : backend_(std::make_shared<ShardedBackend>(
+            std::move(pcs), std::move(domains), options)),
         name_(std::move(name)) {}
 
   StatusOr<ResultRange> Estimate(const AggQuery& query) const override {
-    return solver_.Bound(query);
+    return backend_->Bound(query);
   }
   std::vector<StatusOr<ResultRange>> EstimateBatch(
       std::span<const AggQuery> queries) const override {
-    return solver_.BoundBatch(queries);
+    return backend_->BoundBatch(queries);
   }
   std::string name() const override { return name_; }
 
-  const ShardedBoundSolver& solver() const { return solver_; }
+  const ShardedBoundSolver& solver() const { return backend_->solver(); }
+  const std::shared_ptr<ShardedBackend>& backend() const { return backend_; }
 
  private:
-  ShardedBoundSolver solver_;
+  std::shared_ptr<ShardedBackend> backend_;
+  std::string name_;
+};
+
+/// The fully general adapter: ANY engine — a remote server, a mirror
+/// over replicas, whatever Engine::Open produced — run through the §6
+/// evaluation harness. With a "tcp:" engine this turns the harness into
+/// an end-to-end serving validator: failure rate and tightness must
+/// match the in-process PcEstimator's because answers are bit-identical
+/// across backends.
+class EngineEstimator : public MissingDataEstimator {
+ public:
+  EngineEstimator(Engine engine, std::string name)
+      : engine_(std::move(engine)), name_(std::move(name)) {}
+
+  StatusOr<ResultRange> Estimate(const AggQuery& query) const override {
+    return engine_.Bound(query);
+  }
+  std::vector<StatusOr<ResultRange>> EstimateBatch(
+      std::span<const AggQuery> queries) const override {
+    return engine_.BoundBatch(queries);
+  }
+  std::string name() const override { return name_; }
+
+  const Engine& engine() const { return engine_; }
+
+ private:
+  Engine engine_;
   std::string name_;
 };
 

@@ -24,8 +24,30 @@ const char* StatusCodeToString(StatusCode code) {
       return "INFEASIBLE";
     case StatusCode::kUnbounded:
       return "UNBOUNDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kProtocolError:
+      return "PROTOCOL_ERROR";
+    case StatusCode::kDivergence:
+      return "DIVERGENCE";
   }
   return "UNKNOWN";
+}
+
+bool ParseStatusCode(const std::string& name, StatusCode* code) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kResourceExhausted, StatusCode::kInfeasible,
+        StatusCode::kUnbounded, StatusCode::kUnavailable,
+        StatusCode::kProtocolError, StatusCode::kDivergence}) {
+    if (name == StatusCodeToString(c)) {
+      *code = c;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string Status::ToString() const {

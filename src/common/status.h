@@ -20,10 +20,27 @@ enum class StatusCode {
   kResourceExhausted,
   kInfeasible,  ///< An optimization model has no feasible solution.
   kUnbounded,   ///< An optimization model is unbounded.
+  /// A remote backend's transport is gone: connection refused, the
+  /// server closed the session, or a read/write on the wire failed.
+  kUnavailable,
+  /// The wire protocol itself broke: a reply line that does not parse
+  /// as RANGE/GROUPS/STATS/ERR. Distinguishable from kInvalidArgument
+  /// (the *request* was bad) and kUnavailable (the connection died).
+  kProtocolError,
+  /// Mirrored replicas returned answers that were not bit-identical —
+  /// a violation of the same-epoch determinism guarantee.
+  kDivergence,
 };
 
-/// Returns a stable human-readable name for a status code.
+/// Returns a stable human-readable name for a status code. These names
+/// travel on the wire (pcx_serve "ERR <CODE> <message>" replies), so
+/// they are part of the serving protocol, not just log text.
 const char* StatusCodeToString(StatusCode code);
+
+/// Inverse of StatusCodeToString. Returns false (leaving `code`
+/// untouched) when `name` is not a known code name — a reply from a
+/// newer server with codes this client does not know about.
+bool ParseStatusCode(const std::string& name, StatusCode* code);
 
 /// A cheap, copyable success-or-error value. The library does not throw
 /// exceptions across API boundaries; fallible public functions return
@@ -62,6 +79,15 @@ class Status {
   }
   static Status Unbounded(std::string msg) {
     return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ProtocolError(std::string msg) {
+    return Status(StatusCode::kProtocolError, std::move(msg));
+  }
+  static Status Divergence(std::string msg) {
+    return Status(StatusCode::kDivergence, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

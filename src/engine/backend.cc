@@ -1,0 +1,22 @@
+#include "engine/backend.h"
+
+#include <cstring>
+
+namespace pcx {
+
+std::vector<StatusOr<ResultRange>> BoundBackend::BoundBatch(
+    std::span<const AggQuery> queries) {
+  std::vector<StatusOr<ResultRange>> out;
+  out.reserve(queries.size());
+  for (const AggQuery& q : queries) out.push_back(Bound(q));
+  return out;
+}
+
+bool BitIdenticalRanges(const ResultRange& a, const ResultRange& b) {
+  return std::memcmp(&a.lo, &b.lo, sizeof(double)) == 0 &&
+         std::memcmp(&a.hi, &b.hi, sizeof(double)) == 0 &&
+         a.defined == b.defined &&
+         a.empty_instance_possible == b.empty_instance_possible;
+}
+
+}  // namespace pcx

@@ -1,0 +1,93 @@
+#ifndef PCX_ENGINE_BACKEND_H_
+#define PCX_ENGINE_BACKEND_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "pc/group_by.h"
+#include "pc/query.h"
+
+namespace pcx {
+
+/// Uniform serving counters reported by every backend. Local and
+/// sharded backends fill these from their in-process solvers; the
+/// remote backend parses them out of the server's STATS reply — the
+/// fields therefore mirror the STATS line of the pcx_serve protocol.
+struct EngineStats {
+  uint64_t epoch = 0;
+  size_t num_shards = 1;
+  size_t num_pcs = 0;
+  size_t num_attrs = 0;
+  size_t queries = 0;
+  /// Solver-side work counters, summed over all queries answered.
+  size_t num_cells = 0;
+  size_t sat_calls = 0;
+  size_t sat_cache_hits = 0;
+  size_t milp_nodes = 0;
+  size_t lp_solves = 0;
+  size_t lp_pivots = 0;
+};
+
+/// The one logical operation of the paper — "bound this aggregate under
+/// these predicate constraints" — behind one interface, however the
+/// bounding is physically executed: in process (LocalBackend), across
+/// shards (ShardedBackend), on another machine speaking the pcx_serve
+/// protocol (RemoteBackend), or on N replicas checked against each
+/// other (MirrorBackend). Everything a caller can observe is defined by
+/// the unsharded PcBoundSolver over the same constraint set at the same
+/// epoch: conforming backends return *bit-identical* ResultRanges and
+/// the same typed StatusCodes, which is what makes replicas and
+/// consistency checking possible (see MirrorBackend).
+///
+/// Backends are internally synchronized: concurrent calls from several
+/// threads are safe on every implementation (the remote backend
+/// serializes them onto its single protocol session).
+class BoundBackend {
+ public:
+  virtual ~BoundBackend() = default;
+
+  /// Display name, e.g. "local", "sharded:4", "tcp:127.0.0.1:7070".
+  virtual std::string name() const = 0;
+
+  /// Attribute count of the served constraint set (0 when unknown, e.g.
+  /// a remote server with no snapshot loaded yet).
+  virtual size_t num_attrs() const = 0;
+
+  /// Computes the result range of `query` over the missing rows.
+  virtual StatusOr<ResultRange> Bound(const AggQuery& query) = 0;
+
+  /// Bounds a whole workload, results in input order, element-wise
+  /// identical to calling Bound in a loop. The default does exactly
+  /// that loop; in-process backends override it with their parallel
+  /// batch paths (which preserve bit-identity by construction).
+  virtual std::vector<StatusOr<ResultRange>> BoundBatch(
+      std::span<const AggQuery> queries);
+
+  /// GROUP BY fan-out: one range per value of `group_values`, each the
+  /// answer to `query` with `group_attr == value` conjoined onto the
+  /// WHERE clause (pc/group_by semantics on every backend).
+  virtual StatusOr<std::vector<GroupRange>> BoundGroupBy(
+      const AggQuery& query, size_t group_attr,
+      const std::vector<double>& group_values) = 0;
+
+  /// Cumulative serving counters since construction (remote: since the
+  /// server started — counters are server-side and shared by clients).
+  virtual StatusOr<EngineStats> Stats() = 0;
+
+  /// Constraint-set version. Two backends at the same epoch answer
+  /// every query bit-identically; MirrorBackend enforces exactly that.
+  virtual StatusOr<uint64_t> Epoch() = 0;
+};
+
+/// True iff the two ranges are indistinguishable to any observer,
+/// including the sign of zero ("MIN = -0.0" must survive a replica
+/// comparison and a wire round-trip). This is the equality MirrorBackend
+/// and the cross-backend tests assert.
+bool BitIdenticalRanges(const ResultRange& a, const ResultRange& b);
+
+}  // namespace pcx
+
+#endif  // PCX_ENGINE_BACKEND_H_

@@ -1,0 +1,154 @@
+#include "engine/mirror_backend.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "pc/serialization.h"
+#include "serve/server.h"
+
+namespace pcx {
+
+namespace {
+
+/// Divergence reports reuse the wire's range formatting so they read
+/// exactly like what a remote replica actually printed.
+std::string DescribeRange(const ResultRange& r) {
+  std::ostringstream os;
+  PrintResultRange(os, "", r);
+  std::string out = os.str();
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+std::string DescribeAnswer(const StatusOr<ResultRange>& a) {
+  if (a.ok()) return DescribeRange(*a);
+  return std::string("error ") + StatusCodeToString(a.status().code());
+}
+
+}  // namespace
+
+MirrorBackend::MirrorBackend(
+    std::vector<std::shared_ptr<BoundBackend>> replicas)
+    : replicas_(std::move(replicas)) {
+  PCX_CHECK(!replicas_.empty()) << "MirrorBackend needs at least one replica";
+  for (const auto& r : replicas_) PCX_CHECK(r != nullptr);
+}
+
+std::string MirrorBackend::name() const {
+  std::string out = "mirror[";
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += replicas_[i]->name();
+  }
+  return out + "]";
+}
+
+size_t MirrorBackend::num_attrs() const { return replicas_[0]->num_attrs(); }
+
+Status MirrorBackend::Compare(const StatusOr<ResultRange>& primary,
+                              const StatusOr<ResultRange>& other,
+                              size_t other_index,
+                              const std::string& context) const {
+  const bool diverged =
+      primary.ok() != other.ok() ||
+      (primary.ok() ? !BitIdenticalRanges(*primary, *other)
+                    : primary.status().code() != other.status().code());
+  if (!diverged) return Status::OK();
+  return Status::Divergence(
+      context + ": replica 0 (" + replicas_[0]->name() + ") answered " +
+      DescribeAnswer(primary) + " but replica " +
+      std::to_string(other_index) + " (" + replicas_[other_index]->name() +
+      ") answered " + DescribeAnswer(other));
+}
+
+StatusOr<ResultRange> MirrorBackend::Bound(const AggQuery& query) {
+  const StatusOr<ResultRange> primary = replicas_[0]->Bound(query);
+  for (size_t i = 1; i < replicas_.size(); ++i) {
+    PCX_RETURN_IF_ERROR(
+        Compare(primary, replicas_[i]->Bound(query), i, "Bound"));
+  }
+  return primary;
+}
+
+std::vector<StatusOr<ResultRange>> MirrorBackend::BoundBatch(
+    std::span<const AggQuery> queries) {
+  std::vector<StatusOr<ResultRange>> primary = replicas_[0]->BoundBatch(queries);
+  for (size_t i = 1; i < replicas_.size(); ++i) {
+    const std::vector<StatusOr<ResultRange>> other =
+        replicas_[i]->BoundBatch(queries);
+    if (other.size() != primary.size()) {
+      const Status diverged = Status::Divergence(
+          "BoundBatch: replica " + std::to_string(i) + " returned " +
+          std::to_string(other.size()) + " results for " +
+          std::to_string(primary.size()) + " queries");
+      for (auto& r : primary) r = diverged;
+      return primary;
+    }
+    for (size_t q = 0; q < primary.size(); ++q) {
+      const Status check = Compare(primary[q], other[q], i,
+                                   "BoundBatch[" + std::to_string(q) + "]");
+      if (!check.ok()) primary[q] = check;
+    }
+  }
+  return primary;
+}
+
+StatusOr<std::vector<GroupRange>> MirrorBackend::BoundGroupBy(
+    const AggQuery& query, size_t group_attr,
+    const std::vector<double>& group_values) {
+  StatusOr<std::vector<GroupRange>> primary =
+      replicas_[0]->BoundGroupBy(query, group_attr, group_values);
+  for (size_t i = 1; i < replicas_.size(); ++i) {
+    const StatusOr<std::vector<GroupRange>> other =
+        replicas_[i]->BoundGroupBy(query, group_attr, group_values);
+    if (primary.ok() != other.ok()) {
+      return Status::Divergence(
+          "BoundGroupBy: replica 0 " +
+          std::string(primary.ok() ? "succeeded" : "failed") + " but replica " +
+          std::to_string(i) + " " + (other.ok() ? "succeeded" : "failed"));
+    }
+    if (!primary.ok()) {
+      if (primary.status().code() != other.status().code()) {
+        return Status::Divergence(
+            "BoundGroupBy: replicas failed with different codes: " +
+            std::string(StatusCodeToString(primary.status().code())) +
+            " vs " + StatusCodeToString(other.status().code()));
+      }
+      continue;
+    }
+    if (other->size() != primary->size()) {
+      return Status::Divergence("BoundGroupBy: replica " + std::to_string(i) +
+                                " returned a different group count");
+    }
+    for (size_t g = 0; g < primary->size(); ++g) {
+      if ((*primary)[g].group_value != (*other)[g].group_value ||
+          !BitIdenticalRanges((*primary)[g].range, (*other)[g].range)) {
+        return Status::Divergence(
+            "BoundGroupBy group " + FormatNumber((*primary)[g].group_value) +
+            ": replica 0 answered " + DescribeRange((*primary)[g].range) +
+            " but replica " + std::to_string(i) + " answered " +
+            DescribeRange((*other)[g].range));
+      }
+    }
+  }
+  return primary;
+}
+
+StatusOr<EngineStats> MirrorBackend::Stats() { return replicas_[0]->Stats(); }
+
+StatusOr<uint64_t> MirrorBackend::Epoch() {
+  PCX_ASSIGN_OR_RETURN(const uint64_t epoch, replicas_[0]->Epoch());
+  for (size_t i = 1; i < replicas_.size(); ++i) {
+    PCX_ASSIGN_OR_RETURN(const uint64_t other, replicas_[i]->Epoch());
+    if (other != epoch) {
+      return Status::Divergence(
+          "replica 0 (" + replicas_[0]->name() + ") serves epoch " +
+          std::to_string(epoch) + " but replica " + std::to_string(i) + " (" +
+          replicas_[i]->name() + ") serves epoch " + std::to_string(other));
+    }
+  }
+  return epoch;
+}
+
+}  // namespace pcx

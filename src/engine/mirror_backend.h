@@ -1,0 +1,59 @@
+#ifndef PCX_ENGINE_MIRROR_BACKEND_H_
+#define PCX_ENGINE_MIRROR_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/backend.h"
+
+namespace pcx {
+
+/// The replica-checking backend: fans every call out to N replicas and
+/// exploits the epoch guarantee ("same constraint set at the same epoch
+/// ⇒ bit-identical answers, whatever the physical execution") to verify
+/// them against each other. Any observable difference — a range that is
+/// not bit-identical (-0.0 counts), a flag mismatch, different typed
+/// error codes, or disagreeing epochs — is reported as a kDivergence
+/// error naming the replicas and both answers, instead of silently
+/// picking one. Matching *errors* are passed through as the shared
+/// typed code (messages may legitimately differ across transports).
+///
+/// Replicas can be any mix of backends: a local solver double-checking
+/// a remote server, two remote replicas behind one client, or a sharded
+/// backend validating a new partitioning against the unsharded one.
+class MirrorBackend : public BoundBackend {
+ public:
+  /// At least one replica; replica 0 is the primary whose answer is
+  /// returned when all replicas agree.
+  explicit MirrorBackend(std::vector<std::shared_ptr<BoundBackend>> replicas);
+
+  std::string name() const override;
+  size_t num_attrs() const override;
+  StatusOr<ResultRange> Bound(const AggQuery& query) override;
+  std::vector<StatusOr<ResultRange>> BoundBatch(
+      std::span<const AggQuery> queries) override;
+  StatusOr<std::vector<GroupRange>> BoundGroupBy(
+      const AggQuery& query, size_t group_attr,
+      const std::vector<double>& group_values) override;
+  /// Primary's stats (per-replica counters are observable on the
+  /// replicas themselves).
+  StatusOr<EngineStats> Stats() override;
+  /// The common epoch; kDivergence when replicas disagree on it.
+  StatusOr<uint64_t> Epoch() override;
+
+  size_t num_replicas() const { return replicas_.size(); }
+  const BoundBackend& replica(size_t i) const { return *replicas_[i]; }
+
+ private:
+  /// Divergence check of one (primary, other) answer pair.
+  Status Compare(const StatusOr<ResultRange>& primary,
+                 const StatusOr<ResultRange>& other, size_t other_index,
+                 const std::string& context) const;
+
+  std::vector<std::shared_ptr<BoundBackend>> replicas_;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_ENGINE_MIRROR_BACKEND_H_

@@ -1,0 +1,166 @@
+#include "engine/query_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pcx {
+
+QueryBuilder& QueryBuilder::SetAgg(AggFunc agg, ColRef col) {
+  agg_ = agg;
+  agg_col_ = std::move(col);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::AddCondition(ColRef col, const Interval& iv) {
+  conditions_.push_back(Condition{std::move(col), iv});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Count() { return SetAgg(AggFunc::kCount, Ref(0)); }
+QueryBuilder& QueryBuilder::Sum(const std::string& column) {
+  return SetAgg(AggFunc::kSum, Ref(column));
+}
+QueryBuilder& QueryBuilder::Sum(size_t attr) {
+  return SetAgg(AggFunc::kSum, Ref(attr));
+}
+QueryBuilder& QueryBuilder::Avg(const std::string& column) {
+  return SetAgg(AggFunc::kAvg, Ref(column));
+}
+QueryBuilder& QueryBuilder::Avg(size_t attr) {
+  return SetAgg(AggFunc::kAvg, Ref(attr));
+}
+QueryBuilder& QueryBuilder::Min(const std::string& column) {
+  return SetAgg(AggFunc::kMin, Ref(column));
+}
+QueryBuilder& QueryBuilder::Min(size_t attr) {
+  return SetAgg(AggFunc::kMin, Ref(attr));
+}
+QueryBuilder& QueryBuilder::Max(const std::string& column) {
+  return SetAgg(AggFunc::kMax, Ref(column));
+}
+QueryBuilder& QueryBuilder::Max(size_t attr) {
+  return SetAgg(AggFunc::kMax, Ref(attr));
+}
+
+QueryBuilder& QueryBuilder::Where(const std::string& column, double lo,
+                                  double hi) {
+  return AddCondition(Ref(column), Interval::Closed(lo, hi));
+}
+QueryBuilder& QueryBuilder::Where(size_t attr, double lo, double hi) {
+  return AddCondition(Ref(attr), Interval::Closed(lo, hi));
+}
+QueryBuilder& QueryBuilder::WhereIn(const std::string& column,
+                                    const Interval& iv) {
+  return AddCondition(Ref(column), iv);
+}
+QueryBuilder& QueryBuilder::WhereIn(size_t attr, const Interval& iv) {
+  return AddCondition(Ref(attr), iv);
+}
+QueryBuilder& QueryBuilder::WhereEquals(const std::string& column,
+                                        double value) {
+  return AddCondition(Ref(column), Interval::Closed(value, value));
+}
+QueryBuilder& QueryBuilder::WhereEquals(size_t attr, double value) {
+  return AddCondition(Ref(attr), Interval::Closed(value, value));
+}
+
+QueryBuilder& QueryBuilder::GroupBy(const std::string& column,
+                                    std::vector<double> values) {
+  group_by_set_ = true;
+  group_col_ = Ref(column);
+  group_values_ = std::move(values);
+  return *this;
+}
+QueryBuilder& QueryBuilder::GroupBy(size_t attr, std::vector<double> values) {
+  group_by_set_ = true;
+  group_col_ = Ref(attr);
+  group_values_ = std::move(values);
+  return *this;
+}
+
+StatusOr<size_t> QueryBuilder::Resolve(const ColRef& col,
+                                       size_t num_attrs) const {
+  if (col.by_name) {
+    const auto it = std::find(columns_.begin(), columns_.end(), col.name);
+    if (it == columns_.end()) {
+      return Status::NotFound("no column named '" + col.name +
+                              "' in the QueryBuilder's column list");
+    }
+    return static_cast<size_t>(it - columns_.begin());
+  }
+  if (num_attrs > 0 && col.index >= num_attrs) {
+    return Status::OutOfRange("attribute index " + std::to_string(col.index) +
+                              " out of range (engine serves " +
+                              std::to_string(num_attrs) + " attributes)");
+  }
+  return col.index;
+}
+
+size_t QueryBuilder::EffectiveNumAttrs(size_t num_attrs) const {
+  if (num_attrs > 0) return num_attrs;
+  if (!columns_.empty()) return columns_.size();
+  size_t widest = 0;
+  for (const Condition& c : conditions_) {
+    if (!c.col.by_name) widest = std::max(widest, c.col.index + 1);
+  }
+  if (!agg_col_.by_name) widest = std::max(widest, agg_col_.index + 1);
+  if (group_by_set_ && !group_col_.by_name) {
+    widest = std::max(widest, group_col_.index + 1);
+  }
+  return widest;
+}
+
+StatusOr<AggQuery> QueryBuilder::Build(size_t num_attrs) const {
+  if (num_attrs > 0 && !columns_.empty() && columns_.size() != num_attrs) {
+    return Status::InvalidArgument(
+        "QueryBuilder names " + std::to_string(columns_.size()) +
+        " columns but the engine serves " + std::to_string(num_attrs) +
+        " attributes");
+  }
+  const size_t n = EffectiveNumAttrs(num_attrs);
+  AggQuery query;
+  query.agg = agg_;
+  if (agg_ != AggFunc::kCount) {
+    PCX_ASSIGN_OR_RETURN(query.attr, Resolve(agg_col_, n));
+  }
+  if (!conditions_.empty()) {
+    Predicate where(n);
+    for (const Condition& c : conditions_) {
+      PCX_ASSIGN_OR_RETURN(const size_t attr, Resolve(c.col, n));
+      where.AddInterval(attr, c.iv);
+    }
+    query.where = std::move(where);
+  }
+  return query;
+}
+
+StatusOr<QueryBuilder::GroupBySpec> QueryBuilder::BuildGroupBy(
+    size_t num_attrs) const {
+  if (!group_by_set_) {
+    return Status::FailedPrecondition("QueryBuilder has no GroupBy clause");
+  }
+  GroupBySpec spec;
+  PCX_ASSIGN_OR_RETURN(spec.attr,
+                       Resolve(group_col_, EffectiveNumAttrs(num_attrs)));
+  spec.values = group_values_;
+  return spec;
+}
+
+StatusOr<ResultRange> QueryBuilder::BoundOn(BoundBackend& backend) const {
+  if (group_by_set_) {
+    return Status::FailedPrecondition(
+        "grouped QueryBuilder: use GroupsOn instead of BoundOn");
+  }
+  PCX_ASSIGN_OR_RETURN(const AggQuery query, Build(backend.num_attrs()));
+  return backend.Bound(query);
+}
+
+StatusOr<std::vector<GroupRange>> QueryBuilder::GroupsOn(
+    BoundBackend& backend) const {
+  PCX_ASSIGN_OR_RETURN(const AggQuery query, Build(backend.num_attrs()));
+  PCX_ASSIGN_OR_RETURN(const GroupBySpec spec,
+                       BuildGroupBy(backend.num_attrs()));
+  return backend.BoundGroupBy(query, spec.attr, spec.values);
+}
+
+}  // namespace pcx

@@ -1,0 +1,117 @@
+#ifndef PCX_ENGINE_QUERY_BUILDER_H_
+#define PCX_ENGINE_QUERY_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "engine/backend.h"
+#include "pc/query.h"
+#include "predicate/interval.h"
+
+namespace pcx {
+
+/// Fluent construction of AggQuery values against named columns,
+/// replacing hand-assembled Predicate/Box plumbing at call sites:
+///
+///   QueryBuilder q({"utc", "price"});
+///   q.Sum("price").Where("utc", 0, 24);            // SUM(price) WHERE utc∈[0,24]
+///   StatusOr<AggQuery> query = q.Build(engine.num_attrs());
+///
+/// or, with a backend at hand, in one go:
+///
+///   StatusOr<ResultRange> r = q.BoundOn(backend);
+///
+/// Index overloads (`Sum(1)`, `Where(0, lo, hi)`) skip the name table
+/// for schemaless call sites. Mistakes come back as typed errors from
+/// Build — kNotFound for an unknown column name, kOutOfRange for an
+/// attribute index past the engine's width, kInvalidArgument for a
+/// name table that contradicts the engine's attribute count — rather
+/// than aborting or silently misbinding.
+class QueryBuilder {
+ public:
+  /// Index-mode: columns addressed by attribute index only.
+  QueryBuilder() = default;
+  /// Name-mode: position in `columns` is the attribute index.
+  explicit QueryBuilder(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Aggregate selection (the last call wins).
+  QueryBuilder& Count();
+  QueryBuilder& Sum(const std::string& column);
+  QueryBuilder& Sum(size_t attr);
+  QueryBuilder& Avg(const std::string& column);
+  QueryBuilder& Avg(size_t attr);
+  QueryBuilder& Min(const std::string& column);
+  QueryBuilder& Min(size_t attr);
+  QueryBuilder& Max(const std::string& column);
+  QueryBuilder& Max(size_t attr);
+
+  /// WHERE clauses; all are conjoined. Where(col, lo, hi) is the closed
+  /// range lo <= col <= hi; WhereIn takes any interval (open bounds
+  /// included); WhereEquals pins col == value.
+  QueryBuilder& Where(const std::string& column, double lo, double hi);
+  QueryBuilder& Where(size_t attr, double lo, double hi);
+  QueryBuilder& WhereIn(const std::string& column, const Interval& iv);
+  QueryBuilder& WhereIn(size_t attr, const Interval& iv);
+  QueryBuilder& WhereEquals(const std::string& column, double value);
+  QueryBuilder& WhereEquals(size_t attr, double value);
+
+  /// GROUP BY one column over an explicit value list (the last call
+  /// wins). Grouped builders run via GroupsOn / Engine::BoundGroupBy.
+  QueryBuilder& GroupBy(const std::string& column,
+                        std::vector<double> values);
+  QueryBuilder& GroupBy(size_t attr, std::vector<double> values);
+
+  bool has_group_by() const { return group_by_set_; }
+
+  /// Resolves names and indices against an engine width of `num_attrs`
+  /// and produces the AggQuery every backend consumes. `num_attrs` == 0
+  /// falls back to the name-table size (or the widest index mentioned).
+  StatusOr<AggQuery> Build(size_t num_attrs) const;
+
+  struct GroupBySpec {
+    size_t attr = 0;
+    std::vector<double> values;
+  };
+  /// The resolved GROUP BY column/values; kFailedPrecondition when no
+  /// GroupBy was set.
+  StatusOr<GroupBySpec> BuildGroupBy(size_t num_attrs) const;
+
+  /// Builds against `backend.num_attrs()` and runs the query there.
+  StatusOr<ResultRange> BoundOn(BoundBackend& backend) const;
+  StatusOr<std::vector<GroupRange>> GroupsOn(BoundBackend& backend) const;
+
+ private:
+  /// A column reference, by index or by name (resolved at Build).
+  struct ColRef {
+    bool by_name = false;
+    size_t index = 0;
+    std::string name;
+  };
+  struct Condition {
+    ColRef col;
+    Interval iv;
+  };
+
+  static ColRef Ref(size_t attr) { return ColRef{false, attr, {}}; }
+  static ColRef Ref(std::string name) {
+    return ColRef{true, 0, std::move(name)};
+  }
+  QueryBuilder& SetAgg(AggFunc agg, ColRef col);
+  QueryBuilder& AddCondition(ColRef col, const Interval& iv);
+  StatusOr<size_t> Resolve(const ColRef& col, size_t num_attrs) const;
+  size_t EffectiveNumAttrs(size_t num_attrs) const;
+
+  std::vector<std::string> columns_;
+  AggFunc agg_ = AggFunc::kCount;
+  ColRef agg_col_;
+  std::vector<Condition> conditions_;
+  bool group_by_set_ = false;
+  ColRef group_col_;
+  std::vector<double> group_values_;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_ENGINE_QUERY_BUILDER_H_

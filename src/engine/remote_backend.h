@@ -1,0 +1,139 @@
+#ifndef PCX_ENGINE_REMOTE_BACKEND_H_
+#define PCX_ENGINE_REMOTE_BACKEND_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/backend.h"
+
+namespace pcx {
+
+/// A bidirectional line channel: one request line out, reply lines in.
+/// The two shipped implementations cover the ways a pcx_serve process
+/// is reachable — a localhost/remote TCP socket and a stream pair (for
+/// a server on the other end of stdio pipes, or canned-reply tests).
+class LineTransport {
+ public:
+  virtual ~LineTransport() = default;
+
+  /// Writes one request line (`line` has no trailing newline).
+  virtual Status SendLine(const std::string& line) = 0;
+
+  /// Blocks for the next reply line (returned without the newline).
+  /// kUnavailable once the peer is gone.
+  virtual StatusOr<std::string> ReadLine() = 0;
+};
+
+/// TCP client transport; CRLF-tolerant like the server's own reader.
+class TcpClientTransport : public LineTransport {
+ public:
+  static StatusOr<std::unique_ptr<TcpClientTransport>> Connect(
+      const std::string& host, uint16_t port);
+  ~TcpClientTransport() override;
+
+  TcpClientTransport(const TcpClientTransport&) = delete;
+  TcpClientTransport& operator=(const TcpClientTransport&) = delete;
+
+  Status SendLine(const std::string& line) override;
+  StatusOr<std::string> ReadLine() override;
+
+ private:
+  explicit TcpClientTransport(int fd) : fd_(fd) {}
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+/// Transport over caller-owned streams (a child process's stdio pipes,
+/// or an istringstream of canned replies in tests). The streams must
+/// outlive the transport.
+class StreamTransport : public LineTransport {
+ public:
+  StreamTransport(std::istream& in, std::ostream& out) : in_(in), out_(out) {}
+
+  Status SendLine(const std::string& line) override;
+  StatusOr<std::string> ReadLine() override;
+
+ private:
+  std::istream& in_;
+  std::ostream& out_;
+};
+
+/// The typed client of the pcx_serve line protocol: every BoundBackend
+/// call is formatted as one request line, and the reply is parsed back
+/// into the same StatusOr<...> shapes an in-process backend returns —
+/// protocol errors (kProtocolError), transport loss (kUnavailable) and
+/// server-side typed errors (the code name carried on the ERR line) stay
+/// distinguishable instead of collapsing into strings. Number formatting
+/// is the round-trippable pc/serialization one at both ends, so ranges
+/// arrive bit-identical to what the server's solver computed, -0.0
+/// included — which is what lets MirrorBackend compare a remote replica
+/// against a local one.
+///
+/// Calls are internally serialized onto the single protocol session, so
+/// a RemoteBackend can be shared between threads like any backend.
+class RemoteBackend : public BoundBackend {
+ public:
+  /// `name` is the display name (Engine::Open passes the URI).
+  explicit RemoteBackend(std::unique_ptr<LineTransport> transport,
+                         std::string name = "remote");
+
+  /// Connects to a serving pcx_serve and primes num_attrs()/Epoch()
+  /// from a STATS round-trip (a server with no snapshot loaded yet is
+  /// fine; num_attrs() stays 0 until Load).
+  static StatusOr<std::unique_ptr<RemoteBackend>> Connect(
+      const std::string& host, uint16_t port);
+
+  /// Asks the server to load a snapshot (the LOAD command); on success
+  /// refreshes the cached attribute count and epoch from the reply.
+  Status Load(const std::string& snapshot_path);
+
+  std::string name() const override { return name_; }
+  size_t num_attrs() const override;
+  StatusOr<ResultRange> Bound(const AggQuery& query) override;
+  StatusOr<std::vector<GroupRange>> BoundGroupBy(
+      const AggQuery& query, size_t group_attr,
+      const std::vector<double>& group_values) override;
+  StatusOr<EngineStats> Stats() override;
+  StatusOr<uint64_t> Epoch() override;
+
+ private:
+  /// Sends `request` and reads the first reply line (mu_ held).
+  StatusOr<std::string> RoundTrip(const std::string& request);
+  /// Drops the transport after a mid-block protocol failure — the
+  /// reply-stream offset is unknown, and a desynced session could hand
+  /// later callers a stale reply as a clean answer — and returns the
+  /// kProtocolError carrying `message`. Subsequent calls fail
+  /// kUnavailable.
+  Status PoisonProtocol(std::string message);
+  /// The STATS round-trip + cached num_attrs/epoch refresh (mu_ held).
+  StatusOr<EngineStats> StatsLocked();
+  /// Issues STATS and refreshes the cached num_attrs/epoch.
+  Status RefreshInfo();
+
+  mutable std::mutex mu_;  ///< one in-flight request at a time
+  std::unique_ptr<LineTransport> transport_;
+  std::string name_;
+  size_t num_attrs_ = 0;
+  uint64_t epoch_ = 0;
+  bool info_known_ = false;
+};
+
+/// Parses one "ERR ..." reply line into the typed Status it carries.
+/// Replies from servers that prefix the message with a known code name
+/// ("ERR INVALID_ARGUMENT bad attribute...") keep their code; legacy
+/// replies without one come back as kInternal.
+Status ParseErrorReply(const std::string& line);
+
+/// Parses a "RANGE ..." (or "GROUP <value> ...") body of key=value
+/// pairs into a ResultRange. `from` is the index of the first key=value
+/// token.
+StatusOr<ResultRange> ParseRangeReply(const std::vector<std::string>& tokens,
+                                      size_t from);
+
+}  // namespace pcx
+
+#endif  // PCX_ENGINE_REMOTE_BACKEND_H_

@@ -1,0 +1,56 @@
+#include "engine/sharded_backend.h"
+
+#include <utility>
+
+namespace pcx {
+
+ShardedBackend::ShardedBackend(PredicateConstraintSet pcs,
+                               std::vector<AttrDomain> domains,
+                               ShardedBoundSolver::Options options)
+    : solver_(std::move(pcs), std::move(domains), options) {}
+
+ShardedBackend::ShardedBackend(const Snapshot& snapshot,
+                               ShardedBoundSolver::Options options)
+    : solver_(snapshot, options) {}
+
+std::string ShardedBackend::name() const {
+  return "sharded:" + std::to_string(solver_.num_shards());
+}
+
+size_t ShardedBackend::num_attrs() const {
+  return solver_.constraints().num_attrs();
+}
+
+StatusOr<ResultRange> ShardedBackend::Bound(const AggQuery& query) {
+  return solver_.Bound(query);
+}
+
+std::vector<StatusOr<ResultRange>> ShardedBackend::BoundBatch(
+    std::span<const AggQuery> queries) {
+  return solver_.BoundBatch(queries);
+}
+
+StatusOr<std::vector<GroupRange>> ShardedBackend::BoundGroupBy(
+    const AggQuery& query, size_t group_attr,
+    const std::vector<double>& group_values) {
+  return solver_.BoundGroupBy(query, group_attr, group_values);
+}
+
+StatusOr<EngineStats> ShardedBackend::Stats() {
+  const ShardedBoundSolver::ServeStats s = solver_.stats();
+  EngineStats out;
+  out.epoch = solver_.epoch();
+  out.num_shards = solver_.num_shards();
+  out.num_pcs = solver_.constraints().size();
+  out.num_attrs = solver_.constraints().num_attrs();
+  out.queries = s.queries;
+  out.num_cells = s.solve.num_cells;
+  out.sat_calls = s.solve.sat_calls;
+  out.sat_cache_hits = s.solve.sat_cache_hits;
+  out.milp_nodes = s.solve.milp_nodes;
+  out.lp_solves = s.solve.lp_solves;
+  out.lp_pivots = s.solve.lp_pivots;
+  return out;
+}
+
+}  // namespace pcx

@@ -1,0 +1,45 @@
+#ifndef PCX_ENGINE_SHARDED_BACKEND_H_
+#define PCX_ENGINE_SHARDED_BACKEND_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/backend.h"
+#include "serve/sharded_solver.h"
+
+namespace pcx {
+
+/// The partitioned in-process backend: a ShardedBoundSolver over up to
+/// 64 shards, built from a constraint set or adopted from a versioned
+/// snapshot. Answers are bit-identical to LocalBackend over the same
+/// set (see serve/sharded_solver.h for why that is an invariant, not
+/// luck), so swapping "local:" for "snapshot:...?shards=K" in an
+/// Engine::Open URI changes only the wall-clock.
+class ShardedBackend : public BoundBackend {
+ public:
+  ShardedBackend(PredicateConstraintSet pcs, std::vector<AttrDomain> domains,
+                 ShardedBoundSolver::Options options = {});
+  /// Adopts the snapshot's shards and epoch.
+  explicit ShardedBackend(const Snapshot& snapshot,
+                          ShardedBoundSolver::Options options = {});
+
+  std::string name() const override;
+  size_t num_attrs() const override;
+  StatusOr<ResultRange> Bound(const AggQuery& query) override;
+  std::vector<StatusOr<ResultRange>> BoundBatch(
+      std::span<const AggQuery> queries) override;
+  StatusOr<std::vector<GroupRange>> BoundGroupBy(
+      const AggQuery& query, size_t group_attr,
+      const std::vector<double>& group_values) override;
+  StatusOr<EngineStats> Stats() override;
+  StatusOr<uint64_t> Epoch() override { return solver_.epoch(); }
+
+  const ShardedBoundSolver& solver() const { return solver_; }
+
+ private:
+  ShardedBoundSolver solver_;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_ENGINE_SHARDED_BACKEND_H_

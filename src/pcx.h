@@ -9,7 +9,23 @@
 /// match predicate ψ, with values inside box B"), it computes hard
 /// deterministic ranges for aggregate queries over those rows.
 ///
-/// Typical entry points, in the order a new reader should meet them:
+/// **The primary entry point is the engine/backend API.** One
+/// interface, pcx::BoundBackend (engine/backend.h), captures the whole
+/// operation — Bound / BoundBatch / BoundGroupBy / Stats / Epoch — and
+/// pcx::Engine::Open(uri) (engine/engine.h) selects how it executes:
+///
+///   - "local:<pcset>"               in-process unsharded solving
+///   - "snapshot:<path>?shards=K"    in-process sharded solving
+///   - "tcp:<host>:<port>"           a pcx_serve server over the wire
+///   - "mirror:<uri>|<uri>"          replicas checked bit-for-bit
+///
+/// All backends answer bit-identically at the same epoch, and
+/// pcx::QueryBuilder (engine/query_builder.h) builds the AggQuery
+/// values they consume from named columns. Code written against
+/// Engine/BoundBackend is substrate-agnostic: swapping the URI moves
+/// it between in-process, sharded, remote, and mirrored execution.
+///
+/// The layers underneath, in the order a new reader should meet them:
 ///
 ///   - pcx::PredicateConstraint / pcx::PredicateConstraintSet
 ///     (pc/predicate_constraint.h, pc/pc_set.h) — declare what is
@@ -21,6 +37,9 @@
 ///     decomposition (pc/cell_decomposition.h) and the MILP engine
 ///     (solver/milp.h); callers never touch those directly unless they
 ///     want the Fig. 7 counters or a custom SatChecker.
+///   - the serving subsystem (serve/) — versioned snapshots, the
+///     skew-aware partitioner, ShardedBoundSolver, and the pcx_serve
+///     line protocol the remote backend speaks.
 ///   - pcx::EdgeCoverJoinBound / pcx::NaiveJoinBound
 ///     (join/join_bound.h) — combine per-relation single-table bounds
 ///     into a multi-relation join bound, via a minimum fractional edge
@@ -33,13 +52,24 @@
 ///     bench/ figure reproductions.
 ///
 /// Everything returns pcx::Status / pcx::StatusOr<T> (common/status.h,
-/// common/statusor.h) rather than throwing.
+/// common/statusor.h) rather than throwing; error categories are typed
+/// pcx::StatusCodes that survive the serving protocol round-trip.
 ///
 /// Fine-grained headers remain available for targeted includes;
 /// including this header pulls in the whole library surface.
 /// See examples/quickstart.cpp for a complete commented walkthrough and
 /// docs/ARCHITECTURE.md for the module graph.
 
+// The backend API (primary entry point) leads the umbrella.
+#include "engine/backend.h"
+#include "engine/engine.h"
+#include "engine/local_backend.h"
+#include "engine/mirror_backend.h"
+#include "engine/query_builder.h"
+#include "engine/remote_backend.h"
+#include "engine/sharded_backend.h"
+
+// Fine-grained library surface, grouped by module.
 #include "baselines/daq.h"
 #include "baselines/estimator.h"
 #include "baselines/extrapolation.h"
@@ -76,6 +106,10 @@
 #include "relation/join.h"
 #include "relation/schema.h"
 #include "relation/table.h"
+#include "serve/partitioner.h"
+#include "serve/server.h"
+#include "serve/sharded_solver.h"
+#include "serve/snapshot.h"
 #include "solver/lp_model.h"
 #include "solver/milp.h"
 #include "solver/simplex.h"

@@ -1,12 +1,14 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <istream>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #ifndef _WIN32
@@ -69,13 +71,58 @@ StatusOr<std::optional<Predicate>> ParseWhere(
   return std::optional<Predicate>(Predicate(std::move(where)));
 }
 
-void PrintRange(std::ostream& out, const char* label, const ResultRange& r) {
-  out << label << "lo=" << FormatNumber(r.lo) << " hi=" << FormatNumber(r.hi)
-      << " defined=" << (r.defined ? 1 : 0)
-      << " empty_possible=" << (r.empty_instance_possible ? 1 : 0) << "\n";
+}  // namespace
+
+StatusOr<AggQuery> ParseBoundRequest(const std::vector<std::string>& tokens,
+                                     size_t num_attrs) {
+  if (tokens.size() < 3) {
+    return Status::InvalidArgument(
+        "usage: BOUND <COUNT|SUM|AVG|MIN|MAX> <attr> [{a:[lo,hi],...}...]");
+  }
+  AggQuery query;
+  PCX_ASSIGN_OR_RETURN(query.agg, ParseAgg(tokens[1]));
+  PCX_ASSIGN_OR_RETURN(query.attr, ParseIndex(tokens[2], "attribute index"));
+  PCX_ASSIGN_OR_RETURN(query.where, ParseWhere(tokens, 3, num_attrs));
+  return query;
 }
 
-}  // namespace
+StatusOr<GroupByRequest> ParseGroupByRequest(
+    const std::vector<std::string>& tokens, size_t num_attrs) {
+  if (tokens.size() < 5) {
+    return Status::InvalidArgument(
+        "usage: GROUPBY <AGG> <attr> <group_attr> <v1,v2,...> [{box}...]");
+  }
+  GroupByRequest request;
+  PCX_ASSIGN_OR_RETURN(request.query.agg, ParseAgg(tokens[1]));
+  PCX_ASSIGN_OR_RETURN(request.query.attr,
+                       ParseIndex(tokens[2], "attribute index"));
+  PCX_ASSIGN_OR_RETURN(request.group_attr,
+                       ParseIndex(tokens[3], "group attribute"));
+  {
+    std::istringstream is(tokens[4]);
+    std::string part;
+    while (std::getline(is, part, ',')) {
+      if (part.empty()) continue;
+      PCX_ASSIGN_OR_RETURN(const double v, ParseNumber(part));
+      request.values.push_back(v);
+    }
+  }
+  if (request.values.empty()) {
+    return Status::InvalidArgument("empty group value list '" + tokens[4] +
+                                   "'");
+  }
+  PCX_ASSIGN_OR_RETURN(request.query.where, ParseWhere(tokens, 5, num_attrs));
+  return request;
+}
+
+void PrintResultRange(std::ostream& out, const char* label,
+                      const ResultRange& range) {
+  out << label << "lo=" << FormatNumber(range.lo)
+      << " hi=" << FormatNumber(range.hi)
+      << " defined=" << (range.defined ? 1 : 0)
+      << " empty_possible=" << (range.empty_instance_possible ? 1 : 0)
+      << "\n";
+}
 
 BoundServer::BoundServer() : BoundServer(Options{}) {}
 BoundServer::BoundServer(Options options) : options_(std::move(options)) {}
@@ -94,18 +141,11 @@ Status BoundServer::HandleBound(const std::vector<std::string>& tokens,
   if (solver_ == nullptr) {
     return Status::FailedPrecondition("no snapshot loaded (use LOAD <path>)");
   }
-  if (tokens.size() < 3) {
-    return Status::InvalidArgument(
-        "usage: BOUND <COUNT|SUM|AVG|MIN|MAX> <attr> [{a:[lo,hi],...}...]");
-  }
-  AggQuery query;
-  PCX_ASSIGN_OR_RETURN(query.agg, ParseAgg(tokens[1]));
-  PCX_ASSIGN_OR_RETURN(query.attr, ParseIndex(tokens[2], "attribute index"));
   PCX_ASSIGN_OR_RETURN(
-      query.where,
-      ParseWhere(tokens, 3, solver_->constraints().num_attrs()));
+      const AggQuery query,
+      ParseBoundRequest(tokens, solver_->constraints().num_attrs()));
   PCX_ASSIGN_OR_RETURN(const ResultRange range, solver_->Bound(query));
-  PrintRange(out, "RANGE ", range);
+  PrintResultRange(out, "RANGE ", range);
   return Status::OK();
 }
 
@@ -114,38 +154,17 @@ Status BoundServer::HandleGroupBy(const std::vector<std::string>& tokens,
   if (solver_ == nullptr) {
     return Status::FailedPrecondition("no snapshot loaded (use LOAD <path>)");
   }
-  if (tokens.size() < 5) {
-    return Status::InvalidArgument(
-        "usage: GROUPBY <AGG> <attr> <group_attr> <v1,v2,...> [{box}...]");
-  }
-  AggQuery query;
-  PCX_ASSIGN_OR_RETURN(query.agg, ParseAgg(tokens[1]));
-  PCX_ASSIGN_OR_RETURN(query.attr, ParseIndex(tokens[2], "attribute index"));
-  PCX_ASSIGN_OR_RETURN(const size_t group_attr,
-                       ParseIndex(tokens[3], "group attribute"));
-  std::vector<double> values;
-  {
-    std::istringstream is(tokens[4]);
-    std::string part;
-    while (std::getline(is, part, ',')) {
-      if (part.empty()) continue;
-      PCX_ASSIGN_OR_RETURN(const double v, ParseNumber(part));
-      values.push_back(v);
-    }
-  }
-  if (values.empty()) {
-    return Status::InvalidArgument("empty group value list '" + tokens[4] +
-                                   "'");
-  }
   PCX_ASSIGN_OR_RETURN(
-      query.where,
-      ParseWhere(tokens, 5, solver_->constraints().num_attrs()));
-  PCX_ASSIGN_OR_RETURN(const std::vector<GroupRange> groups,
-                       solver_->BoundGroupBy(query, group_attr, values));
+      const GroupByRequest request,
+      ParseGroupByRequest(tokens, solver_->constraints().num_attrs()));
+  PCX_ASSIGN_OR_RETURN(
+      const std::vector<GroupRange> groups,
+      solver_->BoundGroupBy(request.query, request.group_attr,
+                            request.values));
   out << "GROUPS " << groups.size() << "\n";
   for (const GroupRange& g : groups) {
     out << "GROUP " << FormatNumber(g.group_value) << " ";
-    PrintRange(out, "", g.range);
+    PrintResultRange(out, "", g.range);
   }
   return Status::OK();
 }
@@ -214,7 +233,10 @@ bool BoundServer::HandleLine(const std::string& line, std::ostream& out) {
         "' (want LOAD/BOUND/GROUPBY/STATS/QUIT)");
   }
   if (!status.ok()) {
-    out << "ERR " << OneLine(status.message()) << "\n";
+    // The code name travels with the message so typed clients
+    // (engine/remote_backend.h) reconstruct the exact pcx::StatusCode.
+    out << "ERR " << StatusCodeToString(status.code()) << " "
+        << OneLine(status.message()) << "\n";
   }
   return true;
 }
@@ -230,7 +252,7 @@ void BoundServer::ServeStream(std::istream& in, std::ostream& out) {
 
 #ifndef _WIN32
 
-Status ServeTcp(BoundServer& server, uint16_t port, size_t max_clients) {
+StatusOr<TcpListener> TcpListener::Bind(uint16_t port) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) return Status::Internal("socket() failed");
   const int enable = 1;
@@ -250,49 +272,121 @@ Status ServeTcp(BoundServer& server, uint16_t port, size_t max_clients) {
     ::close(listener);
     return Status::Internal("listen() failed");
   }
+  // With port 0 the kernel picked an ephemeral port; read it back so
+  // the caller can announce it.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    ::close(listener);
+    return Status::Internal("getsockname() failed");
+  }
+  return TcpListener(listener, ntohs(bound.sin_port));
+}
 
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+namespace {
+
+/// Writes the whole reply; false when the client went away. MSG_NOSIGNAL
+/// keeps a disconnect from raising SIGPIPE and killing the server — a
+/// dropped client must cost exactly its own session.
+bool WriteAll(int client, const std::string& text) {
+  size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t w = ::send(client, text.data() + written,
+                             text.size() - written, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+/// One client session: line-at-a-time request/reply until QUIT or
+/// disconnect.
+void ServeClient(BoundServer& server, int client) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::read(client, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // client closed (or error): end the session
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t at;
+    while (open && (at = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, at);
+      buffer.erase(0, at + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      std::ostringstream reply;
+      open = server.HandleLine(line, reply);
+      if (!WriteAll(client, reply.str())) open = false;
+    }
+  }
+  ::close(client);
+}
+
+}  // namespace
+
+Status TcpListener::Serve(BoundServer& server, size_t max_clients) {
+  if (fd_ < 0) return Status::FailedPrecondition("listener is closed");
   size_t served = 0;
   while (max_clients == 0 || served < max_clients) {
-    const int client = ::accept(listener, nullptr, nullptr);
+    const int client = ::accept(fd_, nullptr, nullptr);
     if (client < 0) {
-      ::close(listener);
+      if (errno == EINTR) continue;
       return Status::Internal("accept() failed");
     }
     ++served;
-    std::string buffer;
-    char chunk[4096];
-    bool open = true;
-    while (open) {
-      const ssize_t n = ::read(client, chunk, sizeof(chunk));
-      if (n <= 0) break;  // client closed (or error): end the session
-      buffer.append(chunk, static_cast<size_t>(n));
-      size_t at;
-      while (open && (at = buffer.find('\n')) != std::string::npos) {
-        std::string line = buffer.substr(0, at);
-        buffer.erase(0, at + 1);
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        std::ostringstream reply;
-        open = server.HandleLine(line, reply);
-        const std::string text = reply.str();
-        size_t written = 0;
-        while (written < text.size()) {
-          const ssize_t w =
-              ::write(client, text.data() + written, text.size() - written);
-          if (w <= 0) {
-            open = false;
-            break;
-          }
-          written += static_cast<size_t>(w);
-        }
-      }
-    }
-    ::close(client);
+    ServeClient(server, client);
   }
-  ::close(listener);
   return Status::OK();
 }
 
+Status ServeTcp(BoundServer& server, uint16_t port, size_t max_clients) {
+  PCX_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Bind(port));
+  return listener.Serve(server, max_clients);
+}
+
 #else  // _WIN32
+
+StatusOr<TcpListener> TcpListener::Bind(uint16_t) {
+  return Status::Unimplemented("TcpListener: POSIX sockets only");
+}
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  fd_ = other.fd_;
+  port_ = other.port_;
+  other.fd_ = -1;
+  return *this;
+}
+TcpListener::~TcpListener() = default;
+Status TcpListener::Serve(BoundServer&, size_t) {
+  return Status::Unimplemented("TcpListener: POSIX sockets only");
+}
 
 Status ServeTcp(BoundServer&, uint16_t, size_t) {
   return Status::Unimplemented("ServeTcp: POSIX sockets only");

@@ -5,6 +5,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "serve/sharded_solver.h"
@@ -32,10 +33,13 @@ namespace pcx {
 ///
 /// Predicates travel as whitespace-free box literals in the
 /// pc/serialization syntax ("{attr:[lo,hi),...}"); several boxes on one
-/// line are conjoined. Errors come back as a single "ERR <reason>" line
-/// and never kill the session. The server object itself is
-/// single-threaded (one protocol stream); parallelism lives inside the
-/// solver's shard fan-out.
+/// line are conjoined. Errors come back as a single
+/// "ERR <CODE> <reason>" line — CODE is the StatusCodeToString name of
+/// the typed pcx::Status, so a typed client (engine/remote_backend.h)
+/// reconstructs the exact error code instead of string-matching — and
+/// never kill the session. The server object itself is single-threaded
+/// (one protocol stream); parallelism lives inside the solver's shard
+/// fan-out.
 class BoundServer {
  public:
   struct Options {
@@ -72,12 +76,70 @@ class BoundServer {
   std::string snapshot_path_;
 };
 
-/// Serves the protocol on a blocking localhost TCP socket: accepts
-/// clients one at a time, each getting the same BoundServer (and thus
-/// the same loaded snapshot and cumulative STATS). `max_clients` == 0
-/// accepts forever; a positive value returns OK after that many client
-/// sessions (used by tests and --serve-once). Returns InvalidArgument /
-/// Internal on socket setup failures.
+/// Shared request-parsing helpers: the server's command dispatch and
+/// the typed client REPL of `pcx_serve --connect` parse the same lines
+/// with the same code, so request syntax cannot drift between the two
+/// sides of the protocol.
+
+/// "BOUND <AGG> <attr> [{box}...]" -> AggQuery (tokens[0] ignored).
+StatusOr<AggQuery> ParseBoundRequest(const std::vector<std::string>& tokens,
+                                     size_t num_attrs);
+
+struct GroupByRequest {
+  AggQuery query;
+  size_t group_attr = 0;
+  std::vector<double> values;
+};
+/// "GROUPBY <AGG> <attr> <group_attr> <v1,v2,...> [{box}...]".
+StatusOr<GroupByRequest> ParseGroupByRequest(
+    const std::vector<std::string>& tokens, size_t num_attrs);
+
+/// Writes the "<label>lo=... hi=... defined=... empty_possible=..."
+/// reply body (numbers in round-trippable pc/serialization formatting,
+/// so a client parses back bit-identical ranges).
+void PrintResultRange(std::ostream& out, const char* label,
+                      const ResultRange& range);
+
+/// A listening localhost TCP socket serving the line protocol. Binding
+/// and serving are separate so a port-0 (kernel-assigned ephemeral)
+/// listener can report the actual port before the accept loop starts —
+/// tests and CI need no fixed-port reservations:
+///
+///   PCX_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Bind(0));
+///   std::printf("PORT %u\n", listener.port());
+///   return listener.Serve(server);
+///
+/// Serve accepts clients one at a time, each getting the same
+/// BoundServer (same loaded snapshot, cumulative STATS). Client
+/// disconnects — including mid-reply drops, which must not raise
+/// SIGPIPE and kill the process — only end that session; the loop keeps
+/// accepting until `max_clients` sessions (0 = forever).
+class TcpListener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral).
+  static StatusOr<TcpListener> Bind(uint16_t port);
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener();
+
+  /// The actual bound port (the kernel's pick when Bind got 0).
+  uint16_t port() const { return port_; }
+
+  /// Runs the accept loop; returns OK after `max_clients` sessions
+  /// (0 = accept forever, only socket teardown errors return).
+  Status Serve(BoundServer& server, size_t max_clients = 0);
+
+ private:
+  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// One-call convenience: Bind(port) + Serve. With port 0 the chosen
+/// port is only observable through the two-step TcpListener path.
 Status ServeTcp(BoundServer& server, uint16_t port, size_t max_clients = 0);
 
 }  // namespace pcx

@@ -1,0 +1,310 @@
+// The acceptance suite of the engine redesign: ONE query corpus runs
+// through Local, Sharded (2/4/8 shards), Remote (a real in-process TCP
+// server) and Mirror backends, every engine constructed through
+// Engine::Open(uri), and every answer must be bit-identical to the
+// reference PcBoundSolver — including the MIN -0.0 corner and typed
+// (not string-matched) error codes. This is the "same epoch ⇒ same
+// bits" guarantee the replica story builds on, asserted across every
+// execution substrate at once.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <optional>
+#include <thread>
+
+#include "common/random.h"
+#include "engine/engine.h"
+#include "pc/bound_solver.h"
+#include "pc/group_by.h"
+#include "pc/serialization.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+
+namespace pcx {
+namespace {
+
+/// Randomized PC set over 2 attributes: `clusters` overlap components,
+/// each a cluster of 1..4 mutually overlapping boxes placed far apart,
+/// with value ranges on attribute 1 and occasional mandatory
+/// frequencies. Mirrors the sharded-solver equivalence tests.
+PredicateConstraintSet RandomSet(Rng& rng, size_t clusters) {
+  PredicateConstraintSet pcs;
+  for (size_t c = 0; c < clusters; ++c) {
+    const double base = 1000.0 * static_cast<double>(c);
+    const size_t members = static_cast<size_t>(rng.UniformInt(1, 4));
+    for (size_t m = 0; m < members; ++m) {
+      const double p_lo = base + rng.Uniform(0.0, 40.0);
+      const double p_hi = p_lo + rng.Uniform(10.0, 60.0);
+      const double v_lo = rng.Uniform(-20.0, 10.0);
+      const double v_hi = v_lo + rng.Uniform(0.0, 30.0);
+      const double k_lo = rng.UniformInt(0, 2) == 0
+                              ? static_cast<double>(rng.UniformInt(1, 3))
+                              : 0.0;
+      const double k_hi = k_lo + static_cast<double>(rng.UniformInt(1, 8));
+      Predicate pred(2);
+      pred.AddRange(0, p_lo, p_hi);
+      Box values(2);
+      values.Constrain(1, Interval::Closed(v_lo, v_hi));
+      pcs.Add(PredicateConstraint(pred, values, {k_lo, k_hi}));
+    }
+  }
+  return pcs;
+}
+
+/// Deterministic set whose SUM lower bound is exactly -0.0: all values
+/// are >= 0, and the lower bound runs as -(upper bound over negated
+/// values) = -(0.0). Any backend that loses the sign bit (e.g. a lossy
+/// wire format) fails bit-identity here.
+PredicateConstraintSet MinusZeroSet() {
+  PredicateConstraintSet pcs;
+  {
+    Predicate pred(2);
+    pred.AddRange(0, 0.0, 10.0);
+    Box values(2);
+    values.Constrain(1, Interval::Closed(0.0, 5.0));
+    pcs.Add(PredicateConstraint(pred, values, {1, 3}));
+  }
+  {
+    Predicate pred(2);
+    pred.AddRange(0, 20.0, 30.0);
+    Box values(2);
+    values.Constrain(1, Interval::Closed(0.0, 4.0));
+    pcs.Add(PredicateConstraint(pred, values, {0, 2}));
+  }
+  return pcs;
+}
+
+/// Query panel: every aggregate x {no WHERE, narrow single-cluster
+/// WHERE, wide spanning WHERE, WHERE outside every predicate}.
+std::vector<AggQuery> QueryPanel(double span) {
+  std::vector<AggQuery> queries;
+  std::vector<std::optional<Predicate>> wheres;
+  wheres.push_back(std::nullopt);
+  {
+    Predicate narrow(2);
+    narrow.AddRange(0, 0.0, 30.0);
+    wheres.push_back(narrow);
+  }
+  {
+    Predicate wide(2);
+    wide.AddRange(0, 0.0, span);
+    wheres.push_back(wide);
+  }
+  {
+    Predicate outside(2);
+    outside.AddRange(0, -500.0, -400.0);
+    wheres.push_back(outside);
+  }
+  for (const auto& where : wheres) {
+    for (AggFunc agg : {AggFunc::kCount, AggFunc::kSum, AggFunc::kAvg,
+                        AggFunc::kMin, AggFunc::kMax}) {
+      queries.push_back(AggQuery{agg, 1, where});
+    }
+  }
+  return queries;
+}
+
+void ExpectSameAnswer(const StatusOr<ResultRange>& expected,
+                      const StatusOr<ResultRange>& actual,
+                      const std::string& context) {
+  ASSERT_EQ(expected.ok(), actual.ok())
+      << context << ": "
+      << (expected.ok() ? actual : expected).status().ToString();
+  if (!expected.ok()) {
+    // Error parity is typed: same code, whatever the transport did to
+    // the message text.
+    EXPECT_EQ(expected.status().code(), actual.status().code()) << context;
+    return;
+  }
+  EXPECT_TRUE(BitIdenticalRanges(*expected, *actual))
+      << context << ": [" << FormatNumber(expected->lo) << ", "
+      << FormatNumber(expected->hi) << "] vs [" << FormatNumber(actual->lo)
+      << ", " << FormatNumber(actual->hi) << "]";
+}
+
+std::string WritePcSetFile(const PredicateConstraintSet& pcs,
+                           const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << SerializePcSet(pcs);
+  return path;
+}
+
+std::string WriteSnapshotFile(const PredicateConstraintSet& pcs,
+                              size_t shards, uint64_t epoch,
+                              const std::string& name) {
+  const Partition partition =
+      PartitionPcSet(pcs, {}, {shards, PartitionStrategy::kAttributeRange});
+  const Snapshot snap = MakeSnapshot(pcs, {}, partition, epoch);
+  const std::string path = testing::TempDir() + "/" + name;
+  PCX_CHECK(WriteSnapshot(snap, path).ok());
+  return path;
+}
+
+/// One test parameter = one backend kind, addressed purely through its
+/// Engine::Open URI.
+struct BackendKind {
+  const char* label;
+  /// Shard count for sharded kinds (0 otherwise).
+  size_t shards;
+  bool remote;
+  bool mirror;
+};
+
+class BackendEquivalenceTest : public testing::TestWithParam<BackendKind> {
+ protected:
+  /// Builds the engine under test for `pcs`, plus whatever server
+  /// machinery the kind needs. `tag` keeps temp files distinct.
+  Engine OpenEngine(const PredicateConstraintSet& pcs,
+                    const std::string& tag) {
+    const BackendKind& kind = GetParam();
+    std::string uri;
+    if (kind.remote) {
+      const std::string snap = WriteSnapshotFile(
+          pcs, 2, /*epoch=*/0, "equiv_" + tag + "_remote.pcxsnap");
+      PCX_CHECK(server_.LoadSnapshotFile(snap).ok());
+      StatusOr<TcpListener> listener = TcpListener::Bind(0);
+      PCX_CHECK(listener.ok()) << listener.status();
+      uri = "tcp:127.0.0.1:" + std::to_string(listener->port());
+      server_thread_ =
+          std::thread([this, l = std::move(listener).value()]() mutable {
+            l.Serve(server_, 1);
+          });
+    } else if (kind.mirror) {
+      // Local + sharded + resharded: three replicas that must agree.
+      const std::string pcset =
+          WritePcSetFile(pcs, "equiv_" + tag + "_mirror.pcset");
+      const std::string snap = WriteSnapshotFile(
+          pcs, 2, /*epoch=*/0, "equiv_" + tag + "_mirror.pcxsnap");
+      uri = "mirror:local:" + pcset + "|snapshot:" + snap + "|snapshot:" +
+            snap + "?shards=4";
+    } else if (kind.shards > 0) {
+      // Stored as one shard, resharded at open: covers the ?shards=K
+      // repartition path at every width.
+      const std::string snap = WriteSnapshotFile(
+          pcs, 1, /*epoch=*/0, "equiv_" + tag + "_sharded.pcxsnap");
+      uri = "snapshot:" + snap + "?shards=" + std::to_string(kind.shards);
+    } else {
+      uri = "local:" + WritePcSetFile(pcs, "equiv_" + tag + ".pcset");
+    }
+    StatusOr<Engine> engine = Engine::Open(uri);
+    PCX_CHECK(engine.ok()) << uri << ": " << engine.status();
+    return *engine;
+  }
+
+  /// Disconnects the remote engine (ending the server's one session)
+  /// and joins the server thread.
+  void Shutdown(Engine& engine) {
+    engine = Engine();
+    if (server_thread_.joinable()) server_thread_.join();
+  }
+
+  /// An early ASSERT return skips Shutdown; by destruction time the
+  /// test-local Engine (and its connection) is gone, so the server's
+  /// single session has ended and the join completes instead of the
+  /// joinable-thread destructor calling std::terminate.
+  ~BackendEquivalenceTest() override {
+    if (server_thread_.joinable()) server_thread_.join();
+  }
+
+  BoundServer server_;
+  std::thread server_thread_;
+};
+
+TEST_P(BackendEquivalenceTest, BitIdenticalToReferenceOnRandomSets) {
+  Rng rng(20260730);
+  const size_t clusters = 3;
+  const PredicateConstraintSet pcs = RandomSet(rng, clusters);
+  const PcBoundSolver reference(pcs, {});
+  const std::vector<AggQuery> queries =
+      QueryPanel(1000.0 * static_cast<double>(clusters));
+
+  Engine engine = OpenEngine(pcs, "random");
+  EXPECT_EQ(engine.num_attrs(), 2u);
+
+  // Scalar path.
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    ExpectSameAnswer(reference.Bound(queries[qi]), engine.Bound(queries[qi]),
+                     std::string(GetParam().label) + " query " +
+                         std::to_string(qi));
+  }
+  // Batch path: element-wise identical to the scalar loop.
+  const auto batch = engine.BoundBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    ExpectSameAnswer(reference.Bound(queries[qi]), batch[qi],
+                     std::string(GetParam().label) + " batch query " +
+                         std::to_string(qi));
+  }
+
+  // Group-by path.
+  const std::vector<double> groups = {10.0, 1010.0, 2010.0, 5555.0};
+  const auto expected_groups =
+      BoundGroupBy(reference, AggQuery::Count(), 0, groups, 1);
+  const auto actual_groups = engine.BoundGroupBy(AggQuery::Count(), 0, groups);
+  ASSERT_TRUE(expected_groups.ok());
+  ASSERT_TRUE(actual_groups.ok()) << actual_groups.status();
+  ASSERT_EQ(expected_groups->size(), actual_groups->size());
+  for (size_t g = 0; g < expected_groups->size(); ++g) {
+    EXPECT_EQ((*expected_groups)[g].group_value,
+              (*actual_groups)[g].group_value);
+    ExpectSameAnswer((*expected_groups)[g].range, (*actual_groups)[g].range,
+                     "group " + std::to_string(g));
+  }
+
+  // Error parity, typed: the solver's aggregate-attribute validation
+  // must surface as the same StatusCode from every substrate.
+  const auto expected_err = reference.Bound(AggQuery::Sum(9));
+  const auto actual_err = engine.Bound(AggQuery::Sum(9));
+  ASSERT_FALSE(expected_err.ok());
+  ASSERT_FALSE(actual_err.ok());
+  EXPECT_EQ(expected_err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(actual_err.status().code(), expected_err.status().code());
+
+  // Epoch parity: every replica of this corpus serves epoch 0.
+  const auto epoch = engine.Epoch();
+  ASSERT_TRUE(epoch.ok()) << epoch.status();
+  EXPECT_EQ(*epoch, 0u);
+
+  Shutdown(engine);
+}
+
+TEST_P(BackendEquivalenceTest, MinusZeroMinSurvivesEverySubstrate) {
+  const PredicateConstraintSet pcs = MinusZeroSet();
+  const PcBoundSolver reference(pcs, {});
+  Engine engine = OpenEngine(pcs, "minuszero");
+
+  // The corner exists: the reference SUM lower bound is -0.0 (guards
+  // against the corpus going stale).
+  const auto ref_sum = reference.Bound(AggQuery::Sum(1));
+  ASSERT_TRUE(ref_sum.ok());
+  ASSERT_TRUE(ref_sum->lo == 0.0 && std::signbit(ref_sum->lo))
+      << "expected a -0.0 lower endpoint, got [" << FormatNumber(ref_sum->lo)
+      << ", " << FormatNumber(ref_sum->hi) << "]";
+
+  for (AggFunc agg :
+       {AggFunc::kMin, AggFunc::kMax, AggFunc::kSum, AggFunc::kCount}) {
+    const AggQuery query{agg, 1, std::nullopt};
+    ExpectSameAnswer(reference.Bound(query), engine.Bound(query),
+                     std::string(GetParam().label) + " agg " +
+                         AggFuncToString(agg));
+  }
+  Shutdown(engine);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendEquivalenceTest,
+    testing::Values(BackendKind{"local", 0, false, false},
+                    BackendKind{"sharded2", 2, false, false},
+                    BackendKind{"sharded4", 4, false, false},
+                    BackendKind{"sharded8", 8, false, false},
+                    BackendKind{"remote", 0, true, false},
+                    BackendKind{"mirror", 0, false, true}),
+    [](const testing::TestParamInfo<BackendKind>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace pcx

@@ -5,6 +5,15 @@
 //
 //   pcx_serve --snapshot=examples/snapshots/sensors.pcxsnap
 //   pcx_serve --snapshot=... --port=7070
+//   pcx_serve --snapshot=... --port=0     # ephemeral: prints "PORT <n>"
+//
+// Client mode: connect a typed engine backend (engine/remote_backend.h)
+// to a running server — or any Engine::Open URI — and drive it with the
+// same command syntax. Replies are parsed into StatusOr<ResultRange>
+// and re-printed, so client-mode output for a query is byte-identical
+// to serve-mode output exactly when the wire round-trip is lossless:
+//
+//   pcx_serve --connect=tcp:127.0.0.1:7070
 //
 // Build mode: partition a plain pcset text file (pc/serialization
 // format) into a versioned sharded snapshot:
@@ -13,9 +22,10 @@
 //             --strategy=range --int-attrs=0,1 --epoch=1
 //             --out=sensors.pcxsnap        (one command line)
 //
-// See docs/ARCHITECTURE.md ("Serving") for the protocol and the
-// snapshot format specification.
+// See docs/ARCHITECTURE.md ("Serving", "Engine & backends") for the
+// protocol and the snapshot format specification.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +36,8 @@
 #include <vector>
 
 #include "common/text.h"
+#include "engine/engine.h"
+#include "engine/remote_backend.h"
 #include "pc/serialization.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
@@ -34,6 +46,7 @@ namespace {
 
 struct Flags {
   std::string snapshot;
+  std::string connect;
   int port = -1;
   size_t threads = 0;
   bool scatter_gather = false;
@@ -66,7 +79,14 @@ void Usage() {
       "  pcx_serve [--snapshot=PATH] [--port=N] [--threads=N]\n"
       "            [--scatter-gather] [--no-sat-cache] [--serve-once]\n"
       "    Without --port, speaks the protocol on stdin/stdout.\n"
-      "    Without --snapshot, waits for a LOAD command.\n\n"
+      "    Without --snapshot, waits for a LOAD command.\n"
+      "    --port=0 binds an ephemeral port and prints 'PORT <n>' on\n"
+      "    stdout before serving.\n\n"
+      "Client mode:\n"
+      "  pcx_serve --connect=URI\n"
+      "    Typed client REPL against an Engine::Open URI\n"
+      "    (tcp:host:port, local:set.pcset, snapshot:v.pcxsnap?shards=K,\n"
+      "    mirror:uri|uri); same BOUND/GROUPBY/STATS/QUIT syntax.\n\n"
       "Build mode:\n"
       "  pcx_serve --build-snapshot --pcset=PATH --out=PATH [--shards=K]\n"
       "            [--strategy=range|roundrobin] [--int-attrs=0,1,...]\n"
@@ -142,6 +162,111 @@ int BuildSnapshot(const Flags& flags) {
   return 0;
 }
 
+// The typed-client REPL: the same command vocabulary as the server, but
+// each line becomes a BoundBackend call on an Engine::Open'd backend and
+// the typed result is printed back. Against "tcp:" this exercises the
+// full client-side protocol path (request formatting, reply parsing,
+// typed error codes) end to end — CI drives its remote smoke test
+// through here.
+int RunClient(const std::string& uri) {
+  const pcx::StatusOr<pcx::Engine> engine = pcx::Engine::Open(uri);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "connected to %s (attrs=%zu)\n",
+               engine->name().c_str(), engine->num_attrs());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::vector<std::string> tokens = pcx::SplitWhitespace(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    std::string cmd = tokens[0];
+    for (char& c : cmd) c = static_cast<char>(std::toupper(c));
+
+    pcx::Status error = pcx::Status::OK();
+    if (cmd == "QUIT" || cmd == "EXIT") {
+      std::cout << "BYE\n" << std::flush;
+      return 0;
+    } else if (cmd == "LOAD") {
+      // Only a remote server can load a snapshot mid-session (a
+      // snapshot-less "pcx_serve --port=N" waits for exactly this).
+      auto* remote =
+          dynamic_cast<pcx::RemoteBackend*>(engine->backend().get());
+      if (tokens.size() != 2) {
+        error = pcx::Status::InvalidArgument("usage: LOAD <snapshot-path>");
+      } else if (remote == nullptr) {
+        error = pcx::Status::Unimplemented(
+            "LOAD needs a tcp: engine (in-process engines fix their "
+            "constraint set at Open)");
+      } else if (error = remote->Load(tokens[1]); error.ok()) {
+        const auto stats = remote->Stats();
+        if (stats.ok()) {
+          std::cout << "OK epoch=" << stats->epoch
+                    << " shards=" << stats->num_shards
+                    << " pcs=" << stats->num_pcs
+                    << " attrs=" << stats->num_attrs << "\n";
+        } else {
+          error = stats.status();
+        }
+      }
+    } else if (cmd == "BOUND") {
+      const auto query = pcx::ParseBoundRequest(tokens, engine->num_attrs());
+      if (!query.ok()) {
+        error = query.status();
+      } else if (const auto range = engine->Bound(*query); range.ok()) {
+        pcx::PrintResultRange(std::cout, "RANGE ", *range);
+      } else {
+        error = range.status();
+      }
+    } else if (cmd == "GROUPBY") {
+      const auto request =
+          pcx::ParseGroupByRequest(tokens, engine->num_attrs());
+      if (!request.ok()) {
+        error = request.status();
+      } else if (const auto groups = engine->BoundGroupBy(
+                     request->query, request->group_attr, request->values);
+                 groups.ok()) {
+        std::cout << "GROUPS " << groups->size() << "\n";
+        for (const pcx::GroupRange& g : *groups) {
+          std::cout << "GROUP " << pcx::FormatNumber(g.group_value) << " ";
+          pcx::PrintResultRange(std::cout, "", g.range);
+        }
+      } else {
+        error = groups.status();
+      }
+    } else if (cmd == "STATS") {
+      const auto stats = engine->Stats();
+      if (stats.ok()) {
+        std::cout << "STATS epoch=" << stats->epoch
+                  << " shards=" << stats->num_shards
+                  << " pcs=" << stats->num_pcs
+                  << " attrs=" << stats->num_attrs
+                  << " queries=" << stats->queries
+                  << " num_cells=" << stats->num_cells
+                  << " sat_calls=" << stats->sat_calls
+                  << " sat_cache_hits=" << stats->sat_cache_hits
+                  << " milp_nodes=" << stats->milp_nodes
+                  << " lp_solves=" << stats->lp_solves
+                  << " lp_pivots=" << stats->lp_pivots << "\n";
+      } else {
+        error = stats.status();
+      }
+    } else {
+      error = pcx::Status::InvalidArgument(
+          "unknown command '" + tokens[0] +
+          "' (want LOAD/BOUND/GROUPBY/STATS/QUIT)");
+    }
+    if (!error.ok()) {
+      std::cout << "ERR " << pcx::StatusCodeToString(error.code()) << " "
+                << error.message() << "\n";
+    }
+    std::cout << std::flush;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,6 +278,8 @@ int main(int argc, char** argv) {
       flags.help = true;
     } else if (ParseFlag(arg, "snapshot", &value)) {
       flags.snapshot = value;
+    } else if (ParseFlag(arg, "connect", &value)) {
+      flags.connect = value;
     } else if (ParseFlag(arg, "port", &value)) {
       flags.port = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "threads", &value)) {
@@ -188,6 +315,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (flags.build_snapshot) return BuildSnapshot(flags);
+  if (!flags.connect.empty()) return RunClient(flags.connect);
 
   pcx::BoundServer::Options options;
   options.solver.num_threads = flags.threads;
@@ -209,10 +337,21 @@ int main(int argc, char** argv) {
   }
 
   if (flags.port >= 0) {
-    std::fprintf(stderr, "serving on localhost:%d\n", flags.port);
+    // Bind before serving so --port=0 (kernel-assigned ephemeral port)
+    // can announce the actual port: human-readable on stderr, a
+    // machine-readable "PORT <n>" line on stdout for scripts and CI.
+    pcx::StatusOr<pcx::TcpListener> listener =
+        pcx::TcpListener::Bind(static_cast<uint16_t>(flags.port));
+    if (!listener.ok()) {
+      std::fprintf(stderr, "server error: %s\n",
+                   listener.status().message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serving on localhost:%u\n", listener->port());
+    std::printf("PORT %u\n", listener->port());
+    std::fflush(stdout);
     const pcx::Status status =
-        pcx::ServeTcp(server, static_cast<uint16_t>(flags.port),
-                      flags.serve_once ? 1 : 0);
+        listener->Serve(server, flags.serve_once ? 1 : 0);
     if (!status.ok()) {
       std::fprintf(stderr, "server error: %s\n", status.message().c_str());
       return 1;
