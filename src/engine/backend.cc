@@ -12,6 +12,24 @@ std::vector<StatusOr<ResultRange>> BoundBackend::BoundBatch(
   return out;
 }
 
+StatusOr<HealthInfo> BoundBackend::Health() {
+  const StatusOr<EngineStats> stats = Stats();
+  HealthInfo health;
+  if (!stats.ok()) {
+    // "Nothing loaded yet" is a healthy-but-empty replica, not a
+    // failed health check; everything else propagates.
+    if (stats.status().code() == StatusCode::kFailedPrecondition) {
+      return health;
+    }
+    return stats.status();
+  }
+  health.loaded = true;
+  health.epoch = stats->epoch;
+  health.num_shards = stats->num_shards;
+  health.num_pcs = stats->num_pcs;
+  return health;
+}
+
 bool BitIdenticalRanges(const ResultRange& a, const ResultRange& b) {
   return std::memcmp(&a.lo, &b.lo, sizeof(double)) == 0 &&
          std::memcmp(&a.hi, &b.hi, sizeof(double)) == 0 &&

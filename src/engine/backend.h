@@ -31,6 +31,25 @@ struct EngineStats {
   size_t lp_pivots = 0;
 };
 
+/// One replica's liveness snapshot — the HEALTH protocol verb's typed
+/// shape. Unlike Stats/queries, health checks succeed on a server that
+/// has no snapshot loaded yet (`loaded == false`): "up but empty" and
+/// "down" are different operational states, and a rolling-reload
+/// orchestrator needs to tell them apart.
+struct HealthInfo {
+  bool loaded = false;
+  uint64_t epoch = 0;
+  size_t num_shards = 0;
+  size_t num_pcs = 0;
+  /// Seconds the serving process has been up (0 for in-process
+  /// backends, which have no server process).
+  uint64_t uptime_seconds = 0;
+  /// Protocol sessions the server has accepted (0 for in-process).
+  uint64_t sessions = 0;
+  /// Protocol requests the server has handled (0 for in-process).
+  uint64_t requests = 0;
+};
+
 /// The one logical operation of the paper — "bound this aggregate under
 /// these predicate constraints" — behind one interface, however the
 /// bounding is physically executed: in process (LocalBackend), across
@@ -80,6 +99,13 @@ class BoundBackend {
   /// Constraint-set version. Two backends at the same epoch answer
   /// every query bit-identically; MirrorBackend enforces exactly that.
   virtual StatusOr<uint64_t> Epoch() = 0;
+
+  /// Liveness check that never requires a loaded constraint set. The
+  /// default derives it from Stats() (mapping the pre-LOAD
+  /// kFailedPrecondition to `loaded == false`); RemoteBackend overrides
+  /// it with the HEALTH wire verb, MirrorBackend with a skew-tolerant
+  /// all-replica sweep.
+  virtual StatusOr<HealthInfo> Health();
 };
 
 /// True iff the two ranges are indistinguishable to any observer,

@@ -169,7 +169,7 @@ StatusOr<Engine> OpenMirror(const std::string& body,
         "mirror: URI needs at least one replica URI (mirror:<uri>|<uri>)");
   }
   return Engine::FromBackend(
-      std::make_shared<MirrorBackend>(std::move(replicas)));
+      std::make_shared<MirrorBackend>(std::move(replicas), options.mirror));
 }
 
 }  // namespace
@@ -205,11 +205,13 @@ Engine Engine::Sharded(PredicateConstraintSet pcs,
                                                  std::move(domains), options));
 }
 
-Engine Engine::Mirror(std::vector<Engine> replicas) {
+Engine Engine::Mirror(std::vector<Engine> replicas,
+                      MirrorBackend::Options options) {
   std::vector<std::shared_ptr<BoundBackend>> backends;
   backends.reserve(replicas.size());
   for (Engine& e : replicas) backends.push_back(e.backend());
-  return Engine(std::make_shared<MirrorBackend>(std::move(backends)));
+  return Engine(
+      std::make_shared<MirrorBackend>(std::move(backends), options));
 }
 
 Engine Engine::FromBackend(std::shared_ptr<BoundBackend> backend) {
@@ -259,6 +261,11 @@ StatusOr<EngineStats> Engine::Stats() const {
 StatusOr<uint64_t> Engine::Epoch() const {
   if (!backend_) return NoBackend();
   return backend_->Epoch();
+}
+
+StatusOr<HealthInfo> Engine::Health() const {
+  if (!backend_) return NoBackend();
+  return backend_->Health();
 }
 
 StatusOr<ResultRange> Engine::Bound(const QueryBuilder& query) const {

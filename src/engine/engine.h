@@ -7,6 +7,7 @@
 
 #include "engine/backend.h"
 #include "engine/local_backend.h"
+#include "engine/mirror_backend.h"
 #include "engine/query_builder.h"
 #include "serve/sharded_solver.h"
 
@@ -51,6 +52,9 @@ class Engine {
     /// is the per-shard solver configuration). URI parameters override
     /// the partition/scatter/threads fields.
     ShardedBoundSolver::Options sharded;
+    /// Replica-checking configuration for "mirror:" URIs (epoch skew
+    /// tolerated by Health() during rolling reloads).
+    MirrorBackend::Options mirror;
   };
 
   /// Empty handle; valid() is false and every query fails. Assign from
@@ -65,7 +69,8 @@ class Engine {
   static Engine Sharded(PredicateConstraintSet pcs,
                         std::vector<AttrDomain> domains,
                         ShardedBoundSolver::Options options = {});
-  static Engine Mirror(std::vector<Engine> replicas);
+  static Engine Mirror(std::vector<Engine> replicas,
+                       MirrorBackend::Options options = {});
   static Engine FromBackend(std::shared_ptr<BoundBackend> backend);
 
   bool valid() const { return backend_ != nullptr; }
@@ -83,6 +88,9 @@ class Engine {
       const std::vector<double>& group_values) const;
   StatusOr<EngineStats> Stats() const;
   StatusOr<uint64_t> Epoch() const;
+  /// Liveness: succeeds on a reachable-but-empty backend (see
+  /// HealthInfo); mirror engines sweep every replica.
+  StatusOr<HealthInfo> Health() const;
 
   /// QueryBuilder front door: builds against num_attrs() and runs.
   StatusOr<ResultRange> Bound(const QueryBuilder& query) const;

@@ -30,7 +30,11 @@ std::string DescribeAnswer(const StatusOr<ResultRange>& a) {
 
 MirrorBackend::MirrorBackend(
     std::vector<std::shared_ptr<BoundBackend>> replicas)
-    : replicas_(std::move(replicas)) {
+    : MirrorBackend(std::move(replicas), Options{}) {}
+
+MirrorBackend::MirrorBackend(std::vector<std::shared_ptr<BoundBackend>> replicas,
+                             Options options)
+    : replicas_(std::move(replicas)), options_(options) {
   PCX_CHECK(!replicas_.empty()) << "MirrorBackend needs at least one replica";
   for (const auto& r : replicas_) PCX_CHECK(r != nullptr);
 }
@@ -136,6 +140,42 @@ StatusOr<std::vector<GroupRange>> MirrorBackend::BoundGroupBy(
 }
 
 StatusOr<EngineStats> MirrorBackend::Stats() { return replicas_[0]->Stats(); }
+
+StatusOr<HealthInfo> MirrorBackend::Health() {
+  std::vector<HealthInfo> healths;
+  healths.reserve(replicas_.size());
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    StatusOr<HealthInfo> h = replicas_[i]->Health();
+    if (!h.ok()) {
+      return Status::Unavailable("replica " + std::to_string(i) + " (" +
+                                 replicas_[i]->name() +
+                                 ") failed its health check: " +
+                                 h.status().message());
+    }
+    healths.push_back(*h);
+  }
+  // Epoch skew is judged over loaded replicas only: an empty replica
+  // waiting for its first LOAD has no epoch to disagree with.
+  bool have = false;
+  uint64_t lo = 0, hi = 0;
+  size_t lo_at = 0, hi_at = 0;
+  for (size_t i = 0; i < healths.size(); ++i) {
+    if (!healths[i].loaded) continue;
+    if (!have || healths[i].epoch < lo) { lo = healths[i].epoch; lo_at = i; }
+    if (!have || healths[i].epoch > hi) { hi = healths[i].epoch; hi_at = i; }
+    have = true;
+  }
+  if (have && hi - lo > options_.max_epoch_skew) {
+    return Status::Divergence(
+        "epoch skew " + std::to_string(hi - lo) + " exceeds the allowed " +
+        std::to_string(options_.max_epoch_skew) + ": replica " +
+        std::to_string(lo_at) + " (" + replicas_[lo_at]->name() +
+        ") serves epoch " + std::to_string(lo) + " but replica " +
+        std::to_string(hi_at) + " (" + replicas_[hi_at]->name() +
+        ") serves epoch " + std::to_string(hi));
+  }
+  return healths[0];
+}
 
 StatusOr<uint64_t> MirrorBackend::Epoch() {
   PCX_ASSIGN_OR_RETURN(const uint64_t epoch, replicas_[0]->Epoch());

@@ -24,9 +24,19 @@ namespace pcx {
 /// backend validating a new partitioning against the unsharded one.
 class MirrorBackend : public BoundBackend {
  public:
+  struct Options {
+    /// Largest epoch spread (max - min over loaded replicas) Health()
+    /// tolerates. Query answers stay strictly epoch-checked — this knob
+    /// only keeps health checks green while a rolling reload walks the
+    /// fleet from epoch E to E+1 one replica at a time.
+    uint64_t max_epoch_skew = 0;
+  };
+
   /// At least one replica; replica 0 is the primary whose answer is
   /// returned when all replicas agree.
   explicit MirrorBackend(std::vector<std::shared_ptr<BoundBackend>> replicas);
+  MirrorBackend(std::vector<std::shared_ptr<BoundBackend>> replicas,
+                Options options);
 
   std::string name() const override;
   size_t num_attrs() const override;
@@ -41,6 +51,11 @@ class MirrorBackend : public BoundBackend {
   StatusOr<EngineStats> Stats() override;
   /// The common epoch; kDivergence when replicas disagree on it.
   StatusOr<uint64_t> Epoch() override;
+  /// Health-checks every replica: all must answer (a dead replica is
+  /// kUnavailable naming it) and the loaded replicas' epochs must agree
+  /// within Options::max_epoch_skew (else kDivergence). Returns the
+  /// primary's health on success.
+  StatusOr<HealthInfo> Health() override;
 
   size_t num_replicas() const { return replicas_.size(); }
   const BoundBackend& replica(size_t i) const { return *replicas_[i]; }
@@ -52,6 +67,7 @@ class MirrorBackend : public BoundBackend {
                  const std::string& context) const;
 
   std::vector<std::shared_ptr<BoundBackend>> replicas_;
+  Options options_;
 };
 
 }  // namespace pcx

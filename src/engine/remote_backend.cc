@@ -373,6 +373,46 @@ StatusOr<EngineStats> RemoteBackend::Stats() {
   return StatsLocked();
 }
 
+StatusOr<HealthInfo> RemoteBackend::Health() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PCX_ASSIGN_OR_RETURN(const std::string reply, RoundTrip("HEALTH"));
+    const std::vector<std::string> tokens = SplitWhitespace(reply);
+    if (!tokens.empty() && tokens[0] == "ERR") {
+      const Status error = ParseErrorReply(reply);
+      // An older server that predates the verb answers INVALID_ARGUMENT
+      // ("unknown command"); drop through to the Stats()-derived
+      // fallback outside the lock. Anything else is a real failure.
+      if (error.code() != StatusCode::kInvalidArgument) return error;
+    } else if (!tokens.empty() && tokens[0] == "HEALTH") {
+      HealthInfo health;
+      for (size_t t = 1; t < tokens.size(); ++t) {
+        const size_t eq = tokens[t].find('=');
+        if (eq == std::string::npos) continue;
+        const std::string key = tokens[t].substr(0, eq);
+        const StatusOr<uint64_t> v = ParseU64(tokens[t].substr(eq + 1));
+        if (!v.ok()) continue;
+        if (key == "loaded") health.loaded = *v != 0;
+        else if (key == "epoch") health.epoch = *v;
+        else if (key == "shards") health.num_shards = static_cast<size_t>(*v);
+        else if (key == "pcs") health.num_pcs = static_cast<size_t>(*v);
+        else if (key == "attrs" && *v != 0) {
+          num_attrs_ = static_cast<size_t>(*v);  // free info refresh
+          info_known_ = true;
+        } else if (key == "uptime_s") health.uptime_seconds = *v;
+        else if (key == "sessions") health.sessions = *v;
+        else if (key == "requests") health.requests = *v;
+        // Unknown keys from newer servers are ignored.
+      }
+      if (health.loaded) epoch_ = health.epoch;
+      return health;
+    } else {
+      return Status::ProtocolError("unexpected HEALTH reply '" + reply + "'");
+    }
+  }
+  return BoundBackend::Health();
+}
+
 StatusOr<uint64_t> RemoteBackend::Epoch() {
   PCX_ASSIGN_OR_RETURN(const EngineStats stats, Stats());
   return stats.epoch;

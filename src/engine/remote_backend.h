@@ -99,6 +99,12 @@ class RemoteBackend : public BoundBackend {
       const std::vector<double>& group_values) override;
   StatusOr<EngineStats> Stats() override;
   StatusOr<uint64_t> Epoch() override;
+  /// The HEALTH wire verb: succeeds even before a snapshot is loaded
+  /// (loaded=0), carries the server's epoch/shards/uptime/sessions.
+  /// Against a pre-HEALTH server (ERR INVALID_ARGUMENT) it falls back
+  /// to the Stats()-derived default, so mixed-version fleets stay
+  /// health-checkable during a rolling upgrade.
+  StatusOr<HealthInfo> Health() override;
 
  private:
   /// Sends `request` and reads the first reply line (mu_ held).

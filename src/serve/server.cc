@@ -4,10 +4,13 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <istream>
 #include <optional>
 #include <ostream>
+#include <set>
 #include <sstream>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -19,6 +22,7 @@
 #endif
 
 #include "common/text.h"
+#include "common/thread_pool.h"
 #include "pc/serialization.h"
 
 namespace pcx {
@@ -36,6 +40,14 @@ std::string OneLine(std::string s) {
   std::replace(s.begin(), s.end(), '\n', ' ');
   std::replace(s.begin(), s.end(), '\r', ' ');
   return s;
+}
+
+/// In-place CRLF tolerance — the one definition of the CR rule shared
+/// by every session front end (stream getline, TCP line loop, TCP EOF
+/// residual), so stdio/TCP framing parity is structural here rather
+/// than three hand-kept copies.
+void StripTrailingCr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
 }
 
 StatusOr<AggFunc> ParseAgg(const std::string& token) {
@@ -125,42 +137,59 @@ void PrintResultRange(std::ostream& out, const char* label,
 }
 
 BoundServer::BoundServer() : BoundServer(Options{}) {}
-BoundServer::BoundServer(Options options) : options_(std::move(options)) {}
+BoundServer::BoundServer(Options options)
+    : options_(std::move(options)), start_(std::chrono::steady_clock::now()) {}
 BoundServer::~BoundServer() = default;
 
-Status BoundServer::LoadSnapshotFile(const std::string& path) {
-  PCX_ASSIGN_OR_RETURN(const Snapshot snap, LoadSnapshot(path));
-  solver_ =
-      std::make_unique<ShardedBoundSolver>(snap, options_.solver);
-  snapshot_path_ = path;
-  return Status::OK();
+std::shared_ptr<const ShardedBoundSolver> BoundServer::solver() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return solver_;
 }
 
-Status BoundServer::HandleBound(const std::vector<std::string>& tokens,
+uint64_t BoundServer::uptime_seconds() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::seconds>(
+                                   std::chrono::steady_clock::now() - start_)
+                                   .count());
+}
+
+StatusOr<std::shared_ptr<const ShardedBoundSolver>> BoundServer::LoadAndSwap(
+    const std::string& path) {
+  PCX_ASSIGN_OR_RETURN(const Snapshot snap, LoadSnapshot(path));
+  // Construction (partitioning, per-shard solvers) happens before the
+  // lock: concurrent queries keep answering on the old epoch for the
+  // whole build, then the swap is a pointer assignment.
+  auto solver = std::make_shared<const ShardedBoundSolver>(snap,
+                                                           options_.solver);
+  std::lock_guard<std::mutex> lock(mu_);
+  solver_ = solver;
+  snapshot_path_ = path;
+  return solver;
+}
+
+Status BoundServer::LoadSnapshotFile(const std::string& path) {
+  return LoadAndSwap(path).status();
+}
+
+Status BoundServer::HandleBound(const ShardedBoundSolver& solver,
+                                const std::vector<std::string>& tokens,
                                 std::ostream& out) {
-  if (solver_ == nullptr) {
-    return Status::FailedPrecondition("no snapshot loaded (use LOAD <path>)");
-  }
   PCX_ASSIGN_OR_RETURN(
       const AggQuery query,
-      ParseBoundRequest(tokens, solver_->constraints().num_attrs()));
-  PCX_ASSIGN_OR_RETURN(const ResultRange range, solver_->Bound(query));
+      ParseBoundRequest(tokens, solver.constraints().num_attrs()));
+  PCX_ASSIGN_OR_RETURN(const ResultRange range, solver.Bound(query));
   PrintResultRange(out, "RANGE ", range);
   return Status::OK();
 }
 
-Status BoundServer::HandleGroupBy(const std::vector<std::string>& tokens,
+Status BoundServer::HandleGroupBy(const ShardedBoundSolver& solver,
+                                  const std::vector<std::string>& tokens,
                                   std::ostream& out) {
-  if (solver_ == nullptr) {
-    return Status::FailedPrecondition("no snapshot loaded (use LOAD <path>)");
-  }
   PCX_ASSIGN_OR_RETURN(
       const GroupByRequest request,
-      ParseGroupByRequest(tokens, solver_->constraints().num_attrs()));
+      ParseGroupByRequest(tokens, solver.constraints().num_attrs()));
   PCX_ASSIGN_OR_RETURN(
       const std::vector<GroupRange> groups,
-      solver_->BoundGroupBy(request.query, request.group_attr,
-                            request.values));
+      solver.BoundGroupBy(request.query, request.group_attr, request.values));
   out << "GROUPS " << groups.size() << "\n";
   for (const GroupRange& g : groups) {
     out << "GROUP " << FormatNumber(g.group_value) << " ";
@@ -169,20 +198,17 @@ Status BoundServer::HandleGroupBy(const std::vector<std::string>& tokens,
   return Status::OK();
 }
 
-Status BoundServer::HandleStats(std::ostream& out) {
-  if (solver_ == nullptr) {
-    return Status::FailedPrecondition("no snapshot loaded (use LOAD <path>)");
-  }
-  const ShardedBoundSolver::ServeStats s = solver_->stats();
+Status BoundServer::HandleStats(const ShardedBoundSolver& solver,
+                                std::ostream& out) {
+  const ShardedBoundSolver::ServeStats s = solver.stats();
   char imbalance[32];
   std::snprintf(imbalance, sizeof(imbalance), "%.3f",
-                solver_->partition().ImbalanceRatio());
-  out << "STATS epoch=" << solver_->epoch()
-      << " shards=" << solver_->num_shards()
-      << " pcs=" << solver_->constraints().size()
-      << " attrs=" << solver_->constraints().num_attrs()
-      << " components=" << solver_->partition().num_components
-      << " largest_component=" << solver_->partition().largest_component
+                solver.partition().ImbalanceRatio());
+  out << "STATS epoch=" << solver.epoch() << " shards=" << solver.num_shards()
+      << " pcs=" << solver.constraints().size()
+      << " attrs=" << solver.constraints().num_attrs()
+      << " components=" << solver.partition().num_components
+      << " largest_component=" << solver.partition().largest_component
       << " imbalance=" << imbalance << " queries=" << s.queries
       << " single_shard=" << s.single_shard_queries
       << " multi_shard=" << s.multi_shard_queries
@@ -198,14 +224,43 @@ Status BoundServer::HandleStats(std::ostream& out) {
   return Status::OK();
 }
 
+void BoundServer::HandleHealth(const ShardedBoundSolver* solver,
+                               std::ostream& out) {
+  // HEALTH must answer even before the first LOAD: a replica that is up
+  // but empty is a different operational state from one that is down,
+  // and a health checker needs to tell them apart without tripping the
+  // FAILED_PRECONDITION that queries get.
+  out << "HEALTH loaded=" << (solver != nullptr ? 1 : 0);
+  if (solver != nullptr) {
+    out << " epoch=" << solver->epoch() << " shards=" << solver->num_shards()
+        << " pcs=" << solver->constraints().size()
+        << " attrs=" << solver->constraints().num_attrs();
+  } else {
+    out << " epoch=0 shards=0 pcs=0 attrs=0";
+  }
+  out << " uptime_s=" << uptime_seconds() << " sessions=" << sessions()
+      << " requests=" << requests() << "\n";
+}
+
 bool BoundServer::HandleLine(const std::string& line, std::ostream& out) {
   const std::vector<std::string> tokens = SplitWhitespace(line);
   if (tokens.empty() || tokens[0][0] == '#') return true;  // comment/blank
   const std::string cmd = ToUpper(tokens[0]);
+  ++requests_;
 
   if (cmd == "QUIT" || cmd == "EXIT") {
     out << "BYE\n";
     return false;
+  }
+
+  // Pin the snapshot once per request: everything below runs against
+  // this one immutable solver, so a concurrent LOAD can never tear a
+  // reply across epochs.
+  const std::shared_ptr<const ShardedBoundSolver> pinned = solver();
+
+  if (cmd == "HEALTH") {
+    HandleHealth(pinned.get(), out);
+    return true;
   }
 
   Status status = Status::OK();
@@ -213,24 +268,34 @@ bool BoundServer::HandleLine(const std::string& line, std::ostream& out) {
     if (tokens.size() != 2) {
       status = Status::InvalidArgument("usage: LOAD <snapshot-path>");
     } else {
-      status = LoadSnapshotFile(tokens[1]);
+      const StatusOr<std::shared_ptr<const ShardedBoundSolver>> loaded =
+          LoadAndSwap(tokens[1]);
+      status = loaded.status();
       if (status.ok()) {
-        out << "OK epoch=" << solver_->epoch()
-            << " shards=" << solver_->num_shards()
-            << " pcs=" << solver_->constraints().size()
-            << " attrs=" << solver_->constraints().num_attrs() << "\n";
+        // Reply from the solver this LOAD installed, not a re-read of
+        // the shared slot — a racing LOAD must not leak its epoch into
+        // this session's OK line.
+        out << "OK epoch=" << (*loaded)->epoch()
+            << " shards=" << (*loaded)->num_shards()
+            << " pcs=" << (*loaded)->constraints().size()
+            << " attrs=" << (*loaded)->constraints().num_attrs() << "\n";
       }
     }
-  } else if (cmd == "BOUND") {
-    status = HandleBound(tokens, out);
-  } else if (cmd == "GROUPBY") {
-    status = HandleGroupBy(tokens, out);
-  } else if (cmd == "STATS") {
-    status = HandleStats(out);
+  } else if (cmd == "BOUND" || cmd == "GROUPBY" || cmd == "STATS") {
+    if (pinned == nullptr) {
+      status =
+          Status::FailedPrecondition("no snapshot loaded (use LOAD <path>)");
+    } else if (cmd == "BOUND") {
+      status = HandleBound(*pinned, tokens, out);
+    } else if (cmd == "GROUPBY") {
+      status = HandleGroupBy(*pinned, tokens, out);
+    } else {
+      status = HandleStats(*pinned, out);
+    }
   } else {
     status = Status::InvalidArgument(
         "unknown command '" + tokens[0] +
-        "' (want LOAD/BOUND/GROUPBY/STATS/QUIT)");
+        "' (want LOAD/BOUND/GROUPBY/STATS/HEALTH/QUIT)");
   }
   if (!status.ok()) {
     // The code name travels with the message so typed clients
@@ -242,8 +307,10 @@ bool BoundServer::HandleLine(const std::string& line, std::ostream& out) {
 }
 
 void BoundServer::ServeStream(std::istream& in, std::ostream& out) {
+  NoteSessionStart();
   std::string line;
   while (std::getline(in, line)) {
+    StripTrailingCr(line);
     const bool keep_going = HandleLine(line, out);
     out.flush();
     if (!keep_going) return;
@@ -252,7 +319,53 @@ void BoundServer::ServeStream(std::istream& in, std::ostream& out) {
 
 #ifndef _WIN32
 
-StatusOr<TcpListener> TcpListener::Bind(uint16_t port) {
+bool IsTransientAcceptError(int error_code) {
+  switch (error_code) {
+    case ECONNABORTED:  // client gave up during the handshake
+    case EPROTO:        // protocol error on the nascent connection
+    case EINTR:
+    case EAGAIN:
+#if EAGAIN != EWOULDBLOCK
+    case EWOULDBLOCK:
+#endif
+    case EMFILE:   // fd exhaustion: per-process...
+    case ENFILE:   // ...or system-wide — sessions ending will free fds
+    case ENOBUFS:
+    case ENOMEM:
+      return true;
+    default:
+      return false;  // EBADF, EINVAL, ENOTSOCK, EFAULT...: listener broken
+  }
+}
+
+/// Live session sockets of one listener. Shutdown() disconnects them
+/// so session workers blocked in read() wake up (EOF) and the drain in
+/// Serve completes; a session that starts after Shutdown (accept race)
+/// is disconnected at registration. Deregistration happens BEFORE the
+/// session closes its fd, so DisconnectAll can never touch a recycled
+/// descriptor number.
+struct TcpSessionRegistry {
+  std::mutex mu;
+  std::set<int> fds;
+  bool stopping = false;
+
+  void Register(int fd) {
+    std::lock_guard<std::mutex> lock(mu);
+    fds.insert(fd);
+    if (stopping) ::shutdown(fd, SHUT_RDWR);
+  }
+  void Deregister(int fd) {
+    std::lock_guard<std::mutex> lock(mu);
+    fds.erase(fd);
+  }
+  void DisconnectAll() {
+    std::lock_guard<std::mutex> lock(mu);
+    stopping = true;
+    for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  }
+};
+
+StatusOr<TcpListener> TcpListener::Bind(uint16_t port, int backlog) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) return Status::Internal("socket() failed");
   const int enable = 1;
@@ -268,7 +381,7 @@ StatusOr<TcpListener> TcpListener::Bind(uint16_t port) {
     return Status::InvalidArgument("bind() failed on port " +
                                    std::to_string(port));
   }
-  if (::listen(listener, 4) < 0) {
+  if (::listen(listener, backlog) < 0) {
     ::close(listener);
     return Status::Internal("listen() failed");
   }
@@ -284,8 +397,17 @@ StatusOr<TcpListener> TcpListener::Bind(uint16_t port) {
   return TcpListener(listener, ntohs(bound.sin_port));
 }
 
+TcpListener::TcpListener(int fd, uint16_t port)
+    : fd_(fd),
+      port_(port),
+      stopping_(std::make_shared<std::atomic<bool>>(false)),
+      sessions_(std::make_shared<TcpSessionRegistry>()) {}
+
 TcpListener::TcpListener(TcpListener&& other) noexcept
-    : fd_(other.fd_), port_(other.port_) {
+    : fd_(other.fd_),
+      port_(other.port_),
+      stopping_(other.stopping_),
+      sessions_(other.sessions_) {
   other.fd_ = -1;
 }
 
@@ -294,6 +416,8 @@ TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
     if (fd_ >= 0) ::close(fd_);
     fd_ = other.fd_;
     port_ = other.port_;
+    stopping_ = other.stopping_;
+    sessions_ = other.sessions_;
     other.fd_ = -1;
   }
   return *this;
@@ -303,7 +427,28 @@ TcpListener::~TcpListener() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void TcpListener::Shutdown() {
+  if (stopping_ != nullptr) stopping_->store(true);
+  // Kicks a blocked accept() out with an error; the loop sees the flag
+  // and exits gracefully. The fd itself stays open (the destructor owns
+  // closing it), so a racing move cannot double-close.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  // In-flight sessions would otherwise block the drain for as long as
+  // an idle client holds its connection open: disconnect their sockets
+  // too, so blocked reads see EOF and the sessions wind down.
+  if (sessions_ != nullptr) sessions_->DisconnectAll();
+}
+
 namespace {
+
+/// A transient accept() error that repeats this many times in a row
+/// with no successful accept in between is no longer transient — the
+/// retry loop must not spin forever on a wedged listener. Resource-
+/// exhaustion errors back off kResourceBackoff per retry, so the cap
+/// tolerates ~10 s of sustained fd pressure (long enough for busy
+/// sessions to finish and free their fds) before giving up.
+constexpr size_t kMaxConsecutiveAcceptFailures = 200;
+constexpr std::chrono::milliseconds kResourceBackoff{50};
 
 /// Writes the whole reply; false when the client went away. MSG_NOSIGNAL
 /// keeps a disconnect from raising SIGPIPE and killing the server — a
@@ -323,8 +468,13 @@ bool WriteAll(int client, const std::string& text) {
 }
 
 /// One client session: line-at-a-time request/reply until QUIT or
-/// disconnect.
-void ServeClient(BoundServer& server, int client) {
+/// disconnect. Runs on a session worker; `server` is shared with every
+/// other session (HandleLine is thread-safe) while the socket is owned
+/// by this session alone, so replies cannot interleave.
+void ServeClient(BoundServer& server, int client,
+                 TcpSessionRegistry* registry) {
+  if (registry != nullptr) registry->Register(client);
+  server.NoteSessionStart();
   std::string buffer;
   char chunk[4096];
   bool open = true;
@@ -337,30 +487,109 @@ void ServeClient(BoundServer& server, int client) {
     while (open && (at = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, at);
       buffer.erase(0, at + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
+      StripTrailingCr(line);
       std::ostringstream reply;
       open = server.HandleLine(line, reply);
       if (!WriteAll(client, reply.str())) open = false;
     }
+    if (open && buffer.size() > TcpListener::kMaxRequestLineBytes) {
+      // A newline-less stream past the cap can only be abuse or a
+      // broken client; one session must not grow the shared server's
+      // memory without bound. Answer once, typed, and hang up.
+      WriteAll(client,
+               "ERR INVALID_ARGUMENT request line exceeds " +
+                   std::to_string(TcpListener::kMaxRequestLineBytes) +
+                   " bytes\n");
+      ::shutdown(client, SHUT_WR);  // FIN right after the reply
+      // Drain what the client has already sent: close() with unread
+      // bytes queued turns the teardown into an RST that can destroy
+      // the ERR before the client reads it. Bounded, so an endless
+      // stream cannot pin the session either.
+      size_t drained = 0;
+      while (drained < 8 * TcpListener::kMaxRequestLineBytes) {
+        const ssize_t n = ::read(client, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;
+        drained += static_cast<size_t>(n);
+      }
+      open = false;
+    }
   }
+  if (open && !buffer.empty()) {
+    // EOF with a residual un-terminated line: a client that wrote its
+    // last command without a trailing '\n' and closed still deserves an
+    // answer — exactly what ServeStream's getline path does on stdio.
+    StripTrailingCr(buffer);
+    std::ostringstream reply;
+    server.HandleLine(buffer, reply);
+    WriteAll(client, reply.str());
+  }
+  if (registry != nullptr) registry->Deregister(client);
   ::close(client);
 }
 
 }  // namespace
 
-Status TcpListener::Serve(BoundServer& server, size_t max_clients) {
+Status TcpListener::Serve(BoundServer& server, const ServeOptions& options) {
   if (fd_ < 0) return Status::FailedPrecondition("listener is closed");
+  const size_t workers =
+      options.session_threads == 0 ? 1 : options.session_threads;
+  // The pool is the drain point: its destructor (and Wait) runs every
+  // dispatched session to completion, which is what makes Shutdown and
+  // max_clients graceful instead of abandoning sockets mid-reply.
+  std::optional<ThreadPool> pool;
+  if (workers > 1) pool.emplace(workers);
+
+  Status result = Status::OK();
   size_t served = 0;
-  while (max_clients == 0 || served < max_clients) {
+  size_t consecutive_failures = 0;
+  while (options.max_clients == 0 || served < options.max_clients) {
     const int client = ::accept(fd_, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal("accept() failed");
+    if (stopping_->load()) {
+      if (client >= 0) ::close(client);  // raced with Shutdown: turn away
+      break;
     }
+    if (client < 0) {
+      const int error_code = errno;
+      if (error_code == EINTR) continue;
+      if (IsTransientAcceptError(error_code) &&
+          ++consecutive_failures < kMaxConsecutiveAcceptFailures) {
+        // Resource exhaustion heals when a session closes its fd; back
+        // off instead of spinning on the error.
+        if (error_code == EMFILE || error_code == ENFILE ||
+            error_code == ENOBUFS || error_code == ENOMEM) {
+          std::this_thread::sleep_for(kResourceBackoff);
+        }
+        continue;
+      }
+      result = Status::Internal(std::string("accept() failed: ") +
+                                std::strerror(error_code));
+      // Tearing down on an error: disconnect in-flight sessions like
+      // Shutdown does, or the drain below could wait forever on an
+      // idle client and the error would never surface.
+      sessions_->DisconnectAll();
+      break;
+    }
+    consecutive_failures = 0;
     ++served;
-    ServeClient(server, client);
+    if (pool.has_value()) {
+      // The worker keeps the registry alive even across a move of the
+      // listener object itself.
+      pool->Submit([&server, client, registry = sessions_] {
+        ServeClient(server, client, registry.get());
+      });
+    } else {
+      ServeClient(server, client, sessions_.get());
+    }
   }
-  return Status::OK();
+  if (pool.has_value()) pool->Wait();  // drain in-flight sessions
+  return result;
+}
+
+Status TcpListener::Serve(BoundServer& server, size_t max_clients) {
+  ServeOptions options;
+  options.max_clients = max_clients;
+  return Serve(server, options);
 }
 
 Status ServeTcp(BoundServer& server, uint16_t port, size_t max_clients) {
@@ -370,9 +599,12 @@ Status ServeTcp(BoundServer& server, uint16_t port, size_t max_clients) {
 
 #else  // _WIN32
 
-StatusOr<TcpListener> TcpListener::Bind(uint16_t) {
+bool IsTransientAcceptError(int) { return false; }
+
+StatusOr<TcpListener> TcpListener::Bind(uint16_t, int) {
   return Status::Unimplemented("TcpListener: POSIX sockets only");
 }
+TcpListener::TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
 TcpListener::TcpListener(TcpListener&& other) noexcept
     : fd_(other.fd_), port_(other.port_) {
   other.fd_ = -1;
@@ -384,6 +616,10 @@ TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
   return *this;
 }
 TcpListener::~TcpListener() = default;
+void TcpListener::Shutdown() {}
+Status TcpListener::Serve(BoundServer&, const ServeOptions&) {
+  return Status::Unimplemented("TcpListener: POSIX sockets only");
+}
 Status TcpListener::Serve(BoundServer&, size_t) {
   return Status::Unimplemented("TcpListener: POSIX sockets only");
 }

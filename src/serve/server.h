@@ -1,9 +1,12 @@
 #ifndef PCX_SERVE_SERVER_H_
 #define PCX_SERVE_SERVER_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,11 +15,11 @@
 
 namespace pcx {
 
-/// Blocking line-protocol front end over a ShardedBoundSolver — the
-/// "aha" loop of the serving subsystem: load a versioned snapshot,
-/// answer aggregate-bound queries, report serving counters. One request
-/// per line, one reply per line (GROUPBY replies with a counted block),
-/// so the server is drivable from a pipe, a socket, CI, or a human:
+/// Line-protocol front end over a ShardedBoundSolver — the "aha" loop
+/// of the serving subsystem: load a versioned snapshot, answer
+/// aggregate-bound queries, report serving counters. One request per
+/// line, one reply per line (GROUPBY replies with a counted block), so
+/// the server is drivable from a pipe, a socket, CI, or a human:
 ///
 ///   LOAD examples/snapshots/sensors.pcxsnap
 ///   OK epoch=1 shards=2 pcs=6 attrs=3
@@ -28,6 +31,8 @@ namespace pcx {
 ///   ...
 ///   STATS
 ///   STATS epoch=1 shards=2 ... sat_cache_hits=12 ...
+///   HEALTH
+///   HEALTH loaded=1 epoch=1 shards=2 pcs=6 attrs=3 uptime_s=42 ...
 ///   QUIT
 ///   BYE
 ///
@@ -37,9 +42,17 @@ namespace pcx {
 /// "ERR <CODE> <reason>" line — CODE is the StatusCodeToString name of
 /// the typed pcx::Status, so a typed client (engine/remote_backend.h)
 /// reconstructs the exact error code instead of string-matching — and
-/// never kill the session. The server object itself is single-threaded
-/// (one protocol stream); parallelism lives inside the solver's shard
-/// fan-out.
+/// never kill the session.
+///
+/// Concurrency model: one BoundServer is shared by every session.
+/// HandleLine is thread-safe; the loaded snapshot lives behind an
+/// immutable shared_ptr<const ShardedBoundSolver> that each request
+/// pins once at dispatch. LOAD builds the replacement solver off to the
+/// side and swaps the pointer atomically, so in-flight queries finish
+/// on the epoch they started on while new requests see the new epoch —
+/// a reply is always computed entirely at one epoch, never torn across
+/// two. Cumulative request/session counters are atomics; per-epoch
+/// solver counters are owned (and locked) by the solver itself.
 class BoundServer {
  public:
   struct Options {
@@ -52,27 +65,62 @@ class BoundServer {
   ~BoundServer();
 
   /// Loads a snapshot from disk and swaps it in (LOAD command body).
+  /// Queries already running keep their pinned pre-swap solver.
+  /// Concurrent LOADs from different sessions are last-writer-wins:
+  /// each OK reply names the epoch that LOAD installed, but a racing
+  /// LOAD may supersede it immediately. The server deliberately does
+  /// not referee snapshot recency — LOADing an older epoch is the
+  /// legitimate rollback operation — so ordering concurrent LOADs is
+  /// the operator's responsibility.
   Status LoadSnapshotFile(const std::string& path);
 
   /// Handles one protocol line, writing the reply to `out`. Returns
-  /// false iff the line was QUIT (the stream should end).
+  /// false iff the line was QUIT (the stream should end). Thread-safe:
+  /// sessions on different threads may call this concurrently as long
+  /// as each owns its own `out`.
   bool HandleLine(const std::string& line, std::ostream& out);
 
   /// Runs the protocol until EOF or QUIT, flushing after every reply.
   void ServeStream(std::istream& in, std::ostream& out);
 
-  /// Non-null after a successful LOAD.
-  const ShardedBoundSolver* solver() const { return solver_.get(); }
+  /// The currently served snapshot, pinned: the returned solver is
+  /// immutable and stays valid across concurrent LOAD swaps. Null
+  /// before the first successful LOAD.
+  std::shared_ptr<const ShardedBoundSolver> solver() const;
+
+  /// Whole-process serving counters (cumulative across LOAD swaps,
+  /// unlike the per-epoch counters in STATS).
+  uint64_t uptime_seconds() const;
+  uint64_t sessions() const { return sessions_.load(); }
+  uint64_t requests() const { return requests_.load(); }
+
+  /// Called once by each serving front end (stream or TCP session) when
+  /// a session opens; feeds the HEALTH sessions counter.
+  void NoteSessionStart() { ++sessions_; }
 
  private:
-  Status HandleBound(const std::vector<std::string>& tokens,
+  /// LOAD body: builds the new solver outside the swap lock and
+  /// publishes it; returns the pinned new solver for the OK reply.
+  StatusOr<std::shared_ptr<const ShardedBoundSolver>> LoadAndSwap(
+      const std::string& path);
+
+  Status HandleBound(const ShardedBoundSolver& solver,
+                     const std::vector<std::string>& tokens,
                      std::ostream& out);
-  Status HandleGroupBy(const std::vector<std::string>& tokens,
+  Status HandleGroupBy(const ShardedBoundSolver& solver,
+                       const std::vector<std::string>& tokens,
                        std::ostream& out);
-  Status HandleStats(std::ostream& out);
+  Status HandleStats(const ShardedBoundSolver& solver, std::ostream& out);
+  /// HEALTH never fails — it must answer on a server with no snapshot.
+  void HandleHealth(const ShardedBoundSolver* solver, std::ostream& out);
 
   Options options_;
-  std::unique_ptr<ShardedBoundSolver> solver_;
+  const std::chrono::steady_clock::time_point start_;
+  std::atomic<uint64_t> sessions_{0};
+  std::atomic<uint64_t> requests_{0};
+
+  mutable std::mutex mu_;  ///< guards the snapshot swap below
+  std::shared_ptr<const ShardedBoundSolver> solver_;
   std::string snapshot_path_;
 };
 
@@ -100,6 +148,13 @@ StatusOr<GroupByRequest> ParseGroupByRequest(
 void PrintResultRange(std::ostream& out, const char* label,
                       const ResultRange& range);
 
+/// True when an accept() failure with this errno is transient — one bad
+/// or unlucky client (ECONNABORTED, EPROTO), or momentary resource
+/// exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) — and the accept loop
+/// should keep serving everyone else. Persistent failures (EBADF,
+/// EINVAL, ENOTSOCK...) mean the listener itself is broken.
+bool IsTransientAcceptError(int error_code);
+
 /// A listening localhost TCP socket serving the line protocol. Binding
 /// and serving are separate so a port-0 (kernel-assigned ephemeral)
 /// listener can report the actual port before the accept loop starts —
@@ -109,15 +164,45 @@ void PrintResultRange(std::ostream& out, const char* label,
 ///   std::printf("PORT %u\n", listener.port());
 ///   return listener.Serve(server);
 ///
-/// Serve accepts clients one at a time, each getting the same
-/// BoundServer (same loaded snapshot, cumulative STATS). Client
-/// disconnects — including mid-reply drops, which must not raise
-/// SIGPIPE and kill the process — only end that session; the loop keeps
-/// accepting until `max_clients` sessions (0 = forever).
+/// Serve dispatches each accepted socket to a session worker (a
+/// common/thread_pool of `session_threads` workers), every session
+/// sharing the same BoundServer (same loaded snapshot, cumulative
+/// STATS). Replies cannot interleave because each session owns its
+/// socket end to end. Client disconnects — including mid-reply drops,
+/// which must not raise SIGPIPE and kill the process — only end that
+/// session; transient accept() failures (one aborted handshake, a
+/// momentary fd shortage) are retried instead of taking the listener
+/// down. A request line is capped at kMaxRequestLineBytes — a client
+/// streaming an endless newline-less request gets one ERR and its
+/// session closed instead of growing the server's memory. Shutdown()
+/// stops the accept loop from another thread AND disconnects in-flight
+/// session sockets (their reads see EOF), so Serve's drain completes
+/// promptly even when clients hold idle connections open.
+struct TcpSessionRegistry;
 class TcpListener {
  public:
+  /// listen(2) backlog used when Bind is not given one: deep enough
+  /// that a fan-in burst of clients queues instead of getting
+  /// connection-refused while session workers are busy.
+  static constexpr int kDefaultBacklog = 128;
+
+  /// Upper bound on one request line (bytes before the '\n'). Far
+  /// beyond any legitimate BOUND/GROUPBY line, small enough that an
+  /// adversarial newline-less stream cannot balloon a session buffer.
+  static constexpr size_t kMaxRequestLineBytes = 1 << 20;
+
+  struct ServeOptions {
+    /// Accept loop ends after this many sessions (0 = serve forever).
+    size_t max_clients = 0;
+    /// Concurrent session workers. 1 = sequential (a new client waits
+    /// for the previous session to end); N>1 serves N clients at once,
+    /// further accepted sockets queue for the next free worker.
+    size_t session_threads = 1;
+  };
+
   /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral).
-  static StatusOr<TcpListener> Bind(uint16_t port);
+  static StatusOr<TcpListener> Bind(uint16_t port,
+                                    int backlog = kDefaultBacklog);
 
   TcpListener(TcpListener&& other) noexcept;
   TcpListener& operator=(TcpListener&& other) noexcept;
@@ -128,14 +213,31 @@ class TcpListener {
   /// The actual bound port (the kernel's pick when Bind got 0).
   uint16_t port() const { return port_; }
 
-  /// Runs the accept loop; returns OK after `max_clients` sessions
-  /// (0 = accept forever, only socket teardown errors return).
+  /// Runs the accept loop; returns OK after `options.max_clients`
+  /// sessions, or after Shutdown(), in both cases only once every
+  /// dispatched session has finished.
+  Status Serve(BoundServer& server, const ServeOptions& options);
+  /// Sequential-serving convenience (session_threads = 1).
   Status Serve(BoundServer& server, size_t max_clients = 0);
 
+  /// Gracefully stops a Serve running on another thread: no new
+  /// sessions are accepted, in-flight session sockets are shut down
+  /// (their blocked reads return EOF and the sessions end), the drain
+  /// completes, Serve returns OK. Safe to call from any thread, any
+  /// number of times.
+  void Shutdown();
+
  private:
-  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+  TcpListener(int fd, uint16_t port);
   int fd_ = -1;
   uint16_t port_ = 0;
+  /// Heap-allocated so Shutdown() stays valid across moves (the flag
+  /// travels with the listener; atomics themselves are immovable).
+  std::shared_ptr<std::atomic<bool>> stopping_;
+  /// Live session sockets, so Shutdown can disconnect them; shared
+  /// with the session workers (which may outlive a moved-from
+  /// listener object).
+  std::shared_ptr<TcpSessionRegistry> sessions_;
 };
 
 /// One-call convenience: Bind(port) + Serve. With port 0 the chosen

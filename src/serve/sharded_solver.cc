@@ -254,7 +254,7 @@ std::shared_ptr<const PcBoundSolver> ShardedBoundSolver::SolverFor(
         std::shared_ptr<void>(),
         shards_[static_cast<size_t>(std::countr_zero(mask))].solver.get());
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = union_cache_.find(mask);
   if (it != union_cache_.end()) return it->second;
 
@@ -273,7 +273,12 @@ std::shared_ptr<const PcBoundSolver> ShardedBoundSolver::SolverFor(
   for (size_t i : indices) subset.Add(flat_.at(i));
   auto solver = std::make_shared<const PcBoundSolver>(
       std::move(subset), domains_, options_.solver);
-  ++serve_stats_.union_solvers_built;
+  {
+    // cache_mu_ is held; stats_mu_ nests inside it (the documented
+    // lock order) for just this increment.
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++serve_stats_.union_solvers_built;
+  }
   // Bounded memo: flush wholesale at the cap (rare; shard-spanning mask
   // diversity is usually tiny). Shared ownership keeps solvers already
   // handed out alive until their queries finish.
@@ -424,12 +429,12 @@ StatusOr<std::vector<GroupRange>> ShardedBoundSolver::BoundGroupBy(
 }
 
 ShardedBoundSolver::ServeStats ShardedBoundSolver::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(stats_mu_);
   return serve_stats_;
 }
 
 void ShardedBoundSolver::MergeServeStats(const ServeStats& local) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(stats_mu_);
   serve_stats_ += local;
 }
 

@@ -190,9 +190,16 @@ class ShardedBoundSolver {
   std::vector<Shard> shards_;
   std::vector<char> always_relevant_;  ///< per global PC: empty pred box
 
-  mutable std::mutex mu_;  ///< guards union_cache_ and serve_stats_
+  /// Two locks, not one: under concurrent serving sessions every query
+  /// merges counters, but only shard-spanning queries touch the union
+  /// memo — and building a missing union solver holds its lock for a
+  /// full solver construction. Separate mutexes keep the (hot, short)
+  /// stats merge from queueing behind the (rare, long) cache fill.
+  /// Lock order where both are needed: cache_mu_ then stats_mu_.
+  mutable std::mutex cache_mu_;  ///< guards union_cache_
   mutable std::unordered_map<uint64_t, std::shared_ptr<const PcBoundSolver>>
       union_cache_;
+  mutable std::mutex stats_mu_;  ///< guards serve_stats_
   mutable ServeStats serve_stats_;
 };
 

@@ -307,6 +307,51 @@ TEST(MirrorBackendTest, EpochDisagreementIsDivergence) {
   EXPECT_EQ(epoch.status().code(), StatusCode::kDivergence);
 }
 
+TEST(EngineTest, HealthOnInProcessBackendsDerivesFromStats) {
+  const std::string path = WritePcSetFile(SalesSet(), "engine_health.pcset");
+  const StatusOr<Engine> engine = Engine::Open("local:" + path);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  const auto health = engine->Health();
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_TRUE(health->loaded);
+  EXPECT_EQ(health->epoch, 0u);
+  EXPECT_EQ(health->num_shards, 1u);
+  EXPECT_EQ(health->num_pcs, 2u);
+  EXPECT_EQ(health->uptime_seconds, 0u);  // no server process behind it
+}
+
+TEST(MirrorBackendTest, HealthToleratesBoundedEpochSkew) {
+  LocalBackend::Options epoch1;
+  epoch1.epoch = 1;
+  LocalBackend::Options epoch2;
+  epoch2.epoch = 2;
+  auto a = std::make_shared<LocalBackend>(SalesSet(),
+                                          std::vector<AttrDomain>{}, epoch1);
+  auto b = std::make_shared<LocalBackend>(SalesSet(),
+                                          std::vector<AttrDomain>{}, epoch2);
+
+  // Strict mirror: the one-epoch spread of a rolling reload is a
+  // health failure...
+  MirrorBackend strict({a, b});
+  const auto strict_health = strict.Health();
+  ASSERT_FALSE(strict_health.ok());
+  EXPECT_EQ(strict_health.status().code(), StatusCode::kDivergence);
+
+  // ...but with max_epoch_skew=1 the same fleet is healthy (query
+  // answers remain strictly epoch-checked — only Health relaxes).
+  MirrorBackend::Options tolerant;
+  tolerant.max_epoch_skew = 1;
+  MirrorBackend relaxed({a, b}, tolerant);
+  const auto relaxed_health = relaxed.Health();
+  ASSERT_TRUE(relaxed_health.ok()) << relaxed_health.status();
+  EXPECT_TRUE(relaxed_health->loaded);
+  EXPECT_EQ(relaxed_health->epoch, 1u);  // the primary's view
+  const auto epoch = relaxed.Epoch();
+  ASSERT_FALSE(epoch.ok());
+  EXPECT_EQ(epoch.status().code(), StatusCode::kDivergence);
+}
+
 TEST(EngineTest, MirrorUriOpensAllReplicas) {
   const std::string pcset = WritePcSetFile(SalesSet(), "engine_mir.pcset");
   const std::string snap =

@@ -179,6 +179,52 @@ TEST(RemoteBackendTest, LoadAndPreLoadErrorsAreTyped) {
   EXPECT_EQ(count->hi, 9.0);
 }
 
+TEST(RemoteBackendTest, HealthWorksBeforeAndAfterLoad) {
+  const std::string snapshot = WriteSensorSnapshot(6);
+  TestServer server(1);  // no snapshot loaded yet
+
+  StatusOr<std::unique_ptr<RemoteBackend>> backend =
+      RemoteBackend::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(backend.ok()) << backend.status();
+
+  // Pre-LOAD: queries fail FAILED_PRECONDITION but the health check
+  // succeeds with loaded=false — reachable-but-empty is healthy.
+  const auto empty = (*backend)->Health();
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_FALSE(empty->loaded);
+  EXPECT_EQ(empty->epoch, 0u);
+  EXPECT_EQ(empty->num_shards, 0u);
+
+  ASSERT_TRUE((*backend)->Load(snapshot).ok());
+  const auto loaded = (*backend)->Health();
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->loaded);
+  EXPECT_EQ(loaded->epoch, 6u);
+  EXPECT_EQ(loaded->num_shards, 2u);
+  EXPECT_EQ(loaded->num_pcs, 2u);
+  EXPECT_GE(loaded->sessions, 1u);
+}
+
+TEST(StreamTransportTest, HealthFallsBackToStatsOnPreHealthServers) {
+  // An old server answers HEALTH with "unknown command"
+  // (INVALID_ARGUMENT); the client must degrade to the STATS-derived
+  // health so mixed-version fleets stay checkable.
+  std::istringstream replies(
+      "ERR INVALID_ARGUMENT unknown command 'HEALTH'\n"
+      "STATS epoch=4 shards=2 pcs=6 attrs=3 queries=0\n");
+  std::ostringstream sent;
+  RemoteBackend backend(std::make_unique<StreamTransport>(replies, sent));
+
+  const auto health = backend.Health();
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_TRUE(health->loaded);
+  EXPECT_EQ(health->epoch, 4u);
+  EXPECT_EQ(health->num_shards, 2u);
+  EXPECT_EQ(health->uptime_seconds, 0u);  // unknown via the fallback
+  EXPECT_NE(sent.str().find("HEALTH\n"), std::string::npos);
+  EXPECT_NE(sent.str().find("STATS\n"), std::string::npos);
+}
+
 TEST(RemoteBackendTest, SequentialReconnectsServeEveryClient) {
   const std::string snapshot = WriteSensorSnapshot(1);
   TestServer server(3, snapshot);

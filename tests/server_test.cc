@@ -166,6 +166,65 @@ TEST(ServerTest, ServeStreamHandlesCrlfAndQuit) {
   EXPECT_EQ(text.find("RANGE"), text.rfind("RANGE"));
 }
 
+TEST(ServerTest, HealthAnswersBeforeAndAfterLoad) {
+  BoundServer server;
+
+  // Pre-LOAD: queries fail FAILED_PRECONDITION but HEALTH answers —
+  // "up but empty" must be observable without tripping an error.
+  const std::string empty = Reply(server, "HEALTH");
+  EXPECT_EQ(empty.rfind("HEALTH loaded=0 epoch=0 shards=0 pcs=0 attrs=0", 0),
+            0u)
+      << empty;
+  EXPECT_NE(empty.find(" uptime_s="), std::string::npos);
+  EXPECT_NE(empty.find(" requests="), std::string::npos);
+
+  const std::string path = WriteSensorSnapshot(7);
+  ASSERT_EQ(Reply(server, "LOAD " + path).rfind("OK ", 0), 0u);
+  const std::string loaded = Reply(server, "HEALTH");
+  EXPECT_EQ(loaded.rfind("HEALTH loaded=1 epoch=7 shards=2 pcs=2 attrs=3", 0),
+            0u)
+      << loaded;
+  // HEALTH is not a reply-less no-op: it counts as a request itself.
+  EXPECT_NE(loaded.find(" requests="), std::string::npos);
+  EXPECT_EQ(loaded.find('\n'), loaded.size() - 1) << "one-line reply";
+}
+
+TEST(ServerTest, ServeStreamAnswersFinalLineWithoutNewline) {
+  const std::string path = WriteSensorSnapshot(1);
+  BoundServer server;
+  ASSERT_EQ(Reply(server, "LOAD " + path).rfind("OK ", 0), 0u);
+
+  // The stream ends without a trailing '\n' after the last command; the
+  // stdio path must still answer it (the TCP session loop is asserted
+  // to match in concurrent_serve_test — stdio/TCP parity).
+  std::istringstream in("BOUND COUNT 0\nBOUND COUNT 0");
+  std::ostringstream out;
+  server.ServeStream(in, out);
+  const std::string text = out.str();
+  const std::string expected = "RANGE lo=2 hi=9 defined=1 empty_possible=0\n";
+  EXPECT_EQ(text, expected + expected) << text;
+}
+
+TEST(ServerTest, PinnedSolverSurvivesConcurrentReload) {
+  // A query pins the snapshot it started on: the pinned solver stays
+  // valid (and answers at its own epoch) even after LOAD swapped in a
+  // replacement — the epoch-pinning contract of the concurrent server.
+  BoundServer server;
+  const std::string v1 = WriteSensorSnapshot(1);
+  ASSERT_EQ(Reply(server, "LOAD " + v1).rfind("OK epoch=1", 0), 0u);
+  const std::shared_ptr<const ShardedBoundSolver> pinned = server.solver();
+  ASSERT_NE(pinned, nullptr);
+
+  const std::string v2 = WriteSensorSnapshot(2);
+  ASSERT_EQ(Reply(server, "LOAD " + v2).rfind("OK epoch=2", 0), 0u);
+
+  EXPECT_EQ(pinned->epoch(), 1u);
+  const auto range = pinned->Bound(AggQuery::Count());
+  ASSERT_TRUE(range.ok()) << range.status();
+  EXPECT_EQ(range->hi, 9.0);
+  EXPECT_EQ(server.solver()->epoch(), 2u);
+}
+
 TEST(ServerTest, ReloadBumpsEpoch) {
   BoundServer server;
   const std::string v1 = WriteSensorSnapshot(1);

@@ -49,9 +49,11 @@ struct Flags {
   std::string connect;
   int port = -1;
   size_t threads = 0;
+  size_t serve_threads = 4;  // concurrent TCP session workers
+  int backlog = pcx::TcpListener::kDefaultBacklog;
   bool scatter_gather = false;
   bool persistent_sat_cache = true;  // serving wants the cross-query cache
-  bool serve_once = false;           // exit after one TCP client (tests)
+  size_t serve_clients = 0;          // exit after N TCP sessions (0 = forever)
 
   bool build_snapshot = false;
   std::string pcset;
@@ -77,11 +79,16 @@ void Usage() {
       "pcx_serve — sharded predicate-constraint bound server\n\n"
       "Serve mode:\n"
       "  pcx_serve [--snapshot=PATH] [--port=N] [--threads=N]\n"
+      "            [--serve-threads=N] [--backlog=N] [--serve-clients=N]\n"
       "            [--scatter-gather] [--no-sat-cache] [--serve-once]\n"
       "    Without --port, speaks the protocol on stdin/stdout.\n"
       "    Without --snapshot, waits for a LOAD command.\n"
       "    --port=0 binds an ephemeral port and prints 'PORT <n>' on\n"
-      "    stdout before serving.\n\n"
+      "    stdout before serving.\n"
+      "    --serve-threads=N serves N TCP clients concurrently (default\n"
+      "    4; 1 = sequential); --backlog=N sets the listen(2) queue\n"
+      "    depth; --serve-clients=N exits after N sessions\n"
+      "    (--serve-once is shorthand for --serve-clients=1).\n\n"
       "Client mode:\n"
       "  pcx_serve --connect=URI\n"
       "    Typed client REPL against an Engine::Open URI\n"
@@ -93,7 +100,7 @@ void Usage() {
       "            [--epoch=N]\n\n"
       "Protocol: LOAD <path> | BOUND <AGG> <attr> [{a:[lo,hi],...}...] |\n"
       "          GROUPBY <AGG> <attr> <group_attr> <v1,v2,...> [{box}...] |\n"
-      "          STATS | QUIT\n");
+      "          STATS | HEALTH | QUIT\n");
 }
 
 int BuildSnapshot(const Flags& flags) {
@@ -253,10 +260,25 @@ int RunClient(const std::string& uri) {
       } else {
         error = stats.status();
       }
+    } else if (cmd == "HEALTH") {
+      // Typed health sweep: against mirror: engines this checks every
+      // replica and enforces the configured epoch-skew bound.
+      const auto health = engine->Health();
+      if (health.ok()) {
+        std::cout << "HEALTH loaded=" << (health->loaded ? 1 : 0)
+                  << " epoch=" << health->epoch
+                  << " shards=" << health->num_shards
+                  << " pcs=" << health->num_pcs
+                  << " uptime_s=" << health->uptime_seconds
+                  << " sessions=" << health->sessions
+                  << " requests=" << health->requests << "\n";
+      } else {
+        error = health.status();
+      }
     } else {
       error = pcx::Status::InvalidArgument(
           "unknown command '" + tokens[0] +
-          "' (want LOAD/BOUND/GROUPBY/STATS/QUIT)");
+          "' (want LOAD/BOUND/GROUPBY/STATS/HEALTH/QUIT)");
     }
     if (!error.ok()) {
       std::cout << "ERR " << pcx::StatusCodeToString(error.code()) << " "
@@ -284,12 +306,18 @@ int main(int argc, char** argv) {
       flags.port = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "threads", &value)) {
       flags.threads = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "serve-threads", &value)) {
+      flags.serve_threads = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "backlog", &value)) {
+      flags.backlog = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "serve-clients", &value)) {
+      flags.serve_clients = std::strtoul(value.c_str(), nullptr, 10);
     } else if (arg == "--scatter-gather") {
       flags.scatter_gather = true;
     } else if (arg == "--no-sat-cache") {
       flags.persistent_sat_cache = false;
     } else if (arg == "--serve-once") {
-      flags.serve_once = true;
+      flags.serve_clients = 1;
     } else if (arg == "--build-snapshot") {
       flags.build_snapshot = true;
     } else if (ParseFlag(arg, "pcset", &value)) {
@@ -340,18 +368,21 @@ int main(int argc, char** argv) {
     // Bind before serving so --port=0 (kernel-assigned ephemeral port)
     // can announce the actual port: human-readable on stderr, a
     // machine-readable "PORT <n>" line on stdout for scripts and CI.
-    pcx::StatusOr<pcx::TcpListener> listener =
-        pcx::TcpListener::Bind(static_cast<uint16_t>(flags.port));
+    pcx::StatusOr<pcx::TcpListener> listener = pcx::TcpListener::Bind(
+        static_cast<uint16_t>(flags.port), flags.backlog);
     if (!listener.ok()) {
       std::fprintf(stderr, "server error: %s\n",
                    listener.status().message().c_str());
       return 1;
     }
-    std::fprintf(stderr, "serving on localhost:%u\n", listener->port());
+    std::fprintf(stderr, "serving on localhost:%u (%zu session threads)\n",
+                 listener->port(), flags.serve_threads);
     std::printf("PORT %u\n", listener->port());
     std::fflush(stdout);
-    const pcx::Status status =
-        listener->Serve(server, flags.serve_once ? 1 : 0);
+    pcx::TcpListener::ServeOptions serve_options;
+    serve_options.max_clients = flags.serve_clients;
+    serve_options.session_threads = flags.serve_threads;
+    const pcx::Status status = listener->Serve(server, serve_options);
     if (!status.ok()) {
       std::fprintf(stderr, "server error: %s\n", status.message().c_str());
       return 1;
