@@ -29,6 +29,14 @@ struct EngineStats {
   size_t milp_nodes = 0;
   size_t lp_solves = 0;
   size_t lp_pivots = 0;
+  /// Event-loop transport counters (zero for in-process backends and
+  /// for servers running the thread-per-session compatibility mode).
+  size_t queue_depth = 0;
+  size_t queue_high_water = 0;
+  size_t coalesced_batches = 0;
+  size_t coalesced_requests = 0;
+  size_t max_coalesced_batch = 0;
+  size_t overload_rejections = 0;
 };
 
 /// One replica's liveness snapshot — the HEALTH protocol verb's typed

@@ -141,18 +141,33 @@ StatusOr<Engine> OpenSnapshot(const UriBody& body, Engine::Options options) {
 }
 
 StatusOr<Engine> OpenTcp(const std::string& body) {
-  const size_t colon = body.rfind(':');
+  PCX_ASSIGN_OR_RETURN(const UriBody parsed, SplitParams(body));
+  const size_t colon = parsed.path.rfind(':');
   if (colon == std::string::npos || colon == 0) {
     return Status::InvalidArgument("tcp: URI must be tcp:<host>:<port>");
   }
-  const std::string host = body.substr(0, colon);
-  const StatusOr<uint64_t> port = ParseU64(body.substr(colon + 1));
+  const std::string host = parsed.path.substr(0, colon);
+  const StatusOr<uint64_t> port = ParseU64(parsed.path.substr(colon + 1));
   if (!port.ok() || *port == 0 || *port > 65535) {
     return Status::InvalidArgument("bad port in tcp: URI '" + body + "'");
+  }
+  RemoteBackend::RetryPolicy retry;
+  for (const auto& [key, value] : parsed.params) {
+    if (key == "retry") {
+      PCX_ASSIGN_OR_RETURN(const uint64_t n, ParseU64(value));
+      retry.max_retries = static_cast<size_t>(n);
+    } else if (key == "retry_ms") {
+      PCX_ASSIGN_OR_RETURN(const uint64_t ms, ParseU64(value));
+      retry.backoff_ms = static_cast<uint32_t>(ms);
+    } else {
+      return Status::InvalidArgument("unknown tcp: URI parameter '" + key +
+                                     "'");
+    }
   }
   PCX_ASSIGN_OR_RETURN(
       std::unique_ptr<RemoteBackend> backend,
       RemoteBackend::Connect(host, static_cast<uint16_t>(*port)));
+  backend->set_retry_policy(retry);
   return Engine::FromBackend(std::move(backend));
 }
 

@@ -1,7 +1,9 @@
 #include "engine/remote_backend.h"
 
+#include <chrono>
 #include <istream>
 #include <ostream>
+#include <thread>
 #include <utility>
 
 #ifndef _WIN32
@@ -202,6 +204,17 @@ EngineStats ParseStatsReply(const std::vector<std::string>& tokens) {
     else if (key == "milp_nodes") stats.milp_nodes = static_cast<size_t>(*v);
     else if (key == "lp_solves") stats.lp_solves = static_cast<size_t>(*v);
     else if (key == "lp_pivots") stats.lp_pivots = static_cast<size_t>(*v);
+    else if (key == "queue_depth") stats.queue_depth = static_cast<size_t>(*v);
+    else if (key == "queue_high_water")
+      stats.queue_high_water = static_cast<size_t>(*v);
+    else if (key == "coalesced_batches")
+      stats.coalesced_batches = static_cast<size_t>(*v);
+    else if (key == "coalesced_reqs")
+      stats.coalesced_requests = static_cast<size_t>(*v);
+    else if (key == "max_batch")
+      stats.max_coalesced_batch = static_cast<size_t>(*v);
+    else if (key == "overload_rejects")
+      stats.overload_rejections = static_cast<size_t>(*v);
   }
   return stats;
 }
@@ -302,13 +315,29 @@ StatusOr<ResultRange> RemoteBackend::Bound(const AggQuery& query) {
   const std::string request = std::string("BOUND ") +
                               AggFuncToString(query.agg) + " " +
                               std::to_string(query.attr) + WhereSuffix(query);
-  PCX_ASSIGN_OR_RETURN(const std::string reply, RoundTrip(request));
-  const std::vector<std::string> tokens = SplitWhitespace(reply);
-  if (!tokens.empty() && tokens[0] == "ERR") return ParseErrorReply(reply);
-  if (tokens.empty() || tokens[0] != "RANGE") {
-    return Status::ProtocolError("unexpected BOUND reply '" + reply + "'");
+  uint32_t backoff_ms = retry_.backoff_ms;
+  for (size_t attempt = 0;; ++attempt) {
+    PCX_ASSIGN_OR_RETURN(const std::string reply, RoundTrip(request));
+    const std::vector<std::string> tokens = SplitWhitespace(reply);
+    if (!tokens.empty() && tokens[0] == "ERR") {
+      const Status error = ParseErrorReply(reply);
+      // An ERR UNAVAILABLE *reply* is the server's admission control
+      // shedding load on a live session — that, and only that, is
+      // retried. (RoundTrip's own kUnavailable means the transport died
+      // and already returned above.)
+      if (error.code() == StatusCode::kUnavailable &&
+          attempt < retry_.max_retries) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms *= 2;
+        continue;
+      }
+      return error;
+    }
+    if (tokens.empty() || tokens[0] != "RANGE") {
+      return Status::ProtocolError("unexpected BOUND reply '" + reply + "'");
+    }
+    return ParseRangeReply(tokens, 1);
   }
-  return ParseRangeReply(tokens, 1);
 }
 
 StatusOr<std::vector<GroupRange>> RemoteBackend::BoundGroupBy(
@@ -325,9 +354,26 @@ StatusOr<std::vector<GroupRange>> RemoteBackend::BoundGroupBy(
                               std::to_string(query.attr) + " " +
                               std::to_string(group_attr) + " " + values +
                               WhereSuffix(query);
-  PCX_ASSIGN_OR_RETURN(const std::string header, RoundTrip(request));
-  std::vector<std::string> tokens = SplitWhitespace(header);
-  if (!tokens.empty() && tokens[0] == "ERR") return ParseErrorReply(header);
+  std::string header;
+  std::vector<std::string> tokens;
+  uint32_t backoff_ms = retry_.backoff_ms;
+  for (size_t attempt = 0;; ++attempt) {
+    PCX_ASSIGN_OR_RETURN(header, RoundTrip(request));
+    tokens = SplitWhitespace(header);
+    if (!tokens.empty() && tokens[0] == "ERR") {
+      const Status error = ParseErrorReply(header);
+      // Same rule as Bound: only the typed overload rejection retries.
+      // The header is a single line, so the stream is still in sync.
+      if (error.code() == StatusCode::kUnavailable &&
+          attempt < retry_.max_retries) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms *= 2;
+        continue;
+      }
+      return error;
+    }
+    break;
+  }
   // From here on the reply is a counted multi-line block; any parse
   // failure leaves the stream at an unknown offset, so the session is
   // poisoned rather than kept.

@@ -77,9 +77,27 @@ class StreamTransport : public LineTransport {
 /// a RemoteBackend can be shared between threads like any backend.
 class RemoteBackend : public BoundBackend {
  public:
+  /// What to do when the server answers "ERR UNAVAILABLE ..." — the
+  /// typed overload rejection of the event-loop transport's admission
+  /// control. Only that reply is retried: the session is demonstrably
+  /// alive (it just answered), and the server promised the rejection is
+  /// transient. Transport loss is never retried here — reconnecting is
+  /// a topology decision that belongs to the caller.
+  struct RetryPolicy {
+    /// Additional attempts after the first (0 = fail fast, the
+    /// pre-event-loop behavior and still the default).
+    size_t max_retries = 0;
+    /// Sleep before the first retry; doubles per attempt.
+    uint32_t backoff_ms = 5;
+  };
+
   /// `name` is the display name (Engine::Open passes the URI).
   explicit RemoteBackend(std::unique_ptr<LineTransport> transport,
                          std::string name = "remote");
+
+  /// Applies to Bound and BoundGroupBy (the verbs admission control can
+  /// reject). Not thread-safe against in-flight calls; set it at setup.
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
 
   /// Connects to a serving pcx_serve and primes num_attrs()/Epoch()
   /// from a STATS round-trip (a server with no snapshot loaded yet is
@@ -123,6 +141,7 @@ class RemoteBackend : public BoundBackend {
   mutable std::mutex mu_;  ///< one in-flight request at a time
   std::unique_ptr<LineTransport> transport_;
   std::string name_;
+  RetryPolicy retry_;
   size_t num_attrs_ = 0;
   uint64_t epoch_ = 0;
   bool info_known_ = false;

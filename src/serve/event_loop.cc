@@ -1,0 +1,819 @@
+#include "serve/event_loop.h"
+
+#if defined(__linux__)
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/text.h"
+#include "common/thread_pool.h"
+
+namespace pcx {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// epoll_event.data.u64 tags: the listener and the wake pipe get fixed
+/// ids; connections count up from kFirstConnId and are never reused, so
+/// a completion for a closed connection can only miss, never hit a
+/// recycled one.
+constexpr uint64_t kListenerId = 0;
+constexpr uint64_t kWakeId = 1;
+constexpr uint64_t kFirstConnId = 2;
+
+/// One finished async request: which connection, which reply slot, the
+/// reply text. Produced by pool workers, applied by the loop thread.
+struct Completion {
+  uint64_t conn_id = 0;
+  uint64_t seq = 0;
+  std::string text;
+};
+
+/// Worker -> loop channel. Shared by shared_ptr so a worker finishing
+/// after Serve returned (Shutdown drain) writes into an orphan queue
+/// instead of freed memory.
+struct CompletionQueue {
+  std::mutex mu;
+  std::vector<Completion> items;
+
+  void Push(std::vector<Completion> batch) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (Completion& c : batch) items.push_back(std::move(c));
+  }
+  std::vector<Completion> Drain() {
+    std::lock_guard<std::mutex> lock(mu);
+    return std::exchange(items, {});
+  }
+};
+
+/// A reply slot: replies on one connection go back in request order
+/// even though they complete out of order (HEALTH inline, BOUND on the
+/// next batch, GROUPBY whenever its worker finishes). Slots are filled
+/// by seq and flushed from the front only once done.
+struct Slot {
+  uint64_t seq = 0;
+  bool done = false;
+  std::string text;
+};
+
+/// Per-connection state: everything the C10K design needs per client is
+/// this struct plus one fd — no thread, no blocking read.
+struct Conn {
+  int fd = -1;
+  uint64_t id = 0;
+  std::string rbuf;   ///< bytes read, not yet framed into lines
+  std::string wbuf;   ///< reply bytes accepted by us, not by the kernel
+  std::deque<Slot> slots;
+  uint64_t next_seq = 0;
+  size_t outstanding = 0;  ///< slots not yet done (per-conn admission)
+  /// Peer half-closed its write side: no more requests will arrive;
+  /// close once every slot is flushed.
+  bool eof = false;
+  /// QUIT (or a fatal protocol violation) seen: later input is ignored
+  /// and the connection closes once every slot is flushed.
+  bool closing = false;
+  /// Oversized-line state: discard input until this many bytes have
+  /// been thrown away (then close), mirroring the legacy session's
+  /// bounded post-ERR drain so the ERR reply survives teardown.
+  size_t discard_budget = 0;
+  bool discarding = false;
+  bool want_write = false;  ///< EPOLLOUT currently requested
+};
+
+/// A BOUND admitted into the coalescing window, waiting for the batch.
+struct PendingBound {
+  uint64_t conn_id = 0;
+  uint64_t seq = 0;
+  AggQuery query;
+};
+
+std::string FormatRangeReply(const StatusOr<ResultRange>& range) {
+  if (!range.ok()) return FormatErrorReply(range.status());
+  std::ostringstream out;
+  PrintResultRange(out, "RANGE ", *range);
+  return out.str();
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal("fcntl(O_NONBLOCK) failed");
+  }
+  return Status::OK();
+}
+
+/// The whole Serve invocation's state. Owned by the loop thread; the
+/// solver pool only ever touches `server`, `completions`, and the wake
+/// pipe (all thread-safe).
+class Loop {
+ public:
+  Loop(BoundServer& server, const EventLoopListener::Options& options,
+       int listener_fd, int wake_read, int wake_write,
+       std::atomic<bool>& stopping)
+      : server_(server),
+        options_(options),
+        listener_fd_(listener_fd),
+        wake_read_(wake_read),
+        wake_write_(wake_write),
+        stopping_(stopping),
+        completions_(std::make_shared<CompletionQueue>()),
+        pool_(options.solver_threads == 0 ? 2 : options.solver_threads) {}
+
+  Status Run();
+
+ private:
+  // -- epoll plumbing -------------------------------------------------
+
+  Status EpollAdd(int fd, uint64_t id, uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      return Status::Internal(std::string("epoll_ctl(ADD) failed: ") +
+                              std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  void UpdateWriteInterest(Conn& conn) {
+    const bool want = !conn.wbuf.empty();
+    if (want == conn.want_write) return;
+    conn.want_write = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.u64 = conn.id;
+    ::epoll_ctl(epfd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  }
+
+  /// Wakes the loop from a pool worker (completions are ready).
+  void Wake() {
+    const char byte = 1;
+    ssize_t ignored = ::write(wake_write_, &byte, 1);
+    (void)ignored;  // pipe full = a wake is already pending
+  }
+
+  // -- connection lifecycle -------------------------------------------
+
+  void AcceptReady();
+  void DestroyConn(uint64_t id);
+  Conn* FindConn(uint64_t id) {
+    const auto it = conns_.find(id);
+    return it == conns_.end() ? nullptr : it->second.get();
+  }
+
+  // -- request path ---------------------------------------------------
+
+  void ReadReady(Conn& conn);
+  void ProcessBuffered(Conn& conn);
+  void DispatchLine(Conn& conn, const std::string& line);
+  Slot& NewSlot(Conn& conn);
+  void CompleteInline(Conn& conn, Slot& slot, std::string text);
+  /// True when admission control rejected (slot answered UNAVAILABLE).
+  bool RejectIfOverloaded(Conn& conn, Slot& slot);
+  void SubmitHandleLineTask(Conn& conn, Slot& slot, std::string line);
+  void DispatchBoundBatch();
+
+  // -- reply path -----------------------------------------------------
+
+  void ApplyCompletions();
+  void FillSlot(Conn& conn, uint64_t seq, std::string text);
+  void FlushSlots(Conn& conn);
+  void WriteReady(Conn& conn);
+  /// Close the fd once nothing more can be sent or received on it.
+  void MaybeFinish(Conn& conn);
+
+  // -- bookkeeping ----------------------------------------------------
+
+  void NoteQueued() {
+    const uint64_t depth = server_.transport().queue_depth.fetch_add(1) + 1;
+    uint64_t high = server_.transport().queue_high_water.load();
+    while (depth > high &&
+           !server_.transport().queue_high_water.compare_exchange_weak(high,
+                                                                       depth)) {
+    }
+  }
+
+  bool AcceptingMore() const {
+    return !listener_disarmed_ &&
+           (options_.max_clients == 0 || accepted_ < options_.max_clients);
+  }
+
+  BoundServer& server_;
+  const EventLoopListener::Options& options_;
+  const int listener_fd_;
+  const int wake_read_;
+  const int wake_write_;
+  std::atomic<bool>& stopping_;
+
+  int epfd_ = -1;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = kFirstConnId;
+  size_t accepted_ = 0;
+  bool listener_disarmed_ = false;
+  /// Re-arm time after fd/memory exhaustion paused accepting (level-
+  /// triggered epoll would otherwise spin on the still-readable
+  /// listener).
+  std::optional<SteadyClock::time_point> accept_rearm_at_;
+
+  std::vector<PendingBound> pending_bounds_;
+  std::optional<SteadyClock::time_point> batch_deadline_;
+
+  std::shared_ptr<CompletionQueue> completions_;
+  std::vector<uint64_t> doomed_;  ///< conns to destroy after event sweep
+  ThreadPool pool_;
+};
+
+void Loop::AcceptReady() {
+  while (AcceptingMore()) {
+    const int client = ::accept4(listener_fd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (client < 0) {
+      const int error_code = errno;
+      if (error_code == EAGAIN || error_code == EWOULDBLOCK) return;
+      if (error_code == EINTR) continue;
+      if (IsTransientAcceptError(error_code)) {
+        // Under fd/memory exhaustion, pause accepting briefly: sessions
+        // ending will free fds, and the pause keeps the level-triggered
+        // loop from spinning on the un-accepted backlog.
+        epoll_event ev{};
+        ::epoll_ctl(epfd_, EPOLL_CTL_DEL, listener_fd_, &ev);
+        listener_disarmed_ = true;
+        accept_rearm_at_ = SteadyClock::now() + std::chrono::milliseconds(50);
+        return;
+      }
+      // Persistent listener failure: stop accepting; existing
+      // connections keep being served until they finish.
+      epoll_event ev{};
+      ::epoll_ctl(epfd_, EPOLL_CTL_DEL, listener_fd_, &ev);
+      listener_disarmed_ = true;
+      accept_rearm_at_.reset();
+      return;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = client;
+    conn->id = next_conn_id_++;
+    if (!EpollAdd(client, conn->id, EPOLLIN).ok()) {
+      ::close(client);
+      continue;
+    }
+    ++accepted_;
+    server_.NoteSessionStart();
+    server_.transport().open_connections.fetch_add(1);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+  if (!AcceptingMore() && !listener_disarmed_) {
+    epoll_event ev{};
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, listener_fd_, &ev);
+    listener_disarmed_ = true;
+  }
+}
+
+void Loop::DestroyConn(uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  epoll_event ev{};
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, it->second->fd, &ev);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  server_.transport().open_connections.fetch_sub(1);
+}
+
+Slot& Loop::NewSlot(Conn& conn) {
+  conn.slots.push_back(Slot{conn.next_seq++, false, {}});
+  ++conn.outstanding;
+  return conn.slots.back();
+}
+
+void Loop::CompleteInline(Conn& conn, Slot& slot, std::string text) {
+  slot.done = true;
+  slot.text = std::move(text);
+  --conn.outstanding;
+}
+
+bool Loop::RejectIfOverloaded(Conn& conn, Slot& slot) {
+  // outstanding was already bumped for this slot, hence the ">" (the
+  // request itself is not evidence of overload).
+  const bool conn_full = conn.outstanding > options_.max_conn_pending;
+  const bool queue_full =
+      server_.transport().queue_depth.load() >= options_.max_queue;
+  if (!conn_full && !queue_full) return false;
+  server_.transport().overload_rejections.fetch_add(1);
+  CompleteInline(
+      conn, slot,
+      FormatErrorReply(Status::Unavailable(
+          conn_full ? "connection pipeline over max_conn_pending; retry"
+                    : "solver queue over max_queue; retry")));
+  return true;
+}
+
+void Loop::SubmitHandleLineTask(Conn& conn, Slot& slot, std::string line) {
+  NoteQueued();
+  pool_.Submit([this, conn_id = conn.id, seq = slot.seq,
+                line = std::move(line)] {
+    // HandleLine is thread-safe and does its own epoch pinning, so a
+    // GROUPBY block here is single-epoch exactly like on the legacy
+    // transport. The requests counter is bumped by HandleLine itself.
+    std::ostringstream out;
+    server_.HandleLine(line, out);
+    server_.transport().queue_depth.fetch_sub(1);
+    completions_->Push({Completion{conn_id, seq, out.str()}});
+    Wake();
+  });
+}
+
+void Loop::DispatchLine(Conn& conn, const std::string& line) {
+  const std::vector<std::string> tokens = SplitWhitespace(line);
+  if (tokens.empty() || tokens[0][0] == '#') return;  // comment/blank
+  std::string cmd = tokens[0];
+  for (char& c : cmd) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+
+  if (cmd == "QUIT" || cmd == "EXIT") {
+    server_.NoteRequest();
+    Slot& slot = NewSlot(conn);
+    CompleteInline(conn, slot, "BYE\n");
+    conn.closing = true;  // replies before this slot still flush first
+    return;
+  }
+
+  if (cmd == "BOUND") {
+    // The coalescing fast path: parse here (cheap), batch the solve.
+    server_.NoteRequest();
+    Slot& slot = NewSlot(conn);
+    if (RejectIfOverloaded(conn, slot)) return;
+    const std::shared_ptr<const ShardedBoundSolver> pinned = server_.solver();
+    if (pinned == nullptr) {
+      CompleteInline(conn, slot,
+                     FormatErrorReply(Status::FailedPrecondition(
+                         "no snapshot loaded (use LOAD <path>)")));
+      return;
+    }
+    StatusOr<AggQuery> query =
+        ParseBoundRequest(tokens, pinned->constraints().num_attrs());
+    if (!query.ok()) {
+      CompleteInline(conn, slot, FormatErrorReply(query.status()));
+      return;
+    }
+    NoteQueued();
+    pending_bounds_.push_back(
+        PendingBound{conn.id, slot.seq, *std::move(query)});
+    if (!batch_deadline_.has_value()) {
+      batch_deadline_ = SteadyClock::now() +
+                        std::chrono::microseconds(options_.coalesce_us);
+    }
+    if (pending_bounds_.size() >= options_.max_batch) DispatchBoundBatch();
+    return;
+  }
+
+  if (cmd == "GROUPBY" || cmd == "LOAD") {
+    // Solver-pool work (GROUPBY solves; LOAD builds a whole solver):
+    // must not stall the loop, and counts against the admission caps.
+    Slot& slot = NewSlot(conn);
+    if (RejectIfOverloaded(conn, slot)) {
+      server_.NoteRequest();
+      return;
+    }
+    SubmitHandleLineTask(conn, slot, line);
+    return;
+  }
+
+  // Everything else — HEALTH, STATS, unknown verbs — answers inline
+  // through the one shared dispatcher, so replies and typed errors are
+  // byte-identical to the legacy transport's.
+  Slot& slot = NewSlot(conn);
+  std::ostringstream out;
+  server_.HandleLine(line, out);
+  CompleteInline(conn, slot, out.str());
+}
+
+void Loop::DispatchBoundBatch() {
+  if (pending_bounds_.empty()) return;
+  batch_deadline_.reset();
+  std::vector<PendingBound> batch = std::exchange(pending_bounds_, {});
+  server_.transport().coalesced_batches.fetch_add(1);
+  server_.transport().coalesced_requests.fetch_add(batch.size());
+  uint64_t seen = server_.transport().max_batch.load();
+  while (batch.size() > seen &&
+         !server_.transport().max_batch.compare_exchange_weak(
+             seen, batch.size())) {
+  }
+  pool_.Submit([this, batch = std::move(batch)] {
+    // Pin once for the whole batch: every reply it scatters is computed
+    // at exactly this epoch, and BoundBatch is bit-identical to solving
+    // the requests one by one.
+    const std::shared_ptr<const ShardedBoundSolver> pinned = server_.solver();
+    std::vector<Completion> done;
+    done.reserve(batch.size());
+    if (pinned == nullptr) {
+      // A LOAD raced ahead of us and failed, or the server never had a
+      // snapshot: same typed error the sequential path gives.
+      const std::string err = FormatErrorReply(Status::FailedPrecondition(
+          "no snapshot loaded (use LOAD <path>)"));
+      for (const PendingBound& p : batch) {
+        done.push_back(Completion{p.conn_id, p.seq, err});
+      }
+    } else {
+      std::vector<AggQuery> queries;
+      queries.reserve(batch.size());
+      for (const PendingBound& p : batch) queries.push_back(p.query);
+      const std::vector<StatusOr<ResultRange>> results =
+          pinned->BoundBatch(queries);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        done.push_back(Completion{batch[i].conn_id, batch[i].seq,
+                                  FormatRangeReply(results[i])});
+      }
+    }
+    server_.transport().queue_depth.fetch_sub(done.size());
+    completions_->Push(std::move(done));
+    Wake();
+  });
+}
+
+void Loop::ApplyCompletions() {
+  char drain[256];
+  while (::read(wake_read_, drain, sizeof(drain)) > 0) {
+  }
+  for (Completion& c : completions_->Drain()) {
+    Conn* conn = FindConn(c.conn_id);
+    if (conn == nullptr) continue;  // client left before its answer
+    FillSlot(*conn, c.seq, std::move(c.text));
+  }
+}
+
+void Loop::FillSlot(Conn& conn, uint64_t seq, std::string text) {
+  for (Slot& slot : conn.slots) {
+    if (slot.seq != seq) continue;
+    if (!slot.done) {
+      slot.done = true;
+      slot.text = std::move(text);
+      --conn.outstanding;
+    }
+    break;
+  }
+  FlushSlots(conn);
+}
+
+void Loop::FlushSlots(Conn& conn) {
+  while (!conn.slots.empty() && conn.slots.front().done) {
+    conn.wbuf += conn.slots.front().text;
+    conn.slots.pop_front();
+  }
+  WriteReady(conn);
+}
+
+void Loop::WriteReady(Conn& conn) {
+  while (!conn.wbuf.empty()) {
+    const ssize_t w = ::send(conn.fd, conn.wbuf.data(), conn.wbuf.size(),
+                             MSG_NOSIGNAL);
+    if (w > 0) {
+      conn.wbuf.erase(0, static_cast<size_t>(w));
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Peer is gone mid-reply: costs exactly this connection.
+    doomed_.push_back(conn.id);
+    return;
+  }
+  UpdateWriteInterest(conn);
+  MaybeFinish(conn);
+}
+
+void Loop::MaybeFinish(Conn& conn) {
+  if (!conn.wbuf.empty() || !conn.slots.empty()) return;
+  if (conn.discarding && !conn.eof) {
+    // Every reply (the oversize ERR included) has reached the kernel:
+    // half-close so the FIN trails the ERR, then keep discarding the
+    // client's backlog until EOF or the budget runs out — closing with
+    // unread bytes queued would RST the ERR away.
+    ::shutdown(conn.fd, SHUT_WR);
+    return;
+  }
+  if (conn.closing || conn.eof) doomed_.push_back(conn.id);
+}
+
+void Loop::ProcessBuffered(Conn& conn) {
+  size_t at;
+  while (!conn.closing && !conn.discarding &&
+         (at = conn.rbuf.find('\n')) != std::string::npos) {
+    std::string line = conn.rbuf.substr(0, at);
+    conn.rbuf.erase(0, at + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    DispatchLine(conn, line);
+  }
+  if (!conn.closing && !conn.discarding &&
+      conn.rbuf.size() > TcpListener::kMaxRequestLineBytes) {
+    // Same contract as the legacy session: one typed ERR, then the
+    // connection winds down (with a bounded discard of what the client
+    // keeps sending, so the ERR survives the teardown).
+    Slot& slot = NewSlot(conn);
+    CompleteInline(
+        conn, slot,
+        "ERR INVALID_ARGUMENT request line exceeds " +
+            std::to_string(TcpListener::kMaxRequestLineBytes) + " bytes\n");
+    conn.discarding = true;
+    conn.discard_budget = 8 * TcpListener::kMaxRequestLineBytes;
+    conn.rbuf.clear();
+    conn.rbuf.shrink_to_fit();
+  }
+}
+
+void Loop::ReadReady(Conn& conn) {
+  char chunk[16384];
+  while (true) {
+    const ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0) {
+      doomed_.push_back(conn.id);
+      return;
+    }
+    if (n == 0) {
+      conn.eof = true;
+      if (!conn.closing && !conn.discarding && !conn.rbuf.empty()) {
+        // EOF with a residual un-terminated line still gets an answer —
+        // stdio/TCP/event-loop parity.
+        std::string line = std::move(conn.rbuf);
+        conn.rbuf.clear();
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        DispatchLine(conn, line);
+      }
+      // Even mid-discard, flush pending replies (the oversize ERR) out
+      // before the close; MaybeFinish dooms the conn once wbuf drains.
+      FlushSlots(conn);
+      MaybeFinish(conn);
+      return;
+    }
+    if (conn.discarding) {
+      const size_t got = static_cast<size_t>(n);
+      conn.discard_budget -= std::min(conn.discard_budget, got);
+      if (conn.discard_budget == 0) {
+        doomed_.push_back(conn.id);
+        return;
+      }
+      continue;
+    }
+    if (!conn.closing) conn.rbuf.append(chunk, static_cast<size_t>(n));
+    ProcessBuffered(conn);
+  }
+  FlushSlots(conn);
+}
+
+Status Loop::Run() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) return Status::Internal("epoll_create1 failed");
+  Status status = SetNonBlocking(listener_fd_);
+  if (status.ok()) status = EpollAdd(listener_fd_, kListenerId, EPOLLIN);
+  if (status.ok()) status = EpollAdd(wake_read_, kWakeId, EPOLLIN);
+  if (!status.ok()) {
+    ::close(epfd_);
+    return status;
+  }
+
+  epoll_event events[256];
+  while (true) {
+    if (stopping_.load()) break;
+    // Serve-N-clients mode is done once the last session has ended.
+    if (!AcceptingMore() && !accept_rearm_at_.has_value() &&
+        conns_.empty() && options_.max_clients != 0) {
+      break;
+    }
+
+    // The timeout is the nearest deadline: the coalescing window (sub-
+    // millisecond windows round up to 1 ms — epoll's granularity) or
+    // the accept re-arm after resource exhaustion.
+    int timeout_ms = -1;
+    const auto deadline_ms = [](SteadyClock::time_point at) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          at - SteadyClock::now());
+      return std::max<long long>(0, left.count() + 1);
+    };
+    if (batch_deadline_.has_value()) {
+      timeout_ms = static_cast<int>(deadline_ms(*batch_deadline_));
+    }
+    if (accept_rearm_at_.has_value()) {
+      const int rearm = static_cast<int>(deadline_ms(*accept_rearm_at_));
+      timeout_ms = timeout_ms < 0 ? rearm : std::min(timeout_ms, rearm);
+    }
+
+    const int n = ::epoll_wait(epfd_, events, 256, timeout_ms);
+    if (n < 0 && errno != EINTR) {
+      status = Status::Internal(std::string("epoll_wait failed: ") +
+                                std::strerror(errno));
+      break;
+    }
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == kListenerId) {
+        AcceptReady();
+        continue;
+      }
+      if (id == kWakeId) {
+        ApplyCompletions();
+        continue;
+      }
+      Conn* conn = FindConn(id);
+      if (conn == nullptr) continue;  // closed earlier in this sweep
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 &&
+          (events[i].events & EPOLLIN) == 0) {
+        doomed_.push_back(id);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) WriteReady(*conn);
+      if (FindConn(id) == nullptr) continue;
+      if ((events[i].events & (EPOLLIN | EPOLLHUP)) != 0) ReadReady(*conn);
+    }
+    for (const uint64_t id : doomed_) DestroyConn(id);
+    doomed_.clear();
+
+    if (batch_deadline_.has_value() &&
+        SteadyClock::now() >= *batch_deadline_) {
+      DispatchBoundBatch();
+    }
+    if (accept_rearm_at_.has_value() &&
+        SteadyClock::now() >= *accept_rearm_at_) {
+      accept_rearm_at_.reset();
+      if (AcceptingMore() || options_.max_clients == 0) {
+        listener_disarmed_ = false;
+        if (!EpollAdd(listener_fd_, kListenerId, EPOLLIN).ok()) {
+          listener_disarmed_ = true;
+        }
+        AcceptReady();
+      }
+    }
+  }
+
+  // Flush any batch still waiting on its window, then drain the pool so
+  // no worker touches `server_` after Serve returns. Replies that never
+  // made it out die with their connections (Shutdown semantics match
+  // the legacy transport's disconnect-in-flight-sessions).
+  DispatchBoundBatch();
+  pool_.Wait();
+  for (auto& [id, conn] : conns_) {
+    ::close(conn->fd);
+    server_.transport().open_connections.fetch_sub(1);
+  }
+  conns_.clear();
+  ::close(epfd_);
+  return status;
+}
+
+}  // namespace
+
+StatusOr<EventLoopListener> EventLoopListener::Bind(uint16_t port,
+                                                    int backlog) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listener < 0) return Status::Internal("socket() failed");
+  const int enable = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listener);
+    return Status::InvalidArgument("bind() failed on port " +
+                                   std::to_string(port));
+  }
+  if (::listen(listener, backlog) < 0) {
+    ::close(listener);
+    return Status::Internal("listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    ::close(listener);
+    return Status::Internal("getsockname() failed");
+  }
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) < 0) {
+    ::close(listener);
+    return Status::Internal("pipe2() failed");
+  }
+  return EventLoopListener(listener, ntohs(bound.sin_port), pipe_fds[0],
+                           pipe_fds[1]);
+}
+
+EventLoopListener::EventLoopListener(int fd, uint16_t port, int wake_read,
+                                     int wake_write)
+    : fd_(fd),
+      port_(port),
+      wake_read_(wake_read),
+      wake_write_(wake_write),
+      stopping_(std::make_shared<std::atomic<bool>>(false)) {}
+
+EventLoopListener::EventLoopListener(EventLoopListener&& other) noexcept
+    : fd_(other.fd_),
+      port_(other.port_),
+      wake_read_(other.wake_read_),
+      wake_write_(other.wake_write_),
+      stopping_(other.stopping_) {
+  other.fd_ = -1;
+  other.wake_read_ = -1;
+  other.wake_write_ = -1;
+}
+
+EventLoopListener& EventLoopListener::operator=(
+    EventLoopListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    if (wake_read_ >= 0) ::close(wake_read_);
+    if (wake_write_ >= 0) ::close(wake_write_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    wake_read_ = other.wake_read_;
+    wake_write_ = other.wake_write_;
+    stopping_ = other.stopping_;
+    other.fd_ = -1;
+    other.wake_read_ = -1;
+    other.wake_write_ = -1;
+  }
+  return *this;
+}
+
+EventLoopListener::~EventLoopListener() {
+  if (fd_ >= 0) ::close(fd_);
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+}
+
+void EventLoopListener::Shutdown() {
+  if (stopping_ != nullptr) stopping_->store(true);
+  if (wake_write_ >= 0) {
+    const char byte = 1;
+    ssize_t ignored = ::write(wake_write_, &byte, 1);
+    (void)ignored;
+  }
+}
+
+Status EventLoopListener::Serve(BoundServer& server, const Options& options) {
+  if (fd_ < 0) return Status::FailedPrecondition("listener is closed");
+  Loop loop(server, options, fd_, wake_read_, wake_write_, *stopping_);
+  return loop.Run();
+}
+
+Status ServeEventLoop(BoundServer& server, uint16_t port,
+                      const EventLoopListener::Options& options) {
+  StatusOr<EventLoopListener> listener = EventLoopListener::Bind(port);
+  if (!listener.ok()) return listener.status();
+  return listener->Serve(server, options);
+}
+
+}  // namespace pcx
+
+#else  // !__linux__
+
+namespace pcx {
+
+StatusOr<EventLoopListener> EventLoopListener::Bind(uint16_t, int) {
+  return Status::Unimplemented("EventLoopListener: Linux epoll only");
+}
+EventLoopListener::EventLoopListener(int fd, uint16_t port, int wake_read,
+                                     int wake_write)
+    : fd_(fd), port_(port), wake_read_(wake_read), wake_write_(wake_write) {}
+EventLoopListener::EventLoopListener(EventLoopListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+EventLoopListener& EventLoopListener::operator=(
+    EventLoopListener&& other) noexcept {
+  fd_ = other.fd_;
+  port_ = other.port_;
+  other.fd_ = -1;
+  return *this;
+}
+EventLoopListener::~EventLoopListener() = default;
+void EventLoopListener::Shutdown() {}
+Status EventLoopListener::Serve(BoundServer&, const Options&) {
+  return Status::Unimplemented("EventLoopListener: Linux epoll only");
+}
+
+Status ServeEventLoop(BoundServer&, uint16_t,
+                      const EventLoopListener::Options&) {
+  return Status::Unimplemented("ServeEventLoop: Linux epoll only");
+}
+
+}  // namespace pcx
+
+#endif

@@ -127,6 +127,13 @@ StatusOr<GroupByRequest> ParseGroupByRequest(
   return request;
 }
 
+std::string FormatErrorReply(const Status& status) {
+  // The code name travels with the message so typed clients
+  // (engine/remote_backend.h) reconstruct the exact pcx::StatusCode.
+  return "ERR " + std::string(StatusCodeToString(status.code())) + " " +
+         OneLine(status.message()) + "\n";
+}
+
 void PrintResultRange(std::ostream& out, const char* label,
                       const ResultRange& range) {
   out << label << "lo=" << FormatNumber(range.lo)
@@ -220,7 +227,14 @@ Status BoundServer::HandleStats(const ShardedBoundSolver& solver,
       << " sat_cache_hits=" << s.solve.sat_cache_hits
       << " milp_nodes=" << s.solve.milp_nodes
       << " lp_solves=" << s.solve.lp_solves
-      << " lp_pivots=" << s.solve.lp_pivots << "\n";
+      << " lp_pivots=" << s.solve.lp_pivots
+      << " queue_depth=" << transport_.queue_depth.load()
+      << " queue_high_water=" << transport_.queue_high_water.load()
+      << " coalesced_batches=" << transport_.coalesced_batches.load()
+      << " coalesced_reqs=" << transport_.coalesced_requests.load()
+      << " max_batch=" << transport_.max_batch.load()
+      << " overload_rejects=" << transport_.overload_rejections.load()
+      << "\n";
   return Status::OK();
 }
 
@@ -239,7 +253,11 @@ void BoundServer::HandleHealth(const ShardedBoundSolver* solver,
     out << " epoch=0 shards=0 pcs=0 attrs=0";
   }
   out << " uptime_s=" << uptime_seconds() << " sessions=" << sessions()
-      << " requests=" << requests() << "\n";
+      << " requests=" << requests()
+      << " open_conns=" << transport_.open_connections.load()
+      << " queue_depth=" << transport_.queue_depth.load()
+      << " overload_rejects=" << transport_.overload_rejections.load()
+      << "\n";
 }
 
 bool BoundServer::HandleLine(const std::string& line, std::ostream& out) {
@@ -297,12 +315,7 @@ bool BoundServer::HandleLine(const std::string& line, std::ostream& out) {
         "unknown command '" + tokens[0] +
         "' (want LOAD/BOUND/GROUPBY/STATS/HEALTH/QUIT)");
   }
-  if (!status.ok()) {
-    // The code name travels with the message so typed clients
-    // (engine/remote_backend.h) reconstruct the exact pcx::StatusCode.
-    out << "ERR " << StatusCodeToString(status.code()) << " "
-        << OneLine(status.message()) << "\n";
-  }
+  if (!status.ok()) out << FormatErrorReply(status);
   return true;
 }
 

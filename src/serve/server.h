@@ -60,6 +60,28 @@ class BoundServer {
     ShardedBoundSolver::Options solver;
   };
 
+  /// Event-transport serving counters, owned here so STATS and HEALTH
+  /// have one formatting point whichever transport is wired in front.
+  /// The epoll loop (serve/event_loop.h) maintains them; under the
+  /// thread-per-session transport they stay zero. All atomics: the
+  /// loop thread and its solver-pool workers update them while any
+  /// session reads them.
+  struct TransportStats {
+    /// Requests admitted to the solver queue and not yet answered.
+    std::atomic<uint64_t> queue_depth{0};
+    std::atomic<uint64_t> queue_high_water{0};
+    /// Cross-connection BOUND coalescing: batches dispatched, requests
+    /// they carried, and the largest batch seen (>1 means the fan-in
+    /// actually coalesced).
+    std::atomic<uint64_t> coalesced_batches{0};
+    std::atomic<uint64_t> coalesced_requests{0};
+    std::atomic<uint64_t> max_batch{0};
+    /// Requests answered "ERR UNAVAILABLE" by admission control.
+    std::atomic<uint64_t> overload_rejections{0};
+    /// Currently open event-loop connections (gauge).
+    std::atomic<uint64_t> open_connections{0};
+  };
+
   BoundServer();
   explicit BoundServer(Options options);
   ~BoundServer();
@@ -98,6 +120,15 @@ class BoundServer {
   /// a session opens; feeds the HEALTH sessions counter.
   void NoteSessionStart() { ++sessions_; }
 
+  /// Called by transports that answer a request without going through
+  /// HandleLine (the event loop's coalesced BOUND path), so the HEALTH
+  /// requests counter stays transport-independent.
+  void NoteRequest() { ++requests_; }
+
+  /// Event-transport counters (see TransportStats).
+  TransportStats& transport() { return transport_; }
+  const TransportStats& transport() const { return transport_; }
+
  private:
   /// LOAD body: builds the new solver outside the swap lock and
   /// publishes it; returns the pinned new solver for the OK reply.
@@ -119,10 +150,18 @@ class BoundServer {
   std::atomic<uint64_t> sessions_{0};
   std::atomic<uint64_t> requests_{0};
 
+  TransportStats transport_;
+
   mutable std::mutex mu_;  ///< guards the snapshot swap below
   std::shared_ptr<const ShardedBoundSolver> solver_;
   std::string snapshot_path_;
 };
+
+/// Formats a non-OK Status as the wire error reply — "ERR <CODE>
+/// <one-line message>\n". The one definition shared by HandleLine and
+/// the event loop's coalesced BOUND path, so typed errors cannot drift
+/// between transports.
+std::string FormatErrorReply(const Status& status);
 
 /// Shared request-parsing helpers: the server's command dispatch and
 /// the typed client REPL of `pcx_serve --connect` parse the same lines

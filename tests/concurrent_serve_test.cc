@@ -24,6 +24,7 @@
 
 #include "engine/local_backend.h"
 #include "engine/remote_backend.h"
+#include "serve/event_loop.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 
@@ -75,14 +76,38 @@ std::string WriteEpochSnapshot(uint64_t epoch, const std::string& tag) {
   return path;
 }
 
+/// Which serving transport carries the session: the thread-per-session
+/// TcpListener or the epoll event loop. The serving contract (typed
+/// replies, epoch pinning, oversize/EOF handling) is transport-
+/// independent, so the parity tests below run under both.
+enum class Transport { kThreads, kEventLoop };
+
+std::string TransportName(const testing::TestParamInfo<Transport>& info) {
+  return info.param == Transport::kThreads ? "Threads" : "EventLoop";
+}
+
 /// An in-process concurrent pcx_serve: ephemeral port, `session_threads`
-/// workers, Shutdown-able from the test thread.
+/// workers (solver-pool workers under the event loop), Shutdown-able
+/// from the test thread.
 class ConcurrentTestServer {
  public:
   ConcurrentTestServer(size_t session_threads, size_t max_clients,
-                       const std::string& snapshot = "") {
+                       const std::string& snapshot = "",
+                       Transport transport = Transport::kThreads) {
     if (!snapshot.empty()) {
       PCX_CHECK(server_.LoadSnapshotFile(snapshot).ok());
+    }
+    if (transport == Transport::kEventLoop) {
+      StatusOr<EventLoopListener> listener = EventLoopListener::Bind(0);
+      PCX_CHECK(listener.ok()) << listener.status();
+      event_listener_.emplace(std::move(listener).value());
+      EventLoopListener::Options options;
+      options.max_clients = max_clients;
+      options.solver_threads = session_threads;
+      thread_ = std::thread([this, options] {
+        serve_status_ = event_listener_->Serve(server_, options);
+      });
+      return;
     }
     StatusOr<TcpListener> listener = TcpListener::Bind(0);
     PCX_CHECK(listener.ok()) << listener.status();
@@ -99,17 +124,24 @@ class ConcurrentTestServer {
     Join();
   }
 
-  void Shutdown() { listener_->Shutdown(); }
+  void Shutdown() {
+    if (event_listener_.has_value()) event_listener_->Shutdown();
+    if (listener_.has_value()) listener_->Shutdown();
+  }
   void Join() {
     if (thread_.joinable()) thread_.join();
   }
-  uint16_t port() const { return listener_->port(); }
+  uint16_t port() const {
+    return event_listener_.has_value() ? event_listener_->port()
+                                       : listener_->port();
+  }
   BoundServer& server() { return server_; }
   const Status& serve_status() const { return serve_status_; }
 
  private:
   BoundServer server_;
   std::optional<TcpListener> listener_;
+  std::optional<EventLoopListener> event_listener_;
   Status serve_status_;
   std::thread thread_;
 };
@@ -156,10 +188,14 @@ std::string ReadUntilEof(int fd) {
   return out;
 }
 
-TEST(ConcurrentServeTest, TcpAnswersFinalCommandWithoutTrailingNewline) {
+/// Parity suite: every test runs against both transports and asserts
+/// transport-independent behavior.
+class TransportServeTest : public testing::TestWithParam<Transport> {};
+
+TEST_P(TransportServeTest, TcpAnswersFinalCommandWithoutTrailingNewline) {
   const std::string snapshot = WriteEpochSnapshot(1, "eof");
   ConcurrentTestServer server(/*session_threads=*/1, /*max_clients=*/1,
-                              snapshot);
+                              snapshot, GetParam());
 
   // The last (only) command arrives with no '\n' before EOF. The
   // session loop must flush the residual buffer as a line — exactly
@@ -295,10 +331,10 @@ TEST(ConcurrentServeTest, ShutdownDisconnectsIdleInFlightSessions) {
   EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
 }
 
-TEST(ConcurrentServeTest, OversizedRequestLineIsRefusedNotBuffered) {
+TEST_P(TransportServeTest, OversizedRequestLineIsRefusedNotBuffered) {
   const std::string snapshot = WriteEpochSnapshot(1, "oversize");
   ConcurrentTestServer server(/*session_threads=*/1, /*max_clients=*/1,
-                              snapshot);
+                              snapshot, GetParam());
 
   // A newline-less stream past the line cap: the session must answer
   // one typed ERR and hang up instead of buffering without bound. The
@@ -324,7 +360,7 @@ TEST(ConcurrentServeTest, OversizedRequestLineIsRefusedNotBuffered) {
   EXPECT_TRUE(server.serve_status().ok()) << server.serve_status();
 }
 
-TEST(ConcurrentServeTest, MixedWorkloadAcrossEpochSwapsIsNeverTorn) {
+TEST_P(TransportServeTest, MixedWorkloadAcrossEpochSwapsIsNeverTorn) {
   const std::string v1 = WriteEpochSnapshot(1, "swap_v1");
   const std::string v2 = WriteEpochSnapshot(2, "swap_v2");
 
@@ -369,7 +405,7 @@ TEST(ConcurrentServeTest, MixedWorkloadAcrossEpochSwapsIsNeverTorn) {
   // Workers cover every concurrently-open session: kClients query
   // streams plus the LOAD-swapping control session.
   ConcurrentTestServer server(/*session_threads=*/kClients + 1,
-                              /*max_clients=*/0, v1);
+                              /*max_clients=*/0, v1, GetParam());
 
   std::atomic<size_t> failures{0};
   std::vector<std::thread> clients;
@@ -429,6 +465,11 @@ TEST(ConcurrentServeTest, MixedWorkloadAcrossEpochSwapsIsNeverTorn) {
   EXPECT_GE(server.server().requests(),
             kClients * kIterations * 4);  // plus LOADs and Connect STATS
 }
+
+INSTANTIATE_TEST_SUITE_P(AllTransports, TransportServeTest,
+                         testing::Values(Transport::kThreads,
+                                         Transport::kEventLoop),
+                         TransportName);
 
 #endif  // !_WIN32
 

@@ -1,0 +1,328 @@
+// Event-loop transport tests: cross-connection BOUND coalescing,
+// admission control (per-connection and global caps answering typed
+// ERR UNAVAILABLE), overload counters in STATS/HEALTH, full recovery
+// after an overload burst, and fd hygiene across many short sessions.
+//
+// Determinism note exploited throughout: the loop applies solver
+// completions only on wake-pipe events, and dispatches a coalesced
+// batch only when its window expires (or it hits max_batch). So every
+// line of one pipelined send is admitted/rejected in one sweep with no
+// completions interleaved — which makes the expected reply sequence of
+// an overload burst exact, not probabilistic.
+
+#include <gtest/gtest.h>
+
+#ifdef __linux__
+
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/event_loop.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+
+namespace pcx {
+namespace {
+
+PredicateConstraintSet SensorSet() {
+  PredicateConstraintSet pcs;
+  {
+    Predicate pred(3);
+    pred.AddRange(0, 0, 23);
+    Box values(3);
+    values.Constrain(2, Interval::Closed(10, 50));
+    pcs.Add(PredicateConstraint(pred, values, {2, 5}));
+  }
+  {
+    Predicate pred(3);
+    pred.AddRange(0, 24, 47);
+    Box values(3);
+    values.Constrain(2, Interval::Closed(0, 30));
+    pcs.Add(PredicateConstraint(pred, values, {0, 4}));
+  }
+  return pcs;
+}
+
+std::string WriteTestSnapshot(const std::string& tag) {
+  const auto pcs = SensorSet();
+  const std::vector<AttrDomain> domains = {AttrDomain::kInteger,
+                                           AttrDomain::kContinuous,
+                                           AttrDomain::kContinuous};
+  const Partition p =
+      PartitionPcSet(pcs, domains, {2, PartitionStrategy::kAttributeRange});
+  const Snapshot snap = MakeSnapshot(pcs, domains, p, 1);
+  const std::string path =
+      testing::TempDir() + "/event_loop_" + tag + ".pcxsnap";
+  PCX_CHECK(WriteSnapshot(snap, path).ok());
+  return path;
+}
+
+/// The expected reply to "BOUND COUNT 0" over SensorSet().
+constexpr const char* kCountReply =
+    "RANGE lo=2 hi=9 defined=1 empty_possible=0\n";
+
+class EventLoopTestServer {
+ public:
+  explicit EventLoopTestServer(const EventLoopListener::Options& options,
+                               const std::string& snapshot) {
+    PCX_CHECK(server_.LoadSnapshotFile(snapshot).ok());
+    StatusOr<EventLoopListener> listener = EventLoopListener::Bind(0);
+    PCX_CHECK(listener.ok()) << listener.status();
+    listener_.emplace(std::move(listener).value());
+    thread_ = std::thread([this, options] {
+      serve_status_ = listener_->Serve(server_, options);
+    });
+  }
+  ~EventLoopTestServer() {
+    listener_->Shutdown();
+    thread_.join();
+  }
+
+  uint16_t port() const { return listener_->port(); }
+  BoundServer& server() { return server_; }
+  const Status& serve_status() const { return serve_status_; }
+
+ private:
+  BoundServer server_;
+  std::optional<EventLoopListener> listener_;
+  Status serve_status_;
+  std::thread thread_;
+};
+
+int RawConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  PCX_CHECK(fd >= 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  PCX_CHECK(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0);
+  return fd;
+}
+
+void SendAll(int fd, const std::string& text) {
+  size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t w =
+        ::send(fd, text.data() + sent, text.size() - sent, MSG_NOSIGNAL);
+    PCX_CHECK(w > 0);
+    sent += static_cast<size_t>(w);
+  }
+}
+
+/// Reads exactly `lines` newline-terminated replies (blocking).
+std::vector<std::string> RecvLines(int fd, size_t lines) {
+  std::vector<std::string> out;
+  std::string buffer;
+  char chunk[4096];
+  while (out.size() < lines) {
+    const size_t at = buffer.find('\n');
+    if (at != std::string::npos) {
+      out.push_back(buffer.substr(0, at + 1));
+      buffer.erase(0, at + 1);
+      continue;
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    PCX_CHECK(n > 0) << "peer closed after " << out.size() << " lines";
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+std::string QueryOneLine(uint16_t port, const std::string& request) {
+  const int fd = RawConnect(port);
+  SendAll(fd, request + "\n");
+  const std::string reply = RecvLines(fd, 1)[0];
+  ::close(fd);
+  return reply;
+}
+
+/// "key=value" extraction from a STATS/HEALTH reply line.
+uint64_t CounterIn(const std::string& line, const std::string& key) {
+  const std::string needle = " " + key + "=";
+  const size_t at = line.find(needle);
+  PCX_CHECK(at != std::string::npos) << key << " not in: " << line;
+  return std::strtoull(line.c_str() + at + needle.size(), nullptr, 10);
+}
+
+size_t OpenFdCount() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  PCX_CHECK(dir != nullptr);
+  size_t count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+TEST(EventLoopTest, CoalescesBoundsAcrossConnections) {
+  EventLoopListener::Options options;
+  options.solver_threads = 2;
+  // A generous window: all five clients' requests land inside it, so
+  // the coalescer must fold requests from *different* connections into
+  // one batch.
+  options.coalesce_us = 50000;
+  EventLoopTestServer server(options, WriteTestSnapshot("coalesce"));
+
+  constexpr size_t kClients = 5;
+  std::vector<int> fds;
+  for (size_t c = 0; c < kClients; ++c) {
+    fds.push_back(RawConnect(server.port()));
+  }
+  for (const int fd : fds) SendAll(fd, "BOUND COUNT 0\n");
+  for (const int fd : fds) {
+    EXPECT_EQ(RecvLines(fd, 1)[0], kCountReply);
+    ::close(fd);
+  }
+
+  const std::string stats = QueryOneLine(server.port(), "STATS");
+  EXPECT_EQ(CounterIn(stats, "coalesced_reqs"), kClients);
+  EXPECT_GE(CounterIn(stats, "coalesced_batches"), 1u);
+  // The acceptance signal of the whole design: at least one batch held
+  // requests from more than one connection.
+  EXPECT_GT(CounterIn(stats, "max_batch"), 1u);
+  EXPECT_EQ(CounterIn(stats, "overload_rejects"), 0u);
+  EXPECT_EQ(CounterIn(stats, "queue_depth"), 0u);
+}
+
+TEST(EventLoopTest, PerConnectionPendingCapRejectsWithTypedError) {
+  EventLoopListener::Options options;
+  options.solver_threads = 1;
+  options.max_conn_pending = 2;
+  options.coalesce_us = 20000;  // holds the admitted pair in the window
+  EventLoopTestServer server(options, WriteTestSnapshot("conncap"));
+
+  // Five pipelined BOUNDs in one send: the first two are admitted into
+  // the (still-open) coalescing window, the last three exceed the
+  // per-connection cap. Replies come back in request order: two RANGEs
+  // once the batch solves, then the three typed rejections.
+  const int fd = RawConnect(server.port());
+  std::string burst;
+  for (int i = 0; i < 5; ++i) burst += "BOUND COUNT 0\n";
+  SendAll(fd, burst);
+  const std::vector<std::string> replies = RecvLines(fd, 5);
+  EXPECT_EQ(replies[0], kCountReply);
+  EXPECT_EQ(replies[1], kCountReply);
+  for (size_t i = 2; i < 5; ++i) {
+    EXPECT_EQ(replies[i].rfind("ERR UNAVAILABLE", 0), 0u) << replies[i];
+  }
+
+  // The connection survives its own rejections: the next request on the
+  // same socket is served normally.
+  SendAll(fd, "BOUND COUNT 0\n");
+  EXPECT_EQ(RecvLines(fd, 1)[0], kCountReply);
+  ::close(fd);
+
+  const std::string health = QueryOneLine(server.port(), "HEALTH");
+  EXPECT_EQ(CounterIn(health, "overload_rejects"), 3u);
+  EXPECT_EQ(CounterIn(health, "queue_depth"), 0u);
+}
+
+TEST(EventLoopTest, GlobalQueueCapRejectsAndFullyRecovers) {
+  EventLoopListener::Options options;
+  options.solver_threads = 1;
+  options.max_queue = 1;
+  options.max_conn_pending = 64;
+  options.coalesce_us = 20000;
+  EventLoopTestServer server(options, WriteTestSnapshot("queuecap"));
+
+  // One admitted BOUND saturates max_queue=1; the two behind it in the
+  // same pipelined send are shed with the typed rejection.
+  const int fd = RawConnect(server.port());
+  SendAll(fd, "BOUND COUNT 0\nBOUND COUNT 0\nBOUND COUNT 0\n");
+  const std::vector<std::string> replies = RecvLines(fd, 3);
+  EXPECT_EQ(replies[0], kCountReply);
+  EXPECT_EQ(replies[1].rfind("ERR UNAVAILABLE", 0), 0u) << replies[1];
+  EXPECT_EQ(replies[2].rfind("ERR UNAVAILABLE", 0), 0u) << replies[2];
+
+  // Recovery: the queue drained with the batch, so the next request is
+  // admitted — overload is a state, not a death sentence.
+  SendAll(fd, "BOUND COUNT 0\n");
+  EXPECT_EQ(RecvLines(fd, 1)[0], kCountReply);
+
+  SendAll(fd, "STATS\n");
+  const std::string stats = RecvLines(fd, 1)[0];
+  ::close(fd);
+  EXPECT_EQ(CounterIn(stats, "overload_rejects"), 2u);
+  EXPECT_EQ(CounterIn(stats, "queue_depth"), 0u);
+  EXPECT_EQ(CounterIn(stats, "queue_high_water"), 1u);
+}
+
+TEST(EventLoopTest, GroupByCountsAgainstAdmissionToo) {
+  EventLoopListener::Options options;
+  options.solver_threads = 1;
+  options.max_conn_pending = 1;
+  options.coalesce_us = 20000;
+  EventLoopTestServer server(options, WriteTestSnapshot("groupcap"));
+
+  // A BOUND holds the one pending slot; the GROUPBY behind it must be
+  // shed — admission control covers every solver-pool verb, or a
+  // GROUPBY flood would bypass the cap entirely.
+  const int fd = RawConnect(server.port());
+  SendAll(fd, "BOUND COUNT 0\nGROUPBY COUNT 0 0 5,30\n");
+  const std::vector<std::string> replies = RecvLines(fd, 2);
+  EXPECT_EQ(replies[0], kCountReply);
+  EXPECT_EQ(replies[1].rfind("ERR UNAVAILABLE", 0), 0u) << replies[1];
+
+  // Alone in the pipeline, the same GROUPBY is served: GROUPS + groups.
+  SendAll(fd, "GROUPBY COUNT 0 0 5,30\n");
+  const std::vector<std::string> groups = RecvLines(fd, 3);
+  EXPECT_EQ(groups[0], "GROUPS 2\n");
+  EXPECT_EQ(groups[1].rfind("GROUP 5 ", 0), 0u) << groups[1];
+  ::close(fd);
+}
+
+TEST(EventLoopTest, ManyShortSessionsLeakNoFdsOrCounters) {
+  EventLoopListener::Options options;
+  options.solver_threads = 2;
+  options.coalesce_us = 0;  // latency over batching: solo client anyway
+  EventLoopTestServer server(options, WriteTestSnapshot("fds"));
+
+  // Settle: one probe session, then snapshot the process fd count.
+  EXPECT_EQ(QueryOneLine(server.port(), "BOUND COUNT 0"), kCountReply);
+  // The probe's server-side fd may linger an instant after the client
+  // close returns; wait for open_conns to hit zero before baselining.
+  for (int spin = 0; spin < 200; ++spin) {
+    if (server.server().transport().open_connections.load() == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const size_t baseline = OpenFdCount();
+
+  constexpr size_t kSessions = 40;
+  for (size_t s = 0; s < kSessions; ++s) {
+    EXPECT_EQ(QueryOneLine(server.port(), "BOUND COUNT 0"), kCountReply);
+  }
+  for (int spin = 0; spin < 2000; ++spin) {
+    if (server.server().transport().open_connections.load() == 0 &&
+        OpenFdCount() <= baseline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.server().transport().open_connections.load(), 0u);
+  EXPECT_EQ(OpenFdCount(), baseline);
+
+  const std::string health = QueryOneLine(server.port(), "HEALTH");
+  // open_conns=1: the HEALTH session itself is the one live connection.
+  EXPECT_EQ(CounterIn(health, "open_conns"), 1u);
+  EXPECT_EQ(CounterIn(health, "queue_depth"), 0u);
+  EXPECT_EQ(CounterIn(health, "overload_rejects"), 0u);
+  EXPECT_GE(CounterIn(health, "sessions"), kSessions + 1);
+}
+
+}  // namespace
+}  // namespace pcx
+
+#else  // !__linux__
+
+TEST(EventLoopTest, SkippedOffLinux) { GTEST_SKIP() << "epoll is Linux-only"; }
+
+#endif

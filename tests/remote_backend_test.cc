@@ -379,6 +379,82 @@ TEST(StreamTransportTest, DrivesTheClientFromCannedReplies) {
   EXPECT_NE(sent.str().find("GROUPBY COUNT 0 0 7\n"), std::string::npos);
 }
 
+TEST(StreamTransportTest, RetryPolicyRetriesOnlyTypedUnavailableReplies) {
+  // Two overload rejections, then success: with max_retries=2 the
+  // caller never sees the ERR UNAVAILABLE lines — the retry loop eats
+  // them and returns the eventual RANGE. The GROUPBY exercises the same
+  // policy on its (single-line) header.
+  std::istringstream replies(
+      "ERR UNAVAILABLE solver queue over max_queue; retry\n"
+      "ERR UNAVAILABLE solver queue over max_queue; retry\n"
+      "RANGE lo=1 hi=2 defined=1 empty_possible=0\n"
+      "ERR UNAVAILABLE solver queue over max_queue; retry\n"
+      "GROUPS 1\n"
+      "GROUP 7 lo=0 hi=3 defined=1 empty_possible=1\n"
+      "ERR UNAVAILABLE solver queue over max_queue; retry\n"
+      "ERR UNAVAILABLE solver queue over max_queue; retry\n"
+      "ERR UNAVAILABLE solver queue over max_queue; retry\n");
+  std::ostringstream sent;
+  RemoteBackend backend(std::make_unique<StreamTransport>(replies, sent));
+  RemoteBackend::RetryPolicy policy;
+  policy.max_retries = 2;
+  policy.backoff_ms = 0;  // no sleeping in tests
+  backend.set_retry_policy(policy);
+
+  const auto range = backend.Bound(AggQuery::Count());
+  ASSERT_TRUE(range.ok()) << range.status();
+  EXPECT_EQ(range->hi, 2.0);
+
+  const auto groups = backend.BoundGroupBy(AggQuery::Count(), 0, {7.0});
+  ASSERT_TRUE(groups.ok()) << groups.status();
+  ASSERT_EQ(groups->size(), 1u);
+
+  // Rejections past the budget surface as the typed kUnavailable — the
+  // caller still learns the server is shedding load.
+  const auto exhausted = backend.Bound(AggQuery::Count());
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kUnavailable);
+
+  // Three BOUND attempts for the first call, one GROUPBY + retry, three
+  // more for the exhausted call: each retry re-sent the request line.
+  std::string log = sent.str();
+  size_t bounds = 0;
+  for (size_t at = 0; (at = log.find("BOUND COUNT 0\n", at)) !=
+                      std::string::npos;
+       at += 1) {
+    ++bounds;
+  }
+  EXPECT_EQ(bounds, 6u);
+
+  // Transport death is NOT retried: the stream is exhausted now, and
+  // the failure comes back immediately as the transport's kUnavailable
+  // (retrying a dead pipe would just burn the backoff schedule).
+  const auto dead = backend.Bound(AggQuery::Count());
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(StreamTransportTest, StatsParsesEventLoopTransportCounters) {
+  // A new server's STATS line carries the event-loop counters; the
+  // typed client surfaces them (and an old server's line without them
+  // leaves the fields zero — covered by every other STATS test here).
+  std::istringstream replies(
+      "STATS epoch=4 shards=2 pcs=6 attrs=3 queries=9 queue_depth=3 "
+      "queue_high_water=7 coalesced_batches=2 coalesced_reqs=8 max_batch=5 "
+      "overload_rejects=4\n");
+  std::ostringstream sent;
+  RemoteBackend backend(std::make_unique<StreamTransport>(replies, sent));
+
+  const auto stats = backend.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->queue_depth, 3u);
+  EXPECT_EQ(stats->queue_high_water, 7u);
+  EXPECT_EQ(stats->coalesced_batches, 2u);
+  EXPECT_EQ(stats->coalesced_requests, 8u);
+  EXPECT_EQ(stats->max_coalesced_batch, 5u);
+  EXPECT_EQ(stats->overload_rejections, 4u);
+}
+
 TEST(StreamTransportTest, BrokenGroupBlockPoisonsTheSession) {
   // A GROUPBY block that breaks half-way leaves the reply stream at an
   // unknown offset. The client must poison the session — if it kept

@@ -39,6 +39,7 @@
 #include "engine/engine.h"
 #include "engine/remote_backend.h"
 #include "pc/serialization.h"
+#include "serve/event_loop.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 
@@ -54,6 +55,10 @@ struct Flags {
   bool scatter_gather = false;
   bool persistent_sat_cache = true;  // serving wants the cross-query cache
   size_t serve_clients = 0;          // exit after N TCP sessions (0 = forever)
+  bool event_loop = false;           // epoll transport instead of threads
+  size_t max_queue = 1024;           // event loop: admission cap (global)
+  size_t max_conn_pending = 64;      // event loop: admission cap (per conn)
+  unsigned long coalesce_us = 200;   // event loop: BOUND batching window
 
   bool build_snapshot = false;
   std::string pcset;
@@ -88,7 +93,13 @@ void Usage() {
       "    --serve-threads=N serves N TCP clients concurrently (default\n"
       "    4; 1 = sequential); --backlog=N sets the listen(2) queue\n"
       "    depth; --serve-clients=N exits after N sessions\n"
-      "    (--serve-once is shorthand for --serve-clients=1).\n\n"
+      "    (--serve-once is shorthand for --serve-clients=1).\n"
+      "    --event-loop switches to the epoll transport (C10K-scale:\n"
+      "    connections cost an fd, not a thread; cross-connection BOUND\n"
+      "    coalescing; overload answered with ERR UNAVAILABLE).\n"
+      "    --serve-threads then sizes its solver pool, and\n"
+      "    --max-queue=N / --max-conn-pending=N set the admission caps,\n"
+      "    --coalesce-us=N the batching window (defaults 1024/64/200).\n\n"
       "Client mode:\n"
       "  pcx_serve --connect=URI\n"
       "    Typed client REPL against an Engine::Open URI\n"
@@ -256,7 +267,14 @@ int RunClient(const std::string& uri) {
                   << " sat_cache_hits=" << stats->sat_cache_hits
                   << " milp_nodes=" << stats->milp_nodes
                   << " lp_solves=" << stats->lp_solves
-                  << " lp_pivots=" << stats->lp_pivots << "\n";
+                  << " lp_pivots=" << stats->lp_pivots
+                  << " queue_depth=" << stats->queue_depth
+                  << " queue_high_water=" << stats->queue_high_water
+                  << " coalesced_batches=" << stats->coalesced_batches
+                  << " coalesced_reqs=" << stats->coalesced_requests
+                  << " max_batch=" << stats->max_coalesced_batch
+                  << " overload_rejects=" << stats->overload_rejections
+                  << "\n";
       } else {
         error = stats.status();
       }
@@ -312,6 +330,14 @@ int main(int argc, char** argv) {
       flags.backlog = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "serve-clients", &value)) {
       flags.serve_clients = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (arg == "--event-loop") {
+      flags.event_loop = true;
+    } else if (ParseFlag(arg, "max-queue", &value)) {
+      flags.max_queue = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "max-conn-pending", &value)) {
+      flags.max_conn_pending = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "coalesce-us", &value)) {
+      flags.coalesce_us = std::strtoul(value.c_str(), nullptr, 10);
     } else if (arg == "--scatter-gather") {
       flags.scatter_gather = true;
     } else if (arg == "--no-sat-cache") {
@@ -364,6 +390,35 @@ int main(int argc, char** argv) {
                  server.solver()->constraints().size());
   }
 
+  if (flags.port >= 0 && flags.event_loop) {
+    pcx::StatusOr<pcx::EventLoopListener> listener =
+        pcx::EventLoopListener::Bind(static_cast<uint16_t>(flags.port),
+                                     flags.backlog);
+    if (!listener.ok()) {
+      std::fprintf(stderr, "server error: %s\n",
+                   listener.status().message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "serving on localhost:%u (event loop, %zu solver threads, "
+                 "max_queue=%zu, coalesce_us=%lu)\n",
+                 listener->port(), flags.serve_threads, flags.max_queue,
+                 flags.coalesce_us);
+    std::printf("PORT %u\n", listener->port());
+    std::fflush(stdout);
+    pcx::EventLoopListener::Options serve_options;
+    serve_options.max_clients = flags.serve_clients;
+    serve_options.solver_threads = flags.serve_threads;
+    serve_options.max_queue = flags.max_queue;
+    serve_options.max_conn_pending = flags.max_conn_pending;
+    serve_options.coalesce_us = static_cast<uint32_t>(flags.coalesce_us);
+    const pcx::Status status = listener->Serve(server, serve_options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "server error: %s\n", status.message().c_str());
+      return 1;
+    }
+    return 0;
+  }
   if (flags.port >= 0) {
     // Bind before serving so --port=0 (kernel-assigned ephemeral port)
     // can announce the actual port: human-readable on stderr, a
