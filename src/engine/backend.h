@@ -56,6 +56,13 @@ struct HealthInfo {
   uint64_t sessions = 0;
   /// Protocol requests the server has handled (0 for in-process).
   uint64_t requests = 0;
+  /// True when the server is a read-only replica tailing a primary.
+  bool replica = false;
+  /// The primary's last reported epoch (replicas only; 0 otherwise).
+  uint64_t primary_epoch = 0;
+  /// Epochs this replica is behind its primary (0 when caught up or
+  /// not a replica).
+  uint64_t replication_lag = 0;
 };
 
 /// The one logical operation of the paper — "bound this aggregate under

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/text.h"
+#include "engine/failover_backend.h"
 #include "engine/mirror_backend.h"
 #include "engine/remote_backend.h"
 #include "engine/sharded_backend.h"
@@ -16,7 +17,7 @@ namespace pcx {
 
 namespace {
 
-constexpr const char* kSchemes = "local:/snapshot:/tcp:/mirror:";
+constexpr const char* kSchemes = "local:/snapshot:/tcp:/mirror:/failover:";
 
 struct UriBody {
   std::string path;
@@ -159,6 +160,13 @@ StatusOr<Engine> OpenTcp(const std::string& body) {
     } else if (key == "retry_ms") {
       PCX_ASSIGN_OR_RETURN(const uint64_t ms, ParseU64(value));
       retry.backoff_ms = static_cast<uint32_t>(ms);
+    } else if (key == "retry_cap_ms") {
+      PCX_ASSIGN_OR_RETURN(const uint64_t ms, ParseU64(value));
+      retry.max_backoff_ms = static_cast<uint32_t>(ms);
+    } else if (key == "jitter") {
+      retry.jitter = value != "0";
+    } else if (key == "retry_seed") {
+      PCX_ASSIGN_OR_RETURN(retry.jitter_seed, ParseU64(value));
     } else {
       return Status::InvalidArgument("unknown tcp: URI parameter '" + key +
                                      "'");
@@ -187,6 +195,40 @@ StatusOr<Engine> OpenMirror(const std::string& body,
       std::make_shared<MirrorBackend>(std::move(replicas), options.mirror));
 }
 
+StatusOr<Engine> OpenFailover(const std::string& body,
+                              const Engine::Options& options) {
+  std::vector<std::string> uris;
+  for (const std::string& part : SplitOn(body, '|')) {
+    if (!part.empty()) uris.push_back(part);
+  }
+  if (uris.empty()) {
+    return Status::InvalidArgument(
+        "failover: URI needs at least one candidate URI "
+        "(failover:<primary>|<replica>)");
+  }
+  // Candidates open lazily inside the backend (a dead replica must not
+  // fail construction), so validate the schemes eagerly here — a typo'd
+  // URI should fail at Open time, not at first query.
+  for (const std::string& uri : uris) {
+    const size_t colon = uri.find(':');
+    const std::string scheme =
+        colon == std::string::npos ? "" : uri.substr(0, colon);
+    if (scheme != "local" && scheme != "snapshot" && scheme != "tcp" &&
+        scheme != "mirror") {
+      return Status::InvalidArgument("failover: candidate '" + uri +
+                                     "' has no usable scheme (want " +
+                                     std::string(kSchemes) + ")");
+    }
+  }
+  FailoverBackend::Opener opener =
+      [options](const std::string& uri) -> StatusOr<std::shared_ptr<BoundBackend>> {
+    PCX_ASSIGN_OR_RETURN(Engine engine, Engine::Open(uri, options));
+    return engine.backend();
+  };
+  return Engine::FromBackend(std::make_shared<FailoverBackend>(
+      std::move(uris), std::move(opener)));
+}
+
 }  // namespace
 
 StatusOr<Engine> Engine::Open(const std::string& uri, Options options) {
@@ -199,6 +241,7 @@ StatusOr<Engine> Engine::Open(const std::string& uri, Options options) {
   const std::string body = uri.substr(colon + 1);
   if (scheme == "tcp") return OpenTcp(body);
   if (scheme == "mirror") return OpenMirror(body, options);
+  if (scheme == "failover") return OpenFailover(body, options);
   PCX_ASSIGN_OR_RETURN(const UriBody parsed, SplitParams(body));
   if (scheme == "local") return OpenLocal(parsed, std::move(options));
   if (scheme == "snapshot") return OpenSnapshot(parsed, std::move(options));

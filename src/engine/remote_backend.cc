@@ -1,6 +1,8 @@
 #include "engine/remote_backend.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <thread>
@@ -232,9 +234,35 @@ std::string WhereSuffix(const AggQuery& query) {
 // ---------------------------------------------------------------------------
 // RemoteBackend
 
+uint32_t NextRetryBackoffMs(const RemoteBackend::RetryPolicy& policy,
+                            uint32_t prev_ms, Rng& rng) {
+  const uint32_t cap = std::max(policy.max_backoff_ms, policy.backoff_ms);
+  if (!policy.jitter) {
+    // Legacy deterministic doubling, capped.
+    const uint64_t next =
+        prev_ms == 0 ? policy.backoff_ms : uint64_t{prev_ms} * 2;
+    return static_cast<uint32_t>(std::min<uint64_t>(next, cap));
+  }
+  // Decorrelated jitter (sleep = U[base, 3*prev]): the expected sleep
+  // still grows geometrically, but concurrent clients spread across the
+  // whole interval instead of knocking again in synchronized waves.
+  const uint64_t hi = std::min<uint64_t>(
+      cap, uint64_t{3} * std::max(prev_ms, policy.backoff_ms));
+  return static_cast<uint32_t>(rng.UniformInt(
+      static_cast<int64_t>(std::min<uint64_t>(policy.backoff_ms, hi)),
+      static_cast<int64_t>(hi)));
+}
+
 RemoteBackend::RemoteBackend(std::unique_ptr<LineTransport> transport,
                              std::string name)
-    : transport_(std::move(transport)), name_(std::move(name)) {}
+    : transport_(std::move(transport)),
+      name_(std::move(name)),
+      retry_rng_(retry_.jitter_seed) {}
+
+void RemoteBackend::set_retry_policy(RetryPolicy policy) {
+  retry_ = policy;
+  retry_rng_.Seed(policy.jitter_seed);
+}
 
 StatusOr<std::unique_ptr<RemoteBackend>> RemoteBackend::Connect(
     const std::string& host, uint16_t port) {
@@ -305,6 +333,21 @@ Status RemoteBackend::Load(const std::string& snapshot_path) {
   return Status::OK();
 }
 
+StatusOr<std::string> RemoteBackend::Command(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PCX_ASSIGN_OR_RETURN(const std::string reply, RoundTrip(line));
+  const std::vector<std::string> tokens = SplitWhitespace(reply);
+  if (!tokens.empty() && tokens[0] == "ERR") return ParseErrorReply(reply);
+  if (tokens.size() >= 2 && tokens[0] == "OK") {
+    for (const std::string& tok : tokens) {
+      if (tok.rfind("epoch=", 0) == 0) {
+        epoch_ = std::strtoull(tok.c_str() + 6, nullptr, 10);
+      }
+    }
+  }
+  return reply;
+}
+
 size_t RemoteBackend::num_attrs() const {
   std::lock_guard<std::mutex> lock(mu_);
   return num_attrs_;
@@ -315,7 +358,7 @@ StatusOr<ResultRange> RemoteBackend::Bound(const AggQuery& query) {
   const std::string request = std::string("BOUND ") +
                               AggFuncToString(query.agg) + " " +
                               std::to_string(query.attr) + WhereSuffix(query);
-  uint32_t backoff_ms = retry_.backoff_ms;
+  uint32_t backoff_ms = 0;
   for (size_t attempt = 0;; ++attempt) {
     PCX_ASSIGN_OR_RETURN(const std::string reply, RoundTrip(request));
     const std::vector<std::string> tokens = SplitWhitespace(reply);
@@ -327,8 +370,8 @@ StatusOr<ResultRange> RemoteBackend::Bound(const AggQuery& query) {
       // and already returned above.)
       if (error.code() == StatusCode::kUnavailable &&
           attempt < retry_.max_retries) {
+        backoff_ms = NextRetryBackoffMs(retry_, backoff_ms, retry_rng_);
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-        backoff_ms *= 2;
         continue;
       }
       return error;
@@ -356,7 +399,7 @@ StatusOr<std::vector<GroupRange>> RemoteBackend::BoundGroupBy(
                               WhereSuffix(query);
   std::string header;
   std::vector<std::string> tokens;
-  uint32_t backoff_ms = retry_.backoff_ms;
+  uint32_t backoff_ms = 0;
   for (size_t attempt = 0;; ++attempt) {
     PCX_ASSIGN_OR_RETURN(header, RoundTrip(request));
     tokens = SplitWhitespace(header);
@@ -366,8 +409,8 @@ StatusOr<std::vector<GroupRange>> RemoteBackend::BoundGroupBy(
       // The header is a single line, so the stream is still in sync.
       if (error.code() == StatusCode::kUnavailable &&
           attempt < retry_.max_retries) {
+        backoff_ms = NextRetryBackoffMs(retry_, backoff_ms, retry_rng_);
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-        backoff_ms *= 2;
         continue;
       }
       return error;
@@ -448,6 +491,9 @@ StatusOr<HealthInfo> RemoteBackend::Health() {
         } else if (key == "uptime_s") health.uptime_seconds = *v;
         else if (key == "sessions") health.sessions = *v;
         else if (key == "requests") health.requests = *v;
+        else if (key == "replica") health.replica = *v != 0;
+        else if (key == "primary_epoch") health.primary_epoch = *v;
+        else if (key == "lag") health.replication_lag = *v;
         // Unknown keys from newer servers are ignored.
       }
       if (health.loaded) epoch_ = health.epoch;

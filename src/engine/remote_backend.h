@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "engine/backend.h"
 
 namespace pcx {
@@ -87,8 +88,19 @@ class RemoteBackend : public BoundBackend {
     /// Additional attempts after the first (0 = fail fast, the
     /// pre-event-loop behavior and still the default).
     size_t max_retries = 0;
-    /// Sleep before the first retry; doubles per attempt.
+    /// Base sleep before the first retry.
     uint32_t backoff_ms = 5;
+    /// Ceiling on any single backoff sleep.
+    uint32_t max_backoff_ms = 2000;
+    /// Decorrelated jitter (sleep uniform in [base, 3*previous], capped)
+    /// instead of deterministic doubling: when a whole fleet of clients
+    /// gets shed by one overloaded server, jittered retries spread the
+    /// readmission wave instead of resynchronizing it into the next
+    /// spike. Off = the legacy doubling, for callers that want exact
+    /// reproducibility of sleep sequences.
+    bool jitter = true;
+    /// Seed for the jitter stream (deterministic like every RNG here).
+    uint64_t jitter_seed = 0xB5297A4D3F84D5B5ULL;
   };
 
   /// `name` is the display name (Engine::Open passes the URI).
@@ -97,7 +109,7 @@ class RemoteBackend : public BoundBackend {
 
   /// Applies to Bound and BoundGroupBy (the verbs admission control can
   /// reject). Not thread-safe against in-flight calls; set it at setup.
-  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+  void set_retry_policy(RetryPolicy policy);
 
   /// Connects to a serving pcx_serve and primes num_attrs()/Epoch()
   /// from a STATS round-trip (a server with no snapshot loaded yet is
@@ -108,6 +120,13 @@ class RemoteBackend : public BoundBackend {
   /// Asks the server to load a snapshot (the LOAD command); on success
   /// refreshes the cached attribute count and epoch from the reply.
   Status Load(const std::string& snapshot_path);
+
+  /// Sends one protocol line verbatim — the mutation verbs
+  /// (APPEND/RETIRE/CHECKPOINT) and anything else with a single-line
+  /// reply — and returns that reply. `ERR <CODE> ...` replies become
+  /// their typed Status; an `OK epoch=..` reply refreshes the cached
+  /// epoch so a mutating client's Epoch() stays current.
+  StatusOr<std::string> Command(const std::string& line);
 
   std::string name() const override { return name_; }
   size_t num_attrs() const override;
@@ -142,10 +161,19 @@ class RemoteBackend : public BoundBackend {
   std::unique_ptr<LineTransport> transport_;
   std::string name_;
   RetryPolicy retry_;
+  Rng retry_rng_;  ///< jitter stream; used under mu_
   size_t num_attrs_ = 0;
   uint64_t epoch_ = 0;
   bool info_known_ = false;
 };
+
+/// The next backoff sleep under `policy` given the previous sleep (0 on
+/// the first retry): decorrelated jitter — uniform in
+/// [base, 3*max(prev, base)], capped at max_backoff_ms — when
+/// policy.jitter is set, else the legacy capped doubling. Free-standing
+/// so tests can pin the sequence down without a live server.
+uint32_t NextRetryBackoffMs(const RemoteBackend::RetryPolicy& policy,
+                            uint32_t prev_ms, Rng& rng);
 
 /// Parses one "ERR ..." reply line into the typed Status it carries.
 /// Replies from servers that prefix the message with a known code name

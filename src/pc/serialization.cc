@@ -134,14 +134,37 @@ StatusOr<Interval> ParseInterval(const std::string& text) {
   return Interval{lo, hi, open == '(', close == ')'};
 }
 
+std::string SerializePcBody(const PredicateConstraint& pc) {
+  std::ostringstream os;
+  os << "pred=" << SerializeBox(pc.predicate().box())
+     << " values=" << SerializeBox(pc.values()) << " freq=["
+     << FormatNumber(pc.frequency().lo) << ","
+     << FormatNumber(pc.frequency().hi) << "]";
+  return os.str();
+}
+
+StatusOr<PredicateConstraint> ParsePcBody(const std::string& body,
+                                          size_t num_attrs) {
+  PCX_ASSIGN_OR_RETURN(const std::string pred_text,
+                       ExtractField(body, "pred"));
+  PCX_ASSIGN_OR_RETURN(const std::string values_text,
+                       ExtractField(body, "values"));
+  PCX_ASSIGN_OR_RETURN(const std::string freq_text,
+                       ExtractField(body, "freq"));
+  PCX_ASSIGN_OR_RETURN(Box pred_box, ParseBox(pred_text, num_attrs));
+  PCX_ASSIGN_OR_RETURN(Box values_box, ParseBox(values_text, num_attrs));
+  PCX_ASSIGN_OR_RETURN(const Interval freq_iv, ParseInterval(freq_text));
+  if (freq_iv.lo < 0) return Status::InvalidArgument("negative frequency");
+  return PredicateConstraint(
+      Predicate(std::move(pred_box)), std::move(values_box),
+      FrequencyConstraint::Between(freq_iv.lo, freq_iv.hi));
+}
+
 std::string SerializePcSet(const PredicateConstraintSet& pcs) {
   std::ostringstream os;
   os << "pcset v1 attrs=" << pcs.num_attrs() << "\n";
   for (const auto& pc : pcs.constraints()) {
-    os << "pc pred=" << SerializeBox(pc.predicate().box())
-       << " values=" << SerializeBox(pc.values()) << " freq=["
-       << FormatNumber(pc.frequency().lo) << ","
-       << FormatNumber(pc.frequency().hi) << "]\n";
+    os << "pc " << SerializePcBody(pc) << "\n";
   }
   return os.str();
 }
@@ -182,25 +205,9 @@ StatusOr<PredicateConstraintSet> ParsePcSet(const std::string& text) {
       continue;
     }
     if (line.rfind("pc ", 0) != 0) return error("expected 'pc ' record");
-
-    auto pred_text = ExtractField(line, "pred");
-    if (!pred_text.ok()) return error(pred_text.status().message());
-    auto values_text = ExtractField(line, "values");
-    if (!values_text.ok()) return error(values_text.status().message());
-    auto freq_text = ExtractField(line, "freq");
-    if (!freq_text.ok()) return error(freq_text.status().message());
-
-    auto pred_box = ParseBox(*pred_text, num_attrs);
-    if (!pred_box.ok()) return error(pred_box.status().message());
-    auto values_box = ParseBox(*values_text, num_attrs);
-    if (!values_box.ok()) return error(values_box.status().message());
-    auto freq_iv = ParseInterval(*freq_text);
-    if (!freq_iv.ok()) return error(freq_iv.status().message());
-    if (freq_iv->lo < 0) return error("negative frequency");
-
-    out.Add(PredicateConstraint(
-        Predicate(std::move(*pred_box)), std::move(*values_box),
-        FrequencyConstraint::Between(freq_iv->lo, freq_iv->hi)));
+    auto pc = ParsePcBody(line, num_attrs);
+    if (!pc.ok()) return error(pc.status().message());
+    out.Add(*std::move(pc));
   }
   if (!header_seen) return Status::InvalidArgument("empty pcset document");
   return out;

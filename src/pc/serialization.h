@@ -26,6 +26,18 @@ std::string SerializePcSet(const PredicateConstraintSet& pcs);
 /// InvalidArgument with a line number on malformed input.
 StatusOr<PredicateConstraintSet> ParsePcSet(const std::string& text);
 
+/// Serializes one constraint's body — "pred={...} values={...}
+/// freq=[lo,hi]" without the leading "pc " — the unit a pcset record,
+/// a delta-log APPEND record, and the wire APPEND verb all share. The
+/// box literals are whitespace-free, so the body tokenizes cleanly in
+/// the line protocol.
+std::string SerializePcBody(const PredicateConstraint& pc);
+
+/// Parses a SerializePcBody body (a leading "pc " is tolerated) against
+/// a fixed attribute count.
+StatusOr<PredicateConstraint> ParsePcBody(const std::string& body,
+                                          size_t num_attrs);
+
 /// Serializes one interval ("[0, 24)").
 std::string SerializeInterval(const Interval& iv);
 

@@ -1,0 +1,151 @@
+#ifndef PCX_SERVE_DELTA_LOG_H_
+#define PCX_SERVE_DELTA_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "pc/pc_set.h"
+#include "serve/snapshot.h"
+
+namespace pcx {
+
+/// Durable delta log: the write-ahead journal that turns a pcxsnap
+/// snapshot into a crash-recoverable constraint store. The paper treats
+/// predicate constraints as versioned artifacts; the snapshot format
+/// already gives them epochs and checksums at rest, and this module
+/// extends the discipline to the *mutations between* snapshots so a
+/// serving process killed mid-update restarts at exactly the epoch it
+/// had acknowledged.
+///
+/// On-disk layout (text, strict LF, layered on the pcset record body):
+///
+///   pcxlog v1 attrs=3 domains=int,int,cont digest=c0ffee0123456789
+///       base_epoch=7 crc=89abcdef01234567          (one line)
+///   rec epoch=8 append pred={0:[0,24)} values={2:[0,5]} freq=[10,20]
+///       chain=89abcdef01234567 crc=...             (one line)
+///   rec epoch=9 retire idx=3 chain=... crc=...
+///   rec epoch=10 checkpoint chain=... crc=...
+///
+/// Every line carries `crc=`, the FNV-1a 64 of the exact bytes before
+/// " crc=". Every record also carries `chain=`, the crc of the
+/// *previous* line (the header's crc for the first record), and an
+/// epoch exactly one above its predecessor. Replay therefore detects
+/// bit flips (crc), reordering / duplication / splicing (chain), and
+/// lost records (epoch discontinuity). A violation mid-file marks the
+/// first bad byte; everything from there on is a torn tail that replay
+/// reports — and DurableLog truncates — rather than refusing to start.
+enum class DeltaOp : uint8_t {
+  kAppend,      ///< add one constraint at the end of the global order
+  kRetire,      ///< remove the constraint at global index `retire_index`
+  kCheckpoint,  ///< epoch bump marking "a fresh base snapshot follows"
+};
+
+struct DeltaRecord {
+  uint64_t epoch = 0;  ///< epoch *after* applying this record
+  DeltaOp op = DeltaOp::kAppend;
+  PredicateConstraint pc;      ///< kAppend only
+  size_t retire_index = 0;     ///< kRetire only
+};
+
+struct DeltaLogHeader {
+  size_t num_attrs = 0;
+  std::vector<AttrDomain> domains;  ///< one entry per attribute
+  uint64_t base_epoch = 0;          ///< epoch of the base snapshot
+};
+
+/// Serializes the header line (no trailing newline). `crc_out`, if
+/// non-null, receives the line's crc for chaining the first record.
+std::string SerializeLogHeader(const DeltaLogHeader& header,
+                               uint64_t* crc_out);
+
+/// Serializes one record line (no trailing newline). `chain` is the crc
+/// of the preceding line; `crc_out` receives this line's crc.
+std::string SerializeDeltaRecord(const DeltaRecord& rec, uint64_t chain,
+                                 uint64_t* crc_out);
+
+/// Parses one record line. Verifies the embedded crc always; verifies
+/// `chain=` against *expected_chain only when non-null (wire-shipped
+/// records use chain=0 because the replica has no file context).
+StatusOr<DeltaRecord> ParseDeltaRecordLine(const std::string& line,
+                                           size_t num_attrs,
+                                           const uint64_t* expected_chain);
+
+/// Result of replaying a log document.
+struct DeltaLogReplay {
+  DeltaLogHeader header;
+  std::vector<DeltaRecord> records;  ///< the valid prefix, in order
+  size_t valid_bytes = 0;     ///< bytes of `text` proven good (incl. '\n')
+  size_t dropped_records = 0;  ///< count of torn/corrupt tail lines
+  std::string truncation_reason;  ///< empty when the whole file was clean
+  uint64_t tip_crc = 0;    ///< crc of the last valid line (header if none)
+  uint64_t tip_epoch = 0;  ///< epoch after the last valid record
+};
+
+/// Replays a full log document. A bad header is a hard error; any
+/// record-level violation (parse failure, crc/chain mismatch, epoch
+/// discontinuity, missing final newline) ends the valid prefix and is
+/// reported via dropped_records / truncation_reason — never an error.
+StatusOr<DeltaLogReplay> ReplayDeltaLog(const std::string& text);
+
+/// File names inside a --log-dir.
+std::string DurableLogBasePath(const std::string& dir);
+std::string DurableLogLogPath(const std::string& dir);
+
+/// The durable pair {base.pcxsnap, delta.pcxlog} inside one directory.
+/// Appends are fsync'd before they are acknowledged. Open() recovers:
+/// it loads the base, replays the log, and truncates a torn tail in
+/// place (crash-during-append must not poison the next run's appends).
+class DurableLog {
+ public:
+  struct Recovered {
+    bool has_base = false;  ///< false: empty dir, server starts unloaded
+    Snapshot base;
+    std::vector<DeltaRecord> tail;  ///< records to apply on top of base
+    size_t dropped_records = 0;
+    std::string truncation_reason;  ///< non-empty when a tail was torn
+  };
+
+  /// Opens (creating the directory if missing) and recovers. A corrupt
+  /// base snapshot or log header is a typed error; a torn record tail
+  /// is truncated and reported through `out`. A log file without a base
+  /// snapshot is FailedPrecondition (the pair is written base-first, so
+  /// this means outside interference, not a crash).
+  static StatusOr<std::unique_ptr<DurableLog>> Open(const std::string& dir,
+                                                    Recovered* out);
+
+  ~DurableLog();
+  DurableLog(const DurableLog&) = delete;
+  DurableLog& operator=(const DurableLog&) = delete;
+
+  /// Rewrites the base snapshot and starts a fresh (empty) log at
+  /// snap.epoch. Base is renamed into place and the directory fsync'd
+  /// *before* the log is replaced: a crash between the two renames
+  /// leaves a log whose base_epoch/digest mismatch the new base, which
+  /// Open() resolves by reinitializing the log from the base.
+  Status Reset(const Snapshot& snap);
+
+  /// Journals one record (rec.epoch must be exactly next_epoch()) and
+  /// fsyncs before returning. FailedPrecondition before the first
+  /// Reset() on an empty directory.
+  Status Append(const DeltaRecord& rec);
+
+  bool initialized() const { return log_fd_ >= 0; }
+  uint64_t next_epoch() const { return next_epoch_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit DurableLog(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string dir_;
+  int log_fd_ = -1;  ///< O_APPEND fd; -1 until the first Reset()
+  DeltaLogHeader header_;
+  uint64_t chain_crc_ = 0;   ///< crc of the last durable line
+  uint64_t next_epoch_ = 0;  ///< epoch the next Append must carry
+};
+
+}  // namespace pcx
+
+#endif  // PCX_SERVE_DELTA_LOG_H_

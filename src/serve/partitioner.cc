@@ -127,9 +127,12 @@ Partition PartitionPcSet(const PredicateConstraintSet& pcs,
     comps.push_back(std::move(c));
   }
   out.num_components = comps.size();
-  for (Component& c : comps) {
-    c.cost = EstimateComponentCost(c.members.size());
-    out.largest_component = std::max(out.largest_component, c.members.size());
+  out.component_of.assign(n, 0);
+  for (size_t c = 0; c < comps.size(); ++c) {
+    comps[c].cost = EstimateComponentCost(comps[c].members.size());
+    out.largest_component =
+        std::max(out.largest_component, comps[c].members.size());
+    for (size_t i : comps[c].members) out.component_of[i] = c;
   }
 
   // --- Assignment.

@@ -49,6 +49,12 @@ struct Partition {
   /// Per shard: summed estimated decomposition cost (see
   /// EstimateComponentCost).
   std::vector<double> estimated_cost;
+  /// Per global PC index: dense id of its overlap component, ids in
+  /// discovery order (by smallest member) — the normal form
+  /// OverlapComponents produces. ShardedBoundSolver::ApplyDeltas seeds
+  /// a union-find from this so appends maintain the component
+  /// structure incrementally instead of re-running the O(n^2) scan.
+  std::vector<size_t> component_of;
   size_t num_components = 0;
   /// PCs in the largest overlap component — the unsplittable unit. When
   /// this approaches the whole set (e.g. a universal catch-all predicate

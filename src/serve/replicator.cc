@@ -1,0 +1,156 @@
+#include "serve/replicator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "common/text.h"
+#include "serve/delta_log.h"
+#include "serve/snapshot.h"
+
+namespace pcx {
+namespace {
+
+StatusOr<uint64_t> HeaderField(const std::vector<std::string>& tokens,
+                               const std::string& key) {
+  const std::string needle = key + "=";
+  for (const std::string& t : tokens) {
+    if (t.rfind(needle, 0) == 0) return ParseU64(t.substr(needle.size()));
+  }
+  return Status::ProtocolError("SYNC reply lacks '" + key + "='");
+}
+
+}  // namespace
+
+ReplicaTailer::ReplicaTailer(BoundServer& server, Options options)
+    : server_(server), options_(std::move(options)) {}
+
+ReplicaTailer::~ReplicaTailer() { Stop(); }
+
+void ReplicaTailer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  server_.replication().replica.store(true);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void ReplicaTailer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool ReplicaTailer::SleepFor(uint32_t ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::milliseconds(ms), [this] { return stop_; });
+  return !stop_;
+}
+
+StatusOr<uint64_t> ReplicaTailer::SyncOnce(LineTransport& transport,
+                                           BoundServer& server) {
+  const std::shared_ptr<const ShardedBoundSolver> current = server.solver();
+  const std::string from =
+      current != nullptr ? std::to_string(current->epoch()) : "none";
+  PCX_RETURN_IF_ERROR(transport.SendLine("SYNC " + from));
+  PCX_ASSIGN_OR_RETURN(const std::string header, transport.ReadLine());
+  if (header.rfind("ERR ", 0) == 0) return ParseErrorReply(header);
+  const std::vector<std::string> tokens = SplitWhitespace(header);
+  if (tokens.empty() || tokens[0] != "SYNC") {
+    return Status::ProtocolError("expected 'SYNC epoch=... base_lines=... "
+                                 "records=...', got '" +
+                                 header + "'");
+  }
+  PCX_ASSIGN_OR_RETURN(const uint64_t primary_epoch,
+                       HeaderField(tokens, "epoch"));
+  PCX_ASSIGN_OR_RETURN(const uint64_t base_lines,
+                       HeaderField(tokens, "base_lines"));
+  PCX_ASSIGN_OR_RETURN(const uint64_t num_records,
+                       HeaderField(tokens, "records"));
+
+  if (base_lines > 0) {
+    // Full resync: the primary streamed a whole pcxsnap document.
+    std::string text;
+    for (uint64_t i = 0; i < base_lines; ++i) {
+      PCX_ASSIGN_OR_RETURN(const std::string line, transport.ReadLine());
+      text += line;
+      text += '\n';
+    }
+    PCX_ASSIGN_OR_RETURN(const Snapshot snap, ParseSnapshot(text));
+    PCX_RETURN_IF_ERROR(server.InstallSnapshot(snap).status());
+    ++server.replication().snapshots_installed;
+  }
+  if (num_records > 0) {
+    // Tail shipping: records in (our epoch, primary epoch], crc-checked
+    // per line (chain links are a file property; wire records carry 0)
+    // and epoch-contiguity-checked by ApplyRecords.
+    const std::shared_ptr<const ShardedBoundSolver> base = server.solver();
+    if (base == nullptr) {
+      return Status::ProtocolError(
+          "primary shipped records to an empty replica");
+    }
+    const size_t num_attrs = base->constraints().num_attrs();
+    std::vector<DeltaRecord> records;
+    records.reserve(static_cast<size_t>(num_records));
+    for (uint64_t i = 0; i < num_records; ++i) {
+      PCX_ASSIGN_OR_RETURN(const std::string line, transport.ReadLine());
+      PCX_ASSIGN_OR_RETURN(DeltaRecord rec,
+                           ParseDeltaRecordLine(line, num_attrs, nullptr));
+      records.push_back(std::move(rec));
+    }
+    PCX_RETURN_IF_ERROR(server.ApplyRecords(records).status());
+    server.replication().records_applied += num_records;
+  }
+  server.replication().primary_epoch.store(primary_epoch);
+  ++server.replication().syncs;
+  return primary_epoch;
+}
+
+void ReplicaTailer::Run() {
+  Rng rng(options_.jitter_seed);
+  std::unique_ptr<TcpClientTransport> transport;
+  uint32_t backoff_ms = options_.reconnect_min_ms;
+  while (true) {
+    if (transport == nullptr) {
+      auto connected = TcpClientTransport::Connect(options_.host,
+                                                   options_.port);
+      if (!connected.ok()) {
+        ++server_.replication().sync_failures;
+        // Decorrelated jitter: sleep in [min, 3*prev], capped — a fleet
+        // of replicas reconnecting to a restarted primary spreads out
+        // instead of stampeding in lockstep.
+        const uint32_t hi = std::min<uint32_t>(
+            options_.reconnect_max_ms,
+            std::max(backoff_ms, options_.reconnect_min_ms) * 3);
+        backoff_ms = static_cast<uint32_t>(
+            rng.UniformInt(options_.reconnect_min_ms, hi));
+        if (!SleepFor(backoff_ms)) return;
+        continue;
+      }
+      transport = std::move(*connected);
+      backoff_ms = options_.reconnect_min_ms;
+    }
+    const StatusOr<uint64_t> synced = SyncOnce(*transport, server_);
+    if (!synced.ok()) {
+      ++server_.replication().sync_failures;
+      if (synced.status().code() == StatusCode::kUnavailable ||
+          synced.status().code() == StatusCode::kProtocolError) {
+        // The session is gone or desynced; only a fresh connection has
+        // a known reply-stream offset.
+        transport.reset();
+      }
+      // Non-transport errors (e.g. the primary has no snapshot yet)
+      // keep the session and just retry on the poll cadence.
+    }
+    if (!SleepFor(options_.poll_ms)) return;
+  }
+}
+
+}  // namespace pcx

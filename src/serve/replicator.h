@@ -1,0 +1,83 @@
+#ifndef PCX_SERVE_REPLICATOR_H_
+#define PCX_SERVE_REPLICATOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/statusor.h"
+#include "engine/remote_backend.h"
+#include "serve/server.h"
+
+namespace pcx {
+
+/// Primary→replica log shipping over the line protocol's SYNC verb. A
+/// `pcx_serve --replica=tcp:host:port` process runs one ReplicaTailer
+/// against its local (read-only) BoundServer: every poll it asks the
+/// primary "SYNC <my epoch>", receives either the delta records that
+/// carry it to the primary's epoch or — when it is fresh, too far
+/// behind, or the primary's history diverged — a full snapshot resync,
+/// and applies them through the server's usual atomic swap. The replica
+/// therefore serves bit-identical answers at every epoch it reaches
+/// (record apply is ShardedBoundSolver::ApplyDeltas, the same code the
+/// primary ran), and its HEALTH line reports the epoch lag.
+///
+/// Connection loss is survived with decorrelated-jitter reconnect
+/// backoff; a dead primary just leaves the replica serving its last
+/// reached epoch — exactly the state the `failover:` engine URI fails
+/// over to.
+class ReplicaTailer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /// Delay between successful sync rounds.
+    uint32_t poll_ms = 200;
+    /// Reconnect backoff bounds (decorrelated jitter between them).
+    uint32_t reconnect_min_ms = 50;
+    uint32_t reconnect_max_ms = 2000;
+    /// Jitter seed — deterministic by default like everything else.
+    uint64_t jitter_seed = 0x7C15F39E9E3779B9ULL;
+  };
+
+  ReplicaTailer(BoundServer& server, Options options);
+  ~ReplicaTailer();  ///< implies Stop()
+
+  ReplicaTailer(const ReplicaTailer&) = delete;
+  ReplicaTailer& operator=(const ReplicaTailer&) = delete;
+
+  /// Starts the tailing thread (idempotent) and marks the server a
+  /// replica for HEALTH.
+  void Start();
+  /// Stops and joins the tailing thread; safe to call repeatedly.
+  void Stop();
+
+  /// One synchronous sync round over an established transport: sends
+  /// SYNC at the server's current epoch, applies whatever comes back,
+  /// updates the server's replication counters, and returns the
+  /// primary's epoch. Public and static so tests (and one-shot catch-up
+  /// tools) can drive a round without the thread machinery.
+  static StatusOr<uint64_t> SyncOnce(LineTransport& transport,
+                                     BoundServer& server);
+
+ private:
+  void Run();
+  /// Interruptible sleep; false when Stop() was requested.
+  bool SleepFor(uint32_t ms);
+
+  BoundServer& server_;
+  const Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace pcx
+
+#endif  // PCX_SERVE_REPLICATOR_H_

@@ -159,22 +159,225 @@ uint64_t BoundServer::uptime_seconds() const {
                                    .count());
 }
 
+void BoundServer::SwapSolver(std::shared_ptr<const ShardedBoundSolver> next,
+                             std::span<const DeltaRecord> records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  solver_ = std::move(next);
+  if (records.empty()) {
+    // A snapshot-level swap (LOAD, replica resync): the delta history
+    // no longer leads to the served state, so record shipping restarts
+    // from the new epoch.
+    tail_.clear();
+    tail_floor_ = solver_->epoch();
+  } else {
+    tail_.insert(tail_.end(), records.begin(), records.end());
+    while (tail_.size() > kMaxTailRecords) {
+      tail_floor_ = tail_.front().epoch;
+      tail_.erase(tail_.begin());
+    }
+  }
+}
+
 StatusOr<std::shared_ptr<const ShardedBoundSolver>> BoundServer::LoadAndSwap(
     const std::string& path) {
+  // mutate_mu_ serializes the whole load against other mutations and
+  // keeps the journal in published order; concurrent *queries* keep
+  // answering on the old epoch for the whole build — the swap itself is
+  // a pointer assignment under mu_.
+  std::lock_guard<std::mutex> lock(mutate_mu_);
   PCX_ASSIGN_OR_RETURN(const Snapshot snap, LoadSnapshot(path));
-  // Construction (partitioning, per-shard solvers) happens before the
-  // lock: concurrent queries keep answering on the old epoch for the
-  // whole build, then the swap is a pointer assignment.
   auto solver = std::make_shared<const ShardedBoundSolver>(snap,
                                                            options_.solver);
-  std::lock_guard<std::mutex> lock(mu_);
-  solver_ = solver;
-  snapshot_path_ = path;
+  // Journal before publish: if persisting the new base fails, the
+  // served snapshot must not move past what the log can recover.
+  if (log_ != nullptr) PCX_RETURN_IF_ERROR(log_->Reset(snap));
+  SwapSolver(solver, {});
+  {
+    std::lock_guard<std::mutex> swap_lock(mu_);
+    snapshot_path_ = path;
+  }
   return solver;
 }
 
 Status BoundServer::LoadSnapshotFile(const std::string& path) {
   return LoadAndSwap(path).status();
+}
+
+Status BoundServer::EnableDurableLog(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  DurableLog::Recovered recovered;
+  PCX_ASSIGN_OR_RETURN(std::unique_ptr<DurableLog> log,
+                       DurableLog::Open(dir, &recovered));
+  if (recovered.dropped_records > 0) {
+    std::fprintf(stderr,
+                 "pcx_serve: %s: truncated torn tail (%zu record(s) "
+                 "dropped): %s\n",
+                 DurableLogLogPath(dir).c_str(), recovered.dropped_records,
+                 recovered.truncation_reason.c_str());
+  }
+  if (recovered.has_base) {
+    auto base = std::make_shared<const ShardedBoundSolver>(recovered.base,
+                                                           options_.solver);
+    std::shared_ptr<const ShardedBoundSolver> current = base;
+    if (!recovered.tail.empty()) {
+      PCX_ASSIGN_OR_RETURN(current, base->ApplyDeltas(recovered.tail));
+    }
+    std::lock_guard<std::mutex> swap_lock(mu_);
+    solver_ = current;
+    // The replayed tail doubles as shippable SYNC history, so a replica
+    // of a restarted primary can catch up without a full resync.
+    tail_ = std::move(recovered.tail);
+    tail_floor_ = recovered.base.epoch;
+    while (tail_.size() > kMaxTailRecords) {
+      tail_floor_ = tail_.front().epoch;
+      tail_.erase(tail_.begin());
+    }
+  } else if (solver() != nullptr) {
+    // Log attached to an already-loaded server over an empty directory:
+    // seed the base from the served snapshot.
+    PCX_RETURN_IF_ERROR(log->Reset(solver()->ToSnapshot()));
+  }
+  log_ = std::move(log);
+  log_enabled_.store(true);
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const ShardedBoundSolver>>
+BoundServer::InstallSnapshot(const Snapshot& snap) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  auto solver = std::make_shared<const ShardedBoundSolver>(snap,
+                                                           options_.solver);
+  if (log_ != nullptr) PCX_RETURN_IF_ERROR(log_->Reset(snap));
+  SwapSolver(solver, {});
+  return solver;
+}
+
+StatusOr<std::shared_ptr<const ShardedBoundSolver>> BoundServer::ApplyRecords(
+    std::span<const DeltaRecord> records) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  return ApplyRecordsLocked(records);
+}
+
+StatusOr<std::shared_ptr<const ShardedBoundSolver>>
+BoundServer::ApplyRecordsLocked(std::span<const DeltaRecord> records) {
+  const std::shared_ptr<const ShardedBoundSolver> current = solver();
+  if (current == nullptr) {
+    return Status::FailedPrecondition("no snapshot loaded (use LOAD <path>)");
+  }
+  // Order of operations: validate + build first (a bad record must not
+  // touch the journal), journal with fsync second (a crash after the
+  // ack must recover to the acked epoch), publish last.
+  PCX_ASSIGN_OR_RETURN(std::shared_ptr<const ShardedBoundSolver> next,
+                       current->ApplyDeltas(records));
+  bool checkpointed = false;
+  if (log_ != nullptr && log_->initialized()) {
+    for (const DeltaRecord& rec : records) {
+      PCX_RETURN_IF_ERROR(log_->Append(rec));
+    }
+  }
+  for (const DeltaRecord& rec : records) {
+    checkpointed |= rec.op == DeltaOp::kCheckpoint;
+  }
+  SwapSolver(next, records);
+  if (checkpointed && log_ != nullptr) {
+    // Compact: the current state becomes the base and the journal
+    // restarts empty. Runs on the primary's CHECKPOINT verb and — via
+    // the shipped record — at the same epoch on logging replicas.
+    PCX_RETURN_IF_ERROR(log_->Reset(next->ToSnapshot()));
+  }
+  return next;
+}
+
+Status BoundServer::HandleMutation(const std::string& cmd,
+                                   const std::string& body,
+                                   std::ostream& out) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  const std::shared_ptr<const ShardedBoundSolver> current = solver();
+  if (current == nullptr) {
+    return Status::FailedPrecondition("no snapshot loaded (use LOAD <path>)");
+  }
+  DeltaRecord rec;
+  rec.epoch = current->epoch() + 1;
+  if (cmd == "APPEND") {
+    if (body.empty()) {
+      return Status::InvalidArgument(
+          "usage: APPEND pred={...} values={...} freq=[lo,hi]");
+    }
+    rec.op = DeltaOp::kAppend;
+    PCX_ASSIGN_OR_RETURN(
+        rec.pc, ParsePcBody(body, current->constraints().num_attrs()));
+  } else if (cmd == "RETIRE") {
+    rec.op = DeltaOp::kRetire;
+    const std::vector<std::string> args = SplitWhitespace(body);
+    if (args.size() != 1) {
+      return Status::InvalidArgument("usage: RETIRE <global-index>");
+    }
+    PCX_ASSIGN_OR_RETURN(const uint64_t idx, ParseU64(args[0]));
+    rec.retire_index = static_cast<size_t>(idx);
+  } else {
+    rec.op = DeltaOp::kCheckpoint;
+    if (!body.empty()) return Status::InvalidArgument("usage: CHECKPOINT");
+  }
+  PCX_ASSIGN_OR_RETURN(const std::shared_ptr<const ShardedBoundSolver> next,
+                       ApplyRecordsLocked(std::span<const DeltaRecord>(
+                           &rec, 1)));
+  out << "OK epoch=" << next->epoch() << " pcs=" << next->constraints().size()
+      << " shards=" << next->num_shards() << "\n";
+  return Status::OK();
+}
+
+Status BoundServer::HandleSync(const std::vector<std::string>& tokens,
+                               std::ostream& out) {
+  if (tokens.size() != 2) {
+    return Status::InvalidArgument("usage: SYNC <epoch|none>");
+  }
+  // One consistent read of {served snapshot, shippable tail}: the tail
+  // always leads exactly to the solver published beside it.
+  std::shared_ptr<const ShardedBoundSolver> current;
+  std::vector<DeltaRecord> records;
+  uint64_t floor = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current = solver_;
+    records = tail_;
+    floor = tail_floor_;
+  }
+  if (current == nullptr) {
+    return Status::FailedPrecondition(
+        "no snapshot loaded; nothing to replicate");
+  }
+  const uint64_t epoch = current->epoch();
+  bool have_from = false;
+  uint64_t from = 0;
+  if (tokens[1] != "none") {
+    PCX_ASSIGN_OR_RETURN(from, ParseU64(tokens[1]));
+    have_from = true;
+  }
+  if (have_from && from == epoch) {
+    out << "SYNC epoch=" << epoch << " base_lines=0 records=0\n";
+    return Status::OK();
+  }
+  if (have_from && from >= floor && from < epoch) {
+    // The replica is within the retained tail: ship just the records in
+    // (from, epoch]. Wire records carry chain=0 — the chain links files,
+    // not streams; the replica validates crc + epoch contiguity.
+    size_t count = 0;
+    for (const DeltaRecord& r : records) count += r.epoch > from ? 1 : 0;
+    out << "SYNC epoch=" << epoch << " base_lines=0 records=" << count
+        << "\n";
+    for (const DeltaRecord& r : records) {
+      if (r.epoch > from) out << SerializeDeltaRecord(r, 0, nullptr) << "\n";
+    }
+    return Status::OK();
+  }
+  // Fresh replica, one behind the trimmed tail, or ahead of this
+  // primary (a failover edge): full snapshot resync.
+  const std::string text = SerializeSnapshot(current->ToSnapshot());
+  const size_t lines =
+      static_cast<size_t>(std::count(text.begin(), text.end(), '\n'));
+  out << "SYNC epoch=" << epoch << " base_lines=" << lines << " records=0\n"
+      << text;
+  return Status::OK();
 }
 
 Status BoundServer::HandleBound(const ShardedBoundSolver& solver,
@@ -256,8 +459,24 @@ void BoundServer::HandleHealth(const ShardedBoundSolver* solver,
       << " requests=" << requests()
       << " open_conns=" << transport_.open_connections.load()
       << " queue_depth=" << transport_.queue_depth.load()
-      << " overload_rejects=" << transport_.overload_rejections.load()
-      << "\n";
+      << " overload_rejects=" << transport_.overload_rejections.load();
+  // Durability + replication posture, appended at the end so existing
+  // prefix-matching health checks keep working. `lag` is the epoch
+  // distance to the primary's last report (0 when not a replica).
+  uint64_t tail_records = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tail_records = tail_.size();
+  }
+  const bool replica = replication_.replica.load();
+  const uint64_t primary_epoch = replication_.primary_epoch.load();
+  const uint64_t local_epoch = solver != nullptr ? solver->epoch() : 0;
+  const uint64_t lag =
+      replica && primary_epoch > local_epoch ? primary_epoch - local_epoch : 0;
+  out << " log=" << (log_enabled_.load() ? 1 : 0)
+      << " log_records=" << tail_records << " replica=" << (replica ? 1 : 0)
+      << " primary_epoch=" << primary_epoch << " lag=" << lag
+      << " sync_errors=" << replication_.sync_failures.load() << "\n";
 }
 
 bool BoundServer::HandleLine(const std::string& line, std::ostream& out) {
@@ -282,6 +501,32 @@ bool BoundServer::HandleLine(const std::string& line, std::ostream& out) {
   }
 
   Status status = Status::OK();
+  if (cmd == "LOAD" || cmd == "APPEND" || cmd == "RETIRE" ||
+      cmd == "CHECKPOINT") {
+    if (read_only_.load()) {
+      status = Status::FailedPrecondition(
+          "server is a read-only replica (send mutations to the primary)");
+      out << FormatErrorReply(status);
+      return true;
+    }
+  }
+  if (cmd == "APPEND" || cmd == "RETIRE" || cmd == "CHECKPOINT") {
+    // The body is everything after the verb in the *raw* line: an
+    // APPEND payload is three whitespace-separated fields, so token
+    // re-joining would be lossy.
+    const size_t start = line.find_first_not_of(" \t");
+    const size_t space = line.find_first_of(" \t", start);
+    const std::string body =
+        space == std::string::npos ? "" : TrimWhitespace(line.substr(space));
+    status = HandleMutation(cmd, body, out);
+    if (!status.ok()) out << FormatErrorReply(status);
+    return true;
+  }
+  if (cmd == "SYNC") {
+    status = HandleSync(tokens, out);
+    if (!status.ok()) out << FormatErrorReply(status);
+    return true;
+  }
   if (cmd == "LOAD") {
     if (tokens.size() != 2) {
       status = Status::InvalidArgument("usage: LOAD <snapshot-path>");
@@ -313,7 +558,8 @@ bool BoundServer::HandleLine(const std::string& line, std::ostream& out) {
   } else {
     status = Status::InvalidArgument(
         "unknown command '" + tokens[0] +
-        "' (want LOAD/BOUND/GROUPBY/STATS/HEALTH/QUIT)");
+        "' (want LOAD/BOUND/GROUPBY/APPEND/RETIRE/CHECKPOINT/SYNC/STATS/"
+        "HEALTH/QUIT)");
   }
   if (!status.ok()) out << FormatErrorReply(status);
   return true;

@@ -7,10 +7,12 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "serve/delta_log.h"
 #include "serve/sharded_solver.h"
 
 namespace pcx {
@@ -82,6 +84,20 @@ class BoundServer {
     std::atomic<uint64_t> open_connections{0};
   };
 
+  /// Replication-side counters, updated by the replica tailer
+  /// (serve/replicator.h) and read by HEALTH. All atomics: the tailer
+  /// thread writes while sessions read.
+  struct ReplicationStats {
+    std::atomic<bool> replica{false};  ///< this process tails a primary
+    /// Last epoch the primary reported; HEALTH's lag is the distance
+    /// between this and the locally served epoch.
+    std::atomic<uint64_t> primary_epoch{0};
+    std::atomic<uint64_t> syncs{0};          ///< successful SYNC rounds
+    std::atomic<uint64_t> sync_failures{0};  ///< failed rounds / reconnects
+    std::atomic<uint64_t> records_applied{0};
+    std::atomic<uint64_t> snapshots_installed{0};  ///< full resyncs
+  };
+
   BoundServer();
   explicit BoundServer(Options options);
   ~BoundServer();
@@ -95,6 +111,36 @@ class BoundServer {
   /// legitimate rollback operation — so ordering concurrent LOADs is
   /// the operator's responsibility.
   Status LoadSnapshotFile(const std::string& path);
+
+  /// Attaches a durable delta log (--log-dir) and recovers from it: the
+  /// base snapshot is rebuilt, the journal tail replayed on top, and a
+  /// torn final record truncated (reported on stderr) rather than
+  /// refusing to start. After this, every mutation verb journals (with
+  /// an fsync) before it is acknowledged, and LOAD/CHECKPOINT persist a
+  /// fresh base. An empty directory is valid — the log initializes on
+  /// the first LOAD.
+  Status EnableDurableLog(const std::string& dir);
+
+  /// Swaps in a parsed snapshot (the replica full-resync path; also
+  /// persists it as the new base when a durable log is attached).
+  StatusOr<std::shared_ptr<const ShardedBoundSolver>> InstallSnapshot(
+      const Snapshot& snap);
+
+  /// Applies an ordered run of delta records (epochs contiguous from
+  /// the served epoch) — the replica tail-apply path. Records are
+  /// validated and applied to a successor solver, journaled (when a log
+  /// is attached), and only then swapped in; a failure at any step
+  /// leaves the served snapshot untouched.
+  StatusOr<std::shared_ptr<const ShardedBoundSolver>> ApplyRecords(
+      std::span<const DeltaRecord> records);
+
+  /// A replica serves reads only: LOAD/APPEND/RETIRE/CHECKPOINT answer
+  /// FAILED_PRECONDITION so the primary stays the single writer.
+  void set_read_only(bool read_only) { read_only_.store(read_only); }
+  bool read_only() const { return read_only_.load(); }
+
+  ReplicationStats& replication() { return replication_; }
+  const ReplicationStats& replication() const { return replication_; }
 
   /// Handles one protocol line, writing the reply to `out`. Returns
   /// false iff the line was QUIT (the stream should end). Thread-safe:
@@ -130,10 +176,36 @@ class BoundServer {
   const TransportStats& transport() const { return transport_; }
 
  private:
+  /// Records the SYNC verb keeps in memory per served epoch, so a
+  /// briefly-lagging replica catches up by record shipping instead of a
+  /// full snapshot resync. Beyond the cap the oldest are dropped (the
+  /// floor advances) and a further-behind replica falls back to resync.
+  static constexpr size_t kMaxTailRecords = 4096;
+
   /// LOAD body: builds the new solver outside the swap lock and
   /// publishes it; returns the pinned new solver for the OK reply.
   StatusOr<std::shared_ptr<const ShardedBoundSolver>> LoadAndSwap(
       const std::string& path);
+
+  /// ApplyRecords with mutate_mu_ already held (shared by the verb
+  /// handlers, which must read the current epoch and apply under one
+  /// critical section).
+  StatusOr<std::shared_ptr<const ShardedBoundSolver>> ApplyRecordsLocked(
+      std::span<const DeltaRecord> records);
+
+  /// Publishes `next` and appends `records` to the SYNC tail (clearing
+  /// it instead when `records` is empty — snapshot-level swaps reset
+  /// the shippable history).
+  void SwapSolver(std::shared_ptr<const ShardedBoundSolver> next,
+                  std::span<const DeltaRecord> records);
+
+  /// APPEND/RETIRE/CHECKPOINT bodies: build the record at the next
+  /// epoch, journal, swap, and write the OK reply.
+  Status HandleMutation(const std::string& cmd, const std::string& body,
+                        std::ostream& out);
+  /// SYNC body: reply header + snapshot lines or record lines.
+  Status HandleSync(const std::vector<std::string>& tokens,
+                    std::ostream& out);
 
   Status HandleBound(const ShardedBoundSolver& solver,
                      const std::vector<std::string>& tokens,
@@ -149,12 +221,26 @@ class BoundServer {
   const std::chrono::steady_clock::time_point start_;
   std::atomic<uint64_t> sessions_{0};
   std::atomic<uint64_t> requests_{0};
+  std::atomic<bool> read_only_{false};
+  std::atomic<bool> log_enabled_{false};  ///< lock-free mirror for HEALTH
 
   TransportStats transport_;
+  ReplicationStats replication_;
 
-  mutable std::mutex mu_;  ///< guards the snapshot swap below
+  /// Serializes every state transition (LOAD, mutation verbs, replica
+  /// installs) end to end — build, journal, swap — so the journal order
+  /// and the published epoch order can never disagree. Queries never
+  /// take it. Lock order where both are held: mutate_mu_ then mu_.
+  std::mutex mutate_mu_;
+  std::unique_ptr<DurableLog> log_;  ///< under mutate_mu_; null = off
+
+  mutable std::mutex mu_;  ///< guards the snapshot swap + SYNC tail below
   std::shared_ptr<const ShardedBoundSolver> solver_;
   std::string snapshot_path_;
+  /// Recent records for SYNC shipping, oldest first; contiguous epochs
+  /// (tail_floor_, tail_floor_ + tail_.size()].
+  std::vector<DeltaRecord> tail_;
+  uint64_t tail_floor_ = 0;  ///< epoch *before* tail_.front()
 };
 
 /// Formats a non-OK Status as the wire error reply — "ERR <CODE>

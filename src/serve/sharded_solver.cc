@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdint>
 #include <limits>
 
 #include "common/check.h"
@@ -117,7 +118,8 @@ ShardedBoundSolver::ShardedBoundSolver(PredicateConstraintSet pcs,
                                        Options options)
     : flat_(std::move(pcs)),
       domains_(std::move(domains)),
-      options_(options) {
+      options_(options),
+      configured_options_(options) {
   partition_ = PartitionPcSet(flat_, domains_, options_.partition);
   BuildShards();
 }
@@ -127,6 +129,7 @@ ShardedBoundSolver::ShardedBoundSolver(const Snapshot& snapshot,
     : flat_(snapshot.Flatten()),
       domains_(snapshot.domains),
       options_(options),
+      configured_options_(options),
       epoch_(snapshot.epoch) {
   // Adopt the stored shard layout verbatim; re-derive the balance
   // metadata from the component structure (a property of the set, not
@@ -144,8 +147,10 @@ ShardedBoundSolver::ShardedBoundSolver(const Snapshot& snapshot,
   for (size_t s = 0; s < partition_.shards.size(); ++s) {
     for (size_t i : partition_.shards[s]) shard_of[i] = s;
   }
+  partition_.component_of.assign(flat_.size(), 0);
   for (const std::vector<size_t>& comp :
        OverlapComponents(flat_, domains_)) {
+    for (size_t i : comp) partition_.component_of[i] = partition_.num_components;
     ++partition_.num_components;
     partition_.largest_component =
         std::max(partition_.largest_component, comp.size());
@@ -158,7 +163,22 @@ ShardedBoundSolver::ShardedBoundSolver(const Snapshot& snapshot,
   BuildShards();
 }
 
-void ShardedBoundSolver::BuildShards() {
+ShardedBoundSolver::ShardedBoundSolver(
+    IncrementalTag, PredicateConstraintSet flat,
+    std::vector<AttrDomain> domains, Options configured, Partition partition,
+    uint64_t epoch,
+    const std::vector<std::shared_ptr<const PcBoundSolver>>& reuse)
+    : flat_(std::move(flat)),
+      domains_(std::move(domains)),
+      options_(configured),
+      configured_options_(configured),
+      partition_(std::move(partition)),
+      epoch_(epoch) {
+  BuildShards(&reuse);
+}
+
+void ShardedBoundSolver::BuildShards(
+    const std::vector<std::shared_ptr<const PcBoundSolver>>* reuse) {
   PCX_CHECK(partition_.shards.size() <= kMaxShards)
       << "ShardedBoundSolver routes with a 64-bit shard mask";
   // Every overlap component a singleton <=> pairwise disjoint: the
@@ -193,7 +213,8 @@ void ShardedBoundSolver::BuildShards() {
 
   shards_.clear();
   const size_t num_attrs = flat_.num_attrs();
-  for (const std::vector<size_t>& indices : partition_.shards) {
+  for (size_t s = 0; s < partition_.shards.size(); ++s) {
+    const std::vector<size_t>& indices = partition_.shards[s];
     Shard shard;
     shard.indices = indices;
     PredicateConstraintSet subset;
@@ -216,10 +237,282 @@ void ShardedBoundSolver::BuildShards() {
                         std::max(cur.hi, pred.dim(d).hi), false, false});
       }
     }
-    shard.solver = std::make_unique<const PcBoundSolver>(
-        std::move(subset), domains_, options_.solver);
+    if (reuse != nullptr && s < reuse->size() && (*reuse)[s] != nullptr) {
+      // An untouched shard: identical subset, order, and effective
+      // solver options — the predecessor's decomposition is the one a
+      // fresh build would produce.
+      shard.solver = (*reuse)[s];
+    } else {
+      shard.solver = std::make_shared<const PcBoundSolver>(
+          std::move(subset), domains_, options_.solver);
+    }
     shards_.push_back(std::move(shard));
   }
+}
+
+StatusOr<std::shared_ptr<const ShardedBoundSolver>>
+ShardedBoundSolver::ApplyDeltas(std::span<const DeltaRecord> records) const {
+  // Working state, keyed by *key*: a stable id that is the original
+  // global index for survivors of flat_ and n, n+1, ... for appends.
+  // Keys only ever grow, and `order` (the alive keys in global order)
+  // stays ascending — appends attach at the end, retires only remove —
+  // so the final reindex is a single monotone scan.
+  std::vector<PredicateConstraint> pc_of_key(flat_.constraints().begin(),
+                                             flat_.constraints().end());
+  std::vector<size_t> order(flat_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<size_t> shard_of_key(flat_.size(), 0);
+  std::vector<std::vector<size_t>> members(shards_.size());
+  std::vector<Box> hull;
+  std::vector<char> touched(shards_.size(), 0);
+  hull.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    members[s] = shards_[s].indices;
+    for (size_t k : members[s]) shard_of_key[k] = s;
+    hull.push_back(shards_[s].bbox);
+  }
+
+  // The overlap-component structure is maintained incrementally in a
+  // union-find keyed like pc_of_key, seeded from the predecessor's
+  // component ids. An append only ever *adds* overlap edges (new
+  // constraint <-> every overlapping alive constraint), so unioning
+  // along exactly those edges keeps the structure the transitive
+  // closure OverlapComponents would compute — without its O(n^2)
+  // rescan. The one mutation the bookkeeping cannot follow is retiring
+  // a member of a multi-member component (the component may split);
+  // only that case falls back to the full rescan below.
+  std::vector<size_t> parent(pc_of_key.size());
+  std::vector<size_t> comp_size(pc_of_key.size(), 1);
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&parent](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  // Union by smallest key, so a component's root is its first member —
+  // the same representative OverlapComponents discovery order uses.
+  auto unite = [&](size_t a, size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent[b] = a;
+    comp_size[a] += comp_size[b];
+  };
+  bool components_exact = partition_.component_of.size() == flat_.size();
+  if (components_exact) {
+    std::vector<size_t> first_of_comp(partition_.num_components, SIZE_MAX);
+    for (size_t i = 0; i < flat_.size(); ++i) {
+      const size_t c = partition_.component_of[i];
+      if (c >= first_of_comp.size()) {
+        components_exact = false;  // inconsistent hand-built metadata
+        break;
+      }
+      if (first_of_comp[c] == SIZE_MAX) {
+        first_of_comp[c] = i;
+      } else {
+        unite(first_of_comp[c], i);
+      }
+    }
+  }
+
+  uint64_t epoch = epoch_;
+  for (const DeltaRecord& rec : records) {
+    if (rec.epoch != epoch + 1) {
+      return Status::FailedPrecondition(
+          "delta record carries epoch " + std::to_string(rec.epoch) +
+          " onto a solver at epoch " + std::to_string(epoch));
+    }
+    switch (rec.op) {
+      case DeltaOp::kAppend: {
+        if (flat_.num_attrs() > 0 && rec.pc.num_attrs() != flat_.num_attrs()) {
+          return Status::InvalidArgument(
+              "appended constraint has " + std::to_string(rec.pc.num_attrs()) +
+              " attributes; the set has " + std::to_string(flat_.num_attrs()));
+        }
+        const Box& box = rec.pc.predicate().box();
+        // Shards whose members the new predicate overlaps, and one
+        // representative key per overlapped component. The hull is a
+        // conservative superset (retires leave it stale), so a hull hit
+        // is confirmed against actual members; every alive constraint
+        // belongs to exactly one shard, so this scan is the exact
+        // overlap test OverlapComponents would run. Members whose
+        // component is already known to overlap skip the box test —
+        // components are whole on one shard, so the skip never loses a
+        // shard target either.
+        std::vector<size_t> targets;
+        std::vector<size_t> overlap_roots;
+        for (size_t s = 0; s < members.size(); ++s) {
+          if (members[s].empty()) continue;
+          if (box.IntersectionEmpty(hull[s], domains_)) continue;
+          bool hit = false;
+          for (size_t k : members[s]) {
+            const size_t r = find(k);
+            if (std::find(overlap_roots.begin(), overlap_roots.end(), r) !=
+                overlap_roots.end()) {
+              continue;
+            }
+            if (!box.IntersectionEmpty(pc_of_key[k].predicate().box(),
+                                       domains_)) {
+              overlap_roots.push_back(r);
+              hit = true;
+            }
+          }
+          if (hit) targets.push_back(s);
+        }
+        size_t home;
+        if (targets.empty()) {
+          // A fresh component: keep shard sizes level (lowest id wins
+          // ties so the choice is deterministic).
+          home = 0;
+          for (size_t s = 1; s < members.size(); ++s) {
+            if (members[s].size() < members[home].size()) home = s;
+          }
+        } else {
+          home = targets.front();
+          // The append bridges several components: merge their shards
+          // into the lowest-id target so components stay whole.
+          for (size_t t = 1; t < targets.size(); ++t) {
+            const size_t from = targets[t];
+            for (size_t k : members[from]) shard_of_key[k] = home;
+            members[home].insert(members[home].end(), members[from].begin(),
+                                 members[from].end());
+            members[from].clear();
+            touched[from] = 1;
+            for (size_t d = 0; d < hull[home].num_attrs(); ++d) {
+              const Interval& a = hull[home].dim(d);
+              const Interval& b = hull[from].dim(d);
+              hull[home].SetDim(d, Interval{std::min(a.lo, b.lo),
+                                            std::max(a.hi, b.hi), false,
+                                            false});
+            }
+          }
+        }
+        const size_t key = pc_of_key.size();
+        parent.push_back(key);
+        comp_size.push_back(1);
+        for (size_t r : overlap_roots) unite(key, r);
+        pc_of_key.push_back(rec.pc);
+        shard_of_key.push_back(home);
+        order.push_back(key);
+        members[home].push_back(key);
+        touched[home] = 1;
+        for (size_t d = 0; d < hull[home].num_attrs(); ++d) {
+          const Interval& cur = hull[home].dim(d);
+          hull[home].SetDim(d, Interval{std::min(cur.lo, box.dim(d).lo),
+                                        std::max(cur.hi, box.dim(d).hi),
+                                        false, false});
+        }
+        break;
+      }
+      case DeltaOp::kRetire: {
+        if (rec.retire_index >= order.size()) {
+          return Status::OutOfRange(
+              "retire index " + std::to_string(rec.retire_index) +
+              " out of range for " + std::to_string(order.size()) +
+              " constraints");
+        }
+        const size_t key = order[rec.retire_index];
+        order.erase(order.begin() + static_cast<ptrdiff_t>(rec.retire_index));
+        const size_t s = shard_of_key[key];
+        std::vector<size_t>& m = members[s];
+        m.erase(std::find(m.begin(), m.end(), key));
+        touched[s] = 1;
+        // The hull goes stale (conservative only) rather than being
+        // recomputed; routing stays correct, just occasionally wider.
+        // A retired singleton component simply disappears (the dead key
+        // is never scanned again); retiring out of a larger component
+        // may split it, which the union-find cannot express.
+        if (comp_size[find(key)] > 1) components_exact = false;
+        break;
+      }
+      case DeltaOp::kCheckpoint:
+        // An epoch bump marking "a fresh base follows"; membership is
+        // untouched (the server persists the snapshot separately).
+        break;
+    }
+    ++epoch;
+  }
+
+  // Reindex: new global index of a key = its rank in `order`.
+  std::vector<size_t> new_index_of_key(pc_of_key.size(), 0);
+  PredicateConstraintSet new_flat;
+  for (size_t i = 0; i < order.size(); ++i) {
+    new_index_of_key[order[i]] = i;
+    new_flat.Add(pc_of_key[order[i]]);
+  }
+
+  Partition partition;
+  partition.shards.resize(members.size());
+  for (size_t s = 0; s < members.size(); ++s) {
+    // Keys ascend within a shard except across a merge splice; sorting
+    // restores the ascending-global-index invariant either way.
+    std::sort(members[s].begin(), members[s].end());
+    partition.shards[s].reserve(members[s].size());
+    for (size_t k : members[s]) {
+      partition.shards[s].push_back(new_index_of_key[k]);
+    }
+  }
+  partition.estimated_cost.assign(members.size(), 0.0);
+  partition.component_of.assign(new_flat.size(), 0);
+  std::vector<size_t> shard_of(new_flat.size(), 0);
+  for (size_t s = 0; s < partition.shards.size(); ++s) {
+    for (size_t i : partition.shards[s]) shard_of[i] = s;
+  }
+  if (components_exact) {
+    // Read the maintained structure off the union-find: walking alive
+    // keys in ascending order and numbering roots on first sight yields
+    // the same dense ids, sizes, and cost attribution (to the shard of
+    // a component's smallest member) the rescan below would produce.
+    std::vector<size_t> id_of_root(parent.size(), SIZE_MAX);
+    std::vector<size_t> count;
+    std::vector<size_t> first_shard;
+    for (size_t i = 0; i < order.size(); ++i) {
+      const size_t r = find(order[i]);
+      if (id_of_root[r] == SIZE_MAX) {
+        id_of_root[r] = count.size();
+        count.push_back(0);
+        first_shard.push_back(shard_of[i]);
+      }
+      partition.component_of[i] = id_of_root[r];
+      ++count[id_of_root[r]];
+    }
+    partition.num_components = count.size();
+    for (size_t c = 0; c < count.size(); ++c) {
+      partition.largest_component =
+          std::max(partition.largest_component, count[c]);
+      partition.estimated_cost[first_shard[c]] +=
+          EstimateComponentCost(count[c]);
+    }
+  } else {
+    for (const std::vector<size_t>& comp :
+         OverlapComponents(new_flat, domains_)) {
+      for (size_t i : comp) partition.component_of[i] = partition.num_components;
+      ++partition.num_components;
+      partition.largest_component =
+          std::max(partition.largest_component, comp.size());
+      partition.estimated_cost[shard_of[comp.front()]] +=
+          EstimateComponentCost(comp.size());
+    }
+  }
+
+  // An untouched shard's solver is reusable only if the *effective*
+  // options a fresh build would apply to it are the options it was
+  // built under — i.e. the full-set disjointness verdict is unchanged.
+  const bool verdict_now = configured_options_.solver.auto_disjoint_fast_path &&
+                           partition.num_components == new_flat.size();
+  std::vector<std::shared_ptr<const PcBoundSolver>> reuse(shards_.size());
+  if (verdict_now == flat_disjoint_) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (touched[s] == 0) reuse[s] = shards_[s].solver;
+    }
+  }
+
+  return std::shared_ptr<const ShardedBoundSolver>(new ShardedBoundSolver(
+      IncrementalTag{}, std::move(new_flat), domains_, configured_options_,
+      std::move(partition), epoch, reuse));
 }
 
 uint64_t ShardedBoundSolver::RouteMask(const AggQuery& query) const {
@@ -248,11 +541,8 @@ uint64_t ShardedBoundSolver::RouteMask(const AggQuery& query) const {
 std::shared_ptr<const PcBoundSolver> ShardedBoundSolver::SolverFor(
     uint64_t mask) const {
   if (std::popcount(mask) == 1) {
-    // Alias the prebuilt shard solver (owned by shards_, which outlives
-    // every query) without registering ownership.
-    return std::shared_ptr<const PcBoundSolver>(
-        std::shared_ptr<void>(),
-        shards_[static_cast<size_t>(std::countr_zero(mask))].solver.get());
+    // The prebuilt shard solver, shared as-is.
+    return shards_[static_cast<size_t>(std::countr_zero(mask))].solver;
   }
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = union_cache_.find(mask);

@@ -11,6 +11,7 @@
 #include "common/statusor.h"
 #include "pc/bound_solver.h"
 #include "pc/group_by.h"
+#include "serve/delta_log.h"
 #include "serve/partitioner.h"
 #include "serve/snapshot.h"
 
@@ -103,6 +104,30 @@ class ShardedBoundSolver {
   explicit ShardedBoundSolver(const Snapshot& snapshot);
   ShardedBoundSolver(const Snapshot& snapshot, Options options);
 
+  /// Applies an ordered run of delta-log records (epochs must be
+  /// contiguous from epoch()+1) and returns a *new* solver at the final
+  /// epoch, leaving this one untouched — the shape the server's atomic
+  /// snapshot swap wants. Only shards whose membership the deltas
+  /// disturb are re-decomposed: an APPEND lands on the shard(s) whose
+  /// predicates it overlaps (merging shards when it bridges several, so
+  /// overlap components stay whole per shard — the invariant the
+  /// bit-identity guarantee rests on), a RETIRE touches just the
+  /// owner's shard, and every untouched shard's solver is shared with
+  /// the new instance. The overlap-component structure is maintained
+  /// incrementally (a union-find seeded from Partition::component_of),
+  /// so appends never pay the O(n^2) component rescan a reload does;
+  /// only a retire out of a multi-member component falls back to it.
+  /// Answers from the result are bit-identical to a from-scratch
+  /// solver over the same post-delta set and layout.
+  StatusOr<std::shared_ptr<const ShardedBoundSolver>> ApplyDeltas(
+      std::span<const DeltaRecord> records) const;
+
+  /// The current set/layout/epoch as a serializable snapshot (what
+  /// CHECKPOINT persists as the new delta-log base).
+  Snapshot ToSnapshot() const {
+    return MakeSnapshot(flat_, domains_, partition_, epoch_);
+  }
+
   StatusOr<ResultRange> Bound(const AggQuery& query) const;
 
   /// Routes and solves every query, fanned across the thread pool;
@@ -133,7 +158,9 @@ class ShardedBoundSolver {
  private:
   struct Shard {
     std::vector<size_t> indices;  ///< global PC ids, ascending
-    std::unique_ptr<const PcBoundSolver> solver;
+    /// Shared (not unique) so ApplyDeltas can hand an untouched shard's
+    /// solver to the successor instance without rebuilding it.
+    std::shared_ptr<const PcBoundSolver> solver;
     /// Conservative hull of the shard's predicate boxes (closed
     /// bounds): if the query region misses it, it misses every member —
     /// the routing fast path that keeps RouteMask O(K) for shard-local
@@ -142,7 +169,22 @@ class ShardedBoundSolver {
     bool always_relevant = false;  ///< owns a degenerate empty-box PC
   };
 
-  void BuildShards();
+  /// Tag + constructor for ApplyDeltas: adopts a prepared set/layout
+  /// (partition metadata included) and reuses the given per-shard
+  /// solvers where non-null.
+  struct IncrementalTag {};
+  ShardedBoundSolver(
+      IncrementalTag, PredicateConstraintSet flat,
+      std::vector<AttrDomain> domains, Options configured,
+      Partition partition, uint64_t epoch,
+      const std::vector<std::shared_ptr<const PcBoundSolver>>& reuse);
+
+  /// `reuse`, when non-null, supplies a prebuilt solver per shard
+  /// (null entry = build from scratch); indices/hull/always_relevant
+  /// are recomputed either way.
+  void BuildShards(
+      const std::vector<std::shared_ptr<const PcBoundSolver>>* reuse =
+          nullptr);
 
   /// Bitmask of shards owning a predicate that can intersect the query
   /// region (all non-empty shards when there is no WHERE). Degenerate
@@ -182,6 +224,10 @@ class ShardedBoundSolver {
   PredicateConstraintSet flat_;
   std::vector<AttrDomain> domains_;
   Options options_;
+  /// The caller's options before BuildShards imposes the disjointness
+  /// verdict on options_.solver; ApplyDeltas starts the successor from
+  /// these so a verdict change re-derives instead of compounding.
+  Options configured_options_;
   Partition partition_;
   uint64_t epoch_ = 0;
   /// Disjointness of the *full* set; inherited by every shard/union

@@ -9,7 +9,6 @@
 #include "pc/serialization.h"
 
 namespace pcx {
-namespace {
 
 uint64_t Fnv1a64(const std::string& bytes) {
   uint64_t h = 1469598103934665603ull;
@@ -20,22 +19,24 @@ uint64_t Fnv1a64(const std::string& bytes) {
   return h;
 }
 
-std::string ToHex(uint64_t v) {
+std::string ToHex64(uint64_t v) {
   char buf[17];
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(v));
   return buf;
 }
 
-const char* DomainName(AttrDomain d) {
+const char* AttrDomainName(AttrDomain d) {
   return d == AttrDomain::kInteger ? "int" : "cont";
 }
 
-StatusOr<AttrDomain> ParseDomain(const std::string& s) {
+StatusOr<AttrDomain> ParseAttrDomain(const std::string& s) {
   if (s == "int") return AttrDomain::kInteger;
   if (s == "cont") return AttrDomain::kContinuous;
   return Status::InvalidArgument("unknown attribute domain '" + s + "'");
 }
+
+namespace {
 
 /// Reads "key=value" off `line` (a whitespace-split token list).
 StatusOr<std::string> TokenValue(const std::vector<std::string>& tokens,
@@ -53,7 +54,7 @@ std::string CanonicalSchema(size_t num_attrs,
   os << "attrs=" << num_attrs << ";domains=";
   for (size_t a = 0; a < num_attrs; ++a) {
     if (a > 0) os << ",";
-    os << DomainName(DomainOf(domains, a));
+    os << AttrDomainName(DomainOf(domains, a));
   }
   return os.str();
 }
@@ -118,9 +119,9 @@ std::string SerializeSnapshot(const Snapshot& snapshot) {
   os << "schema attrs=" << snapshot.num_attrs << " domains=";
   for (size_t a = 0; a < snapshot.num_attrs; ++a) {
     if (a > 0) os << ",";
-    os << DomainName(DomainOf(snapshot.domains, a));
+    os << AttrDomainName(DomainOf(snapshot.domains, a));
   }
-  os << " digest=" << ToHex(SchemaDigest(snapshot.num_attrs, snapshot.domains))
+  os << " digest=" << ToHex64(SchemaDigest(snapshot.num_attrs, snapshot.domains))
      << "\n";
   for (size_t s = 0; s < snapshot.shards.size(); ++s) {
     const SnapshotShard& shard = snapshot.shards[s];
@@ -137,7 +138,7 @@ std::string SerializeSnapshot(const Snapshot& snapshot) {
       if (i > 0) os << ",";
       os << shard.indices[i];
     }
-    os << " checksum=" << ToHex(Fnv1a64(payload.str())) << "\n";
+    os << " checksum=" << ToHex64(Fnv1a64(payload.str())) << "\n";
     os << payload.str();
     os << "end shard " << s << "\n";
   }
@@ -209,7 +210,7 @@ StatusOr<Snapshot> ParseSnapshot(const std::string& text) {
                      " attributes");
       }
       for (const std::string& p : parts) {
-        PCX_ASSIGN_OR_RETURN(const AttrDomain d, ParseDomain(TrimWhitespace(p)));
+        PCX_ASSIGN_OR_RETURN(const AttrDomain d, ParseAttrDomain(TrimWhitespace(p)));
         snap.domains.push_back(d);
       }
     }
@@ -219,7 +220,7 @@ StatusOr<Snapshot> ParseSnapshot(const std::string& text) {
     const uint64_t expected = SchemaDigest(snap.num_attrs, snap.domains);
     if (digest != expected) {
       return error("schema digest mismatch: file says " + digest_str +
-                   ", schema hashes to " + ToHex(expected));
+                   ", schema hashes to " + ToHex64(expected));
     }
   }
 
@@ -287,7 +288,7 @@ StatusOr<Snapshot> ParseSnapshot(const std::string& text) {
     if (Fnv1a64(payload) != checksum) {
       return Status::InvalidArgument(
           "shard " + std::to_string(s) + " checksum mismatch (expected " +
-          checksum_str + ", payload hashes to " + ToHex(Fnv1a64(payload)) +
+          checksum_str + ", payload hashes to " + ToHex64(Fnv1a64(payload)) +
           "): snapshot corrupted or hand-edited");
     }
     auto parsed = ParsePcSet(payload);

@@ -77,6 +77,18 @@ StatusOr<Snapshot> LoadSnapshot(const std::string& path);
 /// FNV-1a 64 of the canonical schema line ("attrs=N;domains=a,b,c").
 uint64_t SchemaDigest(size_t num_attrs, const std::vector<AttrDomain>& domains);
 
+/// FNV-1a 64 over raw bytes — the checksum primitive shared by the
+/// snapshot format (shard checksums, schema digest) and the delta log
+/// (per-record CRCs, chain links).
+uint64_t Fnv1a64(const std::string& bytes);
+
+/// 16-digit lowercase hex — the on-disk spelling of every checksum.
+std::string ToHex64(uint64_t v);
+
+/// Attribute-domain names as they appear in schema lines ("int"/"cont").
+const char* AttrDomainName(AttrDomain d);
+StatusOr<AttrDomain> ParseAttrDomain(const std::string& s);
+
 }  // namespace pcx
 
 #endif  // PCX_SERVE_SNAPSHOT_H_

@@ -477,5 +477,59 @@ TEST(StreamTransportTest, BrokenGroupBlockPoisonsTheSession) {
   EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
 }
 
+TEST(RetryBackoffTest, LegacyDoublingWithoutJitter) {
+  RemoteBackend::RetryPolicy policy;
+  policy.jitter = false;
+  policy.backoff_ms = 5;
+  policy.max_backoff_ms = 35;
+  Rng rng(1);
+  uint32_t prev = 0;
+  std::vector<uint32_t> sleeps;
+  for (int i = 0; i < 5; ++i) {
+    prev = NextRetryBackoffMs(policy, prev, rng);
+    sleeps.push_back(prev);
+  }
+  EXPECT_EQ(sleeps, (std::vector<uint32_t>{5, 10, 20, 35, 35}));
+}
+
+TEST(RetryBackoffTest, DecorrelatedJitterStaysInEnvelopeAndIsSeeded) {
+  RemoteBackend::RetryPolicy policy;
+  policy.backoff_ms = 5;
+  policy.max_backoff_ms = 200;
+  ASSERT_TRUE(policy.jitter);  // the default
+
+  // Every sleep lies in [base, min(cap, 3*max(prev, base))].
+  Rng rng(42);
+  uint32_t prev = 0;
+  for (int i = 0; i < 200; ++i) {
+    const uint32_t hi = std::min<uint32_t>(
+        policy.max_backoff_ms, 3 * std::max(prev, policy.backoff_ms));
+    const uint32_t next = NextRetryBackoffMs(policy, prev, rng);
+    EXPECT_GE(next, policy.backoff_ms);
+    EXPECT_LE(next, hi);
+    prev = next;
+  }
+
+  // Deterministic: the same seed replays the same sleep sequence.
+  Rng a(7), b(7);
+  uint32_t pa = 0, pb = 0;
+  for (int i = 0; i < 50; ++i) {
+    pa = NextRetryBackoffMs(policy, pa, a);
+    pb = NextRetryBackoffMs(policy, pb, b);
+    EXPECT_EQ(pa, pb);
+  }
+
+  // Different seeds decorrelate (not all sleeps equal).
+  Rng c(1), d(2);
+  bool differs = false;
+  uint32_t pc = 0, pd = 0;
+  for (int i = 0; i < 50 && !differs; ++i) {
+    pc = NextRetryBackoffMs(policy, pc, c);
+    pd = NextRetryBackoffMs(policy, pd, d);
+    differs = pc != pd;
+  }
+  EXPECT_TRUE(differs);
+}
+
 }  // namespace
 }  // namespace pcx

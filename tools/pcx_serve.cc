@@ -40,6 +40,7 @@
 #include "engine/remote_backend.h"
 #include "pc/serialization.h"
 #include "serve/event_loop.h"
+#include "serve/replicator.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 
@@ -59,6 +60,9 @@ struct Flags {
   size_t max_queue = 1024;           // event loop: admission cap (global)
   size_t max_conn_pending = 64;      // event loop: admission cap (per conn)
   unsigned long coalesce_us = 200;   // event loop: BOUND batching window
+  std::string log_dir;               // durable delta log (crash recovery)
+  std::string replica;               // tail a primary: tcp:host:port
+  unsigned long sync_ms = 200;       // replica poll cadence
 
   bool build_snapshot = false;
   std::string pcset;
@@ -99,7 +103,13 @@ void Usage() {
       "    coalescing; overload answered with ERR UNAVAILABLE).\n"
       "    --serve-threads then sizes its solver pool, and\n"
       "    --max-queue=N / --max-conn-pending=N set the admission caps,\n"
-      "    --coalesce-us=N the batching window (defaults 1024/64/200).\n\n"
+      "    --coalesce-us=N the batching window (defaults 1024/64/200).\n"
+      "    --log-dir=DIR journals APPEND/RETIRE/CHECKPOINT to a durable\n"
+      "    fsync'd delta log; on restart the server recovers the exact\n"
+      "    pre-crash epoch (base snapshot + log replay, torn tails\n"
+      "    truncated). --replica=tcp:HOST:PORT makes this server a\n"
+      "    read-only replica tailing that primary via the SYNC verb\n"
+      "    (--sync-ms=N sets the poll cadence, default 200).\n\n"
       "Client mode:\n"
       "  pcx_serve --connect=URI\n"
       "    Typed client REPL against an Engine::Open URI\n"
@@ -254,6 +264,20 @@ int RunClient(const std::string& uri) {
       } else {
         error = groups.status();
       }
+    } else if (cmd == "APPEND" || cmd == "RETIRE" || cmd == "CHECKPOINT") {
+      // Mutation verbs pass through verbatim (single-line replies);
+      // only a remote primary can journal them.
+      auto* remote =
+          dynamic_cast<pcx::RemoteBackend*>(engine->backend().get());
+      if (remote == nullptr) {
+        error = pcx::Status::Unimplemented(
+            cmd + " needs a tcp: engine (in-process engines fix their "
+                  "constraint set at Open)");
+      } else if (const auto reply = remote->Command(line); reply.ok()) {
+        std::cout << *reply << "\n";
+      } else {
+        error = reply.status();
+      }
     } else if (cmd == "STATS") {
       const auto stats = engine->Stats();
       if (stats.ok()) {
@@ -289,14 +313,20 @@ int RunClient(const std::string& uri) {
                   << " pcs=" << health->num_pcs
                   << " uptime_s=" << health->uptime_seconds
                   << " sessions=" << health->sessions
-                  << " requests=" << health->requests << "\n";
+                  << " requests=" << health->requests;
+        if (health->replica) {
+          std::cout << " replica=1 primary_epoch=" << health->primary_epoch
+                    << " lag=" << health->replication_lag;
+        }
+        std::cout << "\n";
       } else {
         error = health.status();
       }
     } else {
       error = pcx::Status::InvalidArgument(
           "unknown command '" + tokens[0] +
-          "' (want LOAD/BOUND/GROUPBY/STATS/HEALTH/QUIT)");
+          "' (want LOAD/BOUND/GROUPBY/APPEND/RETIRE/CHECKPOINT/STATS/"
+          "HEALTH/QUIT)");
     }
     if (!error.ok()) {
       std::cout << "ERR " << pcx::StatusCodeToString(error.code()) << " "
@@ -338,6 +368,12 @@ int main(int argc, char** argv) {
       flags.max_conn_pending = std::strtoul(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "coalesce-us", &value)) {
       flags.coalesce_us = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "log-dir", &value)) {
+      flags.log_dir = value;
+    } else if (ParseFlag(arg, "replica", &value)) {
+      flags.replica = value;
+    } else if (ParseFlag(arg, "sync-ms", &value)) {
+      flags.sync_ms = std::strtoul(value.c_str(), nullptr, 10);
     } else if (arg == "--scatter-gather") {
       flags.scatter_gather = true;
     } else if (arg == "--no-sat-cache") {
@@ -377,17 +413,77 @@ int main(int argc, char** argv) {
   options.solver.solver.persistent_sat_cache = flags.persistent_sat_cache;
   pcx::BoundServer server(options);
 
-  if (!flags.snapshot.empty()) {
-    const pcx::Status status = server.LoadSnapshotFile(flags.snapshot);
+  // Recovery before seeding: an initialized --log-dir IS the state (base
+  // snapshot + replayed records, exact pre-crash epoch). --snapshot then
+  // only seeds a log that has nothing to recover — silently resetting a
+  // recovered log to an older snapshot would lose acknowledged writes.
+  if (!flags.log_dir.empty()) {
+    const pcx::Status status = server.EnableDurableLog(flags.log_dir);
     if (!status.ok()) {
-      std::fprintf(stderr, "LOAD failed: %s\n", status.message().c_str());
+      std::fprintf(stderr, "--log-dir failed: %s\n",
+                   status.message().c_str());
       return 1;
     }
-    std::fprintf(stderr, "loaded %s: epoch=%llu shards=%zu pcs=%zu\n",
-                 flags.snapshot.c_str(),
-                 static_cast<unsigned long long>(server.solver()->epoch()),
-                 server.solver()->num_shards(),
-                 server.solver()->constraints().size());
+    if (server.solver() != nullptr) {
+      std::fprintf(stderr, "recovered %s: epoch=%llu shards=%zu pcs=%zu\n",
+                   flags.log_dir.c_str(),
+                   static_cast<unsigned long long>(server.solver()->epoch()),
+                   server.solver()->num_shards(),
+                   server.solver()->constraints().size());
+    }
+  }
+
+  if (!flags.snapshot.empty()) {
+    if (server.solver() != nullptr) {
+      std::fprintf(stderr,
+                   "ignoring --snapshot=%s: --log-dir recovered epoch %llu\n",
+                   flags.snapshot.c_str(),
+                   static_cast<unsigned long long>(server.solver()->epoch()));
+    } else {
+      const pcx::Status status = server.LoadSnapshotFile(flags.snapshot);
+      if (!status.ok()) {
+        std::fprintf(stderr, "LOAD failed: %s\n", status.message().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "loaded %s: epoch=%llu shards=%zu pcs=%zu\n",
+                   flags.snapshot.c_str(),
+                   static_cast<unsigned long long>(server.solver()->epoch()),
+                   server.solver()->num_shards(),
+                   server.solver()->constraints().size());
+    }
+  }
+
+  // Replica mode: read-only + a background tailer shipping the
+  // primary's delta records via the SYNC verb. The tailer outlives the
+  // serve loop below and stops on destruction.
+  std::unique_ptr<pcx::ReplicaTailer> tailer;
+  if (!flags.replica.empty()) {
+    if (flags.replica.rfind("tcp:", 0) != 0) {
+      std::fprintf(stderr, "--replica must be tcp:HOST:PORT, got '%s'\n",
+                   flags.replica.c_str());
+      return 2;
+    }
+    const std::string hostport = flags.replica.substr(4);
+    const size_t colon = hostport.rfind(':');
+    const unsigned long port =
+        colon == std::string::npos
+            ? 0
+            : std::strtoul(hostport.c_str() + colon + 1, nullptr, 10);
+    if (colon == std::string::npos || colon == 0 || port == 0 ||
+        port > 65535) {
+      std::fprintf(stderr, "--replica must be tcp:HOST:PORT, got '%s'\n",
+                   flags.replica.c_str());
+      return 2;
+    }
+    pcx::ReplicaTailer::Options tail_options;
+    tail_options.host = hostport.substr(0, colon);
+    tail_options.port = static_cast<uint16_t>(port);
+    tail_options.poll_ms = static_cast<uint32_t>(flags.sync_ms);
+    server.set_read_only(true);
+    tailer = std::make_unique<pcx::ReplicaTailer>(server, tail_options);
+    tailer->Start();
+    std::fprintf(stderr, "replica: tailing %s every %lums (read-only)\n",
+                 flags.replica.c_str(), flags.sync_ms);
   }
 
   if (flags.port >= 0 && flags.event_loop) {
