@@ -1,0 +1,262 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pcx {
+
+namespace {
+
+/// Formats a double the way Prometheus expects: integral values render
+/// without a fractional part, non-integral values with enough digits to
+/// round-trip, and +Inf as "+Inf".
+std::string FormatMetricValue(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders labels plus one extra pair (used for histogram `le=`);
+/// the extra pair is appended last, matching Prometheus convention.
+std::string FormatLabelsWith(const MetricLabels& labels,
+                             const std::string& extra_key,
+                             const std::string& extra_value) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  if (!first) out += ",";
+  out += extra_key + "=\"" + extra_value + "\"";
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string FormatMetricLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+double Histogram::BucketBound(size_t i) {
+  PCX_CHECK(i < kNumBuckets);
+  if (i >= kNumFiniteBuckets) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(uint64_t{1} << i);
+}
+
+void Histogram::Observe(double value) {
+  if (!(value > 0.0)) value = 0.0;  // clamps negatives and NaN
+  // Index of the first bucket whose bound is >= value. Bounds are
+  // 2^i, so this is the bit width of ceil(value) minus one, with
+  // values <= 1 landing in bucket 0.
+  size_t idx = 0;
+  if (value > BucketBound(kNumFiniteBuckets - 1)) {
+    // Checked before any integer conversion: a double beyond uint64
+    // range would make the cast below undefined.
+    idx = kNumFiniteBuckets;  // +Inf bucket
+  } else if (value > 1.0) {
+    const uint64_t v = static_cast<uint64_t>(std::ceil(value));
+    idx = static_cast<size_t>(std::bit_width(v));
+    if ((uint64_t{1} << (idx - 1)) == v) --idx;  // exact power of two
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    const double new_sum = std::bit_cast<double>(old_bits) + value;
+    const uint64_t new_bits = std::bit_cast<uint64_t>(new_sum);
+    if (sum_bits_.compare_exchange_weak(old_bits, new_bits,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Quantile(double q) const {
+  PCX_CHECK(q >= 0.0 && q <= 1.0);
+  std::array<uint64_t, kNumBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      const double hi = (i >= kNumFiniteBuckets)
+                            ? BucketBound(kNumFiniteBuckets - 1) * 2.0
+                            : BucketBound(i);
+      const double lo = (i == 0) ? 0.0 : BucketBound(i - 1);
+      // Linear interpolation of the rank within the bucket's range.
+      const double frac =
+          (rank - static_cast<double>(cumulative)) / counts[i];
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return BucketBound(kNumFiniteBuckets - 1) * 2.0;
+}
+
+MetricsRegistry::Series& MetricsRegistry::GetSeries(const std::string& name,
+                                                    const MetricLabels& labels,
+                                                    const std::string& help,
+                                                    Type type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [fit, family_inserted] = families_.try_emplace(name);
+  Family& family = fit->second;
+  if (family_inserted) {
+    family.type = type;
+    family.help = help;
+  } else {
+    PCX_CHECK(family.type == type)
+        << "metric '" << name << "' re-registered with a different type";
+    if (family.help.empty() && !help.empty()) family.help = help;
+  }
+  const std::string key = FormatMetricLabels(labels);
+  auto [sit, series_inserted] = family.series.try_emplace(key);
+  Series& series = sit->second;
+  if (series_inserted) {
+    series.labels = labels;
+    switch (type) {
+      case Type::kCounter:
+        series.counter = std::make_unique<Counter>();
+        break;
+      case Type::kGauge:
+        series.gauge = std::make_unique<Gauge>();
+        break;
+      case Type::kHistogram:
+        series.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  }
+  return series;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels,
+                                     const std::string& help) {
+  return *GetSeries(name, labels, help, Type::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels,
+                                 const std::string& help) {
+  return *GetSeries(name, labels, help, Type::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const MetricLabels& labels,
+                                         const std::string& help) {
+  return *GetSeries(name, labels, help, Type::kHistogram).histogram;
+}
+
+std::string MetricsRegistry::Exposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out << "# HELP " << name << " " << family.help << "\n";
+    }
+    const char* type_str = "counter";
+    if (family.type == Type::kGauge) type_str = "gauge";
+    if (family.type == Type::kHistogram) type_str = "histogram";
+    out << "# TYPE " << name << " " << type_str << "\n";
+    for (const auto& [key, series] : family.series) {
+      switch (family.type) {
+        case Type::kCounter:
+          out << name << key << " " << series.counter->value() << "\n";
+          break;
+        case Type::kGauge:
+          out << name << key << " " << series.gauge->value() << "\n";
+          break;
+        case Type::kHistogram: {
+          const Histogram& h = *series.histogram;
+          // Snapshot buckets once so the cumulative counts and the
+          // final _count agree even under concurrent Observe calls.
+          std::array<uint64_t, Histogram::kNumBuckets> counts;
+          for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+            counts[i] = h.bucket_count(i);
+          }
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+            cumulative += counts[i];
+            out << name << "_bucket"
+                << FormatLabelsWith(series.labels, "le",
+                                    FormatMetricValue(Histogram::BucketBound(i)))
+                << " " << cumulative << "\n";
+          }
+          out << name << "_sum" << key << " " << FormatMetricValue(h.sum())
+              << "\n";
+          out << name << "_count" << key << " " << cumulative << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace pcx

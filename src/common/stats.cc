@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -32,7 +33,7 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double Quantile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   PCX_CHECK(q >= 0.0 && q <= 1.0);
   std::sort(values.begin(), values.end());
   const double pos = q * static_cast<double>(values.size() - 1);

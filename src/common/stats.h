@@ -2,6 +2,7 @@
 #define PCX_COMMON_STATS_H_
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace pcx {
@@ -12,13 +13,19 @@ class RunningStats {
   /// Adds one observation.
   void Add(double x);
 
+  /// True once at least one observation was added; min()/max() are
+  /// NaN before that.
+  bool has_value() const { return n_ > 0; }
+
   size_t count() const { return n_; }
   double sum() const { return sum_; }
   double mean() const;
   /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
   double variance() const;
   double stddev() const;
+  /// NaN when empty — check has_value() first.
   double min() const { return min_; }
+  /// NaN when empty — check has_value() first.
   double max() const { return max_; }
 
  private:
@@ -26,12 +33,12 @@ class RunningStats {
   double sum_ = 0.0;
   double mean_ = 0.0;
   double m2_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  double min_ = std::numeric_limits<double>::quiet_NaN();
+  double max_ = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Returns the q-quantile (0 <= q <= 1) of `values` by linear
-/// interpolation on the sorted copy. Returns 0 for empty input.
+/// interpolation on the sorted copy. Returns NaN for empty input.
 double Quantile(std::vector<double> values, double q);
 
 /// Convenience: median of `values`.

@@ -1,0 +1,86 @@
+#include "common/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace pcx {
+
+namespace {
+
+std::atomic<uint64_t> g_next_trace_id{1};
+thread_local TraceContext* t_current_trace = nullptr;
+
+void AppendMicros(std::string& out, double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", us);
+  out += buf;
+}
+
+}  // namespace
+
+TraceContext::TraceContext()
+    : id_(g_next_trace_id.fetch_add(1, std::memory_order_relaxed)) {
+  entries_.reserve(8);
+}
+
+void TraceContext::AddStage(const char* stage, double us) {
+  entries_.push_back(Entry{stage, us});
+}
+
+void TraceContext::AddShardSolve(double us) {
+  entries_.push_back(Entry{nullptr, us});
+}
+
+std::string TraceContext::FormatComment() const {
+  std::string out = "#trace id=";
+  out += std::to_string(id_);
+  double total = 0.0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    total += e.us;
+    if (e.stage != nullptr) {
+      out += " ";
+      out += e.stage;
+      out += "_us=";
+      AppendMicros(out, e.us);
+      continue;
+    }
+    // Group this run of consecutive shard entries into one list.
+    out += " solve_us=[";
+    AppendMicros(out, e.us);
+    while (i + 1 < entries_.size() && entries_[i + 1].stage == nullptr) {
+      ++i;
+      total += entries_[i].us;
+      out += ",";
+      AppendMicros(out, entries_[i].us);
+    }
+    out += "]";
+  }
+  out += " total_us=";
+  AppendMicros(out, total);
+  out += "\n";
+  return out;
+}
+
+TraceContext* CurrentTrace() { return t_current_trace; }
+
+ScopedTrace::ScopedTrace(TraceContext* ctx) : previous_(t_current_trace) {
+  t_current_trace = ctx;
+}
+
+ScopedTrace::~ScopedTrace() { t_current_trace = previous_; }
+
+TraceSpan::TraceSpan(const char* stage, TraceContext* ctx)
+    : stage_(stage), ctx_(ctx) {
+  if (ctx_ != nullptr) start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (ctx_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  const double us =
+      std::chrono::duration<double, std::micro>(end - start_).count();
+  ctx_->AddStage(stage_, us);
+}
+
+}  // namespace pcx

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace pcx {
 
 namespace {
@@ -75,7 +77,15 @@ StatusOr<size_t> FailoverBackend::PickLocked() {
   return best;
 }
 
-void FailoverBackend::DemoteLocked(size_t i) { slots_[i].reset(); }
+void FailoverBackend::DemoteLocked(size_t i) {
+  slots_[i].reset();
+  // Client-side event with no owning server registry: the process
+  // default is the natural home (one failover stack per process).
+  MetricsRegistry::Default()
+      .GetCounter("pcx_failover_demotions_total", {},
+                  "Candidate backends demoted after a failover-worthy error")
+      .Increment();
+}
 
 template <typename T>
 StatusOr<T> FailoverBackend::WithFailover(

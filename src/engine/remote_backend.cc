@@ -257,7 +257,10 @@ RemoteBackend::RemoteBackend(std::unique_ptr<LineTransport> transport,
                              std::string name)
     : transport_(std::move(transport)),
       name_(std::move(name)),
-      retry_rng_(retry_.jitter_seed) {}
+      retry_rng_(retry_.jitter_seed),
+      roundtrip_hist_(&MetricsRegistry::Default().GetHistogram(
+          "pcx_remote_roundtrip_us", {},
+          "Client-observed request round-trip latency (microseconds)")) {}
 
 void RemoteBackend::set_retry_policy(RetryPolicy policy) {
   retry_ = policy;
@@ -284,8 +287,20 @@ StatusOr<std::string> RemoteBackend::RoundTrip(const std::string& request) {
     return Status::Unavailable(
         "session closed after an earlier protocol error");
   }
+  const auto start = std::chrono::steady_clock::now();
   PCX_RETURN_IF_ERROR(transport_->SendLine(request));
-  return transport_->ReadLine();
+  while (true) {
+    PCX_ASSIGN_OR_RETURN(std::string line, transport_->ReadLine());
+    // Skip the server's `#trace ...` annotations (appended after the
+    // reply when the session has TRACE ON): comments are never the
+    // answer, and swallowing them here keeps every reply parser in sync.
+    if (!line.empty() && line[0] == '#') continue;
+    roundtrip_hist_->Observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    return line;
+  }
 }
 
 Status RemoteBackend::PoisonProtocol(std::string message) {
@@ -331,6 +346,34 @@ Status RemoteBackend::Load(const std::string& snapshot_path) {
   epoch_ = info.epoch;
   info_known_ = true;
   return Status::OK();
+}
+
+StatusOr<std::string> RemoteBackend::Metrics() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PCX_ASSIGN_OR_RETURN(const std::string header, RoundTrip("METRICS"));
+  const std::vector<std::string> tokens = SplitWhitespace(header);
+  if (!tokens.empty() && tokens[0] == "ERR") return ParseErrorReply(header);
+  if (tokens.size() != 2 || tokens[0] != "METRICS") {
+    return Status::ProtocolError("unexpected METRICS reply '" + header + "'");
+  }
+  const StatusOr<uint64_t> count = ParseU64(tokens[1]);
+  if (!count.ok()) {
+    return PoisonProtocol("bad METRICS line count '" + header + "'");
+  }
+  // The body is a counted multi-line block (like GROUPBY): a read
+  // failure mid-block leaves the stream at an unknown offset, so the
+  // session is poisoned rather than kept.
+  std::string body;
+  for (uint64_t i = 0; i < *count; ++i) {
+    StatusOr<std::string> line_or = transport_->ReadLine();
+    if (!line_or.ok()) {
+      transport_.reset();
+      return line_or.status();
+    }
+    body += *line_or;
+    body += '\n';
+  }
+  return body;
 }
 
 StatusOr<std::string> RemoteBackend::Command(const std::string& line) {

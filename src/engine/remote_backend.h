@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "engine/backend.h"
 
@@ -121,6 +122,12 @@ class RemoteBackend : public BoundBackend {
   /// refreshes the cached attribute count and epoch from the reply.
   Status Load(const std::string& snapshot_path);
 
+  /// The METRICS wire verb: fetches the server's Prometheus text
+  /// exposition and returns the body of the counted block (one string,
+  /// newline-terminated lines). A malformed block poisons the session
+  /// (the reply-stream offset is unknown mid-block).
+  StatusOr<std::string> Metrics();
+
   /// Sends one protocol line verbatim — the mutation verbs
   /// (APPEND/RETIRE/CHECKPOINT) and anything else with a single-line
   /// reply — and returns that reply. `ERR <CODE> ...` replies become
@@ -144,7 +151,10 @@ class RemoteBackend : public BoundBackend {
   StatusOr<HealthInfo> Health() override;
 
  private:
-  /// Sends `request` and reads the first reply line (mu_ held).
+  /// Sends `request` and reads the first reply line (mu_ held). Times
+  /// the exchange into pcx_remote_roundtrip_us (process-default
+  /// registry) and skips `#`-prefixed comment lines — the server's
+  /// TRACE annotations — so a traced session stays parseable.
   StatusOr<std::string> RoundTrip(const std::string& request);
   /// Drops the transport after a mid-block protocol failure — the
   /// reply-stream offset is unknown, and a desynced session could hand
@@ -165,6 +175,7 @@ class RemoteBackend : public BoundBackend {
   size_t num_attrs_ = 0;
   uint64_t epoch_ = 0;
   bool info_known_ = false;
+  Histogram* const roundtrip_hist_;  ///< client-side round-trip latency
 };
 
 /// The next backoff sleep under `policy` given the previous sleep (0 on

@@ -17,6 +17,8 @@ double EstimatorReport::failure_rate_percent() const {
 }
 
 double EstimatorReport::median_over_rate() const {
+  // Quantile() is NaN on empty input; an empty report reads as 0.
+  if (over_rates.empty()) return 0.0;
   return Median(over_rates);
 }
 

@@ -78,11 +78,13 @@
 #include "baselines/pc_estimator.h"
 #include "baselines/sampling.h"
 #include "common/covering_set.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/statusor.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "eval/harness.h"
 #include "join/edge_cover.h"
 #include "join/elastic_sensitivity.h"

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -433,10 +434,26 @@ Status DurableLog::Append(const DeltaRecord& rec) {
   uint64_t crc = 0;
   const std::string line = SerializeDeltaRecord(rec, chain_crc_, &crc);
   PCX_RETURN_IF_ERROR(WriteAll(log_fd_, line + "\n", "delta log"));
-  PCX_RETURN_IF_ERROR(Fsync(log_fd_, "delta log"));
+  if (fsync_hist_ != nullptr) {
+    const auto start = std::chrono::steady_clock::now();
+    PCX_RETURN_IF_ERROR(Fsync(log_fd_, "delta log"));
+    fsync_hist_->Observe(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
+  } else {
+    PCX_RETURN_IF_ERROR(Fsync(log_fd_, "delta log"));
+  }
   chain_crc_ = crc;
   ++next_epoch_;
   return Status::OK();
+}
+
+void DurableLog::set_metrics(MetricsRegistry* metrics) {
+  fsync_hist_ = metrics == nullptr
+                    ? nullptr
+                    : &metrics->GetHistogram(
+                          "pcx_log_fsync_latency_us", {},
+                          "Delta-log append fsync latency (microseconds)");
 }
 
 }  // namespace pcx

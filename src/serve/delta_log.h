@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/statusor.h"
 #include "pc/pc_set.h"
 #include "serve/snapshot.h"
@@ -136,6 +137,11 @@ class DurableLog {
   uint64_t next_epoch() const { return next_epoch_; }
   const std::string& dir() const { return dir_; }
 
+  /// Observes each Append's fsync latency into
+  /// `pcx_log_fsync_latency_us` of `metrics` (nullptr = off; the
+  /// registry must outlive the log).
+  void set_metrics(MetricsRegistry* metrics);
+
  private:
   explicit DurableLog(std::string dir) : dir_(std::move(dir)) {}
 
@@ -144,6 +150,7 @@ class DurableLog {
   DeltaLogHeader header_;
   uint64_t chain_crc_ = 0;   ///< crc of the last durable line
   uint64_t next_epoch_ = 0;  ///< epoch the next Append must carry
+  Histogram* fsync_hist_ = nullptr;  ///< cached registry series
 };
 
 }  // namespace pcx

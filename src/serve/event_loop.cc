@@ -95,6 +95,11 @@ struct Conn {
   size_t discard_budget = 0;
   bool discarding = false;
   bool want_write = false;  ///< EPOLLOUT currently requested
+  /// Per-connection protocol state (TRACE toggle). shared_ptr: pool
+  /// workers capture it, so a connection destroyed with a request still
+  /// in flight cannot dangle the worker's session pointer.
+  std::shared_ptr<BoundServer::Session> session =
+      std::make_shared<BoundServer::Session>();
 };
 
 /// A BOUND admitted into the coalescing window, waiting for the batch.
@@ -102,7 +107,14 @@ struct PendingBound {
   uint64_t conn_id = 0;
   uint64_t seq = 0;
   AggQuery query;
+  std::string line;  ///< raw request, for the slow-query log
+  SteadyClock::time_point enqueued;
 };
+
+double MicrosSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::micro>(SteadyClock::now() - start)
+      .count();
+}
 
 std::string FormatRangeReply(const StatusOr<ResultRange>& range) {
   if (!range.ok()) return FormatErrorReply(range.status());
@@ -134,6 +146,17 @@ class Loop {
         wake_write_(wake_write),
         stopping_(stopping),
         completions_(std::make_shared<CompletionQueue>()),
+        queue_wait_hist_(&server.metrics().GetHistogram(
+            "pcx_queue_wait_us", {},
+            "Time from solver-queue admission to worker start "
+            "(microseconds)")),
+        coalesce_wait_hist_(&server.metrics().GetHistogram(
+            "pcx_coalesce_wait_us", {},
+            "Time a BOUND waited in the coalescing window before batch "
+            "dispatch (microseconds)")),
+        coalesce_batch_hist_(&server.metrics().GetHistogram(
+            "pcx_coalesce_batch_size", {},
+            "Requests per dispatched coalesced BOUND batch")),
         pool_(options.solver_threads == 0 ? 2 : options.solver_threads) {}
 
   Status Run();
@@ -202,12 +225,8 @@ class Loop {
   // -- bookkeeping ----------------------------------------------------
 
   void NoteQueued() {
-    const uint64_t depth = server_.transport().queue_depth.fetch_add(1) + 1;
-    uint64_t high = server_.transport().queue_high_water.load();
-    while (depth > high &&
-           !server_.transport().queue_high_water.compare_exchange_weak(high,
-                                                                       depth)) {
-    }
+    const int64_t depth = server_.transport().queue_depth.Add(1);
+    server_.transport().queue_high_water.MaxWith(depth);
   }
 
   bool AcceptingMore() const {
@@ -237,6 +256,10 @@ class Loop {
 
   std::shared_ptr<CompletionQueue> completions_;
   std::vector<uint64_t> doomed_;  ///< conns to destroy after event sweep
+  /// Cached registry series (stable for the server's lifetime).
+  Histogram* const queue_wait_hist_;
+  Histogram* const coalesce_wait_hist_;
+  Histogram* const coalesce_batch_hist_;
   ThreadPool pool_;
 };
 
@@ -275,7 +298,7 @@ void Loop::AcceptReady() {
     }
     ++accepted_;
     server_.NoteSessionStart();
-    server_.transport().open_connections.fetch_add(1);
+    server_.transport().open_connections.Add(1);
     conns_.emplace(conn->id, std::move(conn));
   }
   if (!AcceptingMore() && !listener_disarmed_) {
@@ -292,7 +315,7 @@ void Loop::DestroyConn(uint64_t id) {
   ::epoll_ctl(epfd_, EPOLL_CTL_DEL, it->second->fd, &ev);
   ::close(it->second->fd);
   conns_.erase(it);
-  server_.transport().open_connections.fetch_sub(1);
+  server_.transport().open_connections.Sub(1);
 }
 
 Slot& Loop::NewSlot(Conn& conn) {
@@ -312,9 +335,10 @@ bool Loop::RejectIfOverloaded(Conn& conn, Slot& slot) {
   // request itself is not evidence of overload).
   const bool conn_full = conn.outstanding > options_.max_conn_pending;
   const bool queue_full =
-      server_.transport().queue_depth.load() >= options_.max_queue;
+      server_.transport().queue_depth.value() >=
+      static_cast<int64_t>(options_.max_queue);
   if (!conn_full && !queue_full) return false;
-  server_.transport().overload_rejections.fetch_add(1);
+  server_.transport().overload_rejections.Increment();
   CompleteInline(
       conn, slot,
       FormatErrorReply(Status::Unavailable(
@@ -326,13 +350,15 @@ bool Loop::RejectIfOverloaded(Conn& conn, Slot& slot) {
 void Loop::SubmitHandleLineTask(Conn& conn, Slot& slot, std::string line) {
   NoteQueued();
   pool_.Submit([this, conn_id = conn.id, seq = slot.seq,
-                line = std::move(line)] {
+                line = std::move(line), session = conn.session,
+                enqueued = SteadyClock::now()] {
     // HandleLine is thread-safe and does its own epoch pinning, so a
     // GROUPBY block here is single-epoch exactly like on the legacy
     // transport. The requests counter is bumped by HandleLine itself.
+    queue_wait_hist_->Observe(MicrosSince(enqueued));
     std::ostringstream out;
-    server_.HandleLine(line, out);
-    server_.transport().queue_depth.fetch_sub(1);
+    server_.HandleLine(line, out, session.get());
+    server_.transport().queue_depth.Sub(1);
     completions_->Push({Completion{conn_id, seq, out.str()}});
     Wake();
   });
@@ -347,7 +373,7 @@ void Loop::DispatchLine(Conn& conn, const std::string& line) {
   }
 
   if (cmd == "QUIT" || cmd == "EXIT") {
-    server_.NoteRequest();
+    server_.NoteRequestVerb("QUIT");
     Slot& slot = NewSlot(conn);
     CompleteInline(conn, slot, "BYE\n");
     conn.closing = true;  // replies before this slot still flush first
@@ -355,8 +381,21 @@ void Loop::DispatchLine(Conn& conn, const std::string& line) {
   }
 
   if (cmd == "BOUND") {
+    if (conn.session->trace.load(std::memory_order_relaxed)) {
+      // Traced BOUNDs skip the coalescer: the trace context is per-
+      // request state a shared batch cannot carry, and a traced client
+      // has opted into per-request handling anyway. HandleLine counts
+      // and times the request itself.
+      Slot& slot = NewSlot(conn);
+      if (RejectIfOverloaded(conn, slot)) {
+        server_.NoteRequestVerb("BOUND");
+        return;
+      }
+      SubmitHandleLineTask(conn, slot, line);
+      return;
+    }
     // The coalescing fast path: parse here (cheap), batch the solve.
-    server_.NoteRequest();
+    server_.NoteRequestVerb("BOUND");
     Slot& slot = NewSlot(conn);
     if (RejectIfOverloaded(conn, slot)) return;
     const std::shared_ptr<const ShardedBoundSolver> pinned = server_.solver();
@@ -373,8 +412,9 @@ void Loop::DispatchLine(Conn& conn, const std::string& line) {
       return;
     }
     NoteQueued();
-    pending_bounds_.push_back(
-        PendingBound{conn.id, slot.seq, *std::move(query)});
+    pending_bounds_.push_back(PendingBound{conn.id, slot.seq,
+                                           *std::move(query), line,
+                                           SteadyClock::now()});
     if (!batch_deadline_.has_value()) {
       batch_deadline_ = SteadyClock::now() +
                         std::chrono::microseconds(options_.coalesce_us);
@@ -388,7 +428,7 @@ void Loop::DispatchLine(Conn& conn, const std::string& line) {
     // must not stall the loop, and counts against the admission caps.
     Slot& slot = NewSlot(conn);
     if (RejectIfOverloaded(conn, slot)) {
-      server_.NoteRequest();
+      server_.NoteRequestVerb(cmd);
       return;
     }
     SubmitHandleLineTask(conn, slot, line);
@@ -400,7 +440,7 @@ void Loop::DispatchLine(Conn& conn, const std::string& line) {
   // byte-identical to the legacy transport's.
   Slot& slot = NewSlot(conn);
   std::ostringstream out;
-  server_.HandleLine(line, out);
+  server_.HandleLine(line, out, conn.session.get());
   CompleteInline(conn, slot, out.str());
 }
 
@@ -408,12 +448,12 @@ void Loop::DispatchBoundBatch() {
   if (pending_bounds_.empty()) return;
   batch_deadline_.reset();
   std::vector<PendingBound> batch = std::exchange(pending_bounds_, {});
-  server_.transport().coalesced_batches.fetch_add(1);
-  server_.transport().coalesced_requests.fetch_add(batch.size());
-  uint64_t seen = server_.transport().max_batch.load();
-  while (batch.size() > seen &&
-         !server_.transport().max_batch.compare_exchange_weak(
-             seen, batch.size())) {
+  server_.transport().coalesced_batches.Increment();
+  server_.transport().coalesced_requests.Increment(batch.size());
+  server_.transport().max_batch.MaxWith(static_cast<int64_t>(batch.size()));
+  coalesce_batch_hist_->Observe(static_cast<double>(batch.size()));
+  for (const PendingBound& p : batch) {
+    coalesce_wait_hist_->Observe(MicrosSince(p.enqueued));
   }
   pool_.Submit([this, batch = std::move(batch)] {
     // Pin once for the whole batch: every reply it scatters is computed
@@ -441,7 +481,12 @@ void Loop::DispatchBoundBatch() {
                                   FormatRangeReply(results[i])});
       }
     }
-    server_.transport().queue_depth.fetch_sub(done.size());
+    // Per-request latency (admission to reply ready) feeds the same
+    // verb histogram and slow-query log the sequential path uses.
+    for (const PendingBound& p : batch) {
+      server_.NoteRequestLatency("BOUND", p.line, MicrosSince(p.enqueued));
+    }
+    server_.transport().queue_depth.Sub(static_cast<int64_t>(done.size()));
     completions_->Push(std::move(done));
     Wake();
   });
@@ -669,7 +714,7 @@ Status Loop::Run() {
   pool_.Wait();
   for (auto& [id, conn] : conns_) {
     ::close(conn->fd);
-    server_.transport().open_connections.fetch_sub(1);
+    server_.transport().open_connections.Sub(1);
   }
   conns_.clear();
   ::close(epfd_);

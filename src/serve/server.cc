@@ -23,10 +23,17 @@
 
 #include "common/text.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "pc/serialization.h"
 
 namespace pcx {
 namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 std::string ToUpper(std::string s) {
   for (char& c : s) {
@@ -143,10 +150,114 @@ void PrintResultRange(std::ostream& out, const char* label,
       << "\n";
 }
 
+BoundServer::TransportStats::TransportStats(MetricsRegistry& metrics)
+    : queue_depth(metrics.GetGauge(
+          "pcx_queue_depth", {},
+          "Requests admitted to the solver queue and not yet answered")),
+      queue_high_water(metrics.GetGauge("pcx_queue_high_water", {},
+                                        "Largest queue depth seen")),
+      coalesced_batches(metrics.GetCounter(
+          "pcx_coalesced_batches_total", {},
+          "Cross-connection BOUND batches dispatched to the solver")),
+      coalesced_requests(
+          metrics.GetCounter("pcx_coalesced_requests_total", {},
+                             "BOUND requests carried by coalesced batches")),
+      max_batch(metrics.GetGauge("pcx_max_batch", {},
+                                 "Largest coalesced batch dispatched")),
+      overload_rejections(metrics.GetCounter(
+          "pcx_overload_rejections_total", {},
+          "Requests answered ERR UNAVAILABLE by admission control")),
+      open_connections(metrics.GetGauge("pcx_open_connections", {},
+                                        "Open event-loop connections")) {}
+
 BoundServer::BoundServer() : BoundServer(Options{}) {}
+
 BoundServer::BoundServer(Options options)
-    : options_(std::move(options)), start_(std::chrono::steady_clock::now()) {}
-BoundServer::~BoundServer() = default;
+    : options_(std::move(options)),
+      start_(std::chrono::steady_clock::now()),
+      transport_(metrics_) {
+  // Every solver a LOAD/APPLY constructs instruments into this server's
+  // registry, whatever the caller put in Options.
+  options_.solver.metrics = &metrics_;
+  requests_total_ = &metrics_.GetCounter("pcx_requests_total", {},
+                                         "Protocol requests dispatched");
+  static constexpr const char* kVerbs[kNumVerbs] = {
+      "BOUND", "GROUPBY", "LOAD",    "APPEND", "RETIRE", "CHECKPOINT", "SYNC",
+      "STATS", "HEALTH",  "METRICS", "TRACE",  "QUIT",   "OTHER"};
+  for (size_t i = 0; i < kNumVerbs; ++i) {
+    verbs_[i].verb = kVerbs[i];
+    verbs_[i].count =
+        &metrics_.GetCounter("pcx_requests_verb_total", {{"verb", kVerbs[i]}},
+                             "Protocol requests dispatched, by verb");
+    verbs_[i].latency = &metrics_.GetHistogram(
+        "pcx_request_latency_us", {{"verb", kVerbs[i]}},
+        "End-to-end request handling latency (microseconds)");
+  }
+  delta_apply_hist_ = &metrics_.GetHistogram(
+      "pcx_delta_apply_latency_us", {},
+      "ApplyDeltas build latency per mutation batch (microseconds)");
+  if (!options_.slow_log_path.empty()) {
+    slow_log_file_ = std::fopen(options_.slow_log_path.c_str(), "a");
+    if (slow_log_file_ == nullptr) {
+      std::fprintf(stderr,
+                   "pcx_serve: cannot open slow-query log %s; "
+                   "falling back to stderr\n",
+                   options_.slow_log_path.c_str());
+    }
+  }
+}
+
+BoundServer::~BoundServer() {
+  if (slow_log_file_ != nullptr) std::fclose(slow_log_file_);
+}
+
+const BoundServer::VerbSeries& BoundServer::FindVerb(
+    const std::string& verb) const {
+  for (const VerbSeries& v : verbs_) {
+    if (verb == v.verb) return v;
+  }
+  return verbs_.back();  // "OTHER"
+}
+
+void BoundServer::NoteRequestVerb(const std::string& verb) {
+  ++requests_;
+  requests_total_->Increment();
+  FindVerb(verb).count->Increment();
+}
+
+void BoundServer::NoteRequestLatency(const std::string& verb,
+                                     const std::string& line, double us) {
+  FindVerb(verb).latency->Observe(us);
+  MaybeLogSlowQuery(verb, line, us);
+}
+
+void BoundServer::MaybeLogSlowQuery(const std::string& verb,
+                                    const std::string& line, double us) {
+  if (options_.slow_query_us == 0 ||
+      us < static_cast<double>(options_.slow_query_us)) {
+    return;
+  }
+  // One structured line, greppable by prefix; the request is quoted,
+  // escaped, and truncated so a pathological line cannot flood the log.
+  constexpr size_t kMaxLoggedLine = 512;
+  std::string quoted;
+  quoted.reserve(std::min(line.size(), kMaxLoggedLine) + 8);
+  for (char c : line) {
+    if (quoted.size() >= kMaxLoggedLine) {
+      quoted += "...";
+      break;
+    }
+    if (c == '"' || c == '\\') quoted += '\\';
+    if (c == '\n' || c == '\r') c = ' ';
+    quoted += c;
+  }
+  std::lock_guard<std::mutex> lock(slow_log_mu_);
+  std::FILE* dest = slow_log_file_ != nullptr ? slow_log_file_ : stderr;
+  std::fprintf(dest, "pcx_slow_query us=%.1f threshold_us=%llu verb=%s line=\"%s\"\n",
+               us, static_cast<unsigned long long>(options_.slow_query_us),
+               verb.c_str(), quoted.c_str());
+  std::fflush(dest);
+}
 
 std::shared_ptr<const ShardedBoundSolver> BoundServer::solver() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -237,6 +348,7 @@ Status BoundServer::EnableDurableLog(const std::string& dir) {
     // seed the base from the served snapshot.
     PCX_RETURN_IF_ERROR(log->Reset(solver()->ToSnapshot()));
   }
+  log->set_metrics(&metrics_);
   log_ = std::move(log);
   log_enabled_.store(true);
   return Status::OK();
@@ -267,8 +379,10 @@ BoundServer::ApplyRecordsLocked(std::span<const DeltaRecord> records) {
   // Order of operations: validate + build first (a bad record must not
   // touch the journal), journal with fsync second (a crash after the
   // ack must recover to the acked epoch), publish last.
+  const auto apply_start = std::chrono::steady_clock::now();
   PCX_ASSIGN_OR_RETURN(std::shared_ptr<const ShardedBoundSolver> next,
                        current->ApplyDeltas(records));
+  delta_apply_hist_->Observe(MicrosSince(apply_start));
   bool checkpointed = false;
   if (log_ != nullptr && log_->initialized()) {
     for (const DeltaRecord& rec : records) {
@@ -383,11 +497,19 @@ Status BoundServer::HandleSync(const std::vector<std::string>& tokens,
 Status BoundServer::HandleBound(const ShardedBoundSolver& solver,
                                 const std::vector<std::string>& tokens,
                                 std::ostream& out) {
-  PCX_ASSIGN_OR_RETURN(
-      const AggQuery query,
-      ParseBoundRequest(tokens, solver.constraints().num_attrs()));
-  PCX_ASSIGN_OR_RETURN(const ResultRange range, solver.Bound(query));
-  PrintResultRange(out, "RANGE ", range);
+  // The TraceSpans are no-ops (no clock reads) unless this request's
+  // session turned TRACE on; route/solve stages are recorded inside
+  // Bound itself.
+  const StatusOr<AggQuery> query = [&] {
+    TraceSpan parse_span("parse");
+    return ParseBoundRequest(tokens, solver.constraints().num_attrs());
+  }();
+  PCX_RETURN_IF_ERROR(query.status());
+  PCX_ASSIGN_OR_RETURN(const ResultRange range, solver.Bound(*query));
+  {
+    TraceSpan serialize_span("serialize");
+    PrintResultRange(out, "RANGE ", range);
+  }
   return Status::OK();
 }
 
@@ -431,12 +553,12 @@ Status BoundServer::HandleStats(const ShardedBoundSolver& solver,
       << " milp_nodes=" << s.solve.milp_nodes
       << " lp_solves=" << s.solve.lp_solves
       << " lp_pivots=" << s.solve.lp_pivots
-      << " queue_depth=" << transport_.queue_depth.load()
-      << " queue_high_water=" << transport_.queue_high_water.load()
-      << " coalesced_batches=" << transport_.coalesced_batches.load()
-      << " coalesced_reqs=" << transport_.coalesced_requests.load()
-      << " max_batch=" << transport_.max_batch.load()
-      << " overload_rejects=" << transport_.overload_rejections.load()
+      << " queue_depth=" << transport_.queue_depth.value()
+      << " queue_high_water=" << transport_.queue_high_water.value()
+      << " coalesced_batches=" << transport_.coalesced_batches.value()
+      << " coalesced_reqs=" << transport_.coalesced_requests.value()
+      << " max_batch=" << transport_.max_batch.value()
+      << " overload_rejects=" << transport_.overload_rejections.value()
       << "\n";
   return Status::OK();
 }
@@ -457,9 +579,9 @@ void BoundServer::HandleHealth(const ShardedBoundSolver* solver,
   }
   out << " uptime_s=" << uptime_seconds() << " sessions=" << sessions()
       << " requests=" << requests()
-      << " open_conns=" << transport_.open_connections.load()
-      << " queue_depth=" << transport_.queue_depth.load()
-      << " overload_rejects=" << transport_.overload_rejections.load();
+      << " open_conns=" << transport_.open_connections.value()
+      << " queue_depth=" << transport_.queue_depth.value()
+      << " overload_rejects=" << transport_.overload_rejections.value();
   // Durability + replication posture, appended at the end so existing
   // prefix-matching health checks keep working. `lag` is the epoch
   // distance to the primary's last report (0 when not a replica).
@@ -479,12 +601,56 @@ void BoundServer::HandleHealth(const ShardedBoundSolver* solver,
       << " sync_errors=" << replication_.sync_failures.load() << "\n";
 }
 
-bool BoundServer::HandleLine(const std::string& line, std::ostream& out) {
-  const std::vector<std::string> tokens = SplitWhitespace(line);
-  if (tokens.empty() || tokens[0][0] == '#') return true;  // comment/blank
-  const std::string cmd = ToUpper(tokens[0]);
-  ++requests_;
+void BoundServer::HandleMetrics(const ShardedBoundSolver* solver,
+                                std::ostream& out) {
+  // Scrape-time gauges: state that has an authoritative owner elsewhere
+  // (the pinned solver, the process clock, the session counter) is
+  // refreshed at scrape instead of being double-maintained.
+  metrics_.GetGauge("pcx_uptime_seconds", {}, "Process uptime")
+      .Set(static_cast<int64_t>(uptime_seconds()));
+  metrics_.GetGauge("pcx_loaded", {}, "1 once a snapshot is served")
+      .Set(solver != nullptr ? 1 : 0);
+  metrics_.GetGauge("pcx_epoch", {}, "Epoch of the served snapshot")
+      .Set(solver != nullptr ? static_cast<int64_t>(solver->epoch()) : 0);
+  metrics_.GetGauge("pcx_shards", {}, "Shards in the served snapshot")
+      .Set(solver != nullptr ? static_cast<int64_t>(solver->num_shards()) : 0);
+  metrics_.GetGauge("pcx_sessions", {}, "Sessions opened since start")
+      .Set(static_cast<int64_t>(sessions()));
+  metrics_
+      .GetGauge("pcx_read_only", {},
+                "1 when serving as a read-only replica")
+      .Set(read_only_.load() ? 1 : 0);
+  const std::string text = metrics_.Exposition();
+  // Counted block framing (like GROUPS/SYNC): a typed client reads
+  // exactly `n` lines and cannot desync on the multi-line body.
+  const size_t lines =
+      static_cast<size_t>(std::count(text.begin(), text.end(), '\n'));
+  out << "METRICS " << lines << "\n" << text;
+}
 
+Status BoundServer::HandleTrace(const std::vector<std::string>& tokens,
+                                Session* session, std::ostream& out) {
+  if (session == nullptr) {
+    return Status::FailedPrecondition(
+        "TRACE is per-session; this transport did not attach session state");
+  }
+  if (tokens.size() != 2) {
+    return Status::InvalidArgument("usage: TRACE ON|OFF");
+  }
+  const std::string arg = ToUpper(tokens[1]);
+  if (arg != "ON" && arg != "OFF") {
+    return Status::InvalidArgument("usage: TRACE ON|OFF");
+  }
+  const bool on = arg == "ON";
+  session->trace.store(on, std::memory_order_relaxed);
+  out << "OK trace=" << (on ? 1 : 0) << "\n";
+  return Status::OK();
+}
+
+bool BoundServer::DispatchLine(const std::string& cmd,
+                               const std::vector<std::string>& tokens,
+                               const std::string& line, std::ostream& out,
+                               Session* session) {
   if (cmd == "QUIT" || cmd == "EXIT") {
     out << "BYE\n";
     return false;
@@ -499,8 +665,17 @@ bool BoundServer::HandleLine(const std::string& line, std::ostream& out) {
     HandleHealth(pinned.get(), out);
     return true;
   }
+  if (cmd == "METRICS") {
+    HandleMetrics(pinned.get(), out);
+    return true;
+  }
 
   Status status = Status::OK();
+  if (cmd == "TRACE") {
+    status = HandleTrace(tokens, session, out);
+    if (!status.ok()) out << FormatErrorReply(status);
+    return true;
+  }
   if (cmd == "LOAD" || cmd == "APPEND" || cmd == "RETIRE" ||
       cmd == "CHECKPOINT") {
     if (read_only_.load()) {
@@ -559,18 +734,46 @@ bool BoundServer::HandleLine(const std::string& line, std::ostream& out) {
     status = Status::InvalidArgument(
         "unknown command '" + tokens[0] +
         "' (want LOAD/BOUND/GROUPBY/APPEND/RETIRE/CHECKPOINT/SYNC/STATS/"
-        "HEALTH/QUIT)");
+        "HEALTH/METRICS/TRACE/QUIT)");
   }
   if (!status.ok()) out << FormatErrorReply(status);
   return true;
 }
 
+bool BoundServer::HandleLine(const std::string& line, std::ostream& out,
+                             Session* session) {
+  const std::vector<std::string> tokens = SplitWhitespace(line);
+  if (tokens.empty() || tokens[0][0] == '#') return true;  // comment/blank
+  const std::string cmd = ToUpper(tokens[0]);
+  NoteRequestVerb(cmd == "EXIT" ? "QUIT" : cmd);
+
+  // Tracing covers the dispatch only (the reply is already written when
+  // the comment is appended); TRACE itself is never traced, so "TRACE
+  // ON" output starts at the next request.
+  const bool traced = session != nullptr &&
+                      session->trace.load(std::memory_order_relaxed) &&
+                      cmd != "TRACE";
+  const auto start = std::chrono::steady_clock::now();
+  bool keep_going;
+  if (traced) {
+    TraceContext ctx;
+    ScopedTrace scoped(&ctx);
+    keep_going = DispatchLine(cmd, tokens, line, out, session);
+    out << ctx.FormatComment();
+  } else {
+    keep_going = DispatchLine(cmd, tokens, line, out, session);
+  }
+  NoteRequestLatency(cmd == "EXIT" ? "QUIT" : cmd, line, MicrosSince(start));
+  return keep_going;
+}
+
 void BoundServer::ServeStream(std::istream& in, std::ostream& out) {
   NoteSessionStart();
+  Session session;
   std::string line;
   while (std::getline(in, line)) {
     StripTrailingCr(line);
-    const bool keep_going = HandleLine(line, out);
+    const bool keep_going = HandleLine(line, out, &session);
     out.flush();
     if (!keep_going) return;
   }
@@ -734,6 +937,7 @@ void ServeClient(BoundServer& server, int client,
                  TcpSessionRegistry* registry) {
   if (registry != nullptr) registry->Register(client);
   server.NoteSessionStart();
+  BoundServer::Session session;
   std::string buffer;
   char chunk[4096];
   bool open = true;
@@ -748,7 +952,7 @@ void ServeClient(BoundServer& server, int client,
       buffer.erase(0, at + 1);
       StripTrailingCr(line);
       std::ostringstream reply;
-      open = server.HandleLine(line, reply);
+      open = server.HandleLine(line, reply, &session);
       if (!WriteAll(client, reply.str())) open = false;
     }
     if (open && buffer.size() > TcpListener::kMaxRequestLineBytes) {
@@ -780,7 +984,7 @@ void ServeClient(BoundServer& server, int client,
     // answer — exactly what ServeStream's getline path does on stdio.
     StripTrailingCr(buffer);
     std::ostringstream reply;
-    server.HandleLine(buffer, reply);
+    server.HandleLine(buffer, reply, &session);
     WriteAll(client, reply.str());
   }
   if (registry != nullptr) registry->Deregister(client);

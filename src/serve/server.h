@@ -1,9 +1,11 @@
 #ifndef PCX_SERVE_SERVER_H_
 #define PCX_SERVE_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -11,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "serve/delta_log.h"
 #include "serve/sharded_solver.h"
@@ -58,30 +61,49 @@ namespace pcx {
 class BoundServer {
  public:
   struct Options {
-    /// Forwarded to every solver a LOAD constructs.
+    /// Forwarded to every solver a LOAD constructs. `solver.metrics` is
+    /// overridden to the server's own registry, so per-shard solve
+    /// histograms always land in the scrapeable METRICS output.
     ShardedBoundSolver::Options solver;
+    /// Requests slower than this many microseconds get a structured
+    /// one-line record in the slow-query log. 0 disables the log.
+    uint64_t slow_query_us = 0;
+    /// Slow-query log destination; empty = stderr. Opened append-mode
+    /// at construction (a failure falls back to stderr with a warning).
+    std::string slow_log_path;
   };
 
-  /// Event-transport serving counters, owned here so STATS and HEALTH
-  /// have one formatting point whichever transport is wired in front.
-  /// The epoll loop (serve/event_loop.h) maintains them; under the
-  /// thread-per-session transport they stay zero. All atomics: the
+  /// Per-connection protocol state, owned by the transport (one per
+  /// stdio stream / TCP session / event-loop connection) and threaded
+  /// into HandleLine. Atomics: the event loop toggles on the loop
+  /// thread while pool workers read.
+  struct Session {
+    /// TRACE ON|OFF: append a `#trace ...` comment after each reply.
+    std::atomic<bool> trace{false};
+  };
+
+  /// Event-transport serving counters — registry-backed references, so
+  /// STATS, HEALTH, and METRICS all read the same series and counter
+  /// names cannot drift between transports. The epoll loop
+  /// (serve/event_loop.h) maintains them; under the thread-per-session
+  /// transport they stay zero. All metric types are atomic inside: the
   /// loop thread and its solver-pool workers update them while any
   /// session reads them.
   struct TransportStats {
+    explicit TransportStats(MetricsRegistry& metrics);
     /// Requests admitted to the solver queue and not yet answered.
-    std::atomic<uint64_t> queue_depth{0};
-    std::atomic<uint64_t> queue_high_water{0};
+    Gauge& queue_depth;
+    Gauge& queue_high_water;
     /// Cross-connection BOUND coalescing: batches dispatched, requests
     /// they carried, and the largest batch seen (>1 means the fan-in
     /// actually coalesced).
-    std::atomic<uint64_t> coalesced_batches{0};
-    std::atomic<uint64_t> coalesced_requests{0};
-    std::atomic<uint64_t> max_batch{0};
+    Counter& coalesced_batches;
+    Counter& coalesced_requests;
+    Gauge& max_batch;
     /// Requests answered "ERR UNAVAILABLE" by admission control.
-    std::atomic<uint64_t> overload_rejections{0};
-    /// Currently open event-loop connections (gauge).
-    std::atomic<uint64_t> open_connections{0};
+    Counter& overload_rejections;
+    /// Currently open event-loop connections.
+    Gauge& open_connections;
   };
 
   /// Replication-side counters, updated by the replica tailer
@@ -145,8 +167,14 @@ class BoundServer {
   /// Handles one protocol line, writing the reply to `out`. Returns
   /// false iff the line was QUIT (the stream should end). Thread-safe:
   /// sessions on different threads may call this concurrently as long
-  /// as each owns its own `out`.
-  bool HandleLine(const std::string& line, std::ostream& out);
+  /// as each owns its own `out` (and `session`). `session` carries the
+  /// per-connection TRACE state; with nullptr the TRACE verb answers
+  /// FAILED_PRECONDITION and no trace comments are emitted.
+  bool HandleLine(const std::string& line, std::ostream& out,
+                  Session* session);
+  bool HandleLine(const std::string& line, std::ostream& out) {
+    return HandleLine(line, out, nullptr);
+  }
 
   /// Runs the protocol until EOF or QUIT, flushing after every reply.
   void ServeStream(std::istream& in, std::ostream& out);
@@ -166,10 +194,26 @@ class BoundServer {
   /// a session opens; feeds the HEALTH sessions counter.
   void NoteSessionStart() { ++sessions_; }
 
-  /// Called by transports that answer a request without going through
-  /// HandleLine (the event loop's coalesced BOUND path), so the HEALTH
-  /// requests counter stays transport-independent.
-  void NoteRequest() { ++requests_; }
+  /// Counts one request of the given (already upper-cased) verb —
+  /// pcx_requests_total plus the per-verb counter, in lockstep so
+  /// requests_total always equals the sum over verbs. Called by
+  /// HandleLine for every dispatched line and by transports that answer
+  /// without HandleLine (the event loop's coalesced BOUND path), so the
+  /// HEALTH requests counter stays transport-independent.
+  void NoteRequestVerb(const std::string& verb);
+
+  /// Observes one completed request: per-verb latency histogram plus
+  /// the slow-query log. HandleLine calls it for every line; transports
+  /// answering outside HandleLine (coalesced BOUNDs) call it per
+  /// request with their own end-to-end timing.
+  void NoteRequestLatency(const std::string& verb, const std::string& line,
+                          double us);
+
+  /// The server's metrics registry (the METRICS exposition source).
+  /// Components wired to this server — transports, the replica tailer,
+  /// the delta log — register their series here.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
 
   /// Event-transport counters (see TransportStats).
   TransportStats& transport() { return transport_; }
@@ -216,6 +260,34 @@ class BoundServer {
   Status HandleStats(const ShardedBoundSolver& solver, std::ostream& out);
   /// HEALTH never fails — it must answer on a server with no snapshot.
   void HandleHealth(const ShardedBoundSolver* solver, std::ostream& out);
+  /// METRICS: refreshes scrape-time gauges (uptime, epoch, sessions)
+  /// and writes the registry's Prometheus text as a counted block —
+  /// "METRICS <n>\n" followed by n exposition lines.
+  void HandleMetrics(const ShardedBoundSolver* solver, std::ostream& out);
+  /// TRACE ON|OFF for `session`; errors without a session.
+  Status HandleTrace(const std::vector<std::string>& tokens, Session* session,
+                     std::ostream& out);
+  /// The dispatch body of HandleLine (everything but counting, timing,
+  /// tracing, and the slow-query log).
+  bool DispatchLine(const std::string& cmd,
+                    const std::vector<std::string>& tokens,
+                    const std::string& line, std::ostream& out,
+                    Session* session);
+  /// Appends a structured record when `us` crosses the configured
+  /// threshold; serialized by slow_log_mu_.
+  void MaybeLogSlowQuery(const std::string& verb, const std::string& line,
+                         double us);
+
+  /// Request counter + latency histogram of one verb, resolved once at
+  /// construction so the per-request path never touches the registry
+  /// lock. The last entry ("OTHER") catches unknown commands.
+  struct VerbSeries {
+    const char* verb = nullptr;
+    Counter* count = nullptr;
+    Histogram* latency = nullptr;
+  };
+  static constexpr size_t kNumVerbs = 13;
+  const VerbSeries& FindVerb(const std::string& verb) const;
 
   Options options_;
   const std::chrono::steady_clock::time_point start_;
@@ -224,8 +296,19 @@ class BoundServer {
   std::atomic<bool> read_only_{false};
   std::atomic<bool> log_enabled_{false};  ///< lock-free mirror for HEALTH
 
+  /// Declared before transport_: TransportStats binds references into
+  /// the registry at construction.
+  MetricsRegistry metrics_;
   TransportStats transport_;
   ReplicationStats replication_;
+
+  /// Hot-path metric caches (stable registry references).
+  Counter* requests_total_ = nullptr;
+  std::array<VerbSeries, kNumVerbs> verbs_{};
+  Histogram* delta_apply_hist_ = nullptr;
+
+  std::mutex slow_log_mu_;  ///< serializes slow-query records
+  std::FILE* slow_log_file_ = nullptr;  ///< owned; null = stderr
 
   /// Serializes every state transition (LOAD, mutation verbs, replica
   /// installs) end to end — build, journal, swap — so the journal order

@@ -2,14 +2,23 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <limits>
+#include <string>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace pcx {
 namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 /// Exact combine of per-shard ranges for a decomposable aggregate.
 /// Sound because shard regions are disjoint and shard constraints are
@@ -200,6 +209,12 @@ void ShardedBoundSolver::BuildShards(
     options_.solver.auto_disjoint_fast_path = false;
   }
 
+  if (options_.metrics != nullptr) {
+    union_solve_hist_ = &options_.metrics->GetHistogram(
+        "pcx_shard_solve_latency_us", {{"shard", "union"}},
+        "BOUND solve latency per shard (microseconds)");
+  }
+
   always_relevant_.assign(flat_.size(), 0);
   for (size_t i = 0; i < flat_.size(); ++i) {
     // A degenerate empty predicate box intersects nothing, yet
@@ -236,6 +251,11 @@ void ShardedBoundSolver::BuildShards(
             d, Interval{std::min(cur.lo, pred.dim(d).lo),
                         std::max(cur.hi, pred.dim(d).hi), false, false});
       }
+    }
+    if (options_.metrics != nullptr) {
+      shard.solve_hist = &options_.metrics->GetHistogram(
+          "pcx_shard_solve_latency_us", {{"shard", std::to_string(s)}},
+          "BOUND solve latency per shard (microseconds)");
     }
     if (reuse != nullptr && s < reuse->size() && (*reuse)[s] != nullptr) {
       // An untouched shard: identical subset, order, and effective
@@ -589,7 +609,12 @@ StatusOr<ResultRange> ShardedBoundSolver::BoundOne(
     return Status::InvalidArgument("aggregate attribute out of range");
   }
 
-  uint64_t mask = RouteMask(query);
+  uint64_t mask;
+  {
+    // No-op (no clock reads) unless this thread carries a TraceContext.
+    TraceSpan route_span("route");
+    mask = RouteMask(query);
+  }
   const int bits = std::popcount(mask);
   if (bits == 0) {
     ++local.no_shard_queries;
@@ -613,7 +638,26 @@ StatusOr<ResultRange> ShardedBoundSolver::BoundOne(
     ++local.scatter_queries;
     return ScatterGather(query, mask, stats, parallel);
   }
-  return SolverFor(mask)->BoundWithStats(query, stats);
+
+  const std::shared_ptr<const PcBoundSolver> solver = SolverFor(mask);
+  // mask can stay 0 only over an all-empty partition (empty-set solver).
+  Histogram* hist = nullptr;
+  if (options_.metrics != nullptr && mask != 0) {
+    hist = bits >= 2
+               ? union_solve_hist_
+               : shards_[static_cast<size_t>(std::countr_zero(mask))]
+                     .solve_hist;
+  }
+  TraceContext* trace = CurrentTrace();
+  if (hist == nullptr && trace == nullptr) {
+    return solver->BoundWithStats(query, stats);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  auto result = solver->BoundWithStats(query, stats);
+  const double us = MicrosSince(start);
+  if (hist != nullptr) hist->Observe(us);
+  if (trace != nullptr) trace->AddShardSolve(us);
+  return result;
 }
 
 StatusOr<ResultRange> ShardedBoundSolver::ScatterGather(
@@ -627,9 +671,23 @@ StatusOr<ResultRange> ShardedBoundSolver::ScatterGather(
       targets.size(), StatusOr<ResultRange>(Status::Internal("unset")));
   std::vector<PcBoundSolver::SolveStats> shard_stats(targets.size());
 
+  // Per-target timing feeds the per-shard histograms and the trace.
+  // The trace is read on this thread and appended after the join: pool
+  // workers carry no TraceContext of their own.
+  TraceContext* trace = CurrentTrace();
+  const bool timed = options_.metrics != nullptr || trace != nullptr;
+  std::vector<double> target_us(targets.size(), 0.0);
+
   auto run_one = [&](size_t t) {
+    if (!timed) {
+      results[t] = shards_[targets[t]].solver->BoundWithStats(query,
+                                                              shard_stats[t]);
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
     results[t] = shards_[targets[t]].solver->BoundWithStats(query,
                                                             shard_stats[t]);
+    target_us[t] = MicrosSince(start);
   };
   if (parallel && options_.num_threads != 1 && targets.size() > 1) {
     // The pool lives for one query; never spin up more workers than
@@ -647,6 +705,13 @@ StatusOr<ResultRange> ShardedBoundSolver::ScatterGather(
   // first failure (in shard order, deterministically) — operators read
   // the counters precisely when something went wrong.
   for (const PcBoundSolver::SolveStats& s : shard_stats) stats += s;
+  if (timed) {
+    for (size_t t = 0; t < targets.size(); ++t) {
+      Histogram* hist = shards_[targets[t]].solve_hist;
+      if (hist != nullptr) hist->Observe(target_us[t]);
+      if (trace != nullptr) trace->AddShardSolve(target_us[t]);
+    }
+  }
   std::vector<ResultRange> ranges;
   ranges.reserve(targets.size());
   for (size_t t = 0; t < targets.size(); ++t) {

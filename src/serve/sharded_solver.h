@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/statusor.h"
 #include "pc/bound_solver.h"
 #include "pc/group_by.h"
@@ -70,6 +71,12 @@ class ShardedBoundSolver {
     /// Answer multi-shard COUNT/SUM/MIN/MAX queries by per-shard
     /// fan-out + combine instead of a memoized union solve.
     bool scatter_gather = false;
+    /// When set, per-shard solve latencies are observed into
+    /// `pcx_shard_solve_latency_us{shard=...}` histograms (the input
+    /// signal for skew-aware repartitioning). Must outlive the solver
+    /// and every ApplyDeltas successor. nullptr = no instrumentation,
+    /// no clock reads on the solve path.
+    MetricsRegistry* metrics = nullptr;
   };
 
   /// Cumulative serving counters (since construction; mutex-guarded).
@@ -167,6 +174,10 @@ class ShardedBoundSolver {
     /// queries instead of O(n).
     Box bbox;
     bool always_relevant = false;  ///< owns a degenerate empty-box PC
+    /// Solve-latency histogram for this shard, resolved once in
+    /// BuildShards (null when Options::metrics is null). The registry
+    /// owns the histogram; the pointer is a stable cache.
+    Histogram* solve_hist = nullptr;
   };
 
   /// Tag + constructor for ApplyDeltas: adopts a prepared set/layout
@@ -235,6 +246,9 @@ class ShardedBoundSolver {
   bool flat_disjoint_ = false;
   std::vector<Shard> shards_;
   std::vector<char> always_relevant_;  ///< per global PC: empty pred box
+  /// Latency of solves that needed a union of >= 2 shards
+  /// (shard="union" series); null when Options::metrics is null.
+  Histogram* union_solve_hist_ = nullptr;
 
   /// Two locks, not one: under concurrent serving sessions every query
   /// merges counters, but only shard-spanning queries touch the union

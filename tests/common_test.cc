@@ -165,8 +165,11 @@ TEST(RngTest, SampleAllElements) {
 TEST(RunningStatsTest, Empty) {
   RunningStats s;
   EXPECT_EQ(s.count(), 0u);
+  EXPECT_FALSE(s.has_value());
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
 }
 
 TEST(RunningStatsTest, KnownValues) {
@@ -191,8 +194,8 @@ TEST(QuantileTest, Interpolates) {
   EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
 }
 
-TEST(QuantileTest, EmptyIsZero) {
-  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+TEST(QuantileTest, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(Quantile({}, 0.5)));
 }
 
 TEST(NormalQuantileTest, KnownValues) {

@@ -291,7 +291,7 @@ TEST(EventLoopTest, ManyShortSessionsLeakNoFdsOrCounters) {
   // The probe's server-side fd may linger an instant after the client
   // close returns; wait for open_conns to hit zero before baselining.
   for (int spin = 0; spin < 200; ++spin) {
-    if (server.server().transport().open_connections.load() == 0) break;
+    if (server.server().transport().open_connections.value() == 0) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   const size_t baseline = OpenFdCount();
@@ -301,13 +301,13 @@ TEST(EventLoopTest, ManyShortSessionsLeakNoFdsOrCounters) {
     EXPECT_EQ(QueryOneLine(server.port(), "BOUND COUNT 0"), kCountReply);
   }
   for (int spin = 0; spin < 2000; ++spin) {
-    if (server.server().transport().open_connections.load() == 0 &&
+    if (server.server().transport().open_connections.value() == 0 &&
         OpenFdCount() <= baseline) {
       break;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  EXPECT_EQ(server.server().transport().open_connections.load(), 0u);
+  EXPECT_EQ(server.server().transport().open_connections.value(), 0);
   EXPECT_EQ(OpenFdCount(), baseline);
 
   const std::string health = QueryOneLine(server.port(), "HEALTH");

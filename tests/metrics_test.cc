@@ -1,0 +1,320 @@
+// Unit tests for the observability primitives: counters, gauges, the
+// log-spaced latency histogram (bucket placement, quantiles, exact
+// sum), the registry's Prometheus text exposition (grammar, ordering,
+// no duplicate series, histogram cumulative invariants), and the
+// request-trace plumbing (monotonic ids, stage assembly, the
+// thread-local ScopedTrace install/restore discipline).
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace pcx {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAddSubMaxWith) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(10);
+  EXPECT_EQ(g.Add(5), 15);  // Add returns the post-add value
+  g.Sub(12);
+  EXPECT_EQ(g.value(), 3);
+  g.Set(-7);
+  EXPECT_EQ(g.value(), -7);  // gauges go negative; counters never do
+  g.MaxWith(4);
+  EXPECT_EQ(g.value(), 4);
+  g.MaxWith(2);  // below the current max: no change
+  EXPECT_EQ(g.value(), 4);
+}
+
+TEST(HistogramTest, BucketBoundsArePowersOfTwoPlusInf) {
+  EXPECT_EQ(Histogram::BucketBound(0), 1.0);
+  EXPECT_EQ(Histogram::BucketBound(1), 2.0);
+  EXPECT_EQ(Histogram::BucketBound(10), 1024.0);
+  EXPECT_EQ(Histogram::BucketBound(Histogram::kNumFiniteBuckets - 1),
+            static_cast<double>(1u << 26));
+  EXPECT_TRUE(std::isinf(Histogram::BucketBound(Histogram::kNumBuckets - 1)));
+}
+
+TEST(HistogramTest, ObservePlacesValuesInTheRightBucket) {
+  Histogram h;
+  h.Observe(1.0);    // exactly le=1
+  h.Observe(2.0);    // exactly le=2
+  h.Observe(3.0);    // le=4
+  h.Observe(0.0);    // le=1 (the first bucket holds [0, 1])
+  h.Observe(-5.0);   // negative clamps to 0 -> le=1
+  h.Observe(1e30);   // beyond the finite range -> +Inf bucket
+  EXPECT_EQ(h.bucket_count(0), 3u);  // 1.0, 0.0, -5.0
+  EXPECT_EQ(h.bucket_count(1), 1u);  // 2.0
+  EXPECT_EQ(h.bucket_count(2), 1u);  // 3.0
+  EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 2.0 + 3.0 + 0.0 + 0.0 + 1e30);
+}
+
+TEST(HistogramTest, EveryFiniteBoundLandsInItsOwnBucket) {
+  // An exact power of two must land in the bucket whose le equals it
+  // (bounds are inclusive), not the next one up.
+  for (size_t i = 0; i < Histogram::kNumFiniteBuckets; ++i) {
+    Histogram h;
+    h.Observe(Histogram::BucketBound(i));
+    EXPECT_EQ(h.bucket_count(i), 1u) << "bound " << Histogram::BucketBound(i);
+  }
+}
+
+TEST(HistogramTest, QuantileEmptyIsNaNAndInterpolatesWithinBucket) {
+  Histogram h;
+  EXPECT_TRUE(std::isnan(h.Quantile(0.5)));
+  for (int i = 0; i < 100; ++i) h.Observe(5.0);  // all in (4, 8]
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 4.0);
+  EXPECT_LE(p50, 8.0);
+  EXPECT_GE(h.Quantile(0.0), 4.0);
+  EXPECT_LE(h.Quantile(1.0), 8.0);
+}
+
+TEST(HistogramTest, QuantileOrderingAcrossBuckets) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Observe(1.0);
+  for (int i = 0; i < 10; ++i) h.Observe(1000.0);
+  const double p50 = h.Quantile(0.5);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, 1.0);
+  EXPECT_GT(p99, 500.0);  // inside the (512, 1024] bucket
+  EXPECT_LE(p99, 1024.0);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(HistogramTest, ConcurrentObservesLoseNothing) {
+  Histogram h;
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(3.0);
+        c.Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.0 * kThreads * kPerThread);
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(RegistryTest, GetReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("pcx_test_total");
+  a.Increment(7);
+  Counter& b = registry.GetCounter("pcx_test_total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 7u);
+  // Distinct label sets are distinct series under one family name.
+  Counter& x = registry.GetCounter("pcx_verb_total", {{"verb", "BOUND"}});
+  Counter& y = registry.GetCounter("pcx_verb_total", {{"verb", "STATS"}});
+  EXPECT_NE(&x, &y);
+  EXPECT_EQ(&x, &registry.GetCounter("pcx_verb_total", {{"verb", "BOUND"}}));
+}
+
+TEST(RegistryTest, LabelFormattingEscapes) {
+  EXPECT_EQ(FormatMetricLabels({}), "");
+  EXPECT_EQ(FormatMetricLabels({{"a", "b"}}), "{a=\"b\"}");
+  EXPECT_EQ(FormatMetricLabels({{"k", "q\"b\\c\nd"}}),
+            "{k=\"q\\\"b\\\\c\\nd\"}");
+}
+
+/// Splits exposition text into lines (dropping the trailing blank).
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(RegistryTest, ExpositionFollowsPrometheusGrammar) {
+  MetricsRegistry registry;
+  registry.GetCounter("pcx_requests_total", {}, "Requests").Increment(3);
+  registry.GetGauge("pcx_queue_depth", {}, "Depth").Set(2);
+  registry.GetCounter("pcx_verb_total", {{"verb", "BOUND"}}, "By verb")
+      .Increment();
+  registry.GetCounter("pcx_verb_total", {{"verb", "STATS"}}, "By verb");
+  registry.GetHistogram("pcx_latency_us", {}, "Latency").Observe(5.0);
+
+  const std::vector<std::string> lines = Lines(registry.Exposition());
+  ASSERT_FALSE(lines.empty());
+
+  std::set<std::string> seen_series;
+  std::set<std::string> seen_families;
+  std::string last_family;
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      // "# TYPE <name> <counter|gauge|histogram>" — one pair per family,
+      // HELP first, and a family never repeats once another started.
+      const std::vector<std::string> parts = [&] {
+        std::vector<std::string> out;
+        std::istringstream is(line);
+        std::string tok;
+        while (is >> tok) out.push_back(tok);
+        return out;
+      }();
+      ASSERT_GE(parts.size(), 3u) << line;
+      const std::string& family = parts[2];
+      if (line.rfind("# HELP ", 0) == 0) {
+        EXPECT_TRUE(seen_families.insert(family).second)
+            << "family emitted twice: " << family;
+        last_family = family;
+      } else {
+        EXPECT_EQ(family, last_family) << "TYPE does not follow its HELP";
+        ASSERT_EQ(parts.size(), 4u);
+        EXPECT_TRUE(parts[3] == "counter" || parts[3] == "gauge" ||
+                    parts[3] == "histogram")
+            << line;
+      }
+      continue;
+    }
+    // Sample line: name{labels} value — value parses as a double, and
+    // the (name, labels) pair is unique across the whole exposition.
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string series = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    EXPECT_TRUE(seen_series.insert(series).second)
+        << "duplicate series: " << series;
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparseable value in: " << line;
+    EXPECT_FALSE(std::isnan(parsed)) << "NaN sample in: " << line;
+    // Series belong to the family block currently open.
+    EXPECT_EQ(series.rfind(last_family, 0), 0u)
+        << series << " outside family " << last_family;
+  }
+  // Families are emitted in sorted order (deterministic scrapes).
+  std::vector<std::string> families(seen_families.begin(),
+                                    seen_families.end());
+  EXPECT_TRUE(std::is_sorted(families.begin(), families.end()));
+}
+
+TEST(RegistryTest, HistogramExpositionIsCumulativeAndConsistent) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("pcx_lat_us", {}, "Latency");
+  h.Observe(1.0);
+  h.Observe(3.0);
+  h.Observe(100.0);
+  h.Observe(1e30);  // +Inf bucket
+
+  uint64_t prev = 0;
+  uint64_t inf_count = 0;
+  uint64_t total_count = 0;
+  bool saw_sum = false;
+  for (const std::string& line : Lines(registry.Exposition())) {
+    if (line.rfind("pcx_lat_us_bucket", 0) == 0) {
+      const uint64_t cumulative =
+          std::strtoull(line.c_str() + line.rfind(' ') + 1, nullptr, 10);
+      EXPECT_GE(cumulative, prev) << "non-monotonic at: " << line;
+      prev = cumulative;
+      if (line.find("le=\"+Inf\"") != std::string::npos) {
+        inf_count = cumulative;
+      }
+    } else if (line.rfind("pcx_lat_us_count", 0) == 0) {
+      total_count =
+          std::strtoull(line.c_str() + line.rfind(' ') + 1, nullptr, 10);
+    } else if (line.rfind("pcx_lat_us_sum", 0) == 0) {
+      saw_sum = true;
+    }
+  }
+  EXPECT_EQ(inf_count, 4u);    // the +Inf bucket is the grand total
+  EXPECT_EQ(total_count, 4u);  // _count == _bucket{le="+Inf"}
+  EXPECT_TRUE(saw_sum);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+TEST(TraceTest, IdsAreUniqueAndIncreasing) {
+  TraceContext a;
+  TraceContext b;
+  EXPECT_LT(a.id(), b.id());
+}
+
+TEST(TraceTest, FormatCommentAssemblesStagesAndShardGroups) {
+  TraceContext ctx;
+  ctx.AddStage("parse", 1.5);
+  ctx.AddStage("route", 0.25);
+  ctx.AddShardSolve(10.0);
+  ctx.AddShardSolve(20.0);
+  ctx.AddStage("serialize", 2.0);
+  const std::string comment = ctx.FormatComment();
+  EXPECT_EQ(comment.rfind("#trace id=", 0), 0u) << comment;
+  EXPECT_NE(comment.find(" parse_us=1.5"), std::string::npos) << comment;
+  EXPECT_NE(comment.find(" route_us=0.2"), std::string::npos) << comment;
+  EXPECT_NE(comment.find(" solve_us=[10.0,20.0]"), std::string::npos)
+      << comment;
+  EXPECT_NE(comment.find(" serialize_us=2.0"), std::string::npos) << comment;
+  EXPECT_NE(comment.find(" total_us="), std::string::npos) << comment;
+  EXPECT_EQ(comment.back(), '\n');
+}
+
+TEST(TraceTest, ScopedTraceInstallsAndRestores) {
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  TraceContext outer;
+  {
+    ScopedTrace scoped(&outer);
+    EXPECT_EQ(CurrentTrace(), &outer);
+    TraceContext inner;
+    {
+      ScopedTrace nested(&inner);
+      EXPECT_EQ(CurrentTrace(), &inner);
+      TraceSpan span("work");  // lands in `inner`
+    }
+    EXPECT_EQ(CurrentTrace(), &outer);
+    EXPECT_TRUE(outer.empty());
+    EXPECT_FALSE(inner.empty());
+  }
+  EXPECT_EQ(CurrentTrace(), nullptr);
+}
+
+TEST(TraceTest, SpanWithoutContextIsANoOp) {
+  ASSERT_EQ(CurrentTrace(), nullptr);
+  TraceSpan span("orphan");  // must not crash or allocate a context
+  TraceContext ctx;
+  EXPECT_TRUE(ctx.empty());
+}
+
+TEST(TraceTest, ThreadLocalIsolation) {
+  TraceContext main_ctx;
+  ScopedTrace scoped(&main_ctx);
+  std::atomic<bool> worker_saw_null{false};
+  std::thread worker(
+      [&] { worker_saw_null.store(CurrentTrace() == nullptr); });
+  worker.join();
+  EXPECT_TRUE(worker_saw_null.load());
+  EXPECT_EQ(CurrentTrace(), &main_ctx);
+}
+
+}  // namespace
+}  // namespace pcx

@@ -63,6 +63,8 @@ struct Flags {
   std::string log_dir;               // durable delta log (crash recovery)
   std::string replica;               // tail a primary: tcp:host:port
   unsigned long sync_ms = 200;       // replica poll cadence
+  unsigned long long slow_query_us = 0;  // slow-query log threshold (0 = off)
+  std::string log_file;              // slow-query log sink (empty = stderr)
 
   bool build_snapshot = false;
   std::string pcset;
@@ -109,7 +111,11 @@ void Usage() {
       "    pre-crash epoch (base snapshot + log replay, torn tails\n"
       "    truncated). --replica=tcp:HOST:PORT makes this server a\n"
       "    read-only replica tailing that primary via the SYNC verb\n"
-      "    (--sync-ms=N sets the poll cadence, default 200).\n\n"
+      "    (--sync-ms=N sets the poll cadence, default 200).\n"
+      "    --slow-query-us=N logs a structured record for every request\n"
+      "    slower than N microseconds (to stderr, or --log-file=PATH).\n"
+      "    METRICS returns Prometheus text exposition; TRACE ON appends\n"
+      "    '#trace ...' stage timings after each reply (per session).\n\n"
       "Client mode:\n"
       "  pcx_serve --connect=URI\n"
       "    Typed client REPL against an Engine::Open URI\n"
@@ -121,7 +127,7 @@ void Usage() {
       "            [--epoch=N]\n\n"
       "Protocol: LOAD <path> | BOUND <AGG> <attr> [{a:[lo,hi],...}...] |\n"
       "          GROUPBY <AGG> <attr> <group_attr> <v1,v2,...> [{box}...] |\n"
-      "          STATS | HEALTH | QUIT\n");
+      "          STATS | HEALTH | METRICS | TRACE ON|OFF | QUIT\n");
 }
 
 int BuildSnapshot(const Flags& flags) {
@@ -302,6 +308,34 @@ int RunClient(const std::string& uri) {
       } else {
         error = stats.status();
       }
+    } else if (cmd == "METRICS") {
+      // The server's Prometheus exposition, printed raw (no counted
+      // header) — `pcx_serve --connect=tcp:... <<< METRICS` is a scrape.
+      auto* remote =
+          dynamic_cast<pcx::RemoteBackend*>(engine->backend().get());
+      if (remote == nullptr) {
+        error = pcx::Status::Unimplemented(
+            "METRICS needs a tcp: engine (in-process engines have no "
+            "server registry)");
+      } else if (const auto body = remote->Metrics(); body.ok()) {
+        std::cout << *body;
+      } else {
+        error = body.status();
+      }
+    } else if (cmd == "TRACE") {
+      // Pass-through toggle. Note the typed client itself skips the
+      // '#trace' annotations when parsing replies; use a raw transport
+      // (nc, the stdio server) to see them. The toggle still drives the
+      // server-side per-verb timing and the slow-query log.
+      auto* remote =
+          dynamic_cast<pcx::RemoteBackend*>(engine->backend().get());
+      if (remote == nullptr) {
+        error = pcx::Status::Unimplemented("TRACE needs a tcp: engine");
+      } else if (const auto reply = remote->Command(line); reply.ok()) {
+        std::cout << *reply << "\n";
+      } else {
+        error = reply.status();
+      }
     } else if (cmd == "HEALTH") {
       // Typed health sweep: against mirror: engines this checks every
       // replica and enforces the configured epoch-skew bound.
@@ -326,7 +360,7 @@ int RunClient(const std::string& uri) {
       error = pcx::Status::InvalidArgument(
           "unknown command '" + tokens[0] +
           "' (want LOAD/BOUND/GROUPBY/APPEND/RETIRE/CHECKPOINT/STATS/"
-          "HEALTH/QUIT)");
+          "HEALTH/METRICS/TRACE/QUIT)");
     }
     if (!error.ok()) {
       std::cout << "ERR " << pcx::StatusCodeToString(error.code()) << " "
@@ -374,6 +408,10 @@ int main(int argc, char** argv) {
       flags.replica = value;
     } else if (ParseFlag(arg, "sync-ms", &value)) {
       flags.sync_ms = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "slow-query-us", &value)) {
+      flags.slow_query_us = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "log-file", &value)) {
+      flags.log_file = value;
     } else if (arg == "--scatter-gather") {
       flags.scatter_gather = true;
     } else if (arg == "--no-sat-cache") {
@@ -411,6 +449,8 @@ int main(int argc, char** argv) {
   options.solver.num_threads = flags.threads;
   options.solver.scatter_gather = flags.scatter_gather;
   options.solver.solver.persistent_sat_cache = flags.persistent_sat_cache;
+  options.slow_query_us = flags.slow_query_us;
+  options.slow_log_path = flags.log_file;
   pcx::BoundServer server(options);
 
   // Recovery before seeding: an initialized --log-dir IS the state (base
