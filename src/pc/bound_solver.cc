@@ -37,13 +37,22 @@ PcBoundSolver::PcBoundSolver(PredicateConstraintSet pcs,
       options_.auto_disjoint_fast_path &&
       (options_.assume_predicates_disjoint ||
        pcs_.PredicatesDisjoint(domains_));
+  if (options_.use_route_index && !pcs_.empty() && pcs_.num_attrs() > 0) {
+    std::vector<Box> boxes;
+    boxes.reserve(pcs_.size());
+    for (size_t j = 0; j < pcs_.size(); ++j) {
+      boxes.push_back(pcs_.at(j).predicate().box());
+    }
+    route_index_ = std::make_shared<const route::RouteIndex>(std::move(boxes),
+                                                             domains_);
+  }
   // Value negation keeps every predicate box intact, so the sibling
-  // inherits the disjointness verdict instead of re-running the O(n^2)
-  // detection; the tag ctor also stops the recursion (the sibling of
-  // the sibling would be *this again).
+  // inherits the disjointness verdict and the route index instead of
+  // recomputing either; the tag ctor also stops the recursion (the
+  // sibling of the sibling would be *this again).
   negated_solver_ = std::unique_ptr<const PcBoundSolver>(
       new PcBoundSolver(InheritDisjointTag{}, pcs_.NegatedValues(), domains_,
-                        options_, predicates_disjoint_));
+                        options_, predicates_disjoint_, route_index_));
   if (options_.persistent_sat_cache) {
     persistent_checker_ = std::make_unique<IntervalSatChecker>(domains_);
   }
@@ -51,29 +60,51 @@ PcBoundSolver::PcBoundSolver(PredicateConstraintSet pcs,
 
 PcBoundSolver::PcBoundSolver(InheritDisjointTag, PredicateConstraintSet pcs,
                              const std::vector<AttrDomain>& domains,
-                             const Options& options, bool predicates_disjoint)
+                             const Options& options, bool predicates_disjoint,
+                             std::shared_ptr<const route::RouteIndex>
+                                 route_index)
     : pcs_(std::move(pcs)),
       domains_(domains),
       options_(options),
-      predicates_disjoint_(predicates_disjoint) {
+      predicates_disjoint_(predicates_disjoint),
+      route_index_(std::move(route_index)) {
   if (options_.persistent_sat_cache) {
     persistent_checker_ = std::make_unique<IntervalSatChecker>(domains_);
   }
 }
 
+std::optional<std::vector<uint32_t>> PcBoundSolver::RelevantFor(
+    const AggQuery& query) const {
+  // Without a WHERE the decomposition root is the universe and nothing
+  // can be pruned; without an index there is nothing to prune with.
+  if (route_index_ == nullptr || !query.where.has_value()) {
+    return std::nullopt;
+  }
+  std::vector<uint32_t> relevant;
+  route_index_->CollectIntersecting(query.where->box(), &relevant);
+  return relevant;
+}
+
 StatusOr<std::vector<PcBoundSolver::CellBound>> PcBoundSolver::BuildCells(
     const AggQuery& query, size_t attr, SolveStats& stats) const {
   DecompositionResult decomp;
+  // Route-index prefilter: hand the DFS only the PCs whose predicate
+  // box intersects the WHERE box. Bit-identical (see DecomposeCells) —
+  // the omitted PCs are exactly those the geometric fast path would
+  // skip at every node anyway.
+  const std::optional<std::vector<uint32_t>> relevant = RelevantFor(query);
+  const std::vector<uint32_t>* relevant_ptr =
+      relevant.has_value() ? &*relevant : nullptr;
   if (persistent_checker_ != nullptr) {
     // Serialized: the memoizing checker is single-threaded scratch
     // state. Verdicts are canonical, so sharing it across queries only
     // changes sat_cache_hits, never a bound.
     std::lock_guard<std::mutex> lock(sat_mu_);
     decomp = DecomposeCellsWith(*persistent_checker_, pcs_, query.where,
-                                options_.decomposition);
+                                options_.decomposition, relevant_ptr);
   } else {
-    decomp =
-        DecomposeCells(pcs_, query.where, options_.decomposition, domains_);
+    decomp = DecomposeCells(pcs_, query.where, options_.decomposition,
+                            domains_, relevant_ptr);
   }
   stats.num_cells += decomp.cells.size();
   stats.sat_calls += decomp.sat_calls;
@@ -381,8 +412,20 @@ StatusOr<double> PcBoundSolver::DisjointUpper(const AggQuery& query,
 StatusOr<double> PcBoundSolver::DisjointUpperOn(
     const PredicateConstraintSet& pcs, const AggQuery& query,
     bool count) const {
+  // `pcs` is either pcs_ or its value negation — predicate boxes are
+  // identical in both, so the one compiled index prunes for either set.
+  // A pruned j is exactly one with pred ∩ WHERE empty under the
+  // domains, which the loop body would `continue` past before touching
+  // the total or the infeasibility check — same result, fewer
+  // IntersectionEmpty probes.
+  std::optional<std::vector<uint32_t>> relevant = RelevantFor(query);
+  if (relevant.has_value()) {
+    PCX_CHECK_EQ(pcs.size(), route_index_->size());
+  }
+  const size_t limit = relevant.has_value() ? relevant->size() : pcs.size();
   double total = 0.0;
-  for (size_t j = 0; j < pcs.size(); ++j) {
+  for (size_t jj = 0; jj < limit; ++jj) {
+    const size_t j = relevant.has_value() ? (*relevant)[jj] : jj;
     const PredicateConstraint& pc = pcs.at(j);
     Box region = pc.predicate().box();
     if (query.where.has_value()) {

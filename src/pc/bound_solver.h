@@ -12,6 +12,7 @@
 #include "pc/cell_decomposition.h"
 #include "pc/pc_set.h"
 #include "pc/query.h"
+#include "route/route_index.h"
 #include "solver/milp.h"
 
 namespace pcx {
@@ -58,6 +59,13 @@ class PcBoundSolver {
     /// which serializes the decomposition step (not the MILP) across
     /// BoundBatch workers; leave this off for one-shot batch workloads.
     bool persistent_sat_cache = false;
+    /// Compile a route::RouteIndex over the predicate boxes at
+    /// construction and use it to prune query-irrelevant PCs before
+    /// cell decomposition (and inside the disjoint fast path). Pure
+    /// traversal shortcut: bounds, cells, and sat_calls are
+    /// bit-identical with it on or off — only nodes_visited (not
+    /// reported in SolveStats) and wall-clock change.
+    bool use_route_index = true;
   };
 
   /// Per-query diagnostics of the last Bound call (summed over the batch
@@ -121,14 +129,23 @@ class PcBoundSolver {
   const SolveStats& last_stats() const { return stats_; }
   const Options& options() const { return options_; }
 
+  /// The compiled predicate-box index, or null when disabled / the set
+  /// is empty. Shared with the value-negated sibling (value negation
+  /// never touches a predicate box) and consulted by ShardedBoundSolver
+  /// for per-shard member routing, so one compilation serves dispatch
+  /// at every layer.
+  const route::RouteIndex* route_index() const { return route_index_.get(); }
+
  private:
   /// Tag constructor used for the internal value-negated solver: value
   /// negation leaves every predicate box untouched, so the disjointness
-  /// verdict is inherited instead of re-running the O(n^2) detection.
+  /// verdict — and the compiled route index — are inherited instead of
+  /// being recomputed.
   struct InheritDisjointTag {};
   PcBoundSolver(InheritDisjointTag, PredicateConstraintSet pcs,
                 const std::vector<AttrDomain>& domains, const Options& options,
-                bool predicates_disjoint);
+                bool predicates_disjoint,
+                std::shared_ptr<const route::RouteIndex> route_index);
 
   /// A decomposition cell reduced to what the MILP needs: the feasible
   /// value interval of the aggregate attribute and the covering PCs.
@@ -147,6 +164,13 @@ class PcBoundSolver {
   StatusOr<std::vector<CellBound>> BuildCells(const AggQuery& query,
                                               size_t attr,
                                               SolveStats& stats) const;
+
+  /// Route-index prefilter for `query`: when the index is compiled and
+  /// the query has a WHERE, returns the ascending PC indices whose
+  /// predicate box intersects the WHERE box (exactly the set the DFS
+  /// geometric fast path would keep). Returns std::nullopt when the
+  /// full enumeration must run (no index / no WHERE).
+  std::optional<std::vector<uint32_t>> RelevantFor(const AggQuery& query) const;
 
   /// Builds the allocation MILP (paper Eq. 2) over `cells`:
   /// one integer variable per cell, ranged frequency row per PC.
@@ -201,6 +225,9 @@ class PcBoundSolver {
   std::vector<AttrDomain> domains_;
   Options options_;
   bool predicates_disjoint_ = false;
+  /// Compiled over pcs_'s predicate boxes (id i == PC index i); shared
+  /// with the negated sibling whose boxes are identical.
+  std::shared_ptr<const route::RouteIndex> route_index_;
   mutable SolveStats stats_;
   /// Non-null iff options_.persistent_sat_cache: the cross-decomposition
   /// memo cache, serialized by sat_mu_ (IntervalSatChecker is not

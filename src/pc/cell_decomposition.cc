@@ -148,15 +148,17 @@ void NaiveEnum(const PredicateConstraintSet& pcs, IntervalSatChecker& checker,
 DecompositionResult DecomposeCells(const PredicateConstraintSet& pcs,
                                    const std::optional<Predicate>& pushdown,
                                    const DecompositionOptions& options,
-                                   const std::vector<AttrDomain>& domains) {
+                                   const std::vector<AttrDomain>& domains,
+                                   const std::vector<uint32_t>* relevant) {
   IntervalSatChecker checker(domains);
-  return DecomposeCellsWith(checker, pcs, pushdown, options);
+  return DecomposeCellsWith(checker, pcs, pushdown, options, relevant);
 }
 
 DecompositionResult DecomposeCellsWith(IntervalSatChecker& checker,
                                        const PredicateConstraintSet& pcs,
                                        const std::optional<Predicate>& pushdown,
-                                       const DecompositionOptions& options) {
+                                       const DecompositionOptions& options,
+                                       const std::vector<uint32_t>* relevant) {
   DecompositionResult result;
   const size_t n = pcs.size();
   if (n == 0) return result;
@@ -175,15 +177,25 @@ DecompositionResult DecomposeCellsWith(IntervalSatChecker& checker,
 
   if (options.use_dfs) {
     // Split off TRUE predicates: they cover every cell and cannot be
-    // negated, so there is nothing to enumerate for them.
+    // negated, so there is nothing to enumerate for them. With a
+    // `relevant` prefilter only those indices are considered at all; a
+    // TRUE predicate intersects every non-empty region, so it is always
+    // in a correctly-computed relevant list (and with an empty root the
+    // depth-0 satisfiability check prunes everything identically either
+    // way).
     std::vector<size_t> order;
     CoveringSet universal;
-    for (size_t i = 0; i < n; ++i) {
+    const auto consider = [&](size_t i) {
       if (pcs.at(i).predicate().box().IsUniverse()) {
         universal.Set(i);
       } else {
         order.push_back(i);
       }
+    };
+    if (relevant != nullptr) {
+      for (uint32_t i : *relevant) consider(i);
+    } else {
+      for (size_t i = 0; i < n; ++i) consider(i);
     }
     DfsContext ctx{&pcs,         &options, &checker,  &result,
                    order.size(), &order,   &universal};

@@ -53,13 +53,26 @@ struct DecompositionResult {
 /// region overlapping the query predicate; pass std::nullopt to cover
 /// the whole space. `domains` declares integer-valued attributes.
 ///
+/// `relevant`, when non-null, restricts the DFS enumeration to exactly
+/// those PC indices (ascending; typically precomputed by a
+/// route::RouteIndex as the PCs whose predicate box intersects the
+/// pushdown region). This is a pure traversal shortcut, bit-identical
+/// in cells and sat_calls to the full enumeration: an omitted PC's box
+/// is disjoint from the root region, so the DFS geometric fast path
+/// would skip it at every node — it can never enter a covering set, a
+/// negation list, or a solver call; only nodes_visited shrinks. The
+/// naive (use_dfs=false) path ignores it. Passing indices whose box
+/// *does* intersect the pushdown region as omitted would change the
+/// decomposition — the caller owns that precondition.
+///
 /// Cells covered by no predicate are never emitted: under the closure
 /// assumption (paper Definition 3.2) they contain no missing rows.
 DecompositionResult DecomposeCells(
     const PredicateConstraintSet& pcs,
     const std::optional<Predicate>& pushdown = std::nullopt,
     const DecompositionOptions& options = {},
-    const std::vector<AttrDomain>& domains = {});
+    const std::vector<AttrDomain>& domains = {},
+    const std::vector<uint32_t>* relevant = nullptr);
 
 /// Like DecomposeCells, but running against a caller-owned checker whose
 /// memo cache survives the call. Repeated queries over one loaded PC set
@@ -72,7 +85,8 @@ DecompositionResult DecomposeCells(
 DecompositionResult DecomposeCellsWith(
     IntervalSatChecker& checker, const PredicateConstraintSet& pcs,
     const std::optional<Predicate>& pushdown = std::nullopt,
-    const DecompositionOptions& options = {});
+    const DecompositionOptions& options = {},
+    const std::vector<uint32_t>* relevant = nullptr);
 
 }  // namespace pcx
 

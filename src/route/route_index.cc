@@ -1,0 +1,165 @@
+#include "route/route_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pcx {
+namespace route {
+namespace {
+
+size_t SearchDepth(size_t n) {
+  size_t depth = 0;
+  while (n > 0) {
+    ++depth;
+    n /= 2;
+  }
+  return depth;
+}
+
+}  // namespace
+
+RouteIndex::RouteIndex(std::vector<Box> boxes, std::vector<AttrDomain> domains)
+    : boxes_(std::move(boxes)), domains_(std::move(domains)) {
+  stats_.num_boxes = boxes_.size();
+  if (boxes_.empty()) return;
+  const size_t num_attrs = boxes_.front().num_attrs();
+
+  // Compile a lane only for attributes some box actually bounds: a lane
+  // over an everywhere-unbounded attribute can never exclude anything,
+  // so probing it would be pure overhead.
+  for (size_t d = 0; d < num_attrs; ++d) {
+    bool bounded = false;
+    for (const Box& b : boxes_) {
+      const Interval& iv = b.dim(d);
+      if (iv.lo != -std::numeric_limits<double>::infinity() ||
+          iv.hi != std::numeric_limits<double>::infinity()) {
+        bounded = true;
+        break;
+      }
+    }
+    if (!bounded) continue;
+    Lane lane;
+    lane.dim = static_cast<uint32_t>(d);
+    lane.by_hi.reserve(boxes_.size());
+    lane.by_lo.reserve(boxes_.size());
+    for (size_t i = 0; i < boxes_.size(); ++i) {
+      lane.by_hi.emplace_back(boxes_[i].dim(d).hi, static_cast<uint32_t>(i));
+      lane.by_lo.emplace_back(boxes_[i].dim(d).lo, static_cast<uint32_t>(i));
+    }
+    // Stable sorts keep equal endpoints in id order, so enumeration
+    // order (and therefore timing, never results) is deterministic.
+    std::stable_sort(lane.by_hi.begin(), lane.by_hi.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::stable_sort(lane.by_lo.begin(), lane.by_lo.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    stats_.num_entries += lane.by_hi.size() + lane.by_lo.size();
+    lanes_.push_back(std::move(lane));
+  }
+  stats_.num_lanes = lanes_.size();
+  stats_.depth = SearchDepth(boxes_.size());
+}
+
+bool RouteIndex::MakePlan(const Box& query, Plan* plan) const {
+  // An empty query box intersects nothing; the IsEmpty test carries the
+  // domain/strictness corners (open integer gaps, inverted intervals)
+  // that the plain endpoint comparisons below are too coarse for.
+  if (query.IsEmpty(domains_)) return false;
+
+  plan->lane = nullptr;
+  plan->from_hi = true;
+  plan->begin = 0;
+  plan->end = boxes_.size();
+  size_t best_excluded = 0;
+  for (const Lane& lane : lanes_) {
+    const Interval& q = query.dim(lane.dim);
+    // below: boxes with hi < q.lo — cannot reach the query interval.
+    // above: boxes with lo > q.hi — start past it. Plain < / >
+    // comparisons (strictness ignored) are conservative: a touching
+    // endpoint stays a candidate and is settled by the exact
+    // confirmation. The two runs are disjoint because q.lo <= q.hi for
+    // a non-empty query interval.
+    const size_t below = static_cast<size_t>(
+        std::lower_bound(lane.by_hi.begin(), lane.by_hi.end(), q.lo,
+                         [](const std::pair<double, uint32_t>& e, double v) {
+                           return e.first < v;
+                         }) -
+        lane.by_hi.begin());
+    const size_t above = static_cast<size_t>(
+        lane.by_lo.end() -
+        std::upper_bound(lane.by_lo.begin(), lane.by_lo.end(), q.hi,
+                         [](double v, const std::pair<double, uint32_t>& e) {
+                           return v < e.first;
+                         }));
+    const size_t excluded = below + above;
+    if (excluded <= best_excluded) continue;
+    best_excluded = excluded;
+    plan->lane = &lane;
+    // Enumerate whichever run is shorter: the by-hi suffix skips the
+    // `below` set wholesale, the by-lo prefix skips the `above` set;
+    // the other exclusion set is skipped per entry in O(1).
+    if (below >= above) {
+      plan->from_hi = true;
+      plan->begin = below;
+      plan->end = lane.by_hi.size();
+    } else {
+      plan->from_hi = false;
+      plan->begin = 0;
+      plan->end = lane.by_lo.size() - above;
+    }
+  }
+  return true;
+}
+
+template <typename Fn>
+void RouteIndex::ForEachCandidate(const Plan& plan, Fn&& fn) const {
+  if (plan.lane == nullptr) {
+    // No lane excluded anything (or no lanes compiled): every box is a
+    // candidate for the exact confirmation.
+    for (size_t i = 0; i < boxes_.size(); ++i) {
+      if (!fn(static_cast<uint32_t>(i))) return;
+    }
+    return;
+  }
+  const auto& run = plan.from_hi ? plan.lane->by_hi : plan.lane->by_lo;
+  for (size_t i = plan.begin; i < plan.end; ++i) {
+    if (!fn(run[i].second)) return;
+  }
+}
+
+bool RouteIndex::AnyIntersects(const Box& query) const {
+  Plan plan;
+  if (!MakePlan(query, &plan)) return false;
+  bool found = false;
+  ForEachCandidate(plan, [&](uint32_t id) {
+    if (!boxes_[id].IntersectionEmpty(query, domains_)) {
+      found = true;
+      return false;  // stop
+    }
+    return true;
+  });
+  return found;
+}
+
+void RouteIndex::CollectIntersecting(const Box& query,
+                                     std::vector<uint32_t>* out) const {
+  out->clear();
+  Plan plan;
+  if (!MakePlan(query, &plan)) return;
+  ForEachCandidate(plan, [&](uint32_t id) {
+    if (!boxes_[id].IntersectionEmpty(query, domains_)) {
+      out->push_back(id);
+    }
+    return true;
+  });
+  // Lane order is endpoint order; callers (the decomposition prefilter
+  // above all) need ascending ids to preserve global constraint order.
+  std::sort(out->begin(), out->end());
+}
+
+}  // namespace route
+}  // namespace pcx

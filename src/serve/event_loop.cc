@@ -474,15 +474,25 @@ void Loop::DispatchBoundBatch() {
       std::vector<AggQuery> queries;
       queries.reserve(batch.size());
       for (const PendingBound& p : batch) queries.push_back(p.query);
+      std::vector<ShardedBoundSolver::RouteInfo> routes;
       const std::vector<StatusOr<ResultRange>> results =
-          pinned->BoundBatch(queries);
+          pinned->BoundBatch(queries, nullptr, &routes);
       for (size_t i = 0; i < batch.size(); ++i) {
         done.push_back(Completion{batch[i].conn_id, batch[i].seq,
                                   FormatRangeReply(results[i])});
       }
+      // Per-request latency (admission to reply ready) feeds the same
+      // verb histogram and slow-query log the sequential path uses,
+      // routing diagnostics included.
+      for (size_t i = 0; i < batch.size(); ++i) {
+        server_.NoteRequestLatency("BOUND", batch[i].line,
+                                   MicrosSince(batch[i].enqueued), &routes[i]);
+      }
+      server_.transport().queue_depth.Sub(static_cast<int64_t>(done.size()));
+      completions_->Push(std::move(done));
+      Wake();
+      return;
     }
-    // Per-request latency (admission to reply ready) feeds the same
-    // verb histogram and slow-query log the sequential path uses.
     for (const PendingBound& p : batch) {
       server_.NoteRequestLatency("BOUND", p.line, MicrosSince(p.enqueued));
     }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "pc/pc_set.h"
+#include "route/shard_mask.h"
 
 namespace pcx {
 
@@ -30,10 +31,6 @@ struct PartitionOptions {
   size_t num_shards = 1;
   PartitionStrategy strategy = PartitionStrategy::kAttributeRange;
 };
-
-/// Routing-mask ceiling shared by the partitioner, the snapshot loader
-/// and ShardedBoundSolver.
-inline constexpr size_t kMaxShards = 64;
 
 /// A shard assignment of a predicate-constraint set. The invariant that
 /// makes sharded serving *exact* (see ShardedBoundSolver): predicates of

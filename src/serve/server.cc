@@ -227,12 +227,19 @@ void BoundServer::NoteRequestVerb(const std::string& verb) {
 
 void BoundServer::NoteRequestLatency(const std::string& verb,
                                      const std::string& line, double us) {
-  FindVerb(verb).latency->Observe(us);
-  MaybeLogSlowQuery(verb, line, us);
+  NoteRequestLatency(verb, line, us, nullptr);
 }
 
-void BoundServer::MaybeLogSlowQuery(const std::string& verb,
-                                    const std::string& line, double us) {
+void BoundServer::NoteRequestLatency(
+    const std::string& verb, const std::string& line, double us,
+    const ShardedBoundSolver::RouteInfo* route) {
+  FindVerb(verb).latency->Observe(us);
+  MaybeLogSlowQuery(verb, line, us, route);
+}
+
+void BoundServer::MaybeLogSlowQuery(
+    const std::string& verb, const std::string& line, double us,
+    const ShardedBoundSolver::RouteInfo* route) {
   if (options_.slow_query_us == 0 ||
       us < static_cast<double>(options_.slow_query_us)) {
     return;
@@ -251,11 +258,19 @@ void BoundServer::MaybeLogSlowQuery(const std::string& verb,
     if (c == '\n' || c == '\r') c = ' ';
     quoted += c;
   }
+  // Routing diagnostics ride after the quoted line (appended, so
+  // prefix-matching consumers of existing records keep working).
+  char route_suffix[48] = "";
+  if (route != nullptr) {
+    std::snprintf(route_suffix, sizeof(route_suffix), " shards=%u idx_hit=%d",
+                  route->shards, route->index_used ? 1 : 0);
+  }
   std::lock_guard<std::mutex> lock(slow_log_mu_);
   std::FILE* dest = slow_log_file_ != nullptr ? slow_log_file_ : stderr;
-  std::fprintf(dest, "pcx_slow_query us=%.1f threshold_us=%llu verb=%s line=\"%s\"\n",
+  std::fprintf(dest,
+               "pcx_slow_query us=%.1f threshold_us=%llu verb=%s line=\"%s\"%s\n",
                us, static_cast<unsigned long long>(options_.slow_query_us),
-               verb.c_str(), quoted.c_str());
+               verb.c_str(), quoted.c_str(), route_suffix);
   std::fflush(dest);
 }
 
@@ -494,9 +509,9 @@ Status BoundServer::HandleSync(const std::vector<std::string>& tokens,
   return Status::OK();
 }
 
-Status BoundServer::HandleBound(const ShardedBoundSolver& solver,
-                                const std::vector<std::string>& tokens,
-                                std::ostream& out) {
+Status BoundServer::HandleBound(
+    const ShardedBoundSolver& solver, const std::vector<std::string>& tokens,
+    std::ostream& out, std::optional<ShardedBoundSolver::RouteInfo>* route) {
   // The TraceSpans are no-ops (no clock reads) unless this request's
   // session turned TRACE on; route/solve stages are recorded inside
   // Bound itself.
@@ -505,7 +520,11 @@ Status BoundServer::HandleBound(const ShardedBoundSolver& solver,
     return ParseBoundRequest(tokens, solver.constraints().num_attrs());
   }();
   PCX_RETURN_IF_ERROR(query.status());
-  PCX_ASSIGN_OR_RETURN(const ResultRange range, solver.Bound(*query));
+  // The RouteInfo is emplaced before Bound so a post-routing failure
+  // still leaves its diagnostics for the slow-query log.
+  ShardedBoundSolver::RouteInfo* info =
+      route != nullptr ? &route->emplace() : nullptr;
+  PCX_ASSIGN_OR_RETURN(const ResultRange range, solver.Bound(*query, info));
   {
     TraceSpan serialize_span("serialize");
     PrintResultRange(out, "RANGE ", range);
@@ -558,8 +577,26 @@ Status BoundServer::HandleStats(const ShardedBoundSolver& solver,
       << " coalesced_batches=" << transport_.coalesced_batches.value()
       << " coalesced_reqs=" << transport_.coalesced_requests.value()
       << " max_batch=" << transport_.max_batch.value()
-      << " overload_rejects=" << transport_.overload_rejections.value()
-      << "\n";
+      << " overload_rejects=" << transport_.overload_rejections.value();
+  // Routing-index shape + traffic split, appended at the end so
+  // existing prefix-matching consumers keep working.
+  const route::RouteIndexStats route_totals = solver.RouteIndexTotals();
+  const char* mode = "index";
+  switch (solver.options().route_mode) {
+    case route::RouteMode::kLinear:
+      mode = "linear";
+      break;
+    case route::RouteMode::kIndex:
+      mode = "index";
+      break;
+    case route::RouteMode::kVerify:
+      mode = "verify";
+      break;
+  }
+  out << " route_mode=" << mode << " route_nodes=" << route_totals.num_entries
+      << " route_depth=" << route_totals.depth
+      << " route_index=" << s.route_index_queries
+      << " route_fallback=" << s.route_fallback_queries << "\n";
   return Status::OK();
 }
 
@@ -647,10 +684,10 @@ Status BoundServer::HandleTrace(const std::vector<std::string>& tokens,
   return Status::OK();
 }
 
-bool BoundServer::DispatchLine(const std::string& cmd,
-                               const std::vector<std::string>& tokens,
-                               const std::string& line, std::ostream& out,
-                               Session* session) {
+bool BoundServer::DispatchLine(
+    const std::string& cmd, const std::vector<std::string>& tokens,
+    const std::string& line, std::ostream& out, Session* session,
+    std::optional<ShardedBoundSolver::RouteInfo>* route) {
   if (cmd == "QUIT" || cmd == "EXIT") {
     out << "BYE\n";
     return false;
@@ -724,7 +761,7 @@ bool BoundServer::DispatchLine(const std::string& cmd,
       status =
           Status::FailedPrecondition("no snapshot loaded (use LOAD <path>)");
     } else if (cmd == "BOUND") {
-      status = HandleBound(*pinned, tokens, out);
+      status = HandleBound(*pinned, tokens, out, route);
     } else if (cmd == "GROUPBY") {
       status = HandleGroupBy(*pinned, tokens, out);
     } else {
@@ -754,16 +791,18 @@ bool BoundServer::HandleLine(const std::string& line, std::ostream& out,
                       session->trace.load(std::memory_order_relaxed) &&
                       cmd != "TRACE";
   const auto start = std::chrono::steady_clock::now();
+  std::optional<ShardedBoundSolver::RouteInfo> route;
   bool keep_going;
   if (traced) {
     TraceContext ctx;
     ScopedTrace scoped(&ctx);
-    keep_going = DispatchLine(cmd, tokens, line, out, session);
+    keep_going = DispatchLine(cmd, tokens, line, out, session, &route);
     out << ctx.FormatComment();
   } else {
-    keep_going = DispatchLine(cmd, tokens, line, out, session);
+    keep_going = DispatchLine(cmd, tokens, line, out, session, &route);
   }
-  NoteRequestLatency(cmd == "EXIT" ? "QUIT" : cmd, line, MicrosSince(start));
+  NoteRequestLatency(cmd == "EXIT" ? "QUIT" : cmd, line, MicrosSince(start),
+                     route.has_value() ? &*route : nullptr);
   return keep_going;
 }
 

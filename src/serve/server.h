@@ -9,6 +9,7 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -205,9 +206,16 @@ class BoundServer {
   /// Observes one completed request: per-verb latency histogram plus
   /// the slow-query log. HandleLine calls it for every line; transports
   /// answering outside HandleLine (coalesced BOUNDs) call it per
-  /// request with their own end-to-end timing.
+  /// request with their own end-to-end timing. `route`, when non-null,
+  /// appends the query's routing diagnostics (`shards=K idx_hit=0|1`)
+  /// to its slow-query record — the first thing an operator wants to
+  /// know about a slow BOUND is how wide it fanned and whether the
+  /// compiled index dispatched it.
   void NoteRequestLatency(const std::string& verb, const std::string& line,
                           double us);
+  void NoteRequestLatency(const std::string& verb, const std::string& line,
+                          double us,
+                          const ShardedBoundSolver::RouteInfo* route);
 
   /// The server's metrics registry (the METRICS exposition source).
   /// Components wired to this server — transports, the replica tailer,
@@ -251,9 +259,11 @@ class BoundServer {
   Status HandleSync(const std::vector<std::string>& tokens,
                     std::ostream& out);
 
+  /// `route` receives the routing diagnostics once the query is routed
+  /// (left empty on parse failures), for the slow-query log.
   Status HandleBound(const ShardedBoundSolver& solver,
-                     const std::vector<std::string>& tokens,
-                     std::ostream& out);
+                     const std::vector<std::string>& tokens, std::ostream& out,
+                     std::optional<ShardedBoundSolver::RouteInfo>* route);
   Status HandleGroupBy(const ShardedBoundSolver& solver,
                        const std::vector<std::string>& tokens,
                        std::ostream& out);
@@ -268,15 +278,18 @@ class BoundServer {
   Status HandleTrace(const std::vector<std::string>& tokens, Session* session,
                      std::ostream& out);
   /// The dispatch body of HandleLine (everything but counting, timing,
-  /// tracing, and the slow-query log).
+  /// tracing, and the slow-query log). `route` collects a BOUND's
+  /// routing diagnostics for the slow-query log.
   bool DispatchLine(const std::string& cmd,
                     const std::vector<std::string>& tokens,
                     const std::string& line, std::ostream& out,
-                    Session* session);
+                    Session* session,
+                    std::optional<ShardedBoundSolver::RouteInfo>* route);
   /// Appends a structured record when `us` crosses the configured
   /// threshold; serialized by slow_log_mu_.
   void MaybeLogSlowQuery(const std::string& verb, const std::string& line,
-                         double us);
+                         double us,
+                         const ShardedBoundSolver::RouteInfo* route);
 
   /// Request counter + latency histogram of one verb, resolved once at
   /// construction so the per-request path never touches the registry

@@ -268,6 +268,61 @@ void ShardedBoundSolver::BuildShards(
     }
     shards_.push_back(std::move(shard));
   }
+
+  // Compile the hull-level route index over the non-empty shards (one
+  // box per shard: its closed-bound hull). Member-level confirmation
+  // reuses each shard solver's own predicate-box index, so the only
+  // structure built here is O(K log K) — and an untouched shard's
+  // member index rode along with its reused solver above.
+  nonempty_mask_ = 0;
+  always_mask_ = 0;
+  hull_shard_.clear();
+  std::vector<Box> hulls;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].indices.empty()) continue;
+    nonempty_mask_ |= ShardBit(s);
+    if (shards_[s].always_relevant) always_mask_ |= ShardBit(s);
+    hulls.push_back(shards_[s].bbox);
+    hull_shard_.push_back(static_cast<uint32_t>(s));
+  }
+  hull_index_ =
+      std::make_unique<const route::RouteIndex>(std::move(hulls), domains_);
+
+  if (options_.metrics != nullptr) {
+    route_hits_ = &options_.metrics->GetCounter(
+        "pcx_route_index_hits_total", {},
+        "BOUND queries routed via the compiled route index");
+    route_fallbacks_ = &options_.metrics->GetCounter(
+        "pcx_route_index_fallbacks_total", {},
+        "BOUND queries routed by the linear scan (mode or index absent)");
+    route_fanout_hist_ = &options_.metrics->GetHistogram(
+        "pcx_route_fanout", {}, "shards per routed BOUND query");
+    const route::RouteIndexStats totals = RouteIndexTotals();
+    options_.metrics
+        ->GetGauge("pcx_route_index_nodes", {},
+                   "endpoint records across all compiled route lanes")
+        .Set(static_cast<int64_t>(totals.num_entries));
+    options_.metrics
+        ->GetGauge("pcx_route_index_depth", {},
+                   "max binary-search depth of any route-lane probe")
+        .Set(static_cast<int64_t>(totals.depth));
+  }
+}
+
+route::RouteIndexStats ShardedBoundSolver::RouteIndexTotals() const {
+  route::RouteIndexStats total;
+  if (hull_index_ != nullptr) total = hull_index_->stats();
+  for (const Shard& shard : shards_) {
+    const route::RouteIndex* idx =
+        shard.solver != nullptr ? shard.solver->route_index() : nullptr;
+    if (idx == nullptr) continue;
+    const route::RouteIndexStats& s = idx->stats();
+    total.num_boxes += s.num_boxes;
+    total.num_lanes += s.num_lanes;
+    total.num_entries += s.num_entries;
+    total.depth = std::max(total.depth, s.depth);
+  }
+  return total;
 }
 
 StatusOr<std::shared_ptr<const ShardedBoundSolver>>
@@ -339,6 +394,7 @@ ShardedBoundSolver::ApplyDeltas(std::span<const DeltaRecord> records) const {
   }
 
   uint64_t epoch = epoch_;
+  bool checkpointed = false;
   for (const DeltaRecord& rec : records) {
     if (rec.epoch != epoch + 1) {
       return Status::FailedPrecondition(
@@ -441,7 +497,8 @@ ShardedBoundSolver::ApplyDeltas(std::span<const DeltaRecord> records) const {
         m.erase(std::find(m.begin(), m.end(), key));
         touched[s] = 1;
         // The hull goes stale (conservative only) rather than being
-        // recomputed; routing stays correct, just occasionally wider.
+        // recomputed; routing stays correct, just occasionally wider —
+        // until the next CHECKPOINT re-partitions and tightens it.
         // A retired singleton component simply disappears (the dead key
         // is never scanned again); retiring out of a larger component
         // may split it, which the union-find cannot express.
@@ -450,7 +507,10 @@ ShardedBoundSolver::ApplyDeltas(std::span<const DeltaRecord> records) const {
       }
       case DeltaOp::kCheckpoint:
         // An epoch bump marking "a fresh base follows"; membership is
-        // untouched (the server persists the snapshot separately).
+        // untouched (the server persists the snapshot separately), but
+        // the layout is rebuilt below: a fresh base deserves the
+        // routing selectivity of a fresh LOAD.
+        checkpointed = true;
         break;
     }
     ++epoch;
@@ -462,6 +522,28 @@ ShardedBoundSolver::ApplyDeltas(std::span<const DeltaRecord> records) const {
   for (size_t i = 0; i < order.size(); ++i) {
     new_index_of_key[order[i]] = i;
     new_flat.Add(pc_of_key[order[i]]);
+  }
+
+  if (checkpointed) {
+    // CHECKPOINT: discard the incrementally-maintained layout and
+    // re-partition the final set from scratch at the *current* width
+    // (snapshot-adopted solvers carry the default num_shards=1 in their
+    // configured options; collapsing a server's layout on checkpoint
+    // would be a regression, not a cleanup). Shards merged by bridge
+    // appends split back apart and retire-staled hulls come out tight,
+    // so the route mask of a post-checkpoint query shrinks back to what
+    // a from-scratch LOAD of the same set would compute. Answers are
+    // unaffected: they are assembled in global constraint order, which
+    // is layout-independent. No shard solver is reusable across a
+    // re-partition; the rebuild is the price of a fresh base, paid at
+    // checkpoint cadence rather than per query.
+    PartitionOptions popts = configured_options_.partition;
+    popts.num_shards = partition_.shards.size();
+    Partition fresh = PartitionPcSet(new_flat, domains_, popts);
+    return std::shared_ptr<const ShardedBoundSolver>(new ShardedBoundSolver(
+        IncrementalTag{}, std::move(new_flat), domains_, configured_options_,
+        std::move(fresh), epoch,
+        std::vector<std::shared_ptr<const PcBoundSolver>>()));
   }
 
   Partition partition;
@@ -535,13 +617,30 @@ ShardedBoundSolver::ApplyDeltas(std::span<const DeltaRecord> records) const {
       std::move(partition), epoch, reuse));
 }
 
-uint64_t ShardedBoundSolver::RouteMask(const AggQuery& query) const {
-  uint64_t mask = 0;
+ShardMask ShardedBoundSolver::RouteMask(const AggQuery& query) const {
+  switch (options_.route_mode) {
+    case route::RouteMode::kLinear:
+      return RouteMaskLinear(query);
+    case route::RouteMode::kIndex:
+      return RouteMaskIndexed(query);
+    case route::RouteMode::kVerify: {
+      const ShardMask idx = RouteMaskIndexed(query);
+      const ShardMask lin = RouteMaskLinear(query);
+      PCX_CHECK_EQ(idx, lin)
+          << "compiled route index disagrees with the linear oracle";
+      return idx;
+    }
+  }
+  return RouteMaskLinear(query);
+}
+
+ShardMask ShardedBoundSolver::RouteMaskLinear(const AggQuery& query) const {
+  ShardMask mask = 0;
   for (size_t s = 0; s < shards_.size(); ++s) {
     const Shard& shard = shards_[s];
     if (shard.indices.empty()) continue;
     if (shard.always_relevant || !query.where.has_value()) {
-      mask |= uint64_t{1} << s;
+      mask |= ShardBit(s);
       continue;
     }
     const Box& w = query.where->box();
@@ -550,7 +649,47 @@ uint64_t ShardedBoundSolver::RouteMask(const AggQuery& query) const {
     if (shard.bbox.IntersectionEmpty(w, domains_)) continue;
     for (size_t i : shard.indices) {
       if (!flat_.at(i).predicate().box().IntersectionEmpty(w, domains_)) {
-        mask |= uint64_t{1} << s;
+        mask |= ShardBit(s);
+        break;
+      }
+    }
+  }
+  return mask;
+}
+
+ShardMask ShardedBoundSolver::RouteMaskIndexed(const AggQuery& query) const {
+  // No WHERE: every non-empty shard is relevant, exactly the bits the
+  // linear scan's per-shard `!where` branch sets.
+  if (!query.where.has_value()) return nonempty_mask_;
+  const Box& w = query.where->box();
+  // Always-relevant shards bypass both hull and member tests, mirroring
+  // the linear scan's ordering (it sets the bit before the hull test).
+  ShardMask mask = always_mask_;
+  if (hull_index_ == nullptr) return RouteMaskLinear(query);
+  // Stab the hull index: candidates are exactly the non-empty shards
+  // whose hull intersects the WHERE box (the linear scan's hull test,
+  // found in O(log K) instead of O(K)). Each candidate is confirmed
+  // against actual members — the same member scan the oracle runs, but
+  // through the shard solver's compiled predicate-box index.
+  // Scratch reused across queries: routing is on every BOUND's critical
+  // path and must not pay a heap allocation per call.
+  static thread_local std::vector<uint32_t> candidates;
+  hull_index_->CollectIntersecting(w, &candidates);
+  for (uint32_t id : candidates) {
+    const size_t s = hull_shard_[id];
+    if ((mask >> s) & 1) continue;  // already in via always_mask_
+    const Shard& shard = shards_[s];
+    const route::RouteIndex* members =
+        shard.solver != nullptr ? shard.solver->route_index() : nullptr;
+    if (members != nullptr) {
+      if (members->AnyIntersects(w)) mask |= ShardBit(s);
+      continue;
+    }
+    // Member index absent (solver built with use_route_index off):
+    // linear member confirmation, identical to the oracle's inner loop.
+    for (size_t i : shard.indices) {
+      if (!flat_.at(i).predicate().box().IntersectionEmpty(w, domains_)) {
+        mask |= ShardBit(s);
         break;
       }
     }
@@ -559,7 +698,7 @@ uint64_t ShardedBoundSolver::RouteMask(const AggQuery& query) const {
 }
 
 std::shared_ptr<const PcBoundSolver> ShardedBoundSolver::SolverFor(
-    uint64_t mask) const {
+    ShardMask mask) const {
   if (std::popcount(mask) == 1) {
     // The prebuilt shard solver, shared as-is.
     return shards_[static_cast<size_t>(std::countr_zero(mask))].solver;
@@ -599,7 +738,7 @@ std::shared_ptr<const PcBoundSolver> ShardedBoundSolver::SolverFor(
 
 StatusOr<ResultRange> ShardedBoundSolver::BoundOne(
     const AggQuery& query, PcBoundSolver::SolveStats& stats,
-    ServeStats& local, bool parallel) const {
+    ServeStats& local, bool parallel, RouteInfo* route) const {
   ++local.queries;
   // Mirrors the unsharded solver's up-front validation so a misrouted
   // query (e.g. one whose WHERE touches no shard) still fails the same
@@ -609,13 +748,32 @@ StatusOr<ResultRange> ShardedBoundSolver::BoundOne(
     return Status::InvalidArgument("aggregate attribute out of range");
   }
 
-  uint64_t mask;
+  ShardMask mask;
   {
     // No-op (no clock reads) unless this thread carries a TraceContext.
     TraceSpan route_span("route");
     mask = RouteMask(query);
   }
+  const bool index_used =
+      options_.route_mode != route::RouteMode::kLinear &&
+      hull_index_ != nullptr;
+  if (index_used) {
+    ++local.route_index_queries;
+    if (route_hits_ != nullptr) route_hits_->Increment();
+  } else {
+    ++local.route_fallback_queries;
+    if (route_fallbacks_ != nullptr) route_fallbacks_->Increment();
+  }
   const int bits = std::popcount(mask);
+  if (route_fanout_hist_ != nullptr) {
+    // Fan-out as routed (before the no-shard fallback below widens an
+    // empty mask to one shard): the signal for partition selectivity.
+    route_fanout_hist_->Observe(static_cast<double>(bits));
+  }
+  if (route != nullptr) {
+    route->shards = static_cast<uint32_t>(bits);
+    route->index_used = index_used;
+  }
   if (bits == 0) {
     ++local.no_shard_queries;
     // No predicate can intersect the region, but the answer is still
@@ -624,7 +782,7 @@ StatusOr<ResultRange> ShardedBoundSolver::BoundOne(
     // the identical zero-cell computation the unsharded solver would.
     for (size_t s = 0; s < shards_.size(); ++s) {
       if (!shards_[s].indices.empty()) {
-        mask = uint64_t{1} << s;
+        mask = ShardBit(s);
         break;
       }
     }
@@ -661,7 +819,7 @@ StatusOr<ResultRange> ShardedBoundSolver::BoundOne(
 }
 
 StatusOr<ResultRange> ShardedBoundSolver::ScatterGather(
-    const AggQuery& query, uint64_t mask, PcBoundSolver::SolveStats& stats,
+    const AggQuery& query, ShardMask mask, PcBoundSolver::SolveStats& stats,
     bool parallel) const {
   std::vector<size_t> targets;
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -722,9 +880,14 @@ StatusOr<ResultRange> ShardedBoundSolver::ScatterGather(
 }
 
 StatusOr<ResultRange> ShardedBoundSolver::Bound(const AggQuery& query) const {
+  return Bound(query, nullptr);
+}
+
+StatusOr<ResultRange> ShardedBoundSolver::Bound(const AggQuery& query,
+                                                RouteInfo* route) const {
   PcBoundSolver::SolveStats stats;
   ServeStats local;
-  auto result = BoundOne(query, stats, local, /*parallel=*/true);
+  auto result = BoundOne(query, stats, local, /*parallel=*/true, route);
   local.solve += stats;
   MergeServeStats(local);
   return result;
@@ -732,16 +895,18 @@ StatusOr<ResultRange> ShardedBoundSolver::Bound(const AggQuery& query) const {
 
 std::vector<StatusOr<ResultRange>> ShardedBoundSolver::BoundBatch(
     std::span<const AggQuery> queries,
-    std::vector<PcBoundSolver::SolveStats>* per_query_stats) const {
+    std::vector<PcBoundSolver::SolveStats>* per_query_stats,
+    std::vector<RouteInfo>* per_query_route) const {
   std::vector<std::optional<StatusOr<ResultRange>>> slots(queries.size());
   std::vector<PcBoundSolver::SolveStats> stats(queries.size());
   std::vector<ServeStats> locals(queries.size());
+  std::vector<RouteInfo> routes(queries.size());
 
   // Per-query scatter fan-out stays sequential inside a batch worker —
   // the batch itself is the parallel axis (no nested pools).
   auto run_one = [&](size_t i) {
-    slots[i].emplace(
-        BoundOne(queries[i], stats[i], locals[i], /*parallel=*/false));
+    slots[i].emplace(BoundOne(queries[i], stats[i], locals[i],
+                              /*parallel=*/false, &routes[i]));
   };
   if (options_.num_threads == 1 || queries.size() <= 1) {
     for (size_t i = 0; i < queries.size(); ++i) run_one(i);
@@ -757,6 +922,7 @@ std::vector<StatusOr<ResultRange>> ShardedBoundSolver::BoundBatch(
   }
   MergeServeStats(total);
   if (per_query_stats != nullptr) *per_query_stats = std::move(stats);
+  if (per_query_route != nullptr) *per_query_route = std::move(routes);
 
   std::vector<StatusOr<ResultRange>> out;
   out.reserve(slots.size());

@@ -12,6 +12,8 @@
 #include "common/statusor.h"
 #include "pc/bound_solver.h"
 #include "pc/group_by.h"
+#include "route/route_index.h"
+#include "route/shard_mask.h"
 #include "serve/delta_log.h"
 #include "serve/partitioner.h"
 #include "serve/snapshot.h"
@@ -77,6 +79,13 @@ class ShardedBoundSolver {
     /// and every ApplyDeltas successor. nullptr = no instrumentation,
     /// no clock reads on the solve path.
     MetricsRegistry* metrics = nullptr;
+    /// How RouteMask answers: the compiled O(log n) route index
+    /// (default), the O(n) linear scan it was compiled from, or both
+    /// with a PCX_CHECK that they agree bit for bit (the oracle mode
+    /// the equivalence tests and chaos runs pin). All three produce
+    /// identical masks — kIndex only changes the work done to find
+    /// them.
+    route::RouteMode route_mode = route::RouteMode::kIndex;
   };
 
   /// Cumulative serving counters (since construction; mutex-guarded).
@@ -87,6 +96,8 @@ class ShardedBoundSolver {
     size_t no_shard_queries = 0;      ///< WHERE intersects no predicate
     size_t scatter_queries = 0;       ///< answered by per-shard combine
     size_t union_solvers_built = 0;   ///< distinct shard unions memoized
+    size_t route_index_queries = 0;   ///< routed via the compiled index
+    size_t route_fallback_queries = 0;  ///< routed by the linear scan
     PcBoundSolver::SolveStats solve;  ///< summed over all queries
 
     /// Counter merge (union_solvers_built included: only the global
@@ -98,9 +109,19 @@ class ShardedBoundSolver {
       no_shard_queries += other.no_shard_queries;
       scatter_queries += other.scatter_queries;
       union_solvers_built += other.union_solvers_built;
+      route_index_queries += other.route_index_queries;
+      route_fallback_queries += other.route_fallback_queries;
       solve += other.solve;
       return *this;
     }
+  };
+
+  /// Per-query routing diagnostics, filled by the Bound(query, route)
+  /// overload and BoundBatch's per-query vector — what the slow-query
+  /// log renders as `shards=K idx_hit=0|1`.
+  struct RouteInfo {
+    uint32_t shards = 0;     ///< routed fan-out (pre no-shard fallback)
+    bool index_used = false;  ///< compiled index (vs. linear scan)
   };
 
   ShardedBoundSolver(PredicateConstraintSet pcs,
@@ -124,8 +145,14 @@ class ShardedBoundSolver {
   /// incrementally (a union-find seeded from Partition::component_of),
   /// so appends never pay the O(n^2) component rescan a reload does;
   /// only a retire out of a multi-member component falls back to it.
+  /// A run containing a CHECKPOINT instead re-partitions the final set
+  /// from scratch (at the current shard width): shards merged by bridge
+  /// appends and hulls left stale by retires are recomputed tight, so
+  /// post-checkpoint routing selectivity matches a fresh LOAD.
   /// Answers from the result are bit-identical to a from-scratch
-  /// solver over the same post-delta set and layout.
+  /// solver over the same post-delta set and layout either way —
+  /// answers are assembled in global constraint order, which no
+  /// re-partition changes.
   StatusOr<std::shared_ptr<const ShardedBoundSolver>> ApplyDeltas(
       std::span<const DeltaRecord> records) const;
 
@@ -136,13 +163,19 @@ class ShardedBoundSolver {
   }
 
   StatusOr<ResultRange> Bound(const AggQuery& query) const;
+  /// Like Bound, writing the routing diagnostics into `*route` (when
+  /// non-null) on the way.
+  StatusOr<ResultRange> Bound(const AggQuery& query, RouteInfo* route) const;
 
   /// Routes and solves every query, fanned across the thread pool;
   /// results are in input order and bit-identical to calling Bound in a
-  /// loop. `per_query_stats` mirrors PcBoundSolver::BoundBatch.
+  /// loop. `per_query_stats` mirrors PcBoundSolver::BoundBatch;
+  /// `per_query_route`, when non-null, receives one RouteInfo per
+  /// query.
   std::vector<StatusOr<ResultRange>> BoundBatch(
       std::span<const AggQuery> queries,
-      std::vector<PcBoundSolver::SolveStats>* per_query_stats = nullptr) const;
+      std::vector<PcBoundSolver::SolveStats>* per_query_stats = nullptr,
+      std::vector<RouteInfo>* per_query_route = nullptr) const;
 
   /// GROUP BY fan-out: one routed sub-query per group value (built by
   /// MakeGroupByQueries, byte-identical to pc/group_by's). Under a
@@ -161,6 +194,25 @@ class ShardedBoundSolver {
   const Options& options() const { return options_; }
 
   ServeStats stats() const;
+
+  /// Bitmask of shards owning a predicate that can intersect the query
+  /// region (all non-empty shards when there is no WHERE). Degenerate
+  /// empty-box predicates are treated as always relevant so the union
+  /// keeps every constraint the unsharded solver would act on.
+  /// Dispatches on Options::route_mode; public so the routing tests and
+  /// bench can compare the implementations directly.
+  ShardMask RouteMask(const AggQuery& query) const;
+  /// The O(n) hull-then-member scan (the verification oracle).
+  ShardMask RouteMaskLinear(const AggQuery& query) const;
+  /// The compiled-index dispatch: stab the hull index with the WHERE
+  /// box, confirm each candidate shard via its member index. Always
+  /// bit-identical to RouteMaskLinear.
+  ShardMask RouteMaskIndexed(const AggQuery& query) const;
+
+  /// Aggregate shape of every compiled index (the hull index plus each
+  /// shard solver's member index): what STATS/METRICS surface as
+  /// route_nodes / route_depth.
+  route::RouteIndexStats RouteIndexTotals() const;
 
  private:
   struct Shard {
@@ -197,19 +249,13 @@ class ShardedBoundSolver {
       const std::vector<std::shared_ptr<const PcBoundSolver>>* reuse =
           nullptr);
 
-  /// Bitmask of shards owning a predicate that can intersect the query
-  /// region (all non-empty shards when there is no WHERE). Degenerate
-  /// empty-box predicates are treated as always relevant so the union
-  /// keeps every constraint the unsharded solver would act on.
-  uint64_t RouteMask(const AggQuery& query) const;
-
   /// Solver over the union of the masked shards, memoized up to
   /// kMaxUnionSolvers entries (then the memo is flushed — shared
   /// ownership keeps solvers handed to in-flight queries alive across
   /// a flush). Mask 0 maps to an (empty-set) solver; the all-shards
   /// mask is the full set. Single-shard masks alias the prebuilt shard
   /// solver without touching the cache.
-  std::shared_ptr<const PcBoundSolver> SolverFor(uint64_t mask) const;
+  std::shared_ptr<const PcBoundSolver> SolverFor(ShardMask mask) const;
 
   /// Cap on memoized union solvers: each entry owns a constraint-set
   /// copy, a negated sibling, and (if enabled) persistent SAT caches,
@@ -219,14 +265,16 @@ class ShardedBoundSolver {
 
   /// Routing + solving of one query; thread-safe, stats via out-params.
   /// `parallel` allows a scatter fan-out to spin its own pool (false
-  /// when already running inside a batch worker).
+  /// when already running inside a batch worker). `route`, when
+  /// non-null, receives the routing diagnostics.
   StatusOr<ResultRange> BoundOne(const AggQuery& query,
                                  PcBoundSolver::SolveStats& stats,
-                                 ServeStats& local, bool parallel) const;
+                                 ServeStats& local, bool parallel,
+                                 RouteInfo* route = nullptr) const;
 
   /// Per-shard fan-out + combine (COUNT/SUM/MIN/MAX, >= 2 shards).
   /// `parallel` is false when already running inside a batch worker.
-  StatusOr<ResultRange> ScatterGather(const AggQuery& query, uint64_t mask,
+  StatusOr<ResultRange> ScatterGather(const AggQuery& query, ShardMask mask,
                                       PcBoundSolver::SolveStats& stats,
                                       bool parallel) const;
 
@@ -250,6 +298,22 @@ class ShardedBoundSolver {
   /// (shard="union" series); null when Options::metrics is null.
   Histogram* union_solve_hist_ = nullptr;
 
+  /// The compiled hull-level index: one box per *non-empty* shard (its
+  /// closed-bound hull), rebuilt by BuildShards on the pinned set.
+  /// hull_shard_[id] maps an index id back to the shard it hulls.
+  /// Member-level confirmation reuses each shard solver's own
+  /// PcBoundSolver::route_index(), so an untouched shard's member index
+  /// survives ApplyDeltas together with its solver.
+  std::unique_ptr<const route::RouteIndex> hull_index_;
+  std::vector<uint32_t> hull_shard_;
+  ShardMask nonempty_mask_ = 0;  ///< shards with at least one member
+  ShardMask always_mask_ = 0;    ///< non-empty shards, always_relevant
+  /// Registry-backed routing series (null when Options::metrics is
+  /// null): hit/fallback counters and the per-query fan-out histogram.
+  Counter* route_hits_ = nullptr;
+  Counter* route_fallbacks_ = nullptr;
+  Histogram* route_fanout_hist_ = nullptr;
+
   /// Two locks, not one: under concurrent serving sessions every query
   /// merges counters, but only shard-spanning queries touch the union
   /// memo — and building a missing union solver holds its lock for a
@@ -257,7 +321,7 @@ class ShardedBoundSolver {
   /// stats merge from queueing behind the (rare, long) cache fill.
   /// Lock order where both are needed: cache_mu_ then stats_mu_.
   mutable std::mutex cache_mu_;  ///< guards union_cache_
-  mutable std::unordered_map<uint64_t, std::shared_ptr<const PcBoundSolver>>
+  mutable std::unordered_map<ShardMask, std::shared_ptr<const PcBoundSolver>>
       union_cache_;
   mutable std::mutex stats_mu_;  ///< guards serve_stats_
   mutable ServeStats serve_stats_;

@@ -65,6 +65,7 @@ struct Flags {
   unsigned long sync_ms = 200;       // replica poll cadence
   unsigned long long slow_query_us = 0;  // slow-query log threshold (0 = off)
   std::string log_file;              // slow-query log sink (empty = stderr)
+  std::string route = "index";       // RouteMask mode: index|linear|verify
 
   bool build_snapshot = false;
   std::string pcset;
@@ -114,6 +115,9 @@ void Usage() {
       "    (--sync-ms=N sets the poll cadence, default 200).\n"
       "    --slow-query-us=N logs a structured record for every request\n"
       "    slower than N microseconds (to stderr, or --log-file=PATH).\n"
+      "    --route=index|linear|verify picks the RouteMask dispatch:\n"
+      "    the compiled O(log n) route index (default), the O(n) linear\n"
+      "    oracle, or both cross-checked per query (chaos/debug).\n"
       "    METRICS returns Prometheus text exposition; TRACE ON appends\n"
       "    '#trace ...' stage timings after each reply (per session).\n\n"
       "Client mode:\n"
@@ -412,6 +416,8 @@ int main(int argc, char** argv) {
       flags.slow_query_us = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "log-file", &value)) {
       flags.log_file = value;
+    } else if (ParseFlag(arg, "route", &value)) {
+      flags.route = value;
     } else if (arg == "--scatter-gather") {
       flags.scatter_gather = true;
     } else if (arg == "--no-sat-cache") {
@@ -451,6 +457,17 @@ int main(int argc, char** argv) {
   options.solver.solver.persistent_sat_cache = flags.persistent_sat_cache;
   options.slow_query_us = flags.slow_query_us;
   options.slow_log_path = flags.log_file;
+  if (flags.route == "index") {
+    options.solver.route_mode = pcx::route::RouteMode::kIndex;
+  } else if (flags.route == "linear") {
+    options.solver.route_mode = pcx::route::RouteMode::kLinear;
+  } else if (flags.route == "verify") {
+    options.solver.route_mode = pcx::route::RouteMode::kVerify;
+  } else {
+    std::fprintf(stderr, "--route wants index, linear, or verify (got '%s')\n",
+                 flags.route.c_str());
+    return 2;
+  }
   pcx::BoundServer server(options);
 
   // Recovery before seeding: an initialized --log-dir IS the state (base
