@@ -35,6 +35,12 @@ function(pcx_set_target_options target)
   if(PCX_WARNINGS)
     target_compile_options(${target} PRIVATE
       $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall -Wextra>)
+    # Clang's capability analysis proves the GUARDED_BY/REQUIRES
+    # annotations from common/thread_annotations.h. -beta adds the
+    # ACQUIRED_BEFORE lock-order checks. Always an error: a lock
+    # invariant violation is a data race, not a style issue.
+    target_compile_options(${target} PRIVATE
+      $<$<CXX_COMPILER_ID:Clang,AppleClang>:-Wthread-safety;-Wthread-safety-beta;-Werror=thread-safety;-Werror=thread-safety-beta>)
   endif()
   if(PCX_WERROR)
     target_compile_options(${target} PRIVATE

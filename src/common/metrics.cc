@@ -159,7 +159,7 @@ MetricsRegistry::Series& MetricsRegistry::GetSeries(const std::string& name,
                                                     const MetricLabels& labels,
                                                     const std::string& help,
                                                     Type type) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto [fit, family_inserted] = families_.try_emplace(name);
   Family& family = fit->second;
   if (family_inserted) {
@@ -209,7 +209,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::string MetricsRegistry::Exposition() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::ostringstream out;
   for (const auto& [name, family] : families_) {
     if (!family.help.empty()) {

@@ -7,10 +7,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace pcx {
 
@@ -157,8 +159,12 @@ class MetricsRegistry {
   Series& GetSeries(const std::string& name, const MetricLabels& labels,
                     const std::string& help, Type type);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
+  /// Reader/writer: registration (GetSeries) writes the family map,
+  /// scrapes (Exposition) only read it — concurrent scrapes never
+  /// serialize against each other. The metric values themselves are
+  /// atomics reached through stable references, never under this lock.
+  mutable SharedMutex mu_;
+  std::map<std::string, Family> families_ GUARDED_BY(mu_);
 };
 
 /// Renders a label set as `{k1="v1",k2="v2"}` with Prometheus escaping

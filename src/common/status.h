@@ -44,8 +44,10 @@ bool ParseStatusCode(const std::string& name, StatusCode* code);
 
 /// A cheap, copyable success-or-error value. The library does not throw
 /// exceptions across API boundaries; fallible public functions return
-/// Status or StatusOr<T>.
-class Status {
+/// Status or StatusOr<T>. The class-level [[nodiscard]] makes every
+/// by-value return of a Status a compile error to ignore — a dropped
+/// error is a silently swallowed failure.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -11,8 +11,10 @@ namespace pcx {
 
 /// Holds either a value of type T or a non-OK Status explaining why the
 /// value is absent. Accessing the value of a non-OK StatusOr aborts.
+/// [[nodiscard]] at class level: ignoring a returned StatusOr drops
+/// both the value and the error it may carry.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value (mirrors absl::StatusOr).
   StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}

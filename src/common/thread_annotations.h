@@ -1,0 +1,87 @@
+#ifndef PCX_COMMON_THREAD_ANNOTATIONS_H_
+#define PCX_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety (capability) analysis annotations.
+///
+/// These macros attach the lock contract of a class to its declaration,
+/// so `clang -Wthread-safety -Werror=thread-safety` proves at compile
+/// time that every access to a GUARDED_BY field happens with its mutex
+/// held, that REQUIRES functions are only called under their lock, and
+/// that ACQUIRED_BEFORE lock orders are never inverted. On compilers
+/// without the attribute (GCC, MSVC) every macro expands to nothing, so
+/// the annotations are free documentation there and a build failure
+/// under the clang CI job when violated.
+///
+/// Use through common/mutex.h (pcx::Mutex / MutexLock / CondVar) rather
+/// than annotating std::mutex directly — the std types carry no
+/// capability attributes, so the analysis cannot see them.
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PCX_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PCX_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+/// Declares a class to be a capability ("mutex") the analysis tracks.
+#define CAPABILITY(x) PCX_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class that acquires a capability at construction
+/// and releases it at destruction (MutexLock, ReaderMutexLock).
+#define SCOPED_CAPABILITY PCX_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field or variable: may only be read/written with `x` held.
+#define GUARDED_BY(x) PCX_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field: the *pointed-to* data is protected by `x` (the
+/// pointer itself may be read without the lock).
+#define PT_GUARDED_BY(x) PCX_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-order edges, declared on the mutex member itself. Checked under
+/// -Wthread-safety-beta (the clang CI job enables it).
+#define ACQUIRED_BEFORE(...) PCX_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) PCX_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function contract: the caller must hold the capability (exclusively
+/// / shared) before calling, and it stays held across the call.
+#define REQUIRES(...) PCX_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  PCX_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires/releases the capability itself (Lock()/Unlock()).
+#define ACQUIRE(...) PCX_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  PCX_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) PCX_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  PCX_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  PCX_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// TryLock: acquires only when returning `success`.
+#define TRY_ACQUIRE(...) \
+  PCX_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  PCX_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (non-reentrant mutexes).
+#define EXCLUDES(...) PCX_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the capability
+/// guarding its result (accessors exposing a member mutex).
+#define RETURN_CAPABILITY(x) PCX_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function whose locking
+/// is deliberately invisible to it (e.g. lock ownership handed across
+/// threads). Every use needs a comment explaining why.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PCX_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Assert-style: tells the analysis the capability is held here without
+/// generating code (for callbacks whose caller guarantees the lock).
+#define ASSERT_CAPABILITY(x) PCX_THREAD_ANNOTATION_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  PCX_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+#endif  // PCX_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,13 +1,14 @@
 #ifndef PCX_COMMON_THREAD_POOL_H_
 #define PCX_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace pcx {
 
@@ -45,12 +46,13 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  ///< queued + currently executing tasks
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  /// Queued + currently executing tasks.
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace pcx

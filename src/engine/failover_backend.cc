@@ -30,7 +30,7 @@ std::string FailoverBackend::name() const {
 }
 
 size_t FailoverBackend::num_attrs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const std::shared_ptr<BoundBackend>& slot : slots_) {
     if (slot != nullptr && slot->num_attrs() != 0) return slot->num_attrs();
   }
@@ -98,7 +98,7 @@ StatusOr<T> FailoverBackend::WithFailover(
     std::shared_ptr<BoundBackend> target;
     size_t index = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       PCX_ASSIGN_OR_RETURN(index, PickLocked());
       target = slots_[index];
     }
@@ -108,7 +108,7 @@ StatusOr<T> FailoverBackend::WithFailover(
     StatusOr<T> result = op(*target);
     if (result.ok() || !IsFailoverWorthy(result.status())) return result;
     last_error = result.status();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Demote only if the slot is still the one we used — a concurrent
     // caller may have already demoted and reopened it.
     if (slots_[index] == target) DemoteLocked(index);

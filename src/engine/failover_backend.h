@@ -3,10 +3,11 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/backend.h"
 
 namespace pcx {
@@ -59,20 +60,21 @@ class FailoverBackend : public BoundBackend {
   /// Index of the best live candidate (mu_ held): opens unopened slots,
   /// probes health, picks the freshest loaded epoch (lowest index on
   /// ties). kUnavailable when nothing answers.
-  StatusOr<size_t> PickLocked();
+  StatusOr<size_t> PickLocked() REQUIRES(mu_);
   /// Drops slot `i` so the next PickLocked reconnects it from scratch
   /// (mu_ held). A poisoned remote session must not be reused.
-  void DemoteLocked(size_t i);
+  void DemoteLocked(size_t i) REQUIRES(mu_);
   /// Runs `op` against the best candidate, failing over on
   /// kUnavailable/kProtocolError until every candidate was tried once.
   template <typename T>
   StatusOr<T> WithFailover(
       const std::function<StatusOr<T>(BoundBackend&)>& op);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::vector<std::string> uris_;
   Opener opener_;
-  std::vector<std::shared_ptr<BoundBackend>> slots_;  ///< null = not open
+  std::vector<std::shared_ptr<BoundBackend>> slots_
+      GUARDED_BY(mu_);  ///< null = not open
 };
 
 }  // namespace pcx

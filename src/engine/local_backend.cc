@@ -19,7 +19,7 @@ size_t LocalBackend::num_attrs() const {
 
 void LocalBackend::Record(size_t queries,
                           const PcBoundSolver::SolveStats& solve) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   queries_ += queries;
   total_ += solve;
 }
@@ -33,7 +33,7 @@ StatusOr<ResultRange> LocalBackend::Bound(const AggQuery& query) {
 
 std::vector<StatusOr<ResultRange>> LocalBackend::BoundBatch(
     std::span<const AggQuery> queries) {
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  MutexLock batch_lock(batch_mu_);
   std::vector<PcBoundSolver::SolveStats> per_query;
   std::vector<StatusOr<ResultRange>> results =
       solver_.BoundBatch(queries, options_.num_threads, &per_query);
@@ -49,7 +49,7 @@ StatusOr<std::vector<GroupRange>> LocalBackend::BoundGroupBy(
   // pcx::BoundGroupBy runs through solver_.BoundBatch, which leaves the
   // fan-out's summed counters in last_stats(); fold them into the
   // backend totals along with one query per group.
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  MutexLock batch_lock(batch_mu_);
   StatusOr<std::vector<GroupRange>> groups = pcx::BoundGroupBy(
       solver_, query, group_attr, group_values, options_.num_threads);
   Record(group_values.size(), groups.ok() ? solver_.last_stats()
@@ -58,7 +58,7 @@ StatusOr<std::vector<GroupRange>> LocalBackend::BoundGroupBy(
 }
 
 StatusOr<EngineStats> LocalBackend::Stats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   EngineStats out;
   out.epoch = options_.epoch;
   out.num_shards = 1;

@@ -2,9 +2,10 @@
 #define PCX_ENGINE_LOCAL_BACKEND_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/backend.h"
 #include "pc/bound_solver.h"
 
@@ -53,10 +54,10 @@ class LocalBackend : public BoundBackend {
   /// (which both run through) writes the solver's last_stats(), so
   /// concurrent batch submissions would race on it. Bound() uses the
   /// mutation-free BoundWithStats and needs no serialization.
-  std::mutex batch_mu_;
-  mutable std::mutex mu_;  ///< guards the cumulative counters below
-  size_t queries_ = 0;
-  PcBoundSolver::SolveStats total_;
+  Mutex batch_mu_;
+  mutable Mutex mu_;  ///< guards the cumulative counters below
+  size_t queries_ GUARDED_BY(mu_) = 0;
+  PcBoundSolver::SolveStats total_ GUARDED_BY(mu_);
 };
 
 }  // namespace pcx

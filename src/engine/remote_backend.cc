@@ -263,6 +263,7 @@ RemoteBackend::RemoteBackend(std::unique_ptr<LineTransport> transport,
           "Client-observed request round-trip latency (microseconds)")) {}
 
 void RemoteBackend::set_retry_policy(RetryPolicy policy) {
+  MutexLock lock(mu_);
   retry_ = policy;
   retry_rng_.Seed(policy.jitter_seed);
 }
@@ -328,12 +329,12 @@ StatusOr<EngineStats> RemoteBackend::StatsLocked() {
 }
 
 Status RemoteBackend::RefreshInfo() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return StatsLocked().status();
 }
 
 Status RemoteBackend::Load(const std::string& snapshot_path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PCX_ASSIGN_OR_RETURN(const std::string reply,
                        RoundTrip("LOAD " + snapshot_path));
   const std::vector<std::string> tokens = SplitWhitespace(reply);
@@ -349,7 +350,7 @@ Status RemoteBackend::Load(const std::string& snapshot_path) {
 }
 
 StatusOr<std::string> RemoteBackend::Metrics() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PCX_ASSIGN_OR_RETURN(const std::string header, RoundTrip("METRICS"));
   const std::vector<std::string> tokens = SplitWhitespace(header);
   if (!tokens.empty() && tokens[0] == "ERR") return ParseErrorReply(header);
@@ -377,7 +378,7 @@ StatusOr<std::string> RemoteBackend::Metrics() {
 }
 
 StatusOr<std::string> RemoteBackend::Command(const std::string& line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PCX_ASSIGN_OR_RETURN(const std::string reply, RoundTrip(line));
   const std::vector<std::string> tokens = SplitWhitespace(reply);
   if (!tokens.empty() && tokens[0] == "ERR") return ParseErrorReply(reply);
@@ -392,12 +393,12 @@ StatusOr<std::string> RemoteBackend::Command(const std::string& line) {
 }
 
 size_t RemoteBackend::num_attrs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return num_attrs_;
 }
 
 StatusOr<ResultRange> RemoteBackend::Bound(const AggQuery& query) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::string request = std::string("BOUND ") +
                               AggFuncToString(query.agg) + " " +
                               std::to_string(query.attr) + WhereSuffix(query);
@@ -429,7 +430,7 @@ StatusOr<ResultRange> RemoteBackend::Bound(const AggQuery& query) {
 StatusOr<std::vector<GroupRange>> RemoteBackend::BoundGroupBy(
     const AggQuery& query, size_t group_attr,
     const std::vector<double>& group_values) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string values;
   for (size_t i = 0; i < group_values.size(); ++i) {
     if (i > 0) values += ",";
@@ -501,13 +502,13 @@ StatusOr<std::vector<GroupRange>> RemoteBackend::BoundGroupBy(
 }
 
 StatusOr<EngineStats> RemoteBackend::Stats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return StatsLocked();
 }
 
 StatusOr<HealthInfo> RemoteBackend::Health() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PCX_ASSIGN_OR_RETURN(const std::string reply, RoundTrip("HEALTH"));
     const std::vector<std::string> tokens = SplitWhitespace(reply);
     if (!tokens.empty() && tokens[0] == "ERR") {

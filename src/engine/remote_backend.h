@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "engine/backend.h"
 
 namespace pcx {
@@ -109,7 +110,8 @@ class RemoteBackend : public BoundBackend {
                          std::string name = "remote");
 
   /// Applies to Bound and BoundGroupBy (the verbs admission control can
-  /// reject). Not thread-safe against in-flight calls; set it at setup.
+  /// reject). Takes the session lock, so it is safe against in-flight
+  /// calls; they see either the old or the new policy, never a torn one.
   void set_retry_policy(RetryPolicy policy);
 
   /// Connects to a serving pcx_serve and primes num_attrs()/Epoch()
@@ -155,26 +157,26 @@ class RemoteBackend : public BoundBackend {
   /// the exchange into pcx_remote_roundtrip_us (process-default
   /// registry) and skips `#`-prefixed comment lines — the server's
   /// TRACE annotations — so a traced session stays parseable.
-  StatusOr<std::string> RoundTrip(const std::string& request);
+  StatusOr<std::string> RoundTrip(const std::string& request) REQUIRES(mu_);
   /// Drops the transport after a mid-block protocol failure — the
   /// reply-stream offset is unknown, and a desynced session could hand
   /// later callers a stale reply as a clean answer — and returns the
   /// kProtocolError carrying `message`. Subsequent calls fail
   /// kUnavailable.
-  Status PoisonProtocol(std::string message);
+  Status PoisonProtocol(std::string message) REQUIRES(mu_);
   /// The STATS round-trip + cached num_attrs/epoch refresh (mu_ held).
-  StatusOr<EngineStats> StatsLocked();
+  StatusOr<EngineStats> StatsLocked() REQUIRES(mu_);
   /// Issues STATS and refreshes the cached num_attrs/epoch.
   Status RefreshInfo();
 
-  mutable std::mutex mu_;  ///< one in-flight request at a time
-  std::unique_ptr<LineTransport> transport_;
+  mutable Mutex mu_;  ///< one in-flight request at a time
+  std::unique_ptr<LineTransport> transport_ GUARDED_BY(mu_);
   std::string name_;
-  RetryPolicy retry_;
-  Rng retry_rng_;  ///< jitter stream; used under mu_
-  size_t num_attrs_ = 0;
-  uint64_t epoch_ = 0;
-  bool info_known_ = false;
+  RetryPolicy retry_ GUARDED_BY(mu_);
+  Rng retry_rng_ GUARDED_BY(mu_);  ///< jitter stream
+  size_t num_attrs_ GUARDED_BY(mu_) = 0;
+  uint64_t epoch_ GUARDED_BY(mu_) = 0;
+  bool info_known_ GUARDED_BY(mu_) = false;
   Histogram* const roundtrip_hist_;  ///< client-side round-trip latency
 };
 

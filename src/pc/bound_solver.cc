@@ -99,7 +99,7 @@ StatusOr<std::vector<PcBoundSolver::CellBound>> PcBoundSolver::BuildCells(
     // Serialized: the memoizing checker is single-threaded scratch
     // state. Verdicts are canonical, so sharing it across queries only
     // changes sat_cache_hits, never a bound.
-    std::lock_guard<std::mutex> lock(sat_mu_);
+    MutexLock lock(sat_mu_);
     decomp = DecomposeCellsWith(*persistent_checker_, pcs_, query.where,
                                 options_.decomposition, relevant_ptr);
   } else {

@@ -2,12 +2,13 @@
 #define PCX_PC_BOUND_SOLVER_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "common/covering_set.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/statusor.h"
 #include "pc/cell_decomposition.h"
 #include "pc/pc_set.h"
@@ -231,9 +232,12 @@ class PcBoundSolver {
   mutable SolveStats stats_;
   /// Non-null iff options_.persistent_sat_cache: the cross-decomposition
   /// memo cache, serialized by sat_mu_ (IntervalSatChecker is not
-  /// thread-safe). The negated sibling owns its own.
-  mutable std::unique_ptr<IntervalSatChecker> persistent_checker_;
-  mutable std::mutex sat_mu_;
+  /// thread-safe). The negated sibling owns its own. The pointer itself
+  /// is set once at construction; only the pointed-to checker needs the
+  /// lock.
+  mutable Mutex sat_mu_;
+  mutable std::unique_ptr<IntervalSatChecker> persistent_checker_
+      PT_GUARDED_BY(sat_mu_);
 };
 
 }  // namespace pcx

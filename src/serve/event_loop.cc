@@ -22,7 +22,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/text.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace pcx {
@@ -50,15 +52,15 @@ struct Completion {
 /// after Serve returned (Shutdown drain) writes into an orphan queue
 /// instead of freed memory.
 struct CompletionQueue {
-  std::mutex mu;
-  std::vector<Completion> items;
+  Mutex mu;
+  std::vector<Completion> items GUARDED_BY(mu);
 
   void Push(std::vector<Completion> batch) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     for (Completion& c : batch) items.push_back(std::move(c));
   }
   std::vector<Completion> Drain() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return std::exchange(items, {});
   }
 };

@@ -28,7 +28,7 @@ ReplicaTailer::ReplicaTailer(BoundServer& server, Options options)
 ReplicaTailer::~ReplicaTailer() { Stop(); }
 
 void ReplicaTailer::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (running_) return;
   stop_ = false;
   running_ = true;
@@ -37,20 +37,27 @@ void ReplicaTailer::Start() {
 }
 
 void ReplicaTailer::Stop() {
+  // Claim the thread handle under the lock — running_ flips false
+  // BEFORE the join, so a concurrent Stop returns instead of joining
+  // the same thread twice (which throws std::system_error). The join
+  // itself happens outside the lock: the Run thread takes mu_ in
+  // SleepFor and would deadlock against a join-while-held.
+  std::thread claimed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     stop_ = true;
-    cv_.notify_all();
+    running_ = false;
+    claimed = std::move(thread_);
+    cv_.NotifyAll();
   }
-  thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
-  running_ = false;
+  claimed.join();
 }
 
 bool ReplicaTailer::SleepFor(uint32_t ms) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait_for(lock, std::chrono::milliseconds(ms), [this] { return stop_; });
+  MutexLock lock(mu_);
+  cv_.WaitFor(mu_, std::chrono::milliseconds(ms),
+              [this]() REQUIRES(mu_) { return stop_; });
   return !stop_;
 }
 

@@ -1,14 +1,14 @@
 #ifndef PCX_SERVE_REPLICATOR_H_
 #define PCX_SERVE_REPLICATOR_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "engine/remote_backend.h"
 #include "serve/server.h"
 
@@ -71,11 +71,13 @@ class ReplicaTailer {
   BoundServer& server_;
   const Options options_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  bool running_ = false;
-  std::thread thread_;
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  /// True from Start until a Stop claims the thread for joining — so
+  /// concurrent Stop calls cannot both join (the second would throw).
+  bool running_ GUARDED_BY(mu_) = false;
+  std::thread thread_ GUARDED_BY(mu_);
 };
 
 }  // namespace pcx

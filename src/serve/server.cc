@@ -265,7 +265,7 @@ void BoundServer::MaybeLogSlowQuery(
     std::snprintf(route_suffix, sizeof(route_suffix), " shards=%u idx_hit=%d",
                   route->shards, route->index_used ? 1 : 0);
   }
-  std::lock_guard<std::mutex> lock(slow_log_mu_);
+  MutexLock lock(slow_log_mu_);
   std::FILE* dest = slow_log_file_ != nullptr ? slow_log_file_ : stderr;
   std::fprintf(dest,
                "pcx_slow_query us=%.1f threshold_us=%llu verb=%s line=\"%s\"%s\n",
@@ -275,7 +275,7 @@ void BoundServer::MaybeLogSlowQuery(
 }
 
 std::shared_ptr<const ShardedBoundSolver> BoundServer::solver() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return solver_;
 }
 
@@ -287,7 +287,7 @@ uint64_t BoundServer::uptime_seconds() const {
 
 void BoundServer::SwapSolver(std::shared_ptr<const ShardedBoundSolver> next,
                              std::span<const DeltaRecord> records) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   solver_ = std::move(next);
   if (records.empty()) {
     // A snapshot-level swap (LOAD, replica resync): the delta history
@@ -310,7 +310,7 @@ StatusOr<std::shared_ptr<const ShardedBoundSolver>> BoundServer::LoadAndSwap(
   // keeps the journal in published order; concurrent *queries* keep
   // answering on the old epoch for the whole build — the swap itself is
   // a pointer assignment under mu_.
-  std::lock_guard<std::mutex> lock(mutate_mu_);
+  MutexLock lock(mutate_mu_);
   PCX_ASSIGN_OR_RETURN(const Snapshot snap, LoadSnapshot(path));
   auto solver = std::make_shared<const ShardedBoundSolver>(snap,
                                                            options_.solver);
@@ -319,7 +319,7 @@ StatusOr<std::shared_ptr<const ShardedBoundSolver>> BoundServer::LoadAndSwap(
   if (log_ != nullptr) PCX_RETURN_IF_ERROR(log_->Reset(snap));
   SwapSolver(solver, {});
   {
-    std::lock_guard<std::mutex> swap_lock(mu_);
+    MutexLock swap_lock(mu_);
     snapshot_path_ = path;
   }
   return solver;
@@ -330,7 +330,7 @@ Status BoundServer::LoadSnapshotFile(const std::string& path) {
 }
 
 Status BoundServer::EnableDurableLog(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mutate_mu_);
+  MutexLock lock(mutate_mu_);
   DurableLog::Recovered recovered;
   PCX_ASSIGN_OR_RETURN(std::unique_ptr<DurableLog> log,
                        DurableLog::Open(dir, &recovered));
@@ -348,7 +348,7 @@ Status BoundServer::EnableDurableLog(const std::string& dir) {
     if (!recovered.tail.empty()) {
       PCX_ASSIGN_OR_RETURN(current, base->ApplyDeltas(recovered.tail));
     }
-    std::lock_guard<std::mutex> swap_lock(mu_);
+    MutexLock swap_lock(mu_);
     solver_ = current;
     // The replayed tail doubles as shippable SYNC history, so a replica
     // of a restarted primary can catch up without a full resync.
@@ -371,7 +371,7 @@ Status BoundServer::EnableDurableLog(const std::string& dir) {
 
 StatusOr<std::shared_ptr<const ShardedBoundSolver>>
 BoundServer::InstallSnapshot(const Snapshot& snap) {
-  std::lock_guard<std::mutex> lock(mutate_mu_);
+  MutexLock lock(mutate_mu_);
   auto solver = std::make_shared<const ShardedBoundSolver>(snap,
                                                            options_.solver);
   if (log_ != nullptr) PCX_RETURN_IF_ERROR(log_->Reset(snap));
@@ -381,7 +381,7 @@ BoundServer::InstallSnapshot(const Snapshot& snap) {
 
 StatusOr<std::shared_ptr<const ShardedBoundSolver>> BoundServer::ApplyRecords(
     std::span<const DeltaRecord> records) {
-  std::lock_guard<std::mutex> lock(mutate_mu_);
+  MutexLock lock(mutate_mu_);
   return ApplyRecordsLocked(records);
 }
 
@@ -420,7 +420,7 @@ BoundServer::ApplyRecordsLocked(std::span<const DeltaRecord> records) {
 Status BoundServer::HandleMutation(const std::string& cmd,
                                    const std::string& body,
                                    std::ostream& out) {
-  std::lock_guard<std::mutex> lock(mutate_mu_);
+  MutexLock lock(mutate_mu_);
   const std::shared_ptr<const ShardedBoundSolver> current = solver();
   if (current == nullptr) {
     return Status::FailedPrecondition("no snapshot loaded (use LOAD <path>)");
@@ -466,7 +466,7 @@ Status BoundServer::HandleSync(const std::vector<std::string>& tokens,
   std::vector<DeltaRecord> records;
   uint64_t floor = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     current = solver_;
     records = tail_;
     floor = tail_floor_;
@@ -624,7 +624,7 @@ void BoundServer::HandleHealth(const ShardedBoundSolver* solver,
   // distance to the primary's last report (0 when not a replica).
   uint64_t tail_records = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tail_records = tail_.size();
   }
   const bool replica = replication_.replica.load();
@@ -846,21 +846,21 @@ bool IsTransientAcceptError(int error_code) {
 /// session closes its fd, so DisconnectAll can never touch a recycled
 /// descriptor number.
 struct TcpSessionRegistry {
-  std::mutex mu;
-  std::set<int> fds;
-  bool stopping = false;
+  Mutex mu;
+  std::set<int> fds GUARDED_BY(mu);
+  bool stopping GUARDED_BY(mu) = false;
 
   void Register(int fd) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     fds.insert(fd);
     if (stopping) ::shutdown(fd, SHUT_RDWR);
   }
   void Deregister(int fd) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     fds.erase(fd);
   }
   void DisconnectAll() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     stopping = true;
     for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
   }

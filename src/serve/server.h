@@ -8,14 +8,15 @@
 #include <cstdio>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "serve/delta_log.h"
 #include "serve/sharded_solver.h"
 
@@ -243,7 +244,7 @@ class BoundServer {
   /// handlers, which must read the current epoch and apply under one
   /// critical section).
   StatusOr<std::shared_ptr<const ShardedBoundSolver>> ApplyRecordsLocked(
-      std::span<const DeltaRecord> records);
+      std::span<const DeltaRecord> records) REQUIRES(mutate_mu_);
 
   /// Publishes `next` and appends `records` to the SYNC tail (clearing
   /// it instead when `records` is empty — snapshot-level swaps reset
@@ -320,23 +321,24 @@ class BoundServer {
   std::array<VerbSeries, kNumVerbs> verbs_{};
   Histogram* delta_apply_hist_ = nullptr;
 
-  std::mutex slow_log_mu_;  ///< serializes slow-query records
-  std::FILE* slow_log_file_ = nullptr;  ///< owned; null = stderr
+  Mutex slow_log_mu_;  ///< serializes slow-query records
+  std::FILE* slow_log_file_ GUARDED_BY(slow_log_mu_) = nullptr;  ///< owned; null = stderr
 
   /// Serializes every state transition (LOAD, mutation verbs, replica
   /// installs) end to end — build, journal, swap — so the journal order
   /// and the published epoch order can never disagree. Queries never
   /// take it. Lock order where both are held: mutate_mu_ then mu_.
-  std::mutex mutate_mu_;
-  std::unique_ptr<DurableLog> log_;  ///< under mutate_mu_; null = off
+  Mutex mutate_mu_ ACQUIRED_BEFORE(mu_);
+  std::unique_ptr<DurableLog> log_
+      GUARDED_BY(mutate_mu_);  ///< null = off
 
-  mutable std::mutex mu_;  ///< guards the snapshot swap + SYNC tail below
-  std::shared_ptr<const ShardedBoundSolver> solver_;
-  std::string snapshot_path_;
+  mutable Mutex mu_;  ///< guards the snapshot swap + SYNC tail below
+  std::shared_ptr<const ShardedBoundSolver> solver_ GUARDED_BY(mu_);
+  std::string snapshot_path_ GUARDED_BY(mu_);
   /// Recent records for SYNC shipping, oldest first; contiguous epochs
   /// (tail_floor_, tail_floor_ + tail_.size()].
-  std::vector<DeltaRecord> tail_;
-  uint64_t tail_floor_ = 0;  ///< epoch *before* tail_.front()
+  std::vector<DeltaRecord> tail_ GUARDED_BY(mu_);
+  uint64_t tail_floor_ GUARDED_BY(mu_) = 0;  ///< epoch *before* tail_.front()
 };
 
 /// Formats a non-OK Status as the wire error reply — "ERR <CODE>

@@ -703,7 +703,7 @@ std::shared_ptr<const PcBoundSolver> ShardedBoundSolver::SolverFor(
     // The prebuilt shard solver, shared as-is.
     return shards_[static_cast<size_t>(std::countr_zero(mask))].solver;
   }
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   auto it = union_cache_.find(mask);
   if (it != union_cache_.end()) return it->second;
 
@@ -725,7 +725,7 @@ std::shared_ptr<const PcBoundSolver> ShardedBoundSolver::SolverFor(
   {
     // cache_mu_ is held; stats_mu_ nests inside it (the documented
     // lock order) for just this increment.
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    MutexLock stats_lock(stats_mu_);
     ++serve_stats_.union_solvers_built;
   }
   // Bounded memo: flush wholesale at the cap (rare; shard-spanning mask
@@ -950,12 +950,12 @@ StatusOr<std::vector<GroupRange>> ShardedBoundSolver::BoundGroupBy(
 }
 
 ShardedBoundSolver::ServeStats ShardedBoundSolver::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return serve_stats_;
 }
 
 void ShardedBoundSolver::MergeServeStats(const ServeStats& local) const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   serve_stats_ += local;
 }
 

@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/statusor.h"
 #include "pc/bound_solver.h"
 #include "pc/group_by.h"
@@ -319,12 +320,14 @@ class ShardedBoundSolver {
   /// memo — and building a missing union solver holds its lock for a
   /// full solver construction. Separate mutexes keep the (hot, short)
   /// stats merge from queueing behind the (rare, long) cache fill.
-  /// Lock order where both are needed: cache_mu_ then stats_mu_.
-  mutable std::mutex cache_mu_;  ///< guards union_cache_
+  /// Lock order where both are needed: cache_mu_ then stats_mu_ —
+  /// machine-checked by the ACQUIRED_BEFORE edge under
+  /// -Wthread-safety-beta, not just documented here.
+  mutable Mutex cache_mu_ ACQUIRED_BEFORE(stats_mu_);
   mutable std::unordered_map<ShardMask, std::shared_ptr<const PcBoundSolver>>
-      union_cache_;
-  mutable std::mutex stats_mu_;  ///< guards serve_stats_
-  mutable ServeStats serve_stats_;
+      union_cache_ GUARDED_BY(cache_mu_);
+  mutable Mutex stats_mu_;
+  mutable ServeStats serve_stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace pcx

@@ -170,7 +170,8 @@ class BackendEquivalenceTest : public testing::TestWithParam<BackendKind> {
       uri = "tcp:127.0.0.1:" + std::to_string(listener->port());
       server_thread_ =
           std::thread([this, l = std::move(listener).value()]() mutable {
-            l.Serve(server_, 1);
+            const Status serve_status = l.Serve(server_, 1);
+            PCX_CHECK(serve_status.ok()) << serve_status;
           });
     } else if (kind.mirror) {
       // Local + sharded + resharded: three replicas that must agree.

@@ -352,8 +352,10 @@ TEST(ReplicaTailerTest, TailsLivePrimaryToConvergence) {
 /// kUnavailable.
 class FakeBackend : public BoundBackend {
  public:
+  // Initializer order matches declaration order (epoch_ is declared
+  // with the public atomics, before name_): -Wreorder is clean.
   FakeBackend(std::string name, uint64_t epoch, double answer)
-      : name_(std::move(name)), epoch_(epoch), answer_(answer) {}
+      : epoch_(epoch), name_(std::move(name)), answer_(answer) {}
 
   std::string name() const override { return name_; }
   size_t num_attrs() const override { return kAttrs; }

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Negative-compilation test of the thread-safety annotations: each
+# seeded violation in thread_safety_violations.cc must FAIL to compile
+# under clang's capability analysis, and the VIOLATION=0 baseline must
+# succeed. Registered in ctest with SKIP_RETURN_CODE 77 — on machines
+# without clang (the analysis is clang-only) the test reports SKIPPED
+# rather than silently passing.
+#
+# Usage: negative_compile_test.sh <src_include_dir>
+set -u
+
+if [[ $# -ne 1 ]]; then
+  echo "usage: $0 <src_include_dir>" >&2
+  exit 2
+fi
+include_dir="$1"
+violations_cc="$(cd "$(dirname "$0")" && pwd)/thread_safety_violations.cc"
+
+clangxx=""
+for candidate in "${CLANGXX:-}" clang++ clang++-20 clang++-19 clang++-18 \
+                 clang++-17 clang++-16 clang++-15 clang++-14; do
+  [[ -n "$candidate" ]] || continue
+  if command -v "$candidate" >/dev/null 2>&1; then
+    clangxx="$candidate"
+    break
+  fi
+done
+if [[ -z "$clangxx" ]]; then
+  echo "SKIP: no clang++ found; the capability analysis is clang-only"
+  exit 77
+fi
+echo "using $clangxx ($("$clangxx" --version | head -n1))"
+
+compile() {
+  local violation="$1"
+  "$clangxx" -std=c++20 -fsyntax-only \
+    -Wthread-safety -Wthread-safety-beta \
+    -Werror=thread-safety -Werror=thread-safety-beta \
+    -I "$include_dir" -DVIOLATION="$violation" "$violations_cc" 2>&1
+}
+
+failures=0
+
+# Baseline: the correct code must be provable.
+if out=$(compile 0); then
+  echo "PASS: VIOLATION=0 (clean baseline) compiles"
+else
+  echo "FAIL: VIOLATION=0 should compile but did not:" >&2
+  echo "$out" >&2
+  failures=$((failures + 1))
+fi
+
+# Each seeded violation must be rejected.
+declare -A names=(
+  [1]="unguarded GUARDED_BY write"
+  [2]="reversed ACQUIRED_BEFORE lock order"
+  [3]="REQUIRES call without the lock"
+  [4]="lock still held at function exit"
+)
+for violation in 1 2 3 4; do
+  if out=$(compile "$violation"); then
+    echo "FAIL: VIOLATION=$violation (${names[$violation]}) compiled;" \
+         "the analysis no longer proves this invariant" >&2
+    failures=$((failures + 1))
+  else
+    echo "PASS: VIOLATION=$violation (${names[$violation]}) rejected"
+  fi
+done
+
+exit $((failures > 0 ? 1 : 0))

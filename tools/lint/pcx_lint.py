@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Project-specific lint for pcx. Zero third-party dependencies.
+
+Rules (each failure prints `path:line: [rule] message`):
+
+  raw-sync-primitive   std::mutex / std::condition_variable /
+                       std::lock_guard / std::unique_lock /
+                       std::shared_mutex anywhere in src/ outside
+                       common/mutex.h. The annotated wrappers in
+                       common/mutex.h are the only sanctioned spelling —
+                       a raw primitive is invisible to the clang
+                       capability analysis, so its lock contract is
+                       unchecked.
+
+  banned-function      sprintf/strcpy/strcat/gets/tmpnam/atoi/atol in
+                       the hot serving and solver layers (src/serve,
+                       src/pc): unbounded writes and silent parse
+                       failures have no place on a request path.
+                       (snprintf/strtol-family are the replacements.)
+
+  include-guard        header guards must be PCX_<PATH>_H_ (derived
+                       from the path under src/).
+
+  own-header-first     a .cc file's first include must be its own
+                       header (keeps headers self-contained — the
+                       compile of the .cc is the header's test).
+
+  todo-without-issue   TODO comments must carry an issue reference:
+                       TODO(#123) or TODO(name, #123). An unanchored
+                       TODO is a wish, not a plan.
+
+Usage:
+  tools/lint/pcx_lint.py [--root DIR] [files...]
+With no files, lints every .h/.cc under <root>/src. Exit 0 = clean,
+1 = findings, 2 = usage error.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+RAW_SYNC_RE = re.compile(
+    r"std::(mutex|recursive_mutex|timed_mutex|shared_mutex|shared_timed_mutex"
+    r"|condition_variable(?:_any)?|lock_guard|unique_lock|shared_lock"
+    r"|scoped_lock)\b"
+)
+
+# Word-boundary calls of the banned functions; "::" prefix or member
+# access ("."/"->") before the name exempts it (std::strcpy is still
+# banned, but e.g. `obj.gets(...)` on some other API is not ours to
+# police — the \b check below keeps plain calls caught).
+BANNED_FUNCTIONS = (
+    "sprintf",
+    "vsprintf",
+    "strcpy",
+    "strcat",
+    "gets",
+    "tmpnam",
+    "atoi",
+    "atol",
+    "atof",
+)
+BANNED_RE = re.compile(
+    r"(?<![\w.>])(?:std::)?(" + "|".join(BANNED_FUNCTIONS) + r")\s*\("
+)
+
+TODO_RE = re.compile(r"\bTODO\b")
+TODO_WITH_ISSUE_RE = re.compile(r"\bTODO\([^)]*#\d+[^)]*\)")
+
+COMMENT_RE = re.compile(r"//.*$")
+
+
+def guard_for(path: pathlib.Path, src_root: pathlib.Path) -> str:
+    rel = path.relative_to(src_root)
+    return "PCX_" + re.sub(r"[^A-Za-z0-9]", "_", str(rel)).upper() + "_"
+
+
+def is_exempt(path: pathlib.Path) -> bool:
+    # The annotated layer itself is the one sanctioned home of the std
+    # primitives it wraps.
+    return path.name in ("mutex.h", "thread_annotations.h")
+
+
+def lint_file(path: pathlib.Path, src_root: pathlib.Path) -> list[str]:
+    findings: list[str] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as e:
+        return [f"{path}:0: [read-error] {e}"]
+    lines = text.splitlines()
+    in_serve_or_pc = any(
+        part in ("serve", "pc") for part in path.relative_to(src_root).parts[:-1]
+    )
+
+    for i, line in enumerate(lines, start=1):
+        code = COMMENT_RE.sub("", line)
+
+        if not is_exempt(path):
+            m = RAW_SYNC_RE.search(code)
+            if m:
+                findings.append(
+                    f"{path}:{i}: [raw-sync-primitive] std::{m.group(1)} — use "
+                    f"the annotated wrappers in common/mutex.h (Mutex, "
+                    f"MutexLock, CondVar) so the lock contract is "
+                    f"machine-checked"
+                )
+
+        if in_serve_or_pc:
+            m = BANNED_RE.search(code)
+            if m:
+                findings.append(
+                    f"{path}:{i}: [banned-function] {m.group(1)}() is banned "
+                    f"in the serve/pc hot paths — use the bounded/checked "
+                    f"equivalent (snprintf, strtol-family, std::string)"
+                )
+
+        if TODO_RE.search(line) and not TODO_WITH_ISSUE_RE.search(line):
+            findings.append(
+                f"{path}:{i}: [todo-without-issue] TODO must reference an "
+                f"issue: TODO(#123) or TODO(name, #123)"
+            )
+
+    if path.suffix == ".h":
+        expected = guard_for(path, src_root)
+        guard_m = re.search(r"#ifndef\s+(\S+)", text)
+        if guard_m is None or guard_m.group(1) != expected:
+            got = guard_m.group(1) if guard_m else "<none>"
+            findings.append(
+                f"{path}:1: [include-guard] expected guard {expected}, "
+                f"found {got}"
+            )
+
+    if path.suffix == ".cc":
+        own_header = path.with_suffix(".h")
+        if own_header.exists():
+            includes = re.findall(r'#include\s+[<"]([^>"]+)[>"]', text)
+            expected_first = str(own_header.relative_to(src_root))
+            if includes and includes[0] != expected_first:
+                findings.append(
+                    f"{path}:1: [own-header-first] first include must be "
+                    f'"{expected_first}" (found "{includes[0]}") — the .cc '
+                    f"compile is the header's self-containment test"
+                )
+
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=str(pathlib.Path(__file__).resolve().parents[2]),
+        help="repository root (default: inferred from this script)",
+    )
+    parser.add_argument("files", nargs="*", help="files to lint (default: src/**)")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root).resolve()
+    src_root = root / "src"
+    if not src_root.is_dir():
+        print(f"pcx_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    if args.files:
+        paths = []
+        for f in args.files:
+            p = pathlib.Path(f).resolve()
+            # Only src/ files carry these contracts; CI passes the whole
+            # changed-file list and non-src entries are skipped here.
+            if p.suffix in (".h", ".cc") and src_root in p.parents:
+                paths.append(p)
+    else:
+        paths = sorted(
+            p for p in src_root.rglob("*") if p.suffix in (".h", ".cc")
+        )
+
+    findings: list[str] = []
+    for path in paths:
+        findings.extend(lint_file(path, src_root))
+
+    for finding in findings:
+        print(finding)
+    print(
+        f"pcx_lint: {len(paths)} file(s), {len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
